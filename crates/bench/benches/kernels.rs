@@ -1,0 +1,92 @@
+//! Criterion benches for the substrate kernels the algorithms lean on:
+//! the distributed sort (Claim 1), the max-edge labeling (the F-light
+//! filter of §3), and the AGM sketch machinery (Appendix C.1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpc_graph::generators;
+use mpc_labeling::MaxEdgeLabeling;
+use mpc_runtime::{Cluster, ClusterConfig, ShardedVec, Topology};
+use mpc_sketch::SketchFamily;
+use std::hint::black_box;
+
+fn bench_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_sample_sort");
+    group.sample_size(20);
+    group.bench_function("sort_10k_items_64_machines", |b| {
+        b.iter(|| {
+            let cfg = ClusterConfig::new(1024, 10_000).topology(Topology::Custom {
+                capacities: vec![20_000; 65],
+                large: Some(0),
+            });
+            let mut cluster = Cluster::new(cfg);
+            let parts = cluster.small_ids();
+            let items: Vec<u64> = (0..10_000u64).map(|i| i.wrapping_mul(0x9E3779B9)).collect();
+            let sv = ShardedVec::scatter(&cluster, items, &parts);
+            black_box(
+                mpc_runtime::primitives::sample_sort(&mut cluster, "b", sv, &parts, |&x| x)
+                    .unwrap(),
+            );
+        })
+    });
+    group.finish();
+}
+
+fn bench_labeling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_labeling");
+    group.sample_size(20);
+    let forest = generators::random_tree(4096, 5).with_random_weights(1 << 20, 5);
+    group.bench_function("build_n4096", |b| {
+        b.iter(|| black_box(MaxEdgeLabeling::build(&forest).unwrap()))
+    });
+    let labeling = MaxEdgeLabeling::build(&forest).unwrap();
+    let labels = labeling.labels();
+    group.bench_function("decode_1k_queries", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1000u32 {
+                let u = (i * 7919) % 4096;
+                let v = (i * 104729 + 13) % 4096;
+                if let Some(k) = MaxEdgeLabeling::decode(&labels[u as usize], &labels[v as usize])
+                {
+                    acc ^= k.w;
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_sketch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_sketch");
+    group.sample_size(20);
+    let fam = SketchFamily::new(1024, 1, 9);
+    group.bench_function("add_1k_edges", |b| {
+        b.iter(|| {
+            let mut s = fam.empty(0);
+            for v in 1..1000u32 {
+                fam.add_edge(&mut s, 0, v);
+            }
+            black_box(s)
+        })
+    });
+    let mut merged = fam.empty(0);
+    for v in 1..200u32 {
+        fam.add_edge(&mut merged, 0, v);
+    }
+    group.bench_function("decode", |b| b.iter(|| black_box(fam.decode(&merged))));
+    group.finish();
+}
+
+fn bench_reference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_reference");
+    group.sample_size(20);
+    let g = generators::gnm(2048, 32_768, 11).with_random_weights(1 << 20, 11);
+    group.bench_function("kruskal_n2048_m32768", |b| {
+        b.iter(|| black_box(mpc_graph::mst::kruskal(&g)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sort, bench_labeling, bench_sketch, bench_reference);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Criterion timing benches, one group per paper artifact.
+//!
+//! Round counts (the paper's metric) come from the `experiments` binary;
+//! these benches measure the *simulator wall-clock* of the same runs, which
+//! is what a developer iterating on the algorithms cares about.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpc_baselines::sublinear::{distribute_all, sublinear_config, sublinear_mst};
+use mpc_core::ported::connectivity::{sketch_friendly_config, ConnectivityConfig};
+use mpc_core::spanner::baswana_sen;
+use mpc_core::{common, matching, mst, ported, spanner};
+use mpc_graph::generators;
+use mpc_runtime::{Cluster, ClusterConfig};
+use std::hint::black_box;
+
+/// Table 1 rows: heterogeneous algorithms on a shared small workload.
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+
+    let g = generators::gnm(256, 4096, 1).with_random_weights(1 << 16, 1);
+    group.bench_function("het_mst_n256_m4096", |b| {
+        b.iter(|| {
+            let mut cluster = Cluster::new(ClusterConfig::new(g.n(), g.m()).seed(1));
+            let input = common::distribute_edges(&cluster, &g);
+            black_box(mst::heterogeneous_mst(&mut cluster, g.n(), input).unwrap());
+        })
+    });
+
+    let gu = generators::gnm(256, 4096, 1);
+    group.bench_function("het_spanner_k3_n256", |b| {
+        b.iter(|| {
+            let mut cluster = Cluster::new(
+                ClusterConfig::new(gu.n(), gu.m()).seed(1).polylog_exponent(1.6),
+            );
+            let input = common::distribute_edges(&cluster, &gu);
+            black_box(
+                spanner::heterogeneous_spanner(&mut cluster, gu.n(), &input, 3).unwrap(),
+            );
+        })
+    });
+
+    group.bench_function("het_matching_n256", |b| {
+        b.iter(|| {
+            let mut cluster = Cluster::new(ClusterConfig::new(gu.n(), gu.m()).seed(1));
+            let input = common::distribute_edges(&cluster, &gu);
+            black_box(
+                matching::heterogeneous_matching(&mut cluster, gu.n(), &input).unwrap(),
+            );
+        })
+    });
+
+    let gc = generators::gnm(128, 384, 1);
+    group.bench_function("het_connectivity_n128", |b| {
+        b.iter(|| {
+            let mut cluster = Cluster::new(sketch_friendly_config(gc.n(), gc.m(), 1));
+            let input = common::distribute_edges(&cluster, &gc);
+            black_box(
+                ported::heterogeneous_connectivity(
+                    &mut cluster,
+                    gc.n(),
+                    &input,
+                    &ConnectivityConfig::for_n(gc.n()),
+                )
+                .unwrap(),
+            );
+        })
+    });
+    group.finish();
+}
+
+/// E2: the MST comparison that Table 1's MST row summarizes.
+fn bench_mst_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig_mst_scaling");
+    group.sample_size(10);
+    for &density in &[8usize, 64] {
+        let g = generators::gnm(512, 512 * density, 2).with_random_weights(1 << 18, 2);
+        group.bench_function(format!("het_mst_density_{density}"), |b| {
+            b.iter(|| {
+                let mut cluster = Cluster::new(ClusterConfig::new(g.n(), g.m()).seed(2));
+                let input = common::distribute_edges(&cluster, &g);
+                black_box(mst::heterogeneous_mst(&mut cluster, g.n(), input).unwrap());
+            })
+        });
+    }
+    let g = generators::gnm(512, 512 * 8, 2).with_random_weights(1 << 18, 2);
+    group.bench_function("sublinear_mst_density_8", |b| {
+        b.iter(|| {
+            let mut cluster = Cluster::new(sublinear_config(g.n(), g.m(), 2));
+            let input = distribute_all(&cluster, &g);
+            black_box(sublinear_mst(&mut cluster, g.n(), &input).unwrap());
+        })
+    });
+    group.finish();
+}
+
+/// Figure 1 / Lemma 4.3: original vs modified Baswana–Sen (sequential).
+fn bench_figure1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure1_baswana_sen");
+    group.sample_size(20);
+    let g = generators::gnm(400, 6000, 3);
+    group.bench_function("original_k4", |b| {
+        b.iter(|| black_box(baswana_sen::baswana_sen(&g, 4, 7)))
+    });
+    group.bench_function("modified_k4_p02", |b| {
+        b.iter(|| black_box(baswana_sen::modified_baswana_sen(&g, 4, 0.2, 7)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1, bench_mst_scaling, bench_figure1);
+criterion_main!(benches);

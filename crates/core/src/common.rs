@@ -1,0 +1,92 @@
+//! Shared helpers for the heterogeneous algorithms: input distribution,
+//! directed copies, matched-status bookkeeping.
+
+use mpc_graph::distribution::{shard_edges, Layout};
+use mpc_graph::{Edge, Graph, VertexId};
+use mpc_runtime::{Cluster, MachineId, ShardedVec};
+
+/// Places the input edges on the small machines (round-robin), matching the
+/// paper's §2 convention that the input starts on the small machines in
+/// arbitrary order.
+pub fn distribute_edges(cluster: &Cluster, g: &Graph) -> ShardedVec<Edge> {
+    distribute_edges_with(cluster, g, Layout::RoundRobin)
+}
+
+/// [`distribute_edges`] with an explicit initial [`Layout`].
+pub fn distribute_edges_with(cluster: &Cluster, g: &Graph, layout: Layout) -> ShardedVec<Edge> {
+    let small = cluster.small_ids();
+    let shards = shard_edges(g.edges(), small.len(), layout);
+    let mut sv = ShardedVec::new(cluster);
+    for (i, shard) in shards.into_iter().enumerate() {
+        *sv.shard_mut(small[i]) = shard;
+    }
+    sv
+}
+
+/// The machines that act as hash-owners for keys: all small machines.
+pub fn owners(cluster: &Cluster) -> Vec<MachineId> {
+    cluster.small_ids()
+}
+
+/// Builds, per machine, the list of vertex ids whose values that machine
+/// needs — the endpoints of its locally stored edges. This is the request
+/// set of every dissemination (paper Claim 3: "each small machine is given
+/// the labels of all vertices whose edges it stores").
+pub fn endpoint_requests<T, F>(
+    cluster: &Cluster,
+    edges: &ShardedVec<T>,
+    endpoints: F,
+) -> ShardedVec<VertexId>
+where
+    F: Fn(&T) -> (VertexId, VertexId),
+{
+    let mut req: ShardedVec<VertexId> = ShardedVec::new(cluster);
+    for mid in 0..edges.machines() {
+        let shard = req.shard_mut(mid);
+        for t in edges.shard(mid) {
+            let (u, v) = endpoints(t);
+            shard.push(u);
+            shard.push(v);
+        }
+        shard.sort_unstable();
+        shard.dedup();
+    }
+    req
+}
+
+/// Reconstructs a [`Graph`] from sharded edges (diagnostics/tests only —
+/// a real machine could not do this).
+pub fn collect_graph(n: usize, edges: &ShardedVec<Edge>) -> Graph {
+    Graph::new(n, edges.iter().map(|(_, e)| *e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_graph::generators;
+    use mpc_runtime::ClusterConfig;
+
+    #[test]
+    fn distribution_preserves_edges_and_avoids_large() {
+        let g = generators::gnm(64, 256, 1);
+        let cluster = Cluster::new(ClusterConfig::new(64, 256));
+        let sv = distribute_edges(&cluster, &g);
+        assert!(sv.shard(cluster.large().unwrap()).is_empty());
+        assert_eq!(collect_graph(64, &sv), g);
+    }
+
+    #[test]
+    fn endpoint_requests_are_deduped() {
+        let g = generators::star(5);
+        let cluster = Cluster::new(ClusterConfig::new(5, 4));
+        let sv = distribute_edges(&cluster, &g);
+        let req = endpoint_requests(&cluster, &sv, |e| (e.u, e.v));
+        for mid in cluster.small_ids() {
+            let r = req.shard(mid);
+            let mut sorted = r.to_vec();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(r, &sorted[..], "machine {mid} requests not deduped/sorted");
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! The filtering maximal-matching algorithm (Theorem 5.5, after Lattanzi,
+//! Moseley, Suri & Vassilvitskii \[44\]).
+//!
+//! With a large machine of memory `Õ(n^(1+f))`, sample each edge with
+//! probability `p = n^(−f)` recursively until the graph fits; match the
+//! bottom level on the large machine; then unwind: at each level, the edges
+//! whose endpoints are both unmatched number `O(n/p) = O(n^(1+f))` w.h.p.
+//! (\[44\] Lemma 3.1), so the large machine can absorb them and extend the
+//! matching. `O(1/f)` levels ⇒ `O(1/f)` rounds — experiment E8 sweeps `f`.
+//!
+//! Callers should configure the cluster topology with
+//! `large_exponent = 1 + f` so capacities match the algorithm's premise.
+
+use crate::common;
+use mpc_graph::matching::Matching;
+use mpc_graph::{Edge, VertexId};
+use mpc_runtime::primitives::{gather_to, sum_to};
+use mpc_runtime::{Cluster, ModelViolation, ShardedVec};
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Statistics of a filtering run.
+#[derive(Clone, Debug, Default)]
+pub struct FilteringStats {
+    /// Recursion levels (sampling depth).
+    pub levels: usize,
+    /// Edge counts per level, top (input) to bottom.
+    pub level_sizes: Vec<usize>,
+    /// Residual edges absorbed while unwinding each level.
+    pub residuals: Vec<usize>,
+}
+
+/// Runs filtering matching with sampling probability `p = n^(−f)`.
+///
+/// # Errors
+///
+/// Propagates capacity violations — in particular if `f` overestimates the
+/// large machine's actual memory.
+pub fn filtering_matching(
+    cluster: &mut Cluster,
+    n: usize,
+    edges: &ShardedVec<Edge>,
+    f: f64,
+) -> Result<(Matching, FilteringStats), ModelViolation> {
+    assert!(f > 0.0, "filtering requires a superlinear exponent f > 0");
+    let large = cluster.large().expect("filtering requires a large machine");
+    let owners = common::owners(cluster);
+    let p = (n.max(2) as f64).powf(-f);
+    let budget_edges = cluster.capacity(large) / 8; // words/2 edges, halved for slack
+
+    // Build the sampling cascade G_0 ⊇ G_1 ⊇ … ⊇ G_L locally (free).
+    let mut levels: Vec<ShardedVec<Edge>> = vec![edges.clone()];
+    let mut stats = FilteringStats::default();
+    stats.level_sizes.push(edges.total_len());
+    while levels.last().unwrap().total_len() > budget_edges {
+        let prev = levels.last().unwrap();
+        let mut next: ShardedVec<Edge> = ShardedVec::new(cluster);
+        for mid in 0..prev.machines() {
+            let shard = next.shard_mut(mid);
+            for e in prev.shard(mid) {
+                if cluster.rng(mid).random_bool(p) {
+                    shard.push(*e);
+                }
+            }
+        }
+        stats.level_sizes.push(next.total_len());
+        levels.push(next);
+        if levels.len() > 64 {
+            break; // p pathologically close to 1; avoid infinite descent
+        }
+    }
+    stats.levels = levels.len();
+
+    // Bottom level: matched directly on the large machine.
+    let bottom = gather_to(cluster, "filter.bottom", levels.last().unwrap(), large)?;
+    cluster.account("filter.large", large, bottom.len() * 2)?;
+    let mut matching =
+        mpc_graph::matching::greedy_matching_over(n, bottom.into_iter(), &[]);
+
+    // Unwind: at each level, ship matched flags down, absorb the residual.
+    let participants: Vec<usize> = (0..cluster.machines()).collect();
+    for level in (0..levels.len() - 1).rev() {
+        let matched_pairs: Vec<(VertexId, u32)> = {
+            let mut v: Vec<VertexId> =
+                matching.edges.iter().flat_map(|e| [e.u, e.v]).collect();
+            v.sort_unstable();
+            v.dedup();
+            v.into_iter().map(|x| (x, 1)).collect()
+        };
+        let requests =
+            common::endpoint_requests(cluster, &levels[level], |e| (e.u, e.v));
+        let delivered = mpc_runtime::primitives::disseminate(
+            cluster,
+            "filter.flags",
+            &matched_pairs,
+            large,
+            &requests,
+            &owners,
+        )?;
+        let mut residual: ShardedVec<Edge> = ShardedVec::new(cluster);
+        for mid in 0..levels[level].machines() {
+            let flag: HashSet<VertexId> =
+                delivered.shard(mid).iter().map(|&(v, _)| v).collect();
+            let shard = residual.shard_mut(mid);
+            for e in levels[level].shard(mid) {
+                if !flag.contains(&e.u) && !flag.contains(&e.v) {
+                    shard.push(*e);
+                }
+            }
+        }
+        let counts: Vec<u64> = (0..cluster.machines())
+            .map(|mid| residual.shard(mid).len() as u64)
+            .collect();
+        let total =
+            sum_to(cluster, "filter.residual-count", &participants, counts, large)?;
+        stats.residuals.push(total as usize);
+        let residual_edges = gather_to(cluster, "filter.residual", &residual, large)?;
+        let pre: Vec<VertexId> =
+            matching.edges.iter().flat_map(|e| [e.u, e.v]).collect();
+        let extension = mpc_graph::matching::greedy_matching_over(
+            n,
+            residual_edges.into_iter(),
+            &pre,
+        );
+        matching.extend_disjoint(&extension);
+    }
+    cluster.release("filter.large");
+    Ok((matching, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_graph::generators;
+    use mpc_graph::matching::is_maximal_matching;
+    use mpc_runtime::{ClusterConfig, Topology};
+
+    fn run(g: &mpc_graph::Graph, f: f64, seed: u64) -> (Matching, FilteringStats, u64) {
+        let mut cluster = Cluster::new(
+            ClusterConfig::new(g.n(), g.m())
+                .topology(Topology::Heterogeneous { gamma: 0.66, large_exponent: 1.0 + f })
+                .seed(seed),
+        );
+        let input = common::distribute_edges(&cluster, g);
+        let (m, stats) = filtering_matching(&mut cluster, g.n(), &input, f).unwrap();
+        (m, stats, cluster.rounds())
+    }
+
+    #[test]
+    fn filtering_produces_maximal_matchings() {
+        for seed in 0..3 {
+            let g = generators::gnm(150, 3000, seed);
+            let (m, _, _) = run(&g, 0.2, seed);
+            assert!(is_maximal_matching(&g, &m), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn larger_f_means_fewer_levels() {
+        let g = generators::gnm(128, 6000, 4);
+        let (_, s_small, _) = run(&g, 0.1, 4);
+        let (_, s_big, _) = run(&g, 0.5, 4);
+        assert!(
+            s_big.levels <= s_small.levels,
+            "f=0.5 gave {} levels vs {} at f=0.1",
+            s_big.levels,
+            s_small.levels
+        );
+    }
+
+    #[test]
+    fn level_sizes_shrink_geometrically() {
+        let g = generators::gnm(128, 6000, 7);
+        let (_, stats, _) = run(&g, 0.3, 7);
+        for w in stats.level_sizes.windows(2) {
+            assert!(w[1] < w[0], "level sizes must shrink: {:?}", stats.level_sizes);
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Maximal independent set in `O(log log Δ)` rounds (Theorem C.6, after
+//! Ghaffari, Gouleakis, Konrad, Mitrović & Rubinfeld \[26\]).
+//!
+//! The large machine draws a uniform permutation `π` and disseminates
+//! ranks. Iteration `i` processes the vertices with rank up to
+//! `n/Δ^(αⁱ⁺¹)` (α = 3/4): the residual edges among this still-small prefix
+//! number `Õ(n)` w.h.p., so the large machine can collect them and extend
+//! the greedy-by-`π` MIS locally; newly dominated vertices are pruned on
+//! the small machines before the next, geometrically larger prefix. After
+//! `O(log log Δ)` iterations the whole residual graph fits and the run
+//! finishes.
+//!
+//! Greedy-by-`π` is sequentially consistent across batches, so the output
+//! equals the sequential greedy MIS under `π` — always a correct MIS, with
+//! the round bound being the probabilistic part.
+
+use crate::common;
+use mpc_graph::{Edge, VertexId};
+use mpc_runtime::primitives::{aggregate_by_key, gather_to, lookup, sum_to};
+use mpc_runtime::{Cluster, ModelViolation, ShardedVec};
+use rand::seq::SliceRandom;
+
+/// Result of the MIS port.
+#[derive(Clone, Debug)]
+pub struct MisResult {
+    /// The maximal independent set.
+    pub mis: Vec<VertexId>,
+    /// Prefix-processing iterations executed (the `O(log log Δ)` quantity).
+    pub iterations: usize,
+    /// Residual edge count before each iteration's gather.
+    pub batch_edges: Vec<usize>,
+}
+
+/// Runs the ported MIS algorithm.
+///
+/// # Errors
+///
+/// Propagates capacity violations in strict mode.
+pub fn heterogeneous_mis(
+    cluster: &mut Cluster,
+    n: usize,
+    edges: &ShardedVec<Edge>,
+) -> Result<MisResult, ModelViolation> {
+    let large = cluster.large().expect("MIS requires a large machine");
+    let owners = common::owners(cluster);
+    let participants: Vec<usize> = (0..cluster.machines()).collect();
+
+    // Permutation ranks, drawn by the large machine and disseminated.
+    let mut perm: Vec<VertexId> = (0..n as VertexId).collect();
+    perm.shuffle(cluster.rng(large));
+    let mut rank: Vec<u32> = vec![0; n];
+    for (r, &v) in perm.iter().enumerate() {
+        rank[v as usize] = r as u32;
+    }
+    let rank_pairs: Vec<(VertexId, u32)> =
+        (0..n as VertexId).map(|v| (v, rank[v as usize])).collect();
+    let requests = common::endpoint_requests(cluster, edges, |e| (e.u, e.v));
+    let ranks_delivered = mpc_runtime::primitives::disseminate(
+        cluster,
+        "mis.ranks",
+        &rank_pairs,
+        large,
+        &requests,
+        &owners,
+    )?;
+
+    // Live edges, each machine knowing its endpoints' ranks.
+    let mut live: ShardedVec<Edge> = ShardedVec::new(cluster);
+    let mut local_rank: Vec<std::collections::HashMap<VertexId, u32>> =
+        (0..cluster.machines()).map(|_| std::collections::HashMap::new()).collect();
+    for mid in 0..edges.machines() {
+        local_rank[mid] = ranks_delivered.shard(mid).iter().copied().collect();
+        *live.shard_mut(mid) = edges.shard(mid).to_vec();
+    }
+
+    let delta = {
+        // Max degree via aggregation (needed for the prefix schedule).
+        let mut deg_items: ShardedVec<(VertexId, u32)> = ShardedVec::new(cluster);
+        for mid in 0..edges.machines() {
+            let shard = deg_items.shard_mut(mid);
+            for e in edges.shard(mid) {
+                shard.push((e.u, 1));
+                shard.push((e.v, 1));
+            }
+        }
+        let agg = aggregate_by_key(cluster, "mis.deg", &deg_items, &owners, |a, b| a + b)?;
+        let pairs = gather_to(cluster, "mis.deg-up", &agg, large)?;
+        pairs.iter().map(|&(_, d)| d).max().unwrap_or(1).max(2)
+    };
+
+    // Prefix thresholds: t_i = n / Δ^(α^i), α = 3/4, until the prefix is V.
+    let alpha = 0.75f64;
+    let mut thresholds: Vec<u32> = Vec::new();
+    let mut exp = 1.0f64;
+    loop {
+        let t = (n as f64 / (delta as f64).powf(exp)).ceil() as u32;
+        thresholds.push(t.min(n as u32));
+        if t as usize >= n {
+            break;
+        }
+        exp *= alpha;
+        if thresholds.len() > 64 {
+            thresholds.push(n as u32);
+            break;
+        }
+    }
+
+    let mut in_mis: Vec<bool> = vec![false; n];
+    let mut dominated_flag: Vec<bool> = vec![false; n];
+    let mut decided_upto = 0u32; // ranks below this are fully decided
+    let mut iterations = 0usize;
+    let mut batch_edges = Vec::new();
+    let budget = cluster.capacity(large) / 8;
+
+    for &t in &thresholds {
+        if decided_upto >= n as u32 {
+            break;
+        }
+        iterations += 1;
+        // Ship the residual edges with both endpoints in the prefix.
+        let mut batch: ShardedVec<Edge> = ShardedVec::new(cluster);
+        for mid in 0..live.machines() {
+            let shard = batch.shard_mut(mid);
+            for e in live.shard(mid) {
+                if local_rank[mid][&e.u] < t && local_rank[mid][&e.v] < t {
+                    shard.push(*e);
+                }
+            }
+        }
+        let counts: Vec<u64> =
+            (0..cluster.machines()).map(|mid| batch.shard(mid).len() as u64).collect();
+        let total = sum_to(cluster, "mis.count", &participants, counts, large)?;
+        batch_edges.push(total as usize);
+        if total as usize * 2 > budget {
+            // Residual prefix unexpectedly dense (low-probability event):
+            // skip to a smaller growth step by ending this iteration early.
+            continue;
+        }
+        let batch_edges_at_large = gather_to(cluster, "mis.batch", &batch, large)?;
+        cluster.account("mis.large", large, batch_edges_at_large.len() * 2)?;
+
+        // Local greedy by π over ranks [0, t), consistent with prior batches.
+        let mut adj: std::collections::HashMap<VertexId, Vec<VertexId>> =
+            std::collections::HashMap::new();
+        for e in &batch_edges_at_large {
+            adj.entry(e.u).or_default().push(e.v);
+            adj.entry(e.v).or_default().push(e.u);
+        }
+        let mut newly: Vec<VertexId> = Vec::new();
+        for &v in perm.iter() {
+            if rank[v as usize] >= t {
+                break;
+            }
+            if rank[v as usize] < decided_upto {
+                continue; // decided in an earlier batch
+            }
+            if dominated_flag[v as usize] {
+                continue; // covered by an earlier batch's choice
+            }
+            // v joins iff no already-chosen neighbor (batch edges cover all
+            // surviving conflicts among the prefix).
+            let blocked = adj
+                .get(&v)
+                .is_some_and(|ns| ns.iter().any(|&u| in_mis[u as usize]));
+            if !blocked {
+                in_mis[v as usize] = true;
+                newly.push(v);
+            }
+        }
+        decided_upto = t;
+
+        // Prune: machines learn which vertices joined the MIS and drop every
+        // edge with an endpoint that is dominated or chosen.
+        let mis_pairs: Vec<(VertexId, u32)> = newly.iter().map(|&v| (v, 1)).collect();
+        let live_requests = common::endpoint_requests(cluster, &live, |e| (e.u, e.v));
+        let delivered = mpc_runtime::primitives::disseminate(
+            cluster,
+            "mis.newly",
+            &mis_pairs,
+            large,
+            &live_requests,
+            &owners,
+        )?;
+        // Dominated vertices: neighbors of MIS vertices (found locally, then
+        // shared through aggregation so every holder of the vertex knows).
+        let mut dominated_items: ShardedVec<(VertexId, u32)> = ShardedVec::new(cluster);
+        for mid in 0..live.machines() {
+            let chosen: std::collections::HashSet<VertexId> =
+                delivered.shard(mid).iter().map(|&(v, _)| v).collect();
+            let shard = dominated_items.shard_mut(mid);
+            for e in live.shard(mid) {
+                if chosen.contains(&e.u) {
+                    shard.push((e.v, 1));
+                    shard.push((e.u, 1));
+                }
+                if chosen.contains(&e.v) {
+                    shard.push((e.u, 1));
+                    shard.push((e.v, 1));
+                }
+            }
+        }
+        let dominated =
+            aggregate_by_key(cluster, "mis.dominated", &dominated_items, &owners, |a, b| {
+                a | b
+            })?;
+        // Mirror domination to the large machine so the final sweep knows
+        // which undecided vertices are already covered.
+        let dom_pairs = gather_to(cluster, "mis.dominated-up", &dominated, large)?;
+        for &(v, _) in &dom_pairs {
+            dominated_flag[v as usize] = true;
+        }
+        let live_requests = common::endpoint_requests(cluster, &live, |e| (e.u, e.v));
+        let dom_local =
+            lookup(cluster, "mis.dominated-look", &dominated, &live_requests, &owners)?;
+        for mid in 0..live.machines() {
+            let dead: std::collections::HashSet<VertexId> =
+                dom_local.shard(mid).iter().map(|&(v, _)| v).collect();
+            live.shard_mut(mid)
+                .retain(|e| !dead.contains(&e.u) && !dead.contains(&e.v));
+        }
+        cluster.release("mis.large");
+
+        // The paper's stop rule: once the residual graph fits the large
+        // machine, skip the remaining prefixes — the final sweep gathers it
+        // whole. This is what makes O(log log Δ) iterations suffice.
+        let live_counts: Vec<u64> = (0..cluster.machines())
+            .map(|mid| live.shard(mid).len() as u64)
+            .collect();
+        let live_total =
+            sum_to(cluster, "mis.live-count", &participants, live_counts, large)?;
+        if (live_total as usize) * 2 <= budget {
+            break;
+        }
+    }
+
+    // Final sweep: gather whatever live edges remain (small w.h.p.) and run
+    // the greedy over all still-undecided, non-dominated vertices. Edges
+    // between two such vertices are exactly the surviving live edges, so
+    // this is sequentially consistent with the batched greedy.
+    let rest = gather_to(cluster, "mis.final", &live, large)?;
+    let mut adj: std::collections::HashMap<VertexId, Vec<VertexId>> =
+        std::collections::HashMap::new();
+    for e in &rest {
+        adj.entry(e.u).or_default().push(e.v);
+        adj.entry(e.v).or_default().push(e.u);
+    }
+    for &v in &perm {
+        if in_mis[v as usize]
+            || dominated_flag[v as usize]
+            || rank[v as usize] < decided_upto
+        {
+            continue;
+        }
+        let blocked = adj
+            .get(&v)
+            .is_some_and(|ns| ns.iter().any(|&u| in_mis[u as usize]));
+        if !blocked {
+            in_mis[v as usize] = true;
+        }
+    }
+    let mis: Vec<VertexId> =
+        (0..n as VertexId).filter(|&v| in_mis[v as usize]).collect();
+    Ok(MisResult { mis, iterations, batch_edges })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_graph::generators;
+    use mpc_graph::mis::is_maximal_independent_set;
+    use mpc_runtime::ClusterConfig;
+
+    fn run(g: &mpc_graph::Graph, seed: u64) -> (MisResult, u64) {
+        let mut cluster = Cluster::new(
+            ClusterConfig::new(g.n(), g.m().max(1)).seed(seed).polylog_exponent(1.6),
+        );
+        let input = common::distribute_edges(&cluster, g);
+        let r = heterogeneous_mis(&mut cluster, g.n(), &input).unwrap();
+        (r, cluster.rounds())
+    }
+
+    #[test]
+    fn produces_maximal_independent_sets() {
+        for seed in 0..4 {
+            let g = generators::gnm(120, 900, seed);
+            let (r, _) = run(&g, seed);
+            assert!(
+                is_maximal_independent_set(&g, &r.mis),
+                "seed {seed}: {:?}",
+                r.mis.len()
+            );
+        }
+    }
+
+    #[test]
+    fn handles_high_degree_graphs() {
+        let g = generators::star(300);
+        let (r, _) = run(&g, 1);
+        assert!(is_maximal_independent_set(&g, &r.mis));
+    }
+
+    #[test]
+    fn iteration_count_is_doubly_logarithmic() {
+        let g = generators::gnm(256, 8000, 3); // Δ ≈ 60+
+        let (r, _) = run(&g, 3);
+        assert!(
+            r.iterations <= 12,
+            "expected O(log log Δ) iterations, got {}",
+            r.iterations
+        );
+    }
+
+    #[test]
+    fn empty_graph_mis_is_everything() {
+        let g = mpc_graph::Graph::empty(8);
+        let mut cluster = Cluster::new(ClusterConfig::new(8, 1));
+        let input = common::distribute_edges(&cluster, &g);
+        let r = heterogeneous_mis(&mut cluster, 8, &input).unwrap();
+        assert_eq!(r.mis.len(), 8);
+    }
+}

@@ -1,0 +1,138 @@
+//! `O(log n)`-approximate all-pairs shortest paths (Corollary 4.2).
+//!
+//! With `k = ⌈log₂ n⌉` the spanner has `Õ(n)` edges and fits on the large
+//! machine, which then answers arbitrary distance queries locally with no
+//! further communication — an APSP *oracle* with multiplicative error
+//! `O(log n)` (6k−1 unweighted, 12k−1 weighted).
+
+use crate::common;
+use mpc_graph::{traversal, Edge, Graph, VertexId};
+use mpc_runtime::{Cluster, ModelViolation, ShardedVec};
+
+/// A distance oracle resident on the large machine.
+#[derive(Clone, Debug)]
+pub struct ApspOracle {
+    spanner: Graph,
+    adj: mpc_graph::Adjacency,
+    /// The stretch guarantee of the underlying spanner.
+    pub stretch_bound: usize,
+}
+
+impl ApspOracle {
+    /// Approximate distance from `u` to `v` (`u64::MAX` if disconnected).
+    ///
+    /// One Dijkstra per call — batch with [`distances_from`](Self::distances_from)
+    /// when querying many targets.
+    pub fn distance(&self, u: VertexId, v: VertexId) -> u64 {
+        traversal::dijkstra(&self.adj, u)[v as usize]
+    }
+
+    /// Approximate distances from `source` to every vertex.
+    pub fn distances_from(&self, source: VertexId) -> Vec<u64> {
+        traversal::dijkstra(&self.adj, source)
+    }
+
+    /// The spanner backing the oracle.
+    pub fn spanner(&self) -> &Graph {
+        &self.spanner
+    }
+}
+
+/// Builds the APSP oracle in `O(1)` rounds.
+///
+/// Uses the weighted spanner pipeline when the input has non-unit weights.
+///
+/// # Errors
+///
+/// Propagates capacity violations in strict mode.
+pub fn build_apsp_oracle(
+    cluster: &mut Cluster,
+    n: usize,
+    edges: &ShardedVec<Edge>,
+) -> Result<ApspOracle, ModelViolation> {
+    let k = ((n.max(4) as f64).log2().ceil() as usize).max(2);
+    let weighted = edges.iter().any(|(_, e)| e.w != 1);
+    let result = if weighted {
+        super::heterogeneous_spanner_weighted(cluster, n, edges, k)?
+    } else {
+        super::heterogeneous_spanner(cluster, n, edges, k)?
+    };
+    let stretch_bound = if weighted { 12 * k - 1 } else { 6 * k - 1 };
+    let adj = result.spanner.adjacency();
+    Ok(ApspOracle { spanner: result.spanner, adj, stretch_bound })
+}
+
+/// Measures the worst observed stretch of `oracle` against exact distances
+/// over `sources` BFS/Dijkstra sources (diagnostics for experiment E9).
+pub fn measured_stretch(g: &Graph, oracle: &ApspOracle, sources: usize) -> f64 {
+    let adj = g.adjacency();
+    let mut worst: f64 = 1.0;
+    let step = (g.n() / sources.max(1)).max(1);
+    for s in (0..g.n()).step_by(step) {
+        let exact = traversal::dijkstra(&adj, s as VertexId);
+        let approx = oracle.distances_from(s as VertexId);
+        for v in 0..g.n() {
+            if v == s || exact[v] == traversal::UNREACHABLE {
+                continue;
+            }
+            if approx[v] == traversal::UNREACHABLE {
+                return f64::INFINITY;
+            }
+            worst = worst.max(approx[v] as f64 / exact[v] as f64);
+        }
+    }
+    worst
+}
+
+/// Convenience: distributes `g`, builds the oracle, returns it with the
+/// round count (used by examples and benches).
+///
+/// # Errors
+///
+/// Propagates capacity violations in strict mode.
+pub fn oracle_for_graph(g: &Graph, seed: u64) -> Result<(ApspOracle, u64), ModelViolation> {
+    let mut cluster = Cluster::new(
+        mpc_runtime::ClusterConfig::new(g.n(), g.m().max(1))
+            .seed(seed)
+            .polylog_exponent(1.6),
+    );
+    let input = common::distribute_edges(&cluster, g);
+    let oracle = build_apsp_oracle(&mut cluster, g.n(), &input)?;
+    Ok((oracle, cluster.rounds()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_graph::generators;
+
+    #[test]
+    fn oracle_stretch_is_within_the_log_bound() {
+        let g = generators::gnm(128, 512, 3);
+        let (oracle, rounds) = oracle_for_graph(&g, 3).unwrap();
+        let stretch = measured_stretch(&g, &oracle, 16);
+        assert!(
+            stretch <= oracle.stretch_bound as f64,
+            "stretch {stretch} exceeds bound {}",
+            oracle.stretch_bound
+        );
+        assert!(rounds > 0);
+    }
+
+    #[test]
+    fn weighted_oracle_works() {
+        let g = generators::gnm(96, 400, 5).with_random_weights(32, 5);
+        let (oracle, _) = oracle_for_graph(&g, 5).unwrap();
+        let stretch = measured_stretch(&g, &oracle, 12);
+        assert!(stretch <= oracle.stretch_bound as f64, "stretch {stretch}");
+    }
+
+    #[test]
+    fn oracle_distances_match_dijkstra_on_its_own_spanner() {
+        let g = generators::gnm(64, 256, 7);
+        let (oracle, _) = oracle_for_graph(&g, 7).unwrap();
+        let d = oracle.distances_from(0);
+        assert_eq!(d[0], 0);
+        assert_eq!(oracle.distance(0, 5), d[5]);
+    }
+}

@@ -1,0 +1,438 @@
+//! `O(k)`-spanners of size `O(n^(1+1/k))` in `O(1)` rounds (§4, Thm 4.1).
+//!
+//! Pipeline (unweighted):
+//!
+//! 1. [`clustering`] builds the clustering graphs `A_0 … A_{logΔ−1}`
+//!    (Algorithm 5); star edges join the spanner immediately.
+//! 2. For every level `i`, a `(2k−1)`-spanner `H_i` of `A_i` is computed
+//!    (Algorithm 6): levels with `p_i = min(1, 2k·i^(1+1/k)/2^i) = 1` ship
+//!    all of `E_i` to the large machine, which spans them exactly (original
+//!    Baswana–Sen); the remaining levels ship `k−1` subsamples and run the
+//!    paper's **modified** Baswana–Sen ([`baswana_sen`]): phase 1 on the
+//!    large machine, removal edges found by the small machines against the
+//!    full `E_i` via the disseminated cluster-center histories.
+//! 3. Lemma A.2 combines: `H = stars ∪ ⋃ᵢ E_G(H_i)` is a `(6k−1)`-spanner
+//!    of `G` with expected `O(n^(1+1/k))` edges.
+//!
+//! The weighted case reduces to `O(log W)` unweighted instances by weight
+//! class (factor-2 buckets), giving a `(12k−1)`-spanner of size
+//! `O(n^(1+1/k) log n)` — the reduction the paper cites from \[22\].
+
+pub mod apsp;
+pub mod baswana_sen;
+pub mod clustering;
+
+use crate::common;
+use clustering::{level_edge_key, unpack_level_edge, LevelEdgeKey};
+use mpc_graph::{Edge, Graph, VertexId};
+use mpc_runtime::primitives::{aggregate_by_key, gather_to};
+use mpc_runtime::{Cluster, ModelViolation, ShardedVec};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Statistics of a spanner run.
+#[derive(Clone, Debug, Default)]
+pub struct SpannerStats {
+    /// Number of clustering-graph levels.
+    pub levels: usize,
+    /// Levels shipped in full (`p_i = 1` or `i = 0`).
+    pub full_levels: Vec<usize>,
+    /// Levels spanned through modified Baswana–Sen with their `p_i`.
+    pub sampled_levels: Vec<(usize, f64)>,
+    /// Star edges contributed by the clustering structure.
+    pub star_edges: usize,
+    /// Phase-1 (re-clustering) edges added by the large machine.
+    pub phase1_edges: usize,
+    /// Removal edges added by the small machines.
+    pub removal_edges: usize,
+    /// Per-level `|E_i|`.
+    pub level_edge_counts: Vec<usize>,
+    /// Weight classes processed (1 for unweighted input).
+    pub weight_classes: usize,
+}
+
+/// Output of the spanner algorithms.
+#[derive(Clone, Debug)]
+pub struct SpannerResult {
+    /// The spanner (a subgraph of the input).
+    pub spanner: Graph,
+    /// Execution statistics.
+    pub stats: SpannerStats,
+}
+
+/// Computes a `(6k−1)`-spanner of an **unweighted** graph in `O(1)` rounds.
+///
+/// `edges` is the sharded input (weights are ignored — the spanner of a
+/// weighted graph goes through [`heterogeneous_spanner_weighted`]).
+///
+/// # Errors
+///
+/// Propagates capacity violations in strict mode.
+pub fn heterogeneous_spanner(
+    cluster: &mut Cluster,
+    n: usize,
+    edges: &ShardedVec<Edge>,
+    k: usize,
+) -> Result<SpannerResult, ModelViolation> {
+    assert!(k >= 2, "spanner parameter k must be at least 2");
+    let large = cluster.large().expect("spanner requires a large machine");
+    let owners = common::owners(cluster);
+
+    // Step 1: clustering graphs.
+    let cg = clustering::build_clustering_graphs(cluster, n, edges)?;
+    let mut stats = SpannerStats {
+        levels: cg.levels,
+        level_edge_counts: cg.level_edge_counts.clone(),
+        weight_classes: 1,
+        ..SpannerStats::default()
+    };
+
+    // Step 2: per-level sampling probabilities.
+    let p_of = |i: usize| -> f64 {
+        if i == 0 {
+            return 1.0;
+        }
+        let k_f = k as f64;
+        (2.0 * k_f * (i as f64).powf(1.0 + 1.0 / k_f) / (1u64 << i) as f64).min(1.0)
+    };
+    for i in 0..cg.levels {
+        if p_of(i) >= 1.0 {
+            stats.full_levels.push(i);
+        } else {
+            stats.sampled_levels.push((i, p_of(i)));
+        }
+    }
+
+    // Ship full levels + k−1 subsamples of the rest to the large machine.
+    // Message: (tag = (i << 8) | j, (σ_u, σ_v), witness edge); j = 0 ⇒ full.
+    let mut payload: ShardedVec<(u32, LevelEdgeKey, Edge)> = ShardedVec::new(cluster);
+    for mid in 0..cg.cluster_edges.machines() {
+        let shard = payload.shard_mut(mid);
+        for (key, orig) in cg.cluster_edges.shard(mid) {
+            let (i, _, _) = unpack_level_edge(key);
+            let p = p_of(i);
+            if p >= 1.0 {
+                shard.push(((i as u32) << 8, *key, *orig));
+            } else {
+                for j in 1..k as u32 {
+                    if cluster.rng(mid).random_bool(p) {
+                        shard.push((((i as u32) << 8) | j, *key, *orig));
+                    }
+                }
+            }
+        }
+    }
+    let received = gather_to(cluster, "spanner.samples", &payload, large)?;
+    cluster.account("spanner.large.samples", large, received.len() * 5)?;
+
+    // Large machine: span each level locally.
+    // Witness map: (level, σ_u, σ_v) → original edge.
+    let mut witness: HashMap<LevelEdgeKey, Edge> = HashMap::new();
+    let mut full_edges: HashMap<usize, Vec<Edge>> = HashMap::new();
+    let mut sampled_edges: HashMap<usize, Vec<Vec<Edge>>> = HashMap::new();
+    for (tag, key, orig) in &received {
+        let (i, a, b) = unpack_level_edge(key);
+        witness.insert(*key, *orig);
+        let j = (tag & 0xFF) as usize;
+        if j == 0 {
+            full_edges.entry(i).or_default().push(Edge::unweighted(a, b));
+        } else {
+            let slot = sampled_edges.entry(i).or_insert_with(|| vec![Vec::new(); k]);
+            slot[j - 1].push(Edge::unweighted(a, b));
+        }
+    }
+    let mut spanner_edges: Vec<Edge> = Vec::new();
+    // Full levels: exact (2k−1)-spanner via original Baswana–Sen.
+    let mut full_levels: Vec<usize> = full_edges.keys().copied().collect();
+    full_levels.sort_unstable();
+    for i in full_levels {
+        let level_edges = &full_edges[&i];
+        let a_i = Graph::new(n, level_edges.iter().copied());
+        let n_i = distinct_endpoints(level_edges).max(2);
+        let levels: Vec<Vec<Edge>> = (0..k).map(|_| a_i.edges().to_vec()).collect();
+        let p1 = baswana_sen::phase1(n, &levels, k, 0xF011 + i as u64, n_i);
+        let mut h_i = p1.edges.clone();
+        h_i.extend(baswana_sen::phase2(&a_i, &p1));
+        stats.phase1_edges += h_i.len();
+        for e in h_i {
+            spanner_edges.push(witness[&level_edge_key(i, e.u, e.v)]);
+        }
+    }
+    // Sampled levels: phase 1 only; remember histories for dissemination.
+    let mut phase1_by_level: HashMap<usize, baswana_sen::BsPhase1> = HashMap::new();
+    let mut sampled_levels: Vec<usize> = sampled_edges.keys().copied().collect();
+    sampled_levels.sort_unstable();
+    for i in sampled_levels {
+        let subs = &sampled_edges[&i];
+        let n_i = distinct_endpoints(&subs.concat()).max(2);
+        // BS levels 1..k−1 use subsample j = 1..k−1; level k is unused.
+        let mut levels: Vec<Vec<Edge>> = subs[..k - 1].to_vec();
+        levels.push(Vec::new());
+        let p1 = baswana_sen::phase1(n, &levels, k, 0x5AAD + i as u64, n_i);
+        stats.phase1_edges += p1.edges.len();
+        for e in &p1.edges {
+            spanner_edges.push(witness[&level_edge_key(i, e.u, e.v)]);
+        }
+        phase1_by_level.insert(i, p1);
+    }
+
+    // Step 3: disseminate center histories; the small machines add removal
+    // edges (Algorithm 6 lines 21–29) via candidate aggregation. Histories
+    // must cover every cluster id of a sampled level that any machine might
+    // query — all endpoints of that level's witness keys.
+    let mut hist_pairs: Vec<(u64, Vec<u32>)> = Vec::new();
+    for (&i, p1) in &phase1_by_level {
+        let mut verts: Vec<VertexId> = witness
+            .keys()
+            .filter(|key| unpack_level_edge(key).0 == i)
+            .flat_map(|key| {
+                let (_, a, b) = unpack_level_edge(key);
+                [a, b]
+            })
+            .collect();
+        verts.sort_unstable();
+        verts.dedup();
+        for v in verts {
+            hist_pairs.push((((i as u64) << 32) | v as u64, p1.history(v)));
+        }
+    }
+    let hist_words: usize = hist_pairs.iter().map(|(_, h)| 1 + h.len()).sum();
+    cluster.account("spanner.large.hist", large, hist_words)?;
+    // Requests: per machine, the (level, endpoint) pairs of its E_i edges.
+    let mut requests: ShardedVec<u64> = ShardedVec::new(cluster);
+    for mid in 0..cg.cluster_edges.machines() {
+        let shard = requests.shard_mut(mid);
+        for (key, _orig) in cg.cluster_edges.shard(mid) {
+            let (i, a, b) = unpack_level_edge(key);
+            if phase1_by_level.contains_key(&i) {
+                shard.push(((i as u64) << 32) | a as u64);
+                shard.push(((i as u64) << 32) | b as u64);
+            }
+        }
+        shard.sort_unstable();
+        shard.dedup();
+    }
+    let delivered = mpc_runtime::primitives::disseminate(
+        cluster,
+        "spanner.hist",
+        &hist_pairs,
+        large,
+        &requests,
+        &owners,
+    )?;
+
+    // Candidates: vertex u removed at t, neighbor cluster c at level t−1
+    // through v — keep the smallest v per (level, u, c). Own-cluster
+    // candidates are skipped (the in-cluster path already certifies the
+    // stretch, as in classic Baswana–Sen).
+    let mut cand_items: ShardedVec<((u64, u64), (u32, Edge))> = ShardedVec::new(cluster);
+    for mid in 0..cg.cluster_edges.machines() {
+        let hist: HashMap<u64, &Vec<u32>> =
+            delivered.shard(mid).iter().map(|(k2, h)| (*k2, h)).collect();
+        let shard = cand_items.shard_mut(mid);
+        for (key, orig) in cg.cluster_edges.shard(mid) {
+            let (i, a, b) = unpack_level_edge(key);
+            if !phase1_by_level.contains_key(&i) {
+                continue;
+            }
+            let (Some(ha), Some(hb)) = (
+                hist.get(&(((i as u64) << 32) | a as u64)),
+                hist.get(&(((i as u64) << 32) | b as u64)),
+            ) else {
+                continue;
+            };
+            for ((x, hx), (y, hy)) in [((a, ha), (b, hb)), ((b, hb), (a, ha))] {
+                let t = hx.len();
+                // x was removed at level t; y must still be clustered at t−1.
+                if t >= 1 && hy.len() >= t {
+                    let c = hy[t - 1];
+                    if hx[t - 1] != c {
+                        shard.push((
+                            (((i as u64) << 32) | x as u64, c as u64),
+                            (y, *orig),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    let removal = aggregate_by_key(cluster, "spanner.cands", &cand_items, &owners, |a, b| {
+        if a.0 <= b.0 {
+            *a
+        } else {
+            *b
+        }
+    })?;
+    let removal_edges: ShardedVec<Edge> = ShardedVec::from_shards(
+        (0..removal.machines())
+            .map(|mid| removal.shard(mid).iter().map(|(_, (_v, e))| *e).collect())
+            .collect(),
+    );
+
+    // Combine (Lemma A.2): stars ∪ removal edges ∪ large-local edges.
+    let stars = gather_to(cluster, "spanner.stars", &cg.star_edges, large)?;
+    let removals = gather_to(cluster, "spanner.removals", &removal_edges, large)?;
+    stats.star_edges = stars.len();
+    stats.removal_edges = removals.len();
+    spanner_edges.extend(stars);
+    spanner_edges.extend(removals);
+    let spanner = Graph::new(n, spanner_edges.into_iter().map(|e| e.normalized()));
+    cluster.release("spanner.large.samples");
+    cluster.release("spanner.large.hist");
+    cluster.account("spanner.large.result", large, spanner.m() * 2)?;
+    Ok(SpannerResult { spanner, stats })
+}
+
+/// Computes a `(12k−1)`-spanner of a **weighted** graph: one unweighted
+/// instance per factor-2 weight class (the \[22\] reduction), keeping each
+/// witness edge's true weight. Expected size `O(n^(1+1/k) log n)`.
+///
+/// The paper runs the classes in parallel; this implementation runs them
+/// sequentially, so `cluster.rounds()` reports the *sum* — divide by
+/// `stats.weight_classes` for the parallel-round figure.
+///
+/// # Errors
+///
+/// Propagates capacity violations in strict mode.
+pub fn heterogeneous_spanner_weighted(
+    cluster: &mut Cluster,
+    n: usize,
+    edges: &ShardedVec<Edge>,
+    k: usize,
+) -> Result<SpannerResult, ModelViolation> {
+    let max_w = edges.iter().map(|(_, e)| e.w).max().unwrap_or(1).max(1);
+    let classes = (max_w as f64).log2().floor() as usize + 1;
+    let mut all_edges: Vec<Edge> = Vec::new();
+    let mut stats = SpannerStats { weight_classes: classes, ..Default::default() };
+    for c in 0..classes {
+        let (lo, hi) = (1u64 << c, (1u64 << (c + 1)) - 1);
+        let class_edges: ShardedVec<Edge> = ShardedVec::from_shards(
+            (0..edges.machines())
+                .map(|mid| {
+                    edges
+                        .shard(mid)
+                        .iter()
+                        .filter(|e| (lo..=hi).contains(&e.w))
+                        .copied()
+                        .collect()
+                })
+                .collect(),
+        );
+        if class_edges.total_len() == 0 {
+            continue;
+        }
+        let r = heterogeneous_spanner(cluster, n, &class_edges, k)?;
+        stats.levels = stats.levels.max(r.stats.levels);
+        stats.star_edges += r.stats.star_edges;
+        stats.phase1_edges += r.stats.phase1_edges;
+        stats.removal_edges += r.stats.removal_edges;
+        // Restore true weights on the witness edges of this class.
+        let class_graph = common::collect_graph(n, &class_edges);
+        let weight_of: HashMap<(VertexId, VertexId), u64> = class_graph
+            .edges()
+            .iter()
+            .map(|e| ((e.u, e.v), e.w))
+            .collect();
+        for e in r.spanner.edges() {
+            let w = weight_of.get(&(e.u, e.v)).copied().unwrap_or(e.w);
+            all_edges.push(Edge::new(e.u, e.v, w));
+        }
+    }
+    Ok(SpannerResult { spanner: Graph::new(n, all_edges), stats })
+}
+
+fn distinct_endpoints(edges: &[Edge]) -> usize {
+    let mut v: Vec<VertexId> = edges.iter().flat_map(|e| [e.u, e.v]).collect();
+    v.sort_unstable();
+    v.dedup();
+    v.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_graph::{generators, verify_spanner};
+    use mpc_runtime::ClusterConfig;
+
+    fn run(g: &Graph, k: usize, seed: u64) -> (SpannerResult, u64) {
+        let mut cluster = Cluster::new(
+            ClusterConfig::new(g.n(), g.m()).seed(seed).polylog_exponent(1.6),
+        );
+        let input = common::distribute_edges(&cluster, g);
+        let r = heterogeneous_spanner(&mut cluster, g.n(), &input, k).unwrap();
+        (r, cluster.rounds())
+    }
+
+    #[test]
+    fn unweighted_stretch_is_at_most_6k_minus_1() {
+        for (k, seed) in [(2usize, 1u64), (3, 2)] {
+            let g = generators::gnm(120, 1000, seed);
+            let (r, _) = run(&g, k, seed);
+            let rep = verify_spanner(&g, &r.spanner, None, 0);
+            assert!(
+                rep.within((6 * k - 1) as f64),
+                "k={k}: stretch {} > {}",
+                rep.max_stretch,
+                6 * k - 1
+            );
+        }
+    }
+
+    #[test]
+    fn spanner_is_sparser_than_input_on_dense_graphs() {
+        let g = generators::gnm(150, 4000, 4);
+        let (r, _) = run(&g, 3, 4);
+        assert!(
+            r.spanner.m() < g.m() / 2,
+            "spanner has {} of {} edges",
+            r.spanner.m(),
+            g.m()
+        );
+    }
+
+    #[test]
+    fn rounds_are_constant_in_n() {
+        let mut rounds = Vec::new();
+        for exp in [7usize, 8, 9] {
+            let n = 1 << exp;
+            let g = generators::gnm(n, n * 8, 9);
+            let (_, r) = run(&g, 3, 9);
+            rounds.push(r);
+        }
+        // O(1) rounds: no growth trend beyond small jitter.
+        let max = *rounds.iter().max().unwrap();
+        let min = *rounds.iter().min().unwrap();
+        assert!(max <= min + 8, "rounds should be ~constant in n, got {rounds:?}");
+    }
+
+    #[test]
+    fn weighted_stretch_is_at_most_12k_minus_1() {
+        let g = generators::gnm(100, 800, 6).with_random_weights(64, 6);
+        let k = 2;
+        let mut cluster = Cluster::new(
+            ClusterConfig::new(g.n(), g.m()).seed(6).polylog_exponent(1.6),
+        );
+        let input = common::distribute_edges(&cluster, &g);
+        let r = heterogeneous_spanner_weighted(&mut cluster, g.n(), &input, k).unwrap();
+        let rep = verify_spanner(&g, &r.spanner, None, 0);
+        assert!(
+            rep.within((12 * k - 1) as f64),
+            "stretch {} > {}",
+            rep.max_stretch,
+            12 * k - 1
+        );
+        assert!(r.stats.weight_classes >= 2);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let g = generators::gnm(100, 1200, 3);
+        let (r, _) = run(&g, 3, 3);
+        assert!(r.stats.levels >= 2);
+        assert_eq!(
+            r.stats.full_levels.len() + r.stats.sampled_levels.len(),
+            r.stats.levels
+        );
+        assert!(r.stats.star_edges > 0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Sharding an edge list across MPC machines.
+//!
+//! The paper's input convention (§2): edges start on the small machines,
+//! distributed *arbitrarily*. These helpers produce the initial shard layout
+//! consumed by `mpc-runtime`'s `ShardedVec`.
+
+use crate::ids::Edge;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// How the input edges are laid out across the small machines initially.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Layout {
+    /// Edge `i` goes to machine `i mod k` (balanced, adversarially striped).
+    RoundRobin,
+    /// Each edge goes to a uniformly random machine (seeded).
+    Random(u64),
+    /// Edges are split into `k` contiguous runs (worst case for locality:
+    /// all edges of a vertex may sit on one machine).
+    Contiguous,
+}
+
+/// Splits `edges` into `k` shards according to `layout`.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn shard_edges(edges: &[Edge], k: usize, layout: Layout) -> Vec<Vec<Edge>> {
+    assert!(k > 0, "cannot shard across zero machines");
+    let mut shards: Vec<Vec<Edge>> = vec![Vec::new(); k];
+    match layout {
+        Layout::RoundRobin => {
+            for (i, &e) in edges.iter().enumerate() {
+                shards[i % k].push(e);
+            }
+        }
+        Layout::Random(seed) => {
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0x5EED);
+            for &e in edges {
+                shards[rng.random_range(0..k)].push(e);
+            }
+        }
+        Layout::Contiguous => {
+            let per = edges.len().div_ceil(k).max(1);
+            for (i, &e) in edges.iter().enumerate() {
+                shards[(i / per).min(k - 1)].push(e);
+            }
+        }
+    }
+    shards
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn all_layouts_preserve_edges() {
+        let g = generators::gnm(40, 100, 1);
+        for layout in [Layout::RoundRobin, Layout::Random(7), Layout::Contiguous] {
+            let shards = shard_edges(g.edges(), 7, layout);
+            assert_eq!(shards.len(), 7);
+            let mut back: Vec<Edge> = shards.into_iter().flatten().collect();
+            back.sort_by_key(|e| (e.u, e.v));
+            assert_eq!(back.len(), 100);
+            assert_eq!(back, g.edges());
+        }
+    }
+
+    #[test]
+    fn round_robin_is_balanced() {
+        let g = generators::gnm(40, 100, 2);
+        let shards = shard_edges(g.edges(), 8, Layout::RoundRobin);
+        for s in &shards {
+            assert!((12..=13).contains(&s.len()));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_machines_panics() {
+        shard_edges(&[], 0, Layout::RoundRobin);
+    }
+}

@@ -1,0 +1,150 @@
+//! Core identifier and edge types shared across the workspace.
+
+use std::fmt;
+
+/// A vertex identifier in `0..n`.
+///
+/// The paper fixes the vertex set `V = {0, …, n−1}` in advance (§2); only the
+/// edges are distributed. `u32` comfortably covers the simulator's scale.
+pub type VertexId = u32;
+
+/// An integer edge weight in `1..=poly(n)`, per the paper's convention (§2).
+pub type Weight = u64;
+
+/// An undirected, weighted edge.
+///
+/// Stored with `u <= v` after [`Edge::normalized`]. Unweighted graphs use
+/// weight `1` everywhere. An edge costs 2 machine words in the MPC accounting
+/// (packed endpoints + weight), see `mpc-runtime`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Edge {
+    /// First endpoint.
+    pub u: VertexId,
+    /// Second endpoint.
+    pub v: VertexId,
+    /// Positive integer weight.
+    pub w: Weight,
+}
+
+impl Edge {
+    /// Creates a new edge; endpoints are kept in the given order.
+    pub fn new(u: VertexId, v: VertexId, w: Weight) -> Self {
+        Edge { u, v, w }
+    }
+
+    /// Creates an unweighted edge (weight 1).
+    pub fn unweighted(u: VertexId, v: VertexId) -> Self {
+        Edge { u, v, w: 1 }
+    }
+
+    /// Returns the edge with endpoints ordered so `u <= v`.
+    pub fn normalized(self) -> Self {
+        if self.u <= self.v {
+            self
+        } else {
+            Edge { u: self.v, v: self.u, w: self.w }
+        }
+    }
+
+    /// Returns the same edge oriented in the opposite direction.
+    pub fn reversed(self) -> Self {
+        Edge { u: self.v, v: self.u, w: self.w }
+    }
+
+    /// The endpoint different from `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not an endpoint of this edge.
+    pub fn other(&self, x: VertexId) -> VertexId {
+        if x == self.u {
+            self.v
+        } else if x == self.v {
+            self.u
+        } else {
+            panic!("vertex {x} is not an endpoint of {self:?}")
+        }
+    }
+
+    /// Whether the edge is a self-loop.
+    pub fn is_loop(&self) -> bool {
+        self.u == self.v
+    }
+
+    /// The strict total order on edges used throughout the workspace.
+    ///
+    /// The paper assumes all edge weights are unique (§2). We do not require
+    /// this of inputs; instead every comparison goes through this key, which
+    /// breaks weight ties by the normalized endpoint pair, yielding a strict
+    /// total order under which "the MST" and "the heaviest edge on a path"
+    /// are unique for any input.
+    pub fn weight_key(&self) -> WeightKey {
+        let e = self.normalized();
+        WeightKey { w: e.w, u: e.u, v: e.v }
+    }
+}
+
+impl fmt::Debug for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}-{} w{})", self.u, self.v, self.w)
+    }
+}
+
+/// Lexicographic `(weight, u, v)` key inducing a strict total order on edges.
+///
+/// See [`Edge::weight_key`]. Implements the paper's "unique weights"
+/// assumption for arbitrary inputs.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct WeightKey {
+    /// The numeric weight (most significant).
+    pub w: Weight,
+    /// Smaller normalized endpoint.
+    pub u: VertexId,
+    /// Larger normalized endpoint.
+    pub v: VertexId,
+}
+
+impl WeightKey {
+    /// A key larger than every real edge key (used as "+infinity").
+    pub const INFINITY: WeightKey =
+        WeightKey { w: Weight::MAX, u: VertexId::MAX, v: VertexId::MAX };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalized_orders_endpoints() {
+        assert_eq!(Edge::new(5, 2, 9).normalized(), Edge::new(2, 5, 9));
+        assert_eq!(Edge::new(2, 5, 9).normalized(), Edge::new(2, 5, 9));
+    }
+
+    #[test]
+    fn weight_key_breaks_ties() {
+        let a = Edge::new(1, 2, 7);
+        let b = Edge::new(1, 3, 7);
+        assert!(a.weight_key() < b.weight_key());
+        // Orientation does not matter.
+        assert_eq!(a.weight_key(), a.reversed().weight_key());
+    }
+
+    #[test]
+    fn other_endpoint() {
+        let e = Edge::new(3, 8, 1);
+        assert_eq!(e.other(3), 8);
+        assert_eq!(e.other(8), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn other_panics_on_non_endpoint() {
+        Edge::new(3, 8, 1).other(5);
+    }
+
+    #[test]
+    fn infinity_dominates() {
+        let e = Edge::new(0, 1, Weight::MAX);
+        assert!(e.weight_key() < WeightKey::INFINITY);
+    }
+}

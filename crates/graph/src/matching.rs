@@ -1,0 +1,179 @@
+//! Sequential matching algorithms and validators.
+
+use crate::graph::Graph;
+use crate::ids::{Edge, VertexId};
+
+/// A matching: a set of vertex-disjoint edges.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Matching {
+    /// The matched edges.
+    pub edges: Vec<Edge>,
+}
+
+impl Matching {
+    /// An empty matching.
+    pub fn new() -> Self {
+        Matching { edges: Vec::new() }
+    }
+
+    /// Number of matched edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether no edge is matched.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Boolean matched-vertex mask of length `n`.
+    pub fn matched_mask(&self, n: usize) -> Vec<bool> {
+        let mut mask = vec![false; n];
+        for e in &self.edges {
+            mask[e.u as usize] = true;
+            mask[e.v as usize] = true;
+        }
+        mask
+    }
+
+    /// Unions two matchings (caller guarantees disjointness; validated in
+    /// debug builds).
+    pub fn extend_disjoint(&mut self, other: &Matching) {
+        self.edges.extend(other.edges.iter().copied());
+        debug_assert!({
+            let max = self
+                .edges
+                .iter()
+                .flat_map(|e| [e.u, e.v])
+                .max()
+                .map_or(0, |x| x as usize + 1);
+            is_matching(max, &self.edges)
+        });
+    }
+}
+
+/// Whether `edges` form a matching (no shared endpoints, no loops).
+pub fn is_matching(n: usize, edges: &[Edge]) -> bool {
+    let mut used = vec![false; n];
+    for e in edges {
+        if e.is_loop() {
+            return false;
+        }
+        let (u, v) = (e.u as usize, e.v as usize);
+        if u >= n || v >= n || used[u] || used[v] {
+            return false;
+        }
+        used[u] = true;
+        used[v] = true;
+    }
+    true
+}
+
+/// Whether `m` is a *maximal* matching of `g`: a matching such that every
+/// edge of `g` has a matched endpoint.
+pub fn is_maximal_matching(g: &Graph, m: &Matching) -> bool {
+    if !is_matching(g.n(), &m.edges) {
+        return false;
+    }
+    let mask = m.matched_mask(g.n());
+    g.edges().iter().all(|e| mask[e.u as usize] || mask[e.v as usize])
+}
+
+/// Greedy maximal matching scanning edges in the given order.
+pub fn greedy_maximal_matching(g: &Graph) -> Matching {
+    greedy_matching_over(g.n(), g.edges().iter().copied(), &[])
+}
+
+/// Greedy matching over an arbitrary edge stream, starting from a
+/// pre-matched vertex mask (vertices already matched elsewhere).
+///
+/// This is exactly what the paper's large machine runs in Phases 2–3 of the
+/// maximal-matching algorithm (§5) and in the filtering algorithm (Thm 5.5).
+pub fn greedy_matching_over(
+    n: usize,
+    edges: impl IntoIterator<Item = Edge>,
+    pre_matched: &[VertexId],
+) -> Matching {
+    let mut used = vec![false; n];
+    for &v in pre_matched {
+        used[v as usize] = true;
+    }
+    let mut out = Matching::new();
+    for e in edges {
+        if e.is_loop() {
+            continue;
+        }
+        if !used[e.u as usize] && !used[e.v as usize] {
+            used[e.u as usize] = true;
+            used[e.v as usize] = true;
+            out.edges.push(e);
+        }
+    }
+    out
+}
+
+/// Size of a maximum matching, by exhaustive search. Exponential; only for
+/// tiny test graphs (`m <= 20`).
+pub fn maximum_matching_size_bruteforce(g: &Graph) -> usize {
+    let edges = g.edges();
+    assert!(edges.len() <= 20, "bruteforce limited to 20 edges");
+    let mut best = 0usize;
+    for mask in 0u32..(1u32 << edges.len()) {
+        let chosen: Vec<Edge> =
+            (0..edges.len()).filter(|i| mask >> i & 1 == 1).map(|i| edges[i]).collect();
+        if is_matching(g.n(), &chosen) {
+            best = best.max(chosen.len());
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn greedy_is_maximal() {
+        for seed in 0..6 {
+            let g = generators::gnm(60, 180, seed);
+            let m = greedy_maximal_matching(&g);
+            assert!(is_maximal_matching(&g, &m), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn maximal_at_least_half_of_maximum() {
+        let g = generators::gnm(12, 18, 4);
+        let m = greedy_maximal_matching(&g);
+        let opt = maximum_matching_size_bruteforce(&g);
+        assert!(2 * m.len() >= opt);
+    }
+
+    #[test]
+    fn detects_non_matching() {
+        let e = [Edge::unweighted(0, 1), Edge::unweighted(1, 2)];
+        assert!(!is_matching(3, &e));
+        assert!(is_matching(3, &e[..1]));
+    }
+
+    #[test]
+    fn pre_matched_vertices_are_respected() {
+        let g = generators::complete(4);
+        let m = greedy_matching_over(4, g.edges().iter().copied(), &[0, 1]);
+        assert_eq!(m.len(), 1);
+        let e = m.edges[0];
+        assert!(e.u >= 2 && e.v >= 2);
+    }
+
+    #[test]
+    fn non_maximal_is_rejected() {
+        let g = generators::path(4); // 0-1-2-3
+        let m = Matching { edges: vec![Edge::unweighted(1, 2)] };
+        // Edge 0-1 and 2-3 are covered; this IS maximal for the path.
+        assert!(is_maximal_matching(&g, &m));
+        let m2 = Matching { edges: vec![Edge::unweighted(0, 1)] };
+        // Edge 2-3 has no matched endpoint: not maximal.
+        assert!(!is_maximal_matching(&g, &m2));
+    }
+}

@@ -1,0 +1,205 @@
+//! Global minimum cut: Stoer–Wagner reference implementation and helpers.
+//!
+//! The ported min-cut algorithms (Appendix C.2, C.3) contract the input down
+//! to a small multigraph on the large machine and finish with a local
+//! min-cut computation; this module provides that local computation plus the
+//! validation oracle used in tests.
+
+use crate::graph::Graph;
+use crate::ids::{VertexId, Weight};
+
+/// Weight of the cut `(S, V∖S)` where `side[v]` marks membership in `S`.
+///
+/// # Panics
+///
+/// Panics if `side.len() != g.n()` or the cut is trivial (all/none).
+pub fn cut_value(g: &Graph, side: &[bool]) -> u128 {
+    assert_eq!(side.len(), g.n());
+    let s = side.iter().filter(|&&b| b).count();
+    assert!(s > 0 && s < g.n(), "cut must be non-trivial");
+    g.edges()
+        .iter()
+        .filter(|e| side[e.u as usize] != side[e.v as usize])
+        .map(|e| e.w as u128)
+        .sum()
+}
+
+/// Minimum weighted degree and its vertex — the best *singleton* cut.
+/// Returns `None` for graphs with no vertices.
+pub fn min_weighted_degree(g: &Graph) -> Option<(VertexId, u128)> {
+    if g.n() == 0 {
+        return None;
+    }
+    let mut wdeg = vec![0u128; g.n()];
+    for e in g.edges() {
+        wdeg[e.u as usize] += e.w as u128;
+        wdeg[e.v as usize] += e.w as u128;
+    }
+    wdeg.into_iter()
+        .enumerate()
+        .min_by_key(|&(_, w)| w)
+        .map(|(v, w)| (v as VertexId, w))
+}
+
+/// Result of a global min-cut computation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MinCut {
+    /// Total weight of the cut.
+    pub weight: u128,
+    /// One side of the cut (original vertex ids).
+    pub side: Vec<VertexId>,
+}
+
+/// Stoer–Wagner global minimum cut on a weighted (multi)graph.
+///
+/// Parallel edges are merged by weight summation, matching multigraph
+/// semantics of the contraction algorithms. `O(n³)` time — intended for the
+/// large machine's *contracted* graphs, which have few vertices.
+///
+/// Returns `None` if the graph is disconnected (min cut 0 with an empty edge
+/// set across it) — callers treat disconnection separately — or has < 2
+/// vertices.
+pub fn stoer_wagner(n: usize, edges: &[(VertexId, VertexId, Weight)]) -> Option<MinCut> {
+    if n < 2 {
+        return None;
+    }
+    // Dense weight matrix with parallel edges summed.
+    let mut w = vec![vec![0u128; n]; n];
+    for &(u, v, wt) in edges {
+        if u == v {
+            continue;
+        }
+        w[u as usize][v as usize] += wt as u128;
+        w[v as usize][u as usize] += wt as u128;
+    }
+    // merged[v] = original vertices currently fused into v.
+    let mut merged: Vec<Vec<VertexId>> = (0..n as VertexId).map(|v| vec![v]).collect();
+    let mut active: Vec<usize> = (0..n).collect();
+    let mut best: Option<MinCut> = None;
+
+    while active.len() > 1 {
+        // Maximum-adjacency search.
+        let mut weights = vec![0u128; n];
+        let mut in_a = vec![false; n];
+        let mut order = Vec::with_capacity(active.len());
+        for _ in 0..active.len() {
+            let &next = active
+                .iter()
+                .filter(|&&v| !in_a[v])
+                .max_by_key(|&&v| weights[v])
+                .expect("active vertex exists");
+            in_a[next] = true;
+            order.push(next);
+            for &v in &active {
+                if !in_a[v] {
+                    weights[v] += w[next][v];
+                }
+            }
+        }
+        let t = *order.last().unwrap();
+        let s = order[order.len() - 2];
+        let cut_of_phase = weights[t];
+        let candidate = MinCut { weight: cut_of_phase, side: merged[t].clone() };
+        if best.as_ref().map_or(true, |b| candidate.weight < b.weight) {
+            best = Some(candidate);
+        }
+        // Merge t into s.
+        let t_merged = std::mem::take(&mut merged[t]);
+        merged[s].extend(t_merged);
+        for &v in &active {
+            if v != s && v != t {
+                w[s][v] += w[t][v];
+                w[v][s] = w[s][v];
+            }
+        }
+        active.retain(|&v| v != t);
+    }
+    let best = best.expect("n >= 2 yields at least one phase");
+    if best.weight == 0 && !is_connected_edge_list(n, edges) {
+        None
+    } else {
+        Some(best)
+    }
+}
+
+fn is_connected_edge_list(n: usize, edges: &[(VertexId, VertexId, Weight)]) -> bool {
+    let mut dsu = crate::dsu::DisjointSets::new(n);
+    for &(u, v, _) in edges {
+        dsu.union(u, v);
+    }
+    dsu.component_count() == 1
+}
+
+/// Convenience wrapper: Stoer–Wagner over a [`Graph`].
+pub fn min_cut(g: &Graph) -> Option<MinCut> {
+    let edges: Vec<(VertexId, VertexId, Weight)> =
+        g.edges().iter().map(|e| (e.u, e.v, e.w)).collect();
+    stoer_wagner(g.n(), &edges)
+}
+
+/// Exhaustive minimum cut (2^(n−1) subsets); oracle for tiny graphs.
+pub fn min_cut_bruteforce(g: &Graph) -> Option<u128> {
+    let n = g.n();
+    if n < 2 || n > 20 {
+        return None;
+    }
+    let mut best = u128::MAX;
+    for mask in 1u32..(1u32 << (n - 1)) {
+        let side: Vec<bool> = (0..n).map(|v| mask >> v & 1 == 1).collect();
+        best = best.min(cut_value(g, &side));
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn matches_bruteforce_on_small_graphs() {
+        for seed in 0..6 {
+            let g = generators::gnm(9, 18, seed).with_random_weights(20, seed);
+            let brute = min_cut_bruteforce(&g).unwrap();
+            match min_cut(&g) {
+                Some(mc) => assert_eq!(mc.weight, brute, "seed {seed}"),
+                None => assert_eq!(brute, 0, "seed {seed}"),
+            }
+        }
+    }
+
+    #[test]
+    fn planted_cut_is_found() {
+        let g = generators::planted_cut(12, 0.8, 2, 3);
+        let mc = min_cut(&g).unwrap();
+        assert_eq!(mc.weight, 2);
+        assert_eq!(mc.side.len(), 12);
+    }
+
+    #[test]
+    fn parallel_edges_sum() {
+        let mc = stoer_wagner(2, &[(0, 1, 3), (0, 1, 4)]).unwrap();
+        assert_eq!(mc.weight, 7);
+    }
+
+    #[test]
+    fn disconnected_returns_none() {
+        assert!(stoer_wagner(3, &[(0, 1, 5)]).is_none());
+        assert!(stoer_wagner(1, &[]).is_none());
+    }
+
+    #[test]
+    fn singleton_cut_helper() {
+        let g = generators::star(4); // center 0, degree 3; leaves degree 1
+        let (v, w) = min_weighted_degree(&g).unwrap();
+        assert!(v >= 1);
+        assert_eq!(w, 1);
+    }
+
+    #[test]
+    fn cut_value_counts_crossing_edges() {
+        let g = generators::path(4);
+        assert_eq!(cut_value(&g, &[true, true, false, false]), 1);
+        assert_eq!(cut_value(&g, &[true, false, true, false]), 3);
+    }
+}

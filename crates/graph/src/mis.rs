@@ -1,0 +1,108 @@
+//! Sequential maximal-independent-set algorithms and validators.
+
+use crate::graph::Graph;
+use crate::ids::VertexId;
+
+/// Whether `set` is an independent set of `g`.
+pub fn is_independent_set(g: &Graph, set: &[VertexId]) -> bool {
+    let mut in_set = vec![false; g.n()];
+    for &v in set {
+        if v as usize >= g.n() || in_set[v as usize] {
+            return false; // out of range or duplicated
+        }
+        in_set[v as usize] = true;
+    }
+    g.edges().iter().all(|e| !(in_set[e.u as usize] && in_set[e.v as usize]))
+}
+
+/// Whether `set` is a *maximal* independent set: independent, and every
+/// vertex outside the set has a neighbor inside it.
+pub fn is_maximal_independent_set(g: &Graph, set: &[VertexId]) -> bool {
+    if !is_independent_set(g, set) {
+        return false;
+    }
+    let mut in_set = vec![false; g.n()];
+    for &v in set {
+        in_set[v as usize] = true;
+    }
+    let mut dominated = in_set.clone();
+    for e in g.edges() {
+        if in_set[e.u as usize] {
+            dominated[e.v as usize] = true;
+        }
+        if in_set[e.v as usize] {
+            dominated[e.u as usize] = true;
+        }
+    }
+    dominated.iter().all(|&d| d)
+}
+
+/// Greedy MIS processing vertices in the order given by `order`
+/// (or `0..n` if `order` is empty). This is the sequential process the
+/// large machine simulates in the ported MIS algorithm (Appendix C.4).
+pub fn greedy_mis(g: &Graph, order: &[VertexId]) -> Vec<VertexId> {
+    let adj = g.adjacency();
+    let default_order: Vec<VertexId>;
+    let order = if order.is_empty() {
+        default_order = (0..g.n() as VertexId).collect();
+        &default_order
+    } else {
+        order
+    };
+    let mut blocked = vec![false; g.n()];
+    let mut mis = Vec::new();
+    for &v in order {
+        if !blocked[v as usize] {
+            mis.push(v);
+            blocked[v as usize] = true;
+            for &(u, _) in adj.neighbors(v) {
+                blocked[u as usize] = true;
+            }
+        }
+    }
+    mis
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn greedy_mis_is_maximal() {
+        for seed in 0..6 {
+            let g = generators::gnm(70, 250, seed);
+            let mis = greedy_mis(&g, &[]);
+            assert!(is_maximal_independent_set(&g, &mis), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn respects_order() {
+        let g = generators::star(5);
+        // Center first: MIS = {0}.
+        let a = greedy_mis(&g, &[0, 1, 2, 3, 4]);
+        assert_eq!(a, vec![0]);
+        // Leaves first: MIS = all leaves.
+        let b = greedy_mis(&g, &[1, 2, 3, 4, 0]);
+        assert_eq!(b, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn rejects_dependent_or_non_maximal() {
+        let g = generators::path(3); // 0-1-2
+        assert!(!is_independent_set(&g, &[0, 1]));
+        assert!(is_independent_set(&g, &[0, 2]));
+        assert!(!is_maximal_independent_set(&g, &[0])); // 2 not dominated
+        assert!(is_maximal_independent_set(&g, &[1]));
+        assert!(!is_independent_set(&g, &[0, 0])); // duplicate
+    }
+
+    #[test]
+    fn empty_graph_mis_is_all_vertices() {
+        let g = Graph::empty(4);
+        let mis = greedy_mis(&g, &[]);
+        assert_eq!(mis.len(), 4);
+        assert!(is_maximal_independent_set(&g, &mis));
+    }
+}

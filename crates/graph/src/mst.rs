@@ -1,0 +1,197 @@
+//! Sequential minimum-spanning-forest algorithms (reference oracles).
+//!
+//! Under the workspace's strict total edge order ([`crate::WeightKey`]), the
+//! minimum spanning forest of any graph is unique, so distributed MST
+//! implementations are validated by exact edge-set equality against
+//! [`kruskal`].
+
+use crate::dsu::DisjointSets;
+use crate::graph::Graph;
+use crate::ids::{Edge, WeightKey};
+
+/// A spanning forest: the selected edges plus their total weight.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Forest {
+    /// Forest edges, sorted by [`Edge::weight_key`].
+    pub edges: Vec<Edge>,
+    /// Sum of edge weights.
+    pub total_weight: u128,
+}
+
+impl Forest {
+    /// Builds a forest record from an edge set (sorts and sums).
+    pub fn from_edges(mut edges: Vec<Edge>) -> Self {
+        edges.sort_by_key(Edge::weight_key);
+        let total_weight = edges.iter().map(|e| e.w as u128).sum();
+        Forest { edges, total_weight }
+    }
+
+    /// Number of forest edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the forest has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The normalized edge set as a sorted vector of weight keys
+    /// (for equality checks that ignore orientation).
+    pub fn keys(&self) -> Vec<WeightKey> {
+        let mut k: Vec<WeightKey> = self.edges.iter().map(Edge::weight_key).collect();
+        k.sort();
+        k
+    }
+}
+
+/// Kruskal's algorithm; returns the unique minimum spanning forest under the
+/// [`crate::WeightKey`] order.
+pub fn kruskal(g: &Graph) -> Forest {
+    let mut order: Vec<Edge> = g.edges().to_vec();
+    order.sort_by_key(Edge::weight_key);
+    let mut dsu = DisjointSets::new(g.n());
+    let mut picked = Vec::with_capacity(g.n().saturating_sub(1));
+    for e in order {
+        if dsu.union(e.u, e.v) {
+            picked.push(e);
+        }
+    }
+    Forest::from_edges(picked)
+}
+
+/// Single-machine Borůvka; used to cross-check Kruskal and as the local MSF
+/// subroutine of the large machine.
+pub fn boruvka(g: &Graph) -> Forest {
+    let n = g.n();
+    let mut dsu = DisjointSets::new(n);
+    let mut picked: Vec<Edge> = Vec::new();
+    loop {
+        // Lightest outgoing edge per current component.
+        let mut best: Vec<Option<Edge>> = vec![None; n];
+        let mut any = false;
+        for &e in g.edges() {
+            let (ru, rv) = (dsu.find(e.u) as usize, dsu.find(e.v) as usize);
+            if ru == rv {
+                continue;
+            }
+            any = true;
+            for r in [ru, rv] {
+                if best[r].map_or(true, |b| e.weight_key() < b.weight_key()) {
+                    best[r] = Some(e);
+                }
+            }
+        }
+        if !any {
+            break;
+        }
+        let mut merged = false;
+        for r in 0..n {
+            if let Some(e) = best[r] {
+                if dsu.union(e.u, e.v) {
+                    picked.push(e);
+                    merged = true;
+                }
+            }
+        }
+        debug_assert!(merged, "Borůvka must make progress while outgoing edges exist");
+    }
+    Forest::from_edges(picked)
+}
+
+/// Classifies `e` as F-light or F-heavy with respect to forest `F` (§3).
+///
+/// `e` is *F-heavy* iff its endpoints are connected in `F` and `e` is the
+/// strictly heaviest edge (by [`crate::WeightKey`]) on the cycle it closes;
+/// otherwise it is *F-light*. Only F-light edges can be MST edges of a graph
+/// containing `F` (Lemma 3.2 context).
+pub fn is_f_light(forest: &Graph, e: &Edge) -> bool {
+    // Reference implementation: BFS through the forest from e.u to e.v,
+    // tracking the max edge key on the path.
+    let adj = forest.adjacency();
+    let n = forest.n();
+    let mut seen = vec![false; n];
+    let mut stack = vec![(e.u, WeightKey { w: 0, u: 0, v: 0 })];
+    seen[e.u as usize] = true;
+    let mut path_max: Option<WeightKey> = None;
+    while let Some((x, mx)) = stack.pop() {
+        if x == e.v {
+            path_max = Some(mx);
+            break;
+        }
+        for &(y, w) in adj.neighbors(x) {
+            if !seen[y as usize] {
+                seen[y as usize] = true;
+                let key = Edge::new(x, y, w).weight_key();
+                stack.push((y, mx.max(key)));
+            }
+        }
+    }
+    match path_max {
+        None => true, // endpoints not connected in F
+        Some(mx) => e.weight_key() < mx,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn kruskal_matches_boruvka_on_random_graphs() {
+        for seed in 0..8 {
+            let g = generators::gnm(80, 300, seed).with_random_weights(1000, seed);
+            let a = kruskal(&g);
+            let b = boruvka(&g);
+            assert_eq!(a.keys(), b.keys(), "seed {seed}");
+            assert_eq!(a.total_weight, b.total_weight);
+        }
+    }
+
+    #[test]
+    fn forest_count_matches_components() {
+        let g = generators::random_forest(50, 5, 2);
+        let f = kruskal(&g);
+        assert_eq!(f.len(), 50 - 5);
+    }
+
+    #[test]
+    fn f_light_classification() {
+        use crate::ids::Edge;
+        // Forest: path 0-1-2 with weights 5, 9.
+        let f = Graph::new(4, [Edge::new(0, 1, 5), Edge::new(1, 2, 9)]);
+        // Edge 0-2 with weight 7 < 9 (max on path): light.
+        assert!(is_f_light(&f, &Edge::new(0, 2, 7)));
+        // Edge 0-2 with weight 12 > 9: heavy.
+        assert!(!is_f_light(&f, &Edge::new(0, 2, 12)));
+        // Edge to isolated vertex 3: light (not connected).
+        assert!(is_f_light(&f, &Edge::new(0, 3, 100)));
+    }
+
+    #[test]
+    fn mst_weight_is_minimal_among_spanning_trees_small() {
+        // Exhaustive check on a tiny graph: every spanning tree weighs at
+        // least as much as Kruskal's.
+        let g = generators::complete(5).with_random_weights(50, 7);
+        let f = kruskal(&g);
+        let edges = g.edges();
+        let m = edges.len();
+        let mut best = u128::MAX;
+        for mask in 0u32..(1 << m) {
+            if mask.count_ones() != 4 {
+                continue;
+            }
+            let chosen: Vec<_> = (0..m).filter(|i| mask >> i & 1 == 1).map(|i| edges[i]).collect();
+            let mut dsu = DisjointSets::new(5);
+            let mut ok = true;
+            for e in &chosen {
+                ok &= dsu.union(e.u, e.v);
+            }
+            if ok {
+                best = best.min(chosen.iter().map(|e| e.w as u128).sum());
+            }
+        }
+        assert_eq!(f.total_weight, best);
+    }
+}

@@ -1,0 +1,188 @@
+//! Iterative centroid decomposition of a forest.
+
+use mpc_graph::{Graph, VertexId};
+
+/// The centroid decomposition of a forest.
+///
+/// For every vertex, `ancestry(v)` lists its centroid ancestors from the
+/// component's top centroid down to `v`'s own removal level. The depth is at
+/// most `⌈log₂ n⌉ + 1` because each level at least halves the piece size.
+#[derive(Clone, Debug)]
+pub struct CentroidDecomposition {
+    /// `ancestors[v]` = centroid ancestry of `v`, topmost first
+    /// (the last entry is the centroid whose removal eliminated `v`,
+    /// which is `v` itself exactly when `v` was picked as a centroid).
+    ancestors: Vec<Vec<VertexId>>,
+    max_depth: usize,
+}
+
+impl CentroidDecomposition {
+    /// Decomposes `forest`. Runs in `O(n log n)` time, fully iteratively
+    /// (no recursion — path-shaped trees would overflow the stack).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `forest` contains a cycle (checked cheaply via `m < n`
+    /// per component invariants — callers wanting a checked build use
+    /// [`MaxEdgeLabeling::build`](crate::MaxEdgeLabeling::build)).
+    pub fn new(forest: &Graph) -> Self {
+        let n = forest.n();
+        let adj = forest.adjacency();
+        let mut removed = vec![false; n];
+        let mut ancestors: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+        let mut visited = vec![false; n];
+        let mut max_depth = 0usize;
+
+        // Work stack of pieces, each identified by one member vertex.
+        let mut pieces: Vec<VertexId> = Vec::new();
+        for v in 0..n as VertexId {
+            if !visited[v as usize] {
+                // Mark the whole component visited; queue it as one piece.
+                let mut stack = vec![v];
+                visited[v as usize] = true;
+                while let Some(x) = stack.pop() {
+                    for &(y, _) in adj.neighbors(x) {
+                        if !visited[y as usize] {
+                            visited[y as usize] = true;
+                            stack.push(y);
+                        }
+                    }
+                }
+                pieces.push(v);
+            }
+        }
+
+        let mut members: Vec<VertexId> = Vec::new();
+        let mut order: Vec<VertexId> = Vec::new();
+        let mut parent: Vec<VertexId> = vec![0; n];
+        let mut size: Vec<u32> = vec![0; n];
+        while let Some(start) = pieces.pop() {
+            // Collect the piece via DFS over unremoved vertices, recording a
+            // DFS order for the iterative size computation.
+            members.clear();
+            order.clear();
+            let mut stack = vec![start];
+            parent[start as usize] = start;
+            // Reuse `size` as a visited marker by setting it nonzero on push.
+            size[start as usize] = 1;
+            while let Some(x) = stack.pop() {
+                members.push(x);
+                order.push(x);
+                for &(y, _) in adj.neighbors(x) {
+                    if !removed[y as usize] && y != parent[x as usize] && size[y as usize] == 0
+                    {
+                        size[y as usize] = 1;
+                        parent[y as usize] = x;
+                        stack.push(y);
+                    }
+                }
+            }
+            let piece_len = members.len() as u32;
+            // Subtree sizes in reverse DFS order.
+            for &x in order.iter().rev() {
+                if x != start {
+                    let p = parent[x as usize];
+                    size[p as usize] += size[x as usize];
+                }
+            }
+            // Centroid: minimize the largest side after removal.
+            let mut centroid = start;
+            let mut best = u32::MAX;
+            for &x in &members {
+                let mut largest = piece_len - size[x as usize];
+                for &(y, _) in adj.neighbors(x) {
+                    if !removed[y as usize] && parent[y as usize] == x && y != start {
+                        largest = largest.max(size[y as usize]);
+                    }
+                }
+                if largest < best {
+                    best = largest;
+                    centroid = x;
+                }
+            }
+            // Record the centroid in every member's ancestry; reset size.
+            for &x in &members {
+                ancestors[x as usize].push(centroid);
+                max_depth = max_depth.max(ancestors[x as usize].len());
+                size[x as usize] = 0;
+            }
+            removed[centroid as usize] = true;
+            // Queue the remaining sub-pieces (one per unremoved neighbor).
+            for &(y, _) in adj.neighbors(centroid) {
+                if !removed[y as usize] {
+                    pieces.push(y);
+                }
+            }
+        }
+        CentroidDecomposition { ancestors, max_depth }
+    }
+
+    /// The centroid ancestry of `v`, topmost centroid first.
+    pub fn ancestry(&self, v: VertexId) -> &[VertexId] {
+        &self.ancestors[v as usize]
+    }
+
+    /// The deepest ancestry length over all vertices.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_graph::generators;
+
+    #[test]
+    fn depth_is_logarithmic_on_paths() {
+        let g = generators::path(1024);
+        let cd = CentroidDecomposition::new(&g);
+        assert!(cd.max_depth() <= 11, "depth {} > log2(1024)+1", cd.max_depth());
+    }
+
+    #[test]
+    fn depth_is_logarithmic_on_random_trees() {
+        for seed in 0..5 {
+            let g = generators::random_tree(500, seed);
+            let cd = CentroidDecomposition::new(&g);
+            assert!(cd.max_depth() <= 10, "seed {seed}: depth {}", cd.max_depth());
+        }
+    }
+
+    #[test]
+    fn ancestries_share_prefixes_within_component() {
+        let g = generators::random_tree(64, 3);
+        let cd = CentroidDecomposition::new(&g);
+        // Every vertex's topmost centroid is the same in one tree.
+        let top = cd.ancestry(0)[0];
+        for v in 0..64 {
+            assert_eq!(cd.ancestry(v)[0], top);
+        }
+    }
+
+    #[test]
+    fn forest_components_are_independent() {
+        let g = generators::random_forest(40, 4, 1);
+        let cd = CentroidDecomposition::new(&g);
+        for v in 0..40 {
+            assert!(!cd.ancestry(v).is_empty());
+        }
+    }
+
+    #[test]
+    fn isolated_vertex_is_its_own_centroid() {
+        let g = Graph::empty(3);
+        let cd = CentroidDecomposition::new(&g);
+        for v in 0..3 {
+            assert_eq!(cd.ancestry(v), &[v]);
+        }
+    }
+
+    #[test]
+    fn star_centroid_is_center() {
+        let g = generators::star(50);
+        let cd = CentroidDecomposition::new(&g);
+        assert_eq!(cd.ancestry(1)[0], 0);
+        assert_eq!(cd.max_depth(), 2);
+    }
+}

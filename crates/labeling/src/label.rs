@@ -1,0 +1,261 @@
+//! Labels and the marker/decoder pair (`M_flow` / `D_flow` in the paper §3).
+
+use crate::centroid::CentroidDecomposition;
+use mpc_graph::{traversal, DisjointSets, Edge, Graph, VertexId, WeightKey};
+use mpc_runtime::Payload;
+use std::error::Error;
+use std::fmt;
+
+/// The neutral "empty path" key (smaller than every real edge key).
+const ZERO_KEY: WeightKey = WeightKey { w: 0, u: 0, v: 0 };
+
+/// One `(centroid, max-edge-to-centroid)` ancestry entry. 3 words.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LabelEntry {
+    /// The centroid ancestor.
+    pub centroid: VertexId,
+    /// Max edge key on the path from the labeled vertex to `centroid`
+    /// (the zero key when the labeled vertex *is* the centroid).
+    pub max_to_centroid: WeightKey,
+}
+
+impl Payload for LabelEntry {
+    fn words(&self) -> usize {
+        3
+    }
+}
+
+/// A vertex label of the max-edge labeling scheme.
+///
+/// `O(log n)` words = `O(log² n)` bits, matching the flow labels of \[42\]
+/// that the paper's MST algorithm ships to the small machines.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Label {
+    /// Identifier of the vertex's tree (smallest vertex id in it), so the
+    /// decoder can answer connectivity too.
+    pub tree: VertexId,
+    /// Centroid ancestry entries, topmost centroid first.
+    pub entries: Vec<LabelEntry>,
+}
+
+impl Payload for Label {
+    fn words(&self) -> usize {
+        1 + self.entries.iter().map(Payload::words).sum::<usize>()
+    }
+}
+
+/// The input to [`MaxEdgeLabeling::build`] was not a forest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NotAForestError {
+    /// An edge that closes a cycle.
+    pub witness: Edge,
+}
+
+impl fmt::Display for NotAForestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "input graph is not a forest: edge {:?} closes a cycle", self.witness)
+    }
+}
+
+impl Error for NotAForestError {}
+
+/// The complete labeling of a forest: the output of the marker algorithm.
+#[derive(Clone, Debug)]
+pub struct MaxEdgeLabeling {
+    labels: Vec<Label>,
+}
+
+impl MaxEdgeLabeling {
+    /// Runs the marker algorithm on `forest` (`O(n log n)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotAForestError`] if the graph contains a cycle.
+    pub fn build(forest: &Graph) -> Result<Self, NotAForestError> {
+        // Validate forestness.
+        let mut dsu = DisjointSets::new(forest.n());
+        for e in forest.edges() {
+            if !dsu.union(e.u, e.v) {
+                return Err(NotAForestError { witness: *e });
+            }
+        }
+        let comps = traversal::components_from_dsu(&mut dsu);
+        let cd = CentroidDecomposition::new(forest);
+        let adj = forest.adjacency();
+        let n = forest.n();
+
+        // For each vertex, entries (centroid, max-to-centroid). Fill by
+        // traversing from every centroid over its piece. Rebuilding piece
+        // membership from ancestries: v belongs to centroid c's piece at
+        // level d iff ancestry(v)[d] == c. We instead do one BFS per
+        // centroid over vertices whose ancestry has the matching prefix
+        // length — equivalent and simple: walk from c, allowing only
+        // vertices whose ancestry length > d (not yet removed at level d).
+        let mut labels: Vec<Label> = (0..n as VertexId)
+            .map(|v| Label { tree: comps.label[v as usize], entries: Vec::new() })
+            .collect();
+        // depth_of[v] = index at which v itself was removed (= len-1 when
+        // ancestry ends with v; ancestry always ends with the centroid that
+        // removed v... only if v IS that centroid). Removal level of v:
+        let removal_level =
+            |v: VertexId| -> usize { cd.ancestry(v).len() - 1 };
+        // Collect centroids by (level, id): centroid c at level d governs
+        // the piece of vertices v with ancestry(v)[d] == c.
+        for v in 0..n as VertexId {
+            let anc = cd.ancestry(v);
+            debug_assert_eq!(anc[removal_level(v)], *anc.last().unwrap());
+            labels[v as usize].entries = anc
+                .iter()
+                .map(|&c| LabelEntry { centroid: c, max_to_centroid: ZERO_KEY })
+                .collect();
+        }
+        // BFS from each centroid c at its level d, visiting only vertices
+        // with removal level > d (still present), recording max edge keys.
+        let mut max_key = vec![ZERO_KEY; n];
+        let mut queue = std::collections::VecDeque::new();
+        let mut seen = vec![false; n];
+        for c in 0..n as VertexId {
+            // c is a centroid exactly of the piece at its own removal level.
+            let d = removal_level(c);
+            queue.clear();
+            queue.push_back(c);
+            max_key[c as usize] = ZERO_KEY;
+            seen[c as usize] = true;
+            let mut touched = vec![c];
+            while let Some(x) = queue.pop_front() {
+                let mx = max_key[x as usize];
+                if x != c {
+                    labels[x as usize].entries[d].max_to_centroid = mx;
+                    debug_assert_eq!(labels[x as usize].entries[d].centroid, c);
+                }
+                for &(y, w) in adj.neighbors(x) {
+                    if !seen[y as usize] && removal_level(y) > d {
+                        seen[y as usize] = true;
+                        touched.push(y);
+                        max_key[y as usize] = mx.max(Edge::new(x, y, w).weight_key());
+                        queue.push_back(y);
+                    }
+                }
+            }
+            for t in touched {
+                seen[t as usize] = false;
+            }
+        }
+        Ok(MaxEdgeLabeling { labels })
+    }
+
+    /// The labels, indexed by vertex id.
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// The label of vertex `v`.
+    pub fn label(&self, v: VertexId) -> &Label {
+        &self.labels[v as usize]
+    }
+
+    /// The decoder `D_flow`: the heaviest edge key on the `u–v` path in the
+    /// forest, or `None` if `u` and `v` lie in different trees.
+    ///
+    /// Works from the two labels alone — this is what the small machines
+    /// evaluate locally after the large machine disseminates labels (§3).
+    pub fn decode(a: &Label, b: &Label) -> Option<WeightKey> {
+        if a.tree != b.tree {
+            return None;
+        }
+        // Deepest common ancestry entry (ancestries agree on a prefix).
+        let mut deepest: Option<(WeightKey, WeightKey)> = None;
+        for (ea, eb) in a.entries.iter().zip(&b.entries) {
+            if ea.centroid == eb.centroid {
+                deepest = Some((ea.max_to_centroid, eb.max_to_centroid));
+            } else {
+                break;
+            }
+        }
+        let (ma, mb) = deepest.expect("same tree implies a common top centroid");
+        Some(ma.max(mb))
+    }
+
+    /// Classifies an edge as F-light (§3): `e` is F-light iff its endpoints
+    /// are disconnected in the forest or `e`'s key is strictly smaller than
+    /// the heaviest key on their forest path.
+    pub fn is_f_light(a: &Label, b: &Label, e: &Edge) -> bool {
+        match Self::decode(a, b) {
+            None => true,
+            Some(max_on_path) => e.weight_key() < max_on_path,
+        }
+    }
+
+    /// Maximum label size in words (the paper's `O(log² n)` bits).
+    pub fn max_label_words(&self) -> usize {
+        self.labels.iter().map(Payload::words).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_graph::generators;
+
+    #[test]
+    fn rejects_cycles() {
+        let g = generators::cycle(5, 0);
+        assert!(MaxEdgeLabeling::build(&g).is_err());
+    }
+
+    #[test]
+    fn path_queries() {
+        // 0 -5- 1 -9- 2 -3- 3
+        let f = Graph::new(
+            4,
+            [Edge::new(0, 1, 5), Edge::new(1, 2, 9), Edge::new(2, 3, 3)],
+        );
+        let lab = MaxEdgeLabeling::build(&f).unwrap();
+        let l = lab.labels();
+        assert_eq!(MaxEdgeLabeling::decode(&l[0], &l[3]).unwrap().w, 9);
+        assert_eq!(MaxEdgeLabeling::decode(&l[0], &l[1]).unwrap().w, 5);
+        assert_eq!(MaxEdgeLabeling::decode(&l[2], &l[3]).unwrap().w, 3);
+        assert_eq!(MaxEdgeLabeling::decode(&l[1], &l[1]), Some(super::ZERO_KEY));
+    }
+
+    #[test]
+    fn disconnected_is_none_and_f_light() {
+        let f = Graph::new(3, [Edge::new(0, 1, 5)]);
+        let lab = MaxEdgeLabeling::build(&f).unwrap();
+        let l = lab.labels();
+        assert!(MaxEdgeLabeling::decode(&l[0], &l[2]).is_none());
+        assert!(MaxEdgeLabeling::is_f_light(&l[0], &l[2], &Edge::new(0, 2, 1_000)));
+    }
+
+    #[test]
+    fn f_light_matches_reference_on_random_forests() {
+        use mpc_graph::mst::is_f_light as reference_f_light;
+        for seed in 0..10 {
+            let f = generators::random_forest(80, 3, seed).with_random_weights(500, seed);
+            let lab = MaxEdgeLabeling::build(&f).unwrap();
+            let l = lab.labels();
+            // Query random candidate edges.
+            for i in 0..200u32 {
+                let u = (i * 7 + seed as u32) % 80;
+                let v = (i * 13 + 3) % 80;
+                if u == v {
+                    continue;
+                }
+                let e = Edge::new(u, v, (i as u64 % 500) + 1);
+                assert_eq!(
+                    MaxEdgeLabeling::is_f_light(&l[u as usize], &l[v as usize], &e),
+                    reference_f_light(&f, &e),
+                    "seed {seed}, edge {e:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn label_size_is_logarithmic() {
+        let f = generators::path(1 << 10);
+        let lab = MaxEdgeLabeling::build(&f).unwrap();
+        // <= 1 + 3 * (log2(n)+1) words.
+        assert!(lab.max_label_words() <= 1 + 3 * 11, "got {}", lab.max_label_words());
+    }
+}

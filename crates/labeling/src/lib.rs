@@ -1,0 +1,42 @@
+//! Max-edge-on-path labeling scheme for forests.
+//!
+//! The MST algorithm of the heterogeneous-MPC paper (§3) identifies
+//! *F-light* edges with the **flow labeling scheme** of Katz, Katz, Korman &
+//! Peleg \[42\]: a marker algorithm `M_flow` labels the vertices of a forest
+//! `F` with `O(log² n)`-bit labels, and a decoder `D_flow(L(u), L(v))`
+//! returns the weight of the heaviest edge on the `u–v` path in `F`.
+//!
+//! This crate implements the same interface via **centroid decomposition**
+//! (substitution recorded in DESIGN.md §4): each vertex stores, for every
+//! centroid ancestor `c` of its component (`≤ ⌈log₂ n⌉ + 1` of them), the
+//! pair `(c, max-edge-on-path(v → c))`. For any two vertices in the same
+//! tree, their deepest common centroid ancestor lies *on* their tree path,
+//! so the decoder is a prefix scan plus one `max` — identical asymptotic
+//! label size (`O(log n)` words = `O(log² n)` bits) and query semantics as
+//! \[42\].
+//!
+//! # Example
+//!
+//! ```
+//! use mpc_graph::{generators, Graph, Edge};
+//! use mpc_labeling::MaxEdgeLabeling;
+//!
+//! // A path 0 -5- 1 -9- 2 plus an isolated vertex 3.
+//! let f = Graph::new(4, [Edge::new(0, 1, 5), Edge::new(1, 2, 9)]);
+//! let labeling = MaxEdgeLabeling::build(&f).unwrap();
+//! let l = labeling.labels();
+//! // Heaviest edge on the 0–2 path weighs 9:
+//! assert_eq!(MaxEdgeLabeling::decode(&l[0], &l[2]).unwrap().w, 9);
+//! // 0 and 3 are not connected:
+//! assert!(MaxEdgeLabeling::decode(&l[0], &l[3]).is_none());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod centroid;
+mod label;
+pub mod reference;
+
+pub use centroid::CentroidDecomposition;
+pub use label::{Label, LabelEntry, MaxEdgeLabeling, NotAForestError};

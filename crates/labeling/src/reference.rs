@@ -1,0 +1,40 @@
+//! Slow exact oracle for max-edge-on-path queries (test validation).
+
+use mpc_graph::{Edge, Graph, VertexId, WeightKey};
+
+/// Exact max edge key on the `u–v` path of `forest`, or `None` if
+/// disconnected. `O(n)` per query (BFS) — oracle only.
+pub fn max_edge_on_path(forest: &Graph, u: VertexId, v: VertexId) -> Option<WeightKey> {
+    if u == v {
+        return Some(WeightKey { w: 0, u: 0, v: 0 });
+    }
+    let adj = forest.adjacency();
+    let n = forest.n();
+    let mut seen = vec![false; n];
+    let mut stack = vec![(u, WeightKey { w: 0, u: 0, v: 0 })];
+    seen[u as usize] = true;
+    while let Some((x, mx)) = stack.pop() {
+        if x == v {
+            return Some(mx);
+        }
+        for &(y, w) in adj.neighbors(x) {
+            if !seen[y as usize] {
+                seen[y as usize] = true;
+                stack.push((y, mx.max(Edge::new(x, y, w).weight_key())));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_on_tiny_path() {
+        let f = Graph::new(3, [Edge::new(0, 1, 2), Edge::new(1, 2, 7)]);
+        assert_eq!(max_edge_on_path(&f, 0, 2).unwrap().w, 7);
+        assert_eq!(max_edge_on_path(&f, 0, 0).unwrap().w, 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! Property tests: the labeling decoder agrees with the exact oracle on
+//! arbitrary random forests, for all vertex pairs.
+
+use mpc_labeling::{reference, MaxEdgeLabeling};
+use mpc_graph::{generators, Graph, VertexId};
+use proptest::prelude::*;
+
+fn arbitrary_forest() -> impl Strategy<Value = Graph> {
+    (2usize..120, 1usize..6, any::<u64>(), 1u64..1000).prop_map(|(n, trees, seed, wmax)| {
+        let trees = trees.min(n);
+        generators::random_forest(n, trees, seed).with_random_weights(wmax, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn decoder_matches_oracle(f in arbitrary_forest()) {
+        let lab = MaxEdgeLabeling::build(&f).unwrap();
+        let l = lab.labels();
+        let n = f.n() as VertexId;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                let got = MaxEdgeLabeling::decode(&l[u as usize], &l[v as usize]);
+                let want = reference::max_edge_on_path(&f, u, v);
+                prop_assert_eq!(got, want, "pair ({}, {})", u, v);
+            }
+        }
+    }
+
+    #[test]
+    fn label_sizes_are_logarithmic(f in arbitrary_forest()) {
+        let lab = MaxEdgeLabeling::build(&f).unwrap();
+        let n = f.n() as f64;
+        let bound = 1 + 3 * ((n.log2().ceil() as usize) + 1);
+        prop_assert!(lab.max_label_words() <= bound,
+            "labels {} words > bound {}", lab.max_label_words(), bound);
+    }
+}

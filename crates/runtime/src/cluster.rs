@@ -1,0 +1,447 @@
+//! The [`Cluster`]: machines, rounds, and resource accounting.
+
+use crate::config::{ClusterConfig, Enforcement};
+use crate::error::ModelViolation;
+use crate::payload::{MachineId, Payload};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// Per-round accounting record (one entry per [`Cluster::exchange`]).
+#[derive(Clone, Debug)]
+pub struct RoundRecord {
+    /// Label supplied by the algorithm (e.g. `"mst.collect-lightest"`).
+    pub label: String,
+    /// Maximum words sent by any single machine this round.
+    pub max_sent: usize,
+    /// Maximum words received by any single machine this round.
+    pub max_recv: usize,
+    /// Total words moved this round.
+    pub total_words: usize,
+    /// Total number of messages this round.
+    pub messages: usize,
+}
+
+/// A simulated MPC cluster (paper §2).
+///
+/// The cluster holds no algorithm state; algorithms keep their data in
+/// [`ShardedVec`](crate::ShardedVec)s aligned with machine ids and move it
+/// with [`exchange`](Cluster::exchange) (or the [`primitives`](crate::primitives)).
+/// The cluster's job is accounting: rounds, per-round communication, and
+/// declared resident memory, all checked against capacities.
+///
+/// Machine `0` is the large machine in heterogeneous topologies.
+#[derive(Debug)]
+pub struct Cluster {
+    caps: Vec<usize>,
+    large: Option<MachineId>,
+    rngs: Vec<SmallRng>,
+    rounds: u64,
+    enforcement: Enforcement,
+    log: Vec<RoundRecord>,
+    violations: Vec<ModelViolation>,
+    /// slot name -> per-machine resident words.
+    memory_slots: BTreeMap<String, Vec<usize>>,
+    peak_resident: Vec<usize>,
+    config: ClusterConfig,
+}
+
+impl Cluster {
+    /// Builds a cluster from a configuration.
+    pub fn new(config: ClusterConfig) -> Self {
+        let (caps, large) = config.resolve();
+        let k = caps.len();
+        let rngs = (0..k)
+            .map(|i| {
+                SmallRng::seed_from_u64(
+                    config
+                        .seed
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        .wrapping_add((i as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9)),
+                )
+            })
+            .collect();
+        Cluster {
+            peak_resident: vec![0; k],
+            caps,
+            large,
+            rngs,
+            rounds: 0,
+            enforcement: config.enforcement,
+            log: Vec::new(),
+            violations: Vec::new(),
+            memory_slots: BTreeMap::new(),
+            config,
+        }
+    }
+
+    /// Number of machines (including the large machine, if any).
+    pub fn machines(&self) -> usize {
+        self.caps.len()
+    }
+
+    /// The large machine's id, if the topology has one.
+    pub fn large(&self) -> Option<MachineId> {
+        self.large
+    }
+
+    /// Ids of all non-large machines, in ascending order.
+    pub fn small_ids(&self) -> Vec<MachineId> {
+        (0..self.machines()).filter(|&i| Some(i) != self.large).collect()
+    }
+
+    /// Capacity of machine `mid` in words.
+    pub fn capacity(&self, mid: MachineId) -> usize {
+        self.caps[mid]
+    }
+
+    /// The smallest capacity among non-large machines.
+    pub fn min_small_capacity(&self) -> usize {
+        self.small_ids().iter().map(|&i| self.caps[i]).min().unwrap_or(0)
+    }
+
+    /// Rounds elapsed so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// The configuration this cluster was built from.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The per-machine private RNG (deterministic in the master seed).
+    pub fn rng(&mut self, mid: MachineId) -> &mut SmallRng {
+        &mut self.rngs[mid]
+    }
+
+    /// The full per-round log.
+    pub fn round_log(&self) -> &[RoundRecord] {
+        &self.log
+    }
+
+    /// Violations recorded so far (only populated in `Record` mode).
+    pub fn violations(&self) -> &[ModelViolation] {
+        &self.violations
+    }
+
+    /// Peak declared resident words per machine.
+    pub fn peak_resident(&self) -> &[usize] {
+        &self.peak_resident
+    }
+
+    /// Pre-sized outbox vector for [`exchange`](Cluster::exchange):
+    /// one empty message list per machine.
+    pub fn empty_outboxes<M: Payload>(&self) -> Vec<Vec<(MachineId, M)>> {
+        (0..self.machines()).map(|_| Vec::new()).collect()
+    }
+
+    fn report(&mut self, v: ModelViolation) -> Result<(), ModelViolation> {
+        match self.enforcement {
+            Enforcement::Strict => Err(v),
+            Enforcement::Record => {
+                self.violations.push(v);
+                Ok(())
+            }
+            Enforcement::Off => Ok(()),
+        }
+    }
+
+    /// Executes one synchronous round.
+    ///
+    /// `outgoing[src]` holds the messages machine `src` sends this round as
+    /// `(destination, payload)` pairs. Returns `inboxes`, where
+    /// `inboxes[dst]` lists `(source, payload)` pairs in deterministic order
+    /// (ascending source id, then send order).
+    ///
+    /// # Errors
+    ///
+    /// In `Strict` mode, returns a [`ModelViolation`] if any machine sends or
+    /// is addressed with more words than its capacity, or if a destination id
+    /// is out of range (the latter errors in every mode).
+    pub fn exchange<M: Payload>(
+        &mut self,
+        label: &str,
+        outgoing: Vec<Vec<(MachineId, M)>>,
+    ) -> Result<Vec<Vec<(MachineId, M)>>, ModelViolation> {
+        assert_eq!(
+            outgoing.len(),
+            self.machines(),
+            "outgoing must have one entry per machine (use empty_outboxes)"
+        );
+        let k = self.machines();
+        self.rounds += 1;
+        let round = self.rounds;
+        let mut sent = vec![0usize; k];
+        let mut recv = vec![0usize; k];
+        let mut messages = 0usize;
+        for (src, msgs) in outgoing.iter().enumerate() {
+            for (dst, m) in msgs {
+                if *dst >= k {
+                    return Err(ModelViolation::UnknownMachine {
+                        machine: *dst,
+                        label: label.to_string(),
+                    });
+                }
+                let w = m.words();
+                sent[src] += w;
+                recv[*dst] += w;
+                messages += 1;
+            }
+        }
+        for mid in 0..k {
+            if sent[mid] > self.caps[mid] {
+                self.report(ModelViolation::SendOverflow {
+                    machine: mid,
+                    round,
+                    label: label.to_string(),
+                    words: sent[mid],
+                    capacity: self.caps[mid],
+                })?;
+            }
+            if recv[mid] > self.caps[mid] {
+                self.report(ModelViolation::RecvOverflow {
+                    machine: mid,
+                    round,
+                    label: label.to_string(),
+                    words: recv[mid],
+                    capacity: self.caps[mid],
+                })?;
+            }
+        }
+        self.log.push(RoundRecord {
+            label: label.to_string(),
+            max_sent: sent.iter().copied().max().unwrap_or(0),
+            max_recv: recv.iter().copied().max().unwrap_or(0),
+            total_words: sent.iter().sum(),
+            messages,
+        });
+        // Deliver deterministically: ascending source, preserving send order.
+        let mut inboxes: Vec<Vec<(MachineId, M)>> = (0..k).map(|_| Vec::new()).collect();
+        for (src, msgs) in outgoing.into_iter().enumerate() {
+            for (dst, m) in msgs {
+                inboxes[dst].push((src, m));
+            }
+        }
+        Ok(inboxes)
+    }
+
+    /// Declares the resident memory of machine `mid` under accounting slot
+    /// `slot` (replacing the slot's previous value). A machine's resident
+    /// total is the sum over all slots; the update is checked against the
+    /// machine's capacity.
+    ///
+    /// # Errors
+    ///
+    /// In `Strict` mode, returns [`ModelViolation::MemoryOverflow`] if the
+    /// machine's total resident memory now exceeds its capacity.
+    pub fn account(
+        &mut self,
+        slot: &str,
+        mid: MachineId,
+        words: usize,
+    ) -> Result<(), ModelViolation> {
+        let k = self.machines();
+        assert!(mid < k, "account: machine {mid} out of range");
+        self.memory_slots
+            .entry(slot.to_string())
+            .or_insert_with(|| vec![0; k])[mid] = words;
+        let total: usize = self.memory_slots.values().map(|v| v[mid]).sum();
+        self.peak_resident[mid] = self.peak_resident[mid].max(total);
+        if total > self.caps[mid] {
+            let round = self.rounds;
+            let cap = self.caps[mid];
+            self.report(ModelViolation::MemoryOverflow {
+                machine: mid,
+                round,
+                slot: slot.to_string(),
+                words: total,
+                capacity: cap,
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Declares per-machine resident memory for a whole slot at once.
+    ///
+    /// # Errors
+    ///
+    /// See [`account`](Cluster::account).
+    pub fn account_all(
+        &mut self,
+        slot: &str,
+        words_per_machine: &[usize],
+    ) -> Result<(), ModelViolation> {
+        assert_eq!(words_per_machine.len(), self.machines());
+        for (mid, &w) in words_per_machine.iter().enumerate() {
+            self.account(slot, mid, w)?;
+        }
+        Ok(())
+    }
+
+    /// Clears an accounting slot (the data was dropped).
+    pub fn release(&mut self, slot: &str) {
+        self.memory_slots.remove(slot);
+    }
+
+    /// Current declared resident words of machine `mid`.
+    pub fn resident(&self, mid: MachineId) -> usize {
+        self.memory_slots.values().map(|v| v[mid]).sum()
+    }
+
+    /// Maximum words sent or received by any machine in any round so far.
+    pub fn max_round_traffic(&self) -> usize {
+        self.log.iter().map(|r| r.max_sent.max(r.max_recv)).max().unwrap_or(0)
+    }
+
+    /// Attributes rounds and traffic to algorithm steps: groups the round
+    /// log by the label's first dot-separated component (e.g. every
+    /// `mst.kkt.*` exchange under `mst`), returning
+    /// `(prefix, rounds, total words)` sorted by round count, descending.
+    ///
+    /// Useful for answering "where did my rounds go?" in experiments.
+    pub fn round_summary(&self) -> Vec<(String, u64, usize)> {
+        let mut acc: std::collections::BTreeMap<String, (u64, usize)> =
+            std::collections::BTreeMap::new();
+        for rec in &self.log {
+            let prefix = rec.label.split('.').next().unwrap_or(&rec.label).to_string();
+            let e = acc.entry(prefix).or_default();
+            e.0 += 1;
+            e.1 += rec.total_words;
+        }
+        let mut v: Vec<(String, u64, usize)> =
+            acc.into_iter().map(|(k, (r, w))| (k, r, w)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Topology;
+
+    fn tiny() -> Cluster {
+        Cluster::new(ClusterConfig::new(16, 64).topology(Topology::Custom {
+            capacities: vec![100, 20, 20],
+            large: Some(0),
+        }))
+    }
+
+    #[test]
+    fn exchange_counts_rounds_and_delivers_in_order() {
+        let mut c = tiny();
+        let mut out = c.empty_outboxes::<u64>();
+        out[1].push((0, 11));
+        out[2].push((0, 22));
+        out[2].push((1, 33));
+        let inboxes = c.exchange("t", out).unwrap();
+        assert_eq!(c.rounds(), 1);
+        assert_eq!(inboxes[0], vec![(1, 11), (2, 22)]);
+        assert_eq!(inboxes[1], vec![(2, 33)]);
+        assert!(inboxes[2].is_empty());
+        let rec = &c.round_log()[0];
+        assert_eq!(rec.total_words, 3);
+        assert_eq!(rec.messages, 3);
+        assert_eq!(rec.max_sent, 2);
+    }
+
+    #[test]
+    fn send_overflow_is_strict_error() {
+        let mut c = tiny();
+        let mut out = c.empty_outboxes::<u64>();
+        for _ in 0..25 {
+            out[1].push((0, 7)); // 25 words > capacity 20 of machine 1
+        }
+        let err = c.exchange("overflow", out).unwrap_err();
+        assert!(matches!(err, ModelViolation::SendOverflow { machine: 1, .. }));
+    }
+
+    #[test]
+    fn recv_overflow_detected() {
+        let mut c = tiny();
+        let mut out = c.empty_outboxes::<u64>();
+        for _ in 0..25 {
+            out[0].push((2, 7)); // large can send 25, but machine 2 can't hold it
+        }
+        let err = c.exchange("overflow", out).unwrap_err();
+        assert!(matches!(err, ModelViolation::RecvOverflow { machine: 2, .. }));
+    }
+
+    #[test]
+    fn record_mode_logs_instead_of_failing() {
+        let cfg = ClusterConfig::new(16, 64)
+            .topology(Topology::Custom { capacities: vec![5, 5], large: None })
+            .enforcement(Enforcement::Record);
+        let mut c = Cluster::new(cfg);
+        let mut out = c.empty_outboxes::<u64>();
+        for _ in 0..9 {
+            out[0].push((1, 1));
+        }
+        c.exchange("spam", out).unwrap();
+        assert_eq!(c.violations().len(), 2); // send + recv overflow
+    }
+
+    #[test]
+    fn memory_slots_sum_and_release() {
+        let mut c = tiny();
+        c.account("edges", 1, 12).unwrap();
+        c.account("labels", 1, 6).unwrap();
+        assert_eq!(c.resident(1), 18);
+        assert!(c.account("more", 1, 10).is_err()); // 28 > 20
+        c.release("labels");
+        // Note: failed Strict account still recorded the slot value before
+        // erroring is not the case — the slot was set, so release it too.
+        c.release("more");
+        assert_eq!(c.resident(1), 12);
+        assert!(c.peak_resident()[1] >= 18);
+    }
+
+    #[test]
+    fn unknown_machine_is_error_in_all_modes() {
+        let cfg = ClusterConfig::new(16, 64)
+            .topology(Topology::Custom { capacities: vec![5, 5], large: None })
+            .enforcement(Enforcement::Off);
+        let mut c = Cluster::new(cfg);
+        let mut out = c.empty_outboxes::<u64>();
+        out[0].push((9, 1));
+        assert!(matches!(
+            c.exchange("bad", out),
+            Err(ModelViolation::UnknownMachine { machine: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn rngs_are_deterministic_and_distinct() {
+        use rand::RngCore;
+        let mut a = tiny();
+        let mut b = tiny();
+        assert_eq!(a.rng(1).next_u64(), b.rng(1).next_u64());
+        let x = a.rng(1).next_u64();
+        let y = a.rng(2).next_u64();
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn round_summary_groups_by_label_prefix() {
+        let mut c = tiny();
+        for label in ["mst.sort", "mst.collect", "spanner.hist"] {
+            let mut out = c.empty_outboxes::<u64>();
+            out[1].push((0, 1));
+            c.exchange(label, out).unwrap();
+        }
+        let summary = c.round_summary();
+        assert_eq!(summary.len(), 2);
+        let mst = summary.iter().find(|(p, _, _)| p == "mst").unwrap();
+        assert_eq!(mst.1, 2);
+        assert_eq!(mst.2, 2);
+    }
+
+    #[test]
+    fn small_ids_excludes_large() {
+        let c = tiny();
+        assert_eq!(c.small_ids(), vec![1, 2]);
+        assert_eq!(c.large(), Some(0));
+        assert_eq!(c.min_small_capacity(), 20);
+    }
+}

@@ -1,0 +1,244 @@
+//! Cluster configuration: topologies, capacities, enforcement.
+
+use crate::payload::MachineId;
+
+/// Which machines exist and how much memory each has (paper §2).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Topology {
+    /// The paper's Heterogeneous MPC model: machine 0 is the large machine
+    /// with `c·n^large_exponent·log^b n` words; `K = ceil(m/n^γ)` small
+    /// machines with `c·n^γ·log^b n` words each.
+    ///
+    /// `large_exponent = 1.0` is the near-linear default; `1 + f` simulates
+    /// the superlinear large machine of Theorems 3.1 / 5.5.
+    Heterogeneous {
+        /// Small-machine memory exponent `γ ∈ (0, 1)`.
+        gamma: f64,
+        /// Large-machine memory exponent (`1.0` = near-linear, `1+f` superlinear).
+        large_exponent: f64,
+    },
+    /// Homogeneous sublinear regime: `K = ceil(m/n^γ)` machines of
+    /// `c·n^γ·log^b n` words; no large machine. The baseline regime.
+    Sublinear {
+        /// Memory exponent `γ ∈ (0, 1)`.
+        gamma: f64,
+    },
+    /// Homogeneous near-linear regime: `machines` machines of
+    /// `c·n·log^b n` words each.
+    NearLinear {
+        /// Number of machines.
+        machines: usize,
+    },
+    /// Explicit per-machine capacities in words (ablations / tests).
+    Custom {
+        /// Capacity of each machine, in words.
+        capacities: Vec<usize>,
+        /// Which machine, if any, plays the "large machine" role.
+        large: Option<MachineId>,
+    },
+}
+
+/// What to do when a machine exceeds a capacity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Enforcement {
+    /// Return a [`ModelViolation`](crate::ModelViolation) error (default).
+    #[default]
+    Strict,
+    /// Record the violation on the cluster and continue.
+    Record,
+    /// No capacity checking (still records stats).
+    Off,
+}
+
+/// Configuration for a [`Cluster`](crate::Cluster).
+///
+/// Built with a fluent API:
+///
+/// ```
+/// use mpc_runtime::{ClusterConfig, Topology, Enforcement};
+/// let cfg = ClusterConfig::new(1_000, 16_000)
+///     .topology(Topology::Heterogeneous { gamma: 0.66, large_exponent: 1.0 })
+///     .enforcement(Enforcement::Strict)
+///     .seed(42);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of vertices of the input graph (drives capacity formulas).
+    pub n: usize,
+    /// Number of edges of the input graph (drives the small-machine count).
+    pub m: usize,
+    /// Machine layout.
+    pub topology: Topology,
+    /// Capacity enforcement mode.
+    pub enforcement: Enforcement,
+    /// The constant `c` in capacity `c·n^γ·log₂^b n`.
+    pub mem_constant: f64,
+    /// The polylog exponent `b` in capacity `c·n^γ·log₂^b n`.
+    pub polylog_exponent: f64,
+    /// Master seed; all per-machine randomness derives from it.
+    pub seed: u64,
+}
+
+impl ClusterConfig {
+    /// Default heterogeneous configuration for an `n`-vertex, `m`-edge input:
+    /// `γ = 0.66`, near-linear large machine, strict enforcement,
+    /// `c = 6`, `b = 1.3` (the polylog budget absorbs the Θ(log n)-word flow labels).
+    ///
+    /// The defaults keep the model *meaningful* at simulation scale: a single
+    /// log factor (`b = 1`) ensures the large machine cannot simply hold the
+    /// whole input for the densities the experiments use.
+    pub fn new(n: usize, m: usize) -> Self {
+        ClusterConfig {
+            n,
+            m,
+            topology: Topology::Heterogeneous { gamma: 0.66, large_exponent: 1.0 },
+            enforcement: Enforcement::Strict,
+            mem_constant: 6.0,
+            polylog_exponent: 1.3,
+            seed: 0xDEFA17,
+        }
+    }
+
+    /// Sets the topology.
+    pub fn topology(mut self, t: Topology) -> Self {
+        self.topology = t;
+        self
+    }
+
+    /// Sets the enforcement mode.
+    pub fn enforcement(mut self, e: Enforcement) -> Self {
+        self.enforcement = e;
+        self
+    }
+
+    /// Sets the memory constant `c`.
+    pub fn mem_constant(mut self, c: f64) -> Self {
+        self.mem_constant = c;
+        self
+    }
+
+    /// Sets the polylog exponent `b`.
+    pub fn polylog_exponent(mut self, b: f64) -> Self {
+        self.polylog_exponent = b;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// `log₂(n)^b`, floored at 1 (the "polylog" factor in capacities).
+    pub fn polylog(&self) -> f64 {
+        (self.n.max(2) as f64).log2().powf(self.polylog_exponent).max(1.0)
+    }
+
+    /// Capacity in words of a machine with memory exponent `e`:
+    /// `ceil(c · n^e · log₂^b n)`.
+    pub fn capacity_for_exponent(&self, e: f64) -> usize {
+        let cap = self.mem_constant * (self.n.max(2) as f64).powf(e) * self.polylog();
+        cap.ceil() as usize
+    }
+
+    /// Resolves the topology into `(per-machine capacities, large machine)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical parameters (γ outside `(0,1)`, zero machines).
+    pub fn resolve(&self) -> (Vec<usize>, Option<MachineId>) {
+        match &self.topology {
+            Topology::Heterogeneous { gamma, large_exponent } => {
+                assert!((0.0..1.0).contains(gamma), "gamma must be in (0,1)");
+                assert!(*large_exponent >= 1.0, "large machine is at least near-linear");
+                let small_cap = self.capacity_for_exponent(*gamma);
+                let large_cap = self.capacity_for_exponent(*large_exponent);
+                let k = self.small_machine_count(*gamma);
+                let mut caps = vec![small_cap; k + 1];
+                caps[0] = large_cap;
+                (caps, Some(0))
+            }
+            Topology::Sublinear { gamma } => {
+                assert!((0.0..1.0).contains(gamma), "gamma must be in (0,1)");
+                let small_cap = self.capacity_for_exponent(*gamma);
+                let k = self.small_machine_count(*gamma);
+                (vec![small_cap; k], None)
+            }
+            Topology::NearLinear { machines } => {
+                assert!(*machines > 0, "need at least one machine");
+                (vec![self.capacity_for_exponent(1.0); *machines], None)
+            }
+            Topology::Custom { capacities, large } => {
+                assert!(!capacities.is_empty(), "need at least one machine");
+                if let Some(l) = large {
+                    assert!(*l < capacities.len(), "large id out of range");
+                }
+                (capacities.clone(), *large)
+            }
+        }
+    }
+
+    /// `K = ceil(m / n^γ)`, floored at 2 so even tiny inputs are distributed.
+    pub fn small_machine_count(&self, gamma: f64) -> usize {
+        let per = (self.n.max(2) as f64).powf(gamma);
+        ((self.m as f64 / per).ceil() as usize).max(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heterogeneous_resolution() {
+        let cfg = ClusterConfig::new(4096, 4096 * 128);
+        let (caps, large) = cfg.resolve();
+        assert_eq!(large, Some(0));
+        // Large machine is near-linear: comfortably above n, yet unable to
+        // hold the full edge set (2 words per edge) at this density.
+        assert!(caps[0] > 4096);
+        assert!(caps[0] < 2 * 4096 * 128);
+        // Small machines are uniform and sublinear.
+        assert!(caps[1] < caps[0]);
+        assert!(caps[1..].iter().all(|&c| c == caps[1]));
+        // K ≈ m / n^γ.
+        let k = caps.len() - 1;
+        assert!(k >= 128); // at least m/n machines
+    }
+
+    #[test]
+    fn sublinear_has_no_large() {
+        let cfg = ClusterConfig::new(1000, 8000)
+            .topology(Topology::Sublinear { gamma: 0.5 });
+        let (caps, large) = cfg.resolve();
+        assert_eq!(large, None);
+        assert!(caps.iter().all(|&c| c == caps[0]));
+    }
+
+    #[test]
+    fn custom_roundtrips() {
+        let cfg = ClusterConfig::new(10, 10).topology(Topology::Custom {
+            capacities: vec![100, 10, 10],
+            large: Some(0),
+        });
+        let (caps, large) = cfg.resolve();
+        assert_eq!(caps, vec![100, 10, 10]);
+        assert_eq!(large, Some(0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_gamma_panics() {
+        ClusterConfig::new(10, 10)
+            .topology(Topology::Heterogeneous { gamma: 1.5, large_exponent: 1.0 })
+            .resolve();
+    }
+
+    #[test]
+    fn superlinear_exponent_increases_capacity() {
+        let base = ClusterConfig::new(1 << 12, 1 << 18);
+        let near = base.capacity_for_exponent(1.0);
+        let sup = base.capacity_for_exponent(1.2);
+        assert!(sup > 4 * near);
+    }
+}

@@ -1,0 +1,105 @@
+//! Model-violation errors raised by the capacity-enforcing simulator.
+
+use crate::payload::MachineId;
+use std::error::Error;
+use std::fmt;
+
+/// A violation of the MPC model's resource bounds (paper §2).
+///
+/// Raised in [`Enforcement::Strict`](crate::Enforcement::Strict) mode when a
+/// machine sends, receives, or stores more words than its capacity in a
+/// single round. In `Record` mode violations are logged on the
+/// [`Cluster`](crate::Cluster) instead of returned.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModelViolation {
+    /// A machine attempted to send more words in one round than it can store.
+    SendOverflow {
+        /// Offending machine.
+        machine: MachineId,
+        /// Round index at which the overflow occurred.
+        round: u64,
+        /// Human-readable label of the offending exchange.
+        label: String,
+        /// Words the machine attempted to send.
+        words: usize,
+        /// The machine's capacity in words.
+        capacity: usize,
+    },
+    /// A machine was addressed with more words in one round than it can store.
+    RecvOverflow {
+        /// Offending machine.
+        machine: MachineId,
+        /// Round index at which the overflow occurred.
+        round: u64,
+        /// Human-readable label of the offending exchange.
+        label: String,
+        /// Words addressed to the machine.
+        words: usize,
+        /// The machine's capacity in words.
+        capacity: usize,
+    },
+    /// A machine's declared resident memory exceeded its capacity.
+    MemoryOverflow {
+        /// Offending machine.
+        machine: MachineId,
+        /// Round index at which the overflow was declared.
+        round: u64,
+        /// Accounting slot that tipped the machine over its capacity.
+        slot: String,
+        /// Total resident words after the update.
+        words: usize,
+        /// The machine's capacity in words.
+        capacity: usize,
+    },
+    /// A message was addressed to a machine id outside the cluster.
+    UnknownMachine {
+        /// The invalid destination id.
+        machine: MachineId,
+        /// Human-readable label of the offending exchange.
+        label: String,
+    },
+}
+
+impl fmt::Display for ModelViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelViolation::SendOverflow { machine, round, label, words, capacity } => write!(
+                f,
+                "machine {machine} sent {words} words in round {round} ({label}), capacity {capacity}"
+            ),
+            ModelViolation::RecvOverflow { machine, round, label, words, capacity } => write!(
+                f,
+                "machine {machine} received {words} words in round {round} ({label}), capacity {capacity}"
+            ),
+            ModelViolation::MemoryOverflow { machine, round, slot, words, capacity } => write!(
+                f,
+                "machine {machine} resident memory reached {words} words after slot '{slot}' in round {round}, capacity {capacity}"
+            ),
+            ModelViolation::UnknownMachine { machine, label } => {
+                write!(f, "message addressed to unknown machine {machine} ({label})")
+            }
+        }
+    }
+}
+
+impl Error for ModelViolation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let v = ModelViolation::SendOverflow {
+            machine: 3,
+            round: 7,
+            label: "sort.route".into(),
+            words: 100,
+            capacity: 50,
+        };
+        let s = v.to_string();
+        assert!(s.contains("machine 3"));
+        assert!(s.contains("sort.route"));
+        assert!(s.contains("100"));
+    }
+}

@@ -1,0 +1,57 @@
+//! Deterministic simulator for the (heterogeneous) MPC model of
+//! Fischer, Horowitz & Oshman, *Massively Parallel Computation in a
+//! Heterogeneous Regime* (PODC 2022).
+//!
+//! # The model (paper §2)
+//!
+//! * One **large** machine with `O(n^(1+f(n))·polylog n)` words of memory
+//!   (`f = 0` is the paper's default near-linear setting) and
+//!   `K = m/n^γ` **small** machines with `O(n^γ·polylog n)` words each.
+//! * Computation proceeds in **synchronous rounds**; per round each machine
+//!   sends and receives at most as many words as it can store.
+//! * Local computation between rounds is free; every machine has private
+//!   randomness.
+//!
+//! The simulator executes algorithms as sequences of [`Cluster::exchange`]
+//! calls (one exchange = one round) and *measures* the quantities the paper
+//! bounds: round count, per-round communication, and resident memory, all
+//! checked against capacities under a configurable [`Enforcement`] mode.
+//!
+//! # Example
+//!
+//! ```
+//! use mpc_runtime::{Cluster, ClusterConfig, Topology};
+//!
+//! // A heterogeneous cluster for a graph with n=256, m=2048, γ=0.66.
+//! let cfg = ClusterConfig::new(256, 2048)
+//!     .topology(Topology::Heterogeneous { gamma: 0.66, large_exponent: 1.0 });
+//! let mut cluster = Cluster::new(cfg);
+//! // Every small machine reports its id to the large machine (1 round):
+//! let large = cluster.large().unwrap();
+//! let mut out = cluster.empty_outboxes::<u64>();
+//! for mid in cluster.small_ids() {
+//!     out[mid].push((large, mid as u64));
+//! }
+//! let inboxes = cluster.exchange("report-ids", out).unwrap();
+//! assert_eq!(inboxes[large].len(), cluster.machines() - 1);
+//! assert_eq!(cluster.rounds(), 1);
+//! ```
+//!
+//! Higher-level algorithms use the O(1)-round [`primitives`] (the paper's
+//! Claims 1–4) instead of raw exchanges.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod config;
+pub mod error;
+pub mod payload;
+pub mod primitives;
+pub mod sharded;
+
+pub use cluster::{Cluster, RoundRecord};
+pub use config::{ClusterConfig, Enforcement, Topology};
+pub use error::ModelViolation;
+pub use payload::{MachineId, Payload};
+pub use sharded::ShardedVec;

@@ -1,0 +1,141 @@
+//! Message payloads and the word-size accounting they carry.
+//!
+//! One *word* is `Θ(log n)` bits (the unit in which the paper states all
+//! memory and communication bounds). Every message type implements
+//! [`Payload`], whose [`words`](Payload::words) method is what the
+//! [`Cluster`](crate::Cluster) charges against per-round capacities.
+//!
+//! Sizing conventions:
+//!
+//! * scalar ids/weights/counters: 1 word;
+//! * an [`Edge`]: 2 words (packed endpoint pair + weight), matching the
+//!   paper's convention that an edge with its `O(log n)`-bit weight is `O(1)`
+//!   words;
+//! * a `Vec<T>`: the sum of its elements (framing overhead is ignored — it
+//!   only helps the adversary);
+//! * flow labels and sketches: their explicit `words()` implementations in
+//!   `mpc-labeling` / `mpc-sketch` wrappers.
+
+use mpc_graph::{Edge, WeightKey};
+
+/// Index of a machine in the cluster, `0..K`.
+///
+/// By convention the large machine (if any) is machine `0`.
+pub type MachineId = usize;
+
+/// A message payload with a well-defined size in machine words.
+pub trait Payload: Clone {
+    /// Size of this value in `Θ(log n)`-bit machine words.
+    fn words(&self) -> usize;
+}
+
+macro_rules! scalar_payload {
+    ($($t:ty),*) => {
+        $(impl Payload for $t {
+            fn words(&self) -> usize { 1 }
+        })*
+    };
+}
+
+scalar_payload!(u8, u16, u32, u64, usize, i32, i64, bool);
+
+impl Payload for () {
+    fn words(&self) -> usize {
+        0
+    }
+}
+
+impl Payload for Edge {
+    fn words(&self) -> usize {
+        2
+    }
+}
+
+impl Payload for WeightKey {
+    fn words(&self) -> usize {
+        2
+    }
+}
+
+impl<A: Payload, B: Payload> Payload for (A, B) {
+    fn words(&self) -> usize {
+        self.0.words() + self.1.words()
+    }
+}
+
+impl<A: Payload, B: Payload, C: Payload> Payload for (A, B, C) {
+    fn words(&self) -> usize {
+        self.0.words() + self.1.words() + self.2.words()
+    }
+}
+
+impl<A: Payload, B: Payload, C: Payload, D: Payload> Payload for (A, B, C, D) {
+    fn words(&self) -> usize {
+        self.0.words() + self.1.words() + self.2.words() + self.3.words()
+    }
+}
+
+impl<T: Payload> Payload for Option<T> {
+    fn words(&self) -> usize {
+        self.as_ref().map_or(1, |t| t.words())
+    }
+}
+
+impl<T: Payload> Payload for Vec<T> {
+    fn words(&self) -> usize {
+        self.iter().map(Payload::words).sum()
+    }
+}
+
+/// Total word size of a slice of payloads.
+pub fn words_of<T: Payload>(items: &[T]) -> usize {
+    items.iter().map(Payload::words).sum()
+}
+
+/// An edge tagged with the original-graph edge it represents.
+///
+/// The MST algorithm (§3) contracts the graph repeatedly; every contracted
+/// edge carries the original edge it stands for, so the final MST can be
+/// reported in terms of input edges. 4 words (two edges).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TaggedEdge {
+    /// The edge in the current (contracted) graph.
+    pub cur: Edge,
+    /// The original input edge it represents.
+    pub orig: Edge,
+}
+
+impl TaggedEdge {
+    /// An original edge standing for itself.
+    pub fn identity(e: Edge) -> Self {
+        TaggedEdge { cur: e, orig: e }
+    }
+}
+
+impl Payload for TaggedEdge {
+    fn words(&self) -> usize {
+        4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_and_composite_sizes() {
+        assert_eq!(5u64.words(), 1);
+        assert_eq!((3u32, 4u64).words(), 2);
+        assert_eq!(Edge::new(0, 1, 9).words(), 2);
+        assert_eq!(vec![Edge::new(0, 1, 9); 3].words(), 6);
+        assert_eq!(Some(7u64).words(), 1);
+        assert_eq!(TaggedEdge::identity(Edge::new(0, 1, 2)).words(), 4);
+        assert_eq!(().words(), 0);
+    }
+
+    #[test]
+    fn words_of_slice() {
+        let v = [(1u64, 2u64), (3, 4)];
+        assert_eq!(words_of(&v), 4);
+    }
+}

@@ -1,0 +1,328 @@
+//! Key-partitioned aggregation (the paper's Claim 2) and per-key top-t
+//! selection (the paper's Claim 4 / "collect the lightest edges of each
+//! vertex at the large machine", §3).
+
+use super::{owner_of, HashKey};
+use crate::cluster::Cluster;
+use crate::error::ModelViolation;
+use crate::payload::{MachineId, Payload};
+use crate::sharded::ShardedVec;
+use std::collections::BTreeMap;
+
+/// Aggregates all `(key, value)` items under an associative, commutative
+/// `combine`, leaving one `(key, f(values))` pair on the key's hash-owner
+/// machine. 2 rounds (group collectors, then owners) plus free local
+/// combining.
+///
+/// This is Claim 2 with hash-partitioned owners instead of sorted ranges:
+/// the per-machine receive volume is the number of distinct
+/// `(machine, key)` pairs mapping to it, which hashing balances; the
+/// collector stage bounds the damage of hot keys spanning all machines.
+///
+/// Returns the owner-sharded aggregates, sorted by key within each shard.
+///
+/// # Errors
+///
+/// Propagates capacity violations in strict mode.
+pub fn aggregate_by_key<K, V>(
+    cluster: &mut Cluster,
+    label: &str,
+    items: &ShardedVec<(K, V)>,
+    owners: &[MachineId],
+    mut combine: impl FnMut(&V, &V) -> V,
+) -> Result<ShardedVec<(K, V)>, ModelViolation>
+where
+    K: HashKey + Payload,
+    V: Payload,
+{
+    assert!(!owners.is_empty(), "aggregate_by_key: no owners");
+    // Stage A: local combine, then route each partial to a *group collector*
+    // — a machine determined by (key, sender-group). A key whose copies span
+    // all K machines thus converges on ≤ ceil(K/G) collectors first, so no
+    // single machine ever receives more than max(G, K/G) partials per key.
+    // This is the fanout-tree of the paper's Claim 2, flattened to 2 rounds.
+    let k_machines = cluster.machines();
+    let group = (k_machines as f64).sqrt().ceil() as usize;
+    let mut out = cluster.empty_outboxes::<(K, V)>();
+    let mut local: Vec<BTreeMap<K, V>> =
+        (0..k_machines).map(|_| BTreeMap::new()).collect();
+    for mid in 0..items.machines() {
+        let mut partial: BTreeMap<K, V> = BTreeMap::new();
+        for (k, v) in items.shard(mid) {
+            match partial.get(k) {
+                Some(cur) => {
+                    let merged = combine(cur, v);
+                    partial.insert(k.clone(), merged);
+                }
+                None => {
+                    partial.insert(k.clone(), v.clone());
+                }
+            }
+        }
+        let g = (mid / group) as u64;
+        for (k, v) in partial {
+            let idx = (k.hash64().wrapping_add(g.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+                % owners.len() as u64) as usize;
+            let dst = owners[idx];
+            if dst == mid {
+                merge_into(&mut local[mid], k, v, &mut combine);
+            } else {
+                out[mid].push((dst, (k, v)));
+            }
+        }
+    }
+    let inboxes = cluster.exchange(&format!("{label}.collect"), out)?;
+    for (mid, inbox) in inboxes.into_iter().enumerate() {
+        for (_src, (k, v)) in inbox {
+            merge_into(&mut local[mid], k, v, &mut combine);
+        }
+    }
+    // Stage B: collectors forward their combined partials to the hash owner.
+    let mut out = cluster.empty_outboxes::<(K, V)>();
+    let mut at_owner: Vec<BTreeMap<K, V>> =
+        (0..k_machines).map(|_| BTreeMap::new()).collect();
+    for mid in 0..k_machines {
+        for (k, v) in std::mem::take(&mut local[mid]) {
+            let dst = owner_of(&k, owners);
+            if dst == mid {
+                merge_into(&mut at_owner[mid], k, v, &mut combine);
+            } else {
+                out[mid].push((dst, (k, v)));
+            }
+        }
+    }
+    let inboxes = cluster.exchange(&format!("{label}.combine"), out)?;
+    let mut result = ShardedVec::new(cluster);
+    for (mid, inbox) in inboxes.into_iter().enumerate() {
+        let mut acc = std::mem::take(&mut at_owner[mid]);
+        for (_src, (k, v)) in inbox {
+            merge_into(&mut acc, k, v, &mut combine);
+        }
+        *result.shard_mut(mid) = acc.into_iter().collect();
+    }
+    Ok(result)
+}
+
+fn merge_into<K: Ord, V>(
+    map: &mut BTreeMap<K, V>,
+    k: K,
+    v: V,
+    combine: &mut impl FnMut(&V, &V) -> V,
+) {
+    match map.get(&k) {
+        Some(cur) => {
+            let merged = combine(cur, &v);
+            map.insert(k, merged);
+        }
+        None => {
+            map.insert(k, v);
+        }
+    }
+}
+
+/// Collects, for every key, the `t(key)` smallest items (by `rank`) at
+/// machine `dst`. 3 rounds: local-top-t → group collectors → hash owners →
+/// `dst` (the collector stage bounds what any machine receives for a hot
+/// key to `max(√K, t·√K)` items instead of the key's full multiplicity —
+/// the paper's Claim-4 trees achieve the same via sorted ranges).
+///
+/// This implements the paper's Claim 4 workflow as used by the MST algorithm
+/// (§3): the large machine obtains the `min(2^(2^i), deg(v))` lightest
+/// outgoing edges of every vertex `v`. Correctness of the truncations:
+/// every globally-top-`t` item of a key is locally-top-`t` at every stage
+/// that sees it.
+///
+/// The caller is responsible (as in the paper) for choosing `t` so the total
+/// volume fits `dst` — strict enforcement verifies it.
+///
+/// # Errors
+///
+/// Propagates capacity violations in strict mode.
+pub fn top_t_per_key<K, T, R>(
+    cluster: &mut Cluster,
+    label: &str,
+    items: &ShardedVec<(K, T)>,
+    owners: &[MachineId],
+    dst: MachineId,
+    t_of: impl Fn(&K) -> usize,
+    rank: impl Fn(&T) -> R,
+) -> Result<Vec<(K, Vec<T>)>, ModelViolation>
+where
+    K: HashKey + Payload,
+    T: Payload,
+    R: Ord,
+{
+    assert!(!owners.is_empty(), "top_t_per_key: no owners");
+    // Phase 1: local top-t per key, routed to (key, sender-group)
+    // collectors so a key stored on many machines never concentrates its
+    // full multiplicity on one machine.
+    let group = (cluster.machines() as f64).sqrt().ceil() as usize;
+    let mut out = cluster.empty_outboxes::<(K, T)>();
+    let mut local: Vec<Vec<(K, T)>> = (0..cluster.machines()).map(|_| Vec::new()).collect();
+    for mid in 0..items.machines() {
+        let mut groups: BTreeMap<K, Vec<T>> = BTreeMap::new();
+        for (k, v) in items.shard(mid) {
+            groups.entry(k.clone()).or_default().push(v.clone());
+        }
+        let g = (mid / group) as u64;
+        for (k, mut vs) in groups {
+            vs.sort_by(|a, b| rank(a).cmp(&rank(b)));
+            vs.truncate(t_of(&k).max(1));
+            let idx = (k.hash64().wrapping_add(g.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+                % owners.len() as u64) as usize;
+            let collector = owners[idx];
+            for v in vs {
+                if collector == mid {
+                    local[mid].push((k.clone(), v));
+                } else {
+                    out[mid].push((collector, (k.clone(), v)));
+                }
+            }
+        }
+    }
+    let inboxes = cluster.exchange(&format!("{label}.collect"), out)?;
+
+    // Phase 1b: collectors re-truncate and forward to the hash owners.
+    let mut out = cluster.empty_outboxes::<(K, T)>();
+    for (mid, inbox) in inboxes.into_iter().enumerate() {
+        let mut groups: BTreeMap<K, Vec<T>> = BTreeMap::new();
+        for (k, v) in local[mid].drain(..) {
+            groups.entry(k).or_default().push(v);
+        }
+        for (_src, (k, v)) in inbox {
+            groups.entry(k).or_default().push(v);
+        }
+        for (k, mut vs) in groups {
+            vs.sort_by(|a, b| rank(a).cmp(&rank(b)));
+            vs.truncate(t_of(&k).max(1));
+            let owner = owner_of(&k, owners);
+            for v in vs {
+                if owner == mid {
+                    local[mid].push((k.clone(), v));
+                } else {
+                    out[mid].push((owner, (k.clone(), v)));
+                }
+            }
+        }
+    }
+    let inboxes = cluster.exchange(label, out)?;
+
+    // Phase 2: owners compute the global top-t per key and forward to dst.
+    let mut out = cluster.empty_outboxes::<(K, T)>();
+    let mut at_dst: Vec<(K, T)> = Vec::new();
+    for (mid, inbox) in inboxes.into_iter().enumerate() {
+        let mut groups: BTreeMap<K, Vec<T>> = BTreeMap::new();
+        for (k, v) in local[mid].drain(..) {
+            groups.entry(k).or_default().push(v);
+        }
+        for (_src, (k, v)) in inbox {
+            groups.entry(k).or_default().push(v);
+        }
+        for (k, mut vs) in groups {
+            vs.sort_by(|a, b| rank(a).cmp(&rank(b)));
+            vs.truncate(t_of(&k).max(1));
+            for v in vs {
+                if mid == dst {
+                    at_dst.push((k.clone(), v));
+                } else {
+                    out[mid].push((dst, (k.clone(), v)));
+                }
+            }
+        }
+    }
+    let inboxes = cluster.exchange(label, out)?;
+    let mut groups: BTreeMap<K, Vec<T>> = BTreeMap::new();
+    for (k, v) in at_dst {
+        groups.entry(k).or_default().push(v);
+    }
+    for (_src, (k, v)) in inboxes[dst].iter().cloned() {
+        groups.entry(k).or_default().push(v);
+    }
+    Ok(groups
+        .into_iter()
+        .map(|(k, mut vs)| {
+            vs.sort_by(|a, b| rank(a).cmp(&rank(b)));
+            (k, vs)
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ClusterConfig, Topology};
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterConfig::new(64, 256).topology(Topology::Custom {
+            capacities: vec![4000, 300, 300, 300, 300],
+            large: Some(0),
+        }))
+    }
+
+    #[test]
+    fn aggregates_sums_by_key() {
+        let mut c = cluster();
+        let owners = c.small_ids();
+        let mut sv: ShardedVec<(u32, u64)> = ShardedVec::new(&c);
+        // Key k appears on several machines with value 1 each.
+        for mid in 1..5 {
+            for k in 0..10u32 {
+                sv[mid].push((k, 1));
+                if k % 2 == 0 {
+                    sv[mid].push((k, 1));
+                }
+            }
+        }
+        let agg = aggregate_by_key(&mut c, "deg", &sv, &owners, |a, b| a + b).unwrap();
+        assert_eq!(c.rounds(), 2); // collect + combine stages
+        let mut all: Vec<(u32, u64)> = agg.into_flat();
+        all.sort();
+        let expect: Vec<(u32, u64)> =
+            (0..10).map(|k| (k, if k % 2 == 0 { 8 } else { 4 })).collect();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn aggregate_handles_owner_local_items() {
+        let mut c = cluster();
+        let owners = vec![1usize];
+        let mut sv: ShardedVec<(u32, u64)> = ShardedVec::new(&c);
+        sv[1].push((7, 5)); // already on the only owner
+        sv[2].push((7, 6));
+        let agg = aggregate_by_key(&mut c, "x", &sv, &owners, |a, b| a + b).unwrap();
+        assert_eq!(agg.shard(1), &[(7u32, 11u64)]);
+    }
+
+    #[test]
+    fn top_t_selects_global_minima() {
+        let mut c = cluster();
+        let owners = c.small_ids();
+        let mut sv: ShardedVec<(u32, u64)> = ShardedVec::new(&c);
+        // Key 1: values spread over machines; global top-2 = {10, 11}.
+        sv[1].push((1, 30));
+        sv[1].push((1, 10));
+        sv[2].push((1, 11));
+        sv[3].push((1, 25));
+        // Key 2: fewer than t items.
+        sv[4].push((2, 99));
+        let got = top_t_per_key(&mut c, "top", &sv, &owners, 0, |_| 2, |v| *v).unwrap();
+        assert_eq!(c.rounds(), 3); // collect + owner + dst stages
+        assert_eq!(got, vec![(1, vec![10, 11]), (2, vec![99])]);
+    }
+
+    #[test]
+    fn top_t_varies_by_key() {
+        let mut c = cluster();
+        let owners = c.small_ids();
+        let mut sv: ShardedVec<(u32, u64)> = ShardedVec::new(&c);
+        for v in 0..6 {
+            sv[1 + (v as usize % 4)].push((0u32, v));
+            sv[1 + (v as usize % 4)].push((1u32, v));
+        }
+        let got =
+            top_t_per_key(&mut c, "top", &sv, &owners, 0, |k| if *k == 0 { 1 } else { 3 }, |v| *v)
+                .unwrap();
+        assert_eq!(got[0].1, vec![0]);
+        assert_eq!(got[1].1, vec![0, 1, 2]);
+    }
+}

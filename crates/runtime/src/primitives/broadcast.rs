@@ -1,0 +1,97 @@
+//! Capacity-driven fanout-tree broadcast.
+
+use crate::cluster::Cluster;
+use crate::error::ModelViolation;
+use crate::payload::{MachineId, Payload};
+
+/// Broadcasts `msg` from `root` to every machine in `targets` using a fanout
+/// tree sized to the machines' capacities.
+///
+/// The fanout `F` is chosen so that a relay sending `F` copies of the message
+/// stays within half of the smallest participating capacity, giving
+/// `ceil(log_F (|targets|+1))` rounds — `O((1−γ)/γ)` in the paper's terms.
+///
+/// Returns the number of rounds used.
+///
+/// # Errors
+///
+/// Propagates capacity violations in strict mode (e.g. if the message alone
+/// exceeds half a machine's capacity no fanout ≥ 2 exists and the exchange
+/// itself will overflow).
+pub fn broadcast<M: Payload>(
+    cluster: &mut Cluster,
+    label: &str,
+    root: MachineId,
+    msg: &M,
+    targets: &[MachineId],
+) -> Result<u64, ModelViolation> {
+    let order: Vec<MachineId> = std::iter::once(root)
+        .chain(targets.iter().copied().filter(|&t| t != root))
+        .collect();
+    let total = order.len();
+    if total <= 1 {
+        return Ok(0);
+    }
+    let w = msg.words().max(1);
+    let min_cap = order.iter().map(|&m| cluster.capacity(m)).min().unwrap_or(1);
+    let fanout = ((min_cap / 2) / w).max(2);
+    let mut informed = 1usize;
+    let mut rounds = 0u64;
+    while informed < total {
+        let mut out = cluster.empty_outboxes::<M>();
+        let wave_end = (informed + informed * fanout).min(total);
+        // Informed node i relays to the i-th slice of the new wave.
+        for (i, &relay) in order[..informed].iter().enumerate() {
+            let lo = informed + i * fanout;
+            let hi = (lo + fanout).min(wave_end);
+            for &dst in order.get(lo..hi).unwrap_or(&[]) {
+                out[relay].push((dst, msg.clone()));
+            }
+        }
+        cluster.exchange(label, out)?;
+        rounds += 1;
+        informed = wave_end;
+    }
+    Ok(rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ClusterConfig, Topology};
+
+    fn cluster(caps: Vec<usize>) -> Cluster {
+        Cluster::new(
+            ClusterConfig::new(64, 256)
+                .topology(Topology::Custom { capacities: caps, large: Some(0) }),
+        )
+    }
+
+    #[test]
+    fn single_round_when_capacity_allows() {
+        let mut c = cluster(vec![1000, 100, 100, 100]);
+        let targets = c.small_ids();
+        let r = broadcast(&mut c, "b", 0, &7u64, &targets).unwrap();
+        assert_eq!(r, 1);
+        assert_eq!(c.rounds(), 1);
+    }
+
+    #[test]
+    fn logarithmic_rounds_under_tight_capacity() {
+        // 32 machines, capacity lets each relay reach 2 others per round.
+        let mut c = cluster(vec![5; 33]);
+        let targets = c.small_ids();
+        let msg = vec![1u64, 2]; // 2 words; fanout = (5/2)/2 = 1 -> clamped to 2
+        let r = broadcast(&mut c, "b", 0, &msg, &targets).unwrap();
+        // 1 + 2 + 4 + ... covers 33 nodes in ceil(log3ish) waves; sanity range:
+        assert!(r >= 3 && r <= 6, "rounds = {r}");
+        // No capacity violations in strict mode: reaching here proves it.
+    }
+
+    #[test]
+    fn empty_targets_is_free() {
+        let mut c = cluster(vec![10, 10]);
+        assert_eq!(broadcast(&mut c, "b", 0, &1u64, &[]).unwrap(), 0);
+        assert_eq!(c.rounds(), 0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Direct gather of sharded data to one machine.
+
+use crate::cluster::Cluster;
+use crate::error::ModelViolation;
+use crate::payload::{MachineId, Payload};
+use crate::sharded::ShardedVec;
+
+/// Sends every item of `sv` to machine `dst` in a single round and returns
+/// the collected items in machine order.
+///
+/// This is the "send the (sparsified) edges to the large machine" step used
+/// all over the paper; the caller guarantees the data is small enough
+/// (`Õ(n)`), and strict enforcement verifies it.
+///
+/// # Errors
+///
+/// Propagates capacity violations — in particular
+/// [`ModelViolation::RecvOverflow`] on `dst` if the data does not fit.
+pub fn gather_to<T: Payload>(
+    cluster: &mut Cluster,
+    label: &str,
+    sv: &ShardedVec<T>,
+    dst: MachineId,
+) -> Result<Vec<T>, ModelViolation> {
+    let mut out = cluster.empty_outboxes::<T>();
+    let mut local: Vec<T> = Vec::new();
+    for mid in 0..sv.machines() {
+        for item in sv.shard(mid) {
+            if mid == dst {
+                local.push(item.clone());
+            } else {
+                out[mid].push((dst, item.clone()));
+            }
+        }
+    }
+    let inboxes = cluster.exchange(label, out)?;
+    let mut result = local;
+    result.extend(inboxes[dst].iter().map(|(_src, t)| t.clone()));
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ClusterConfig, Topology};
+
+    fn cluster(caps: Vec<usize>) -> Cluster {
+        Cluster::new(
+            ClusterConfig::new(64, 256)
+                .topology(Topology::Custom { capacities: caps, large: Some(0) }),
+        )
+    }
+
+    #[test]
+    fn gathers_everything_in_one_round() {
+        let mut c = cluster(vec![100, 10, 10, 10]);
+        let mut sv: ShardedVec<u64> = ShardedVec::new(&c);
+        sv[1].extend([1, 2]);
+        sv[2].extend([3]);
+        sv[0].push(0); // dst's own data is kept, not sent
+        let got = gather_to(&mut c, "g", &sv, 0).unwrap();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        assert_eq!(c.rounds(), 1);
+    }
+
+    #[test]
+    fn overflow_is_detected() {
+        let mut c = cluster(vec![4, 10, 10]);
+        let mut sv: ShardedVec<u64> = ShardedVec::new(&c);
+        sv[1].extend(0..5);
+        assert!(matches!(
+            gather_to(&mut c, "g", &sv, 0),
+            Err(ModelViolation::RecvOverflow { machine: 0, .. })
+        ));
+    }
+}

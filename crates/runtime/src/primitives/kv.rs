@@ -1,0 +1,360 @@
+//! Dissemination: a hash-owned key-value service (the paper's Claim 3).
+//!
+//! The large machine holds `(key, value)` pairs (e.g. contraction maps,
+//! flow labels, cluster-center histories) and every small machine needs the
+//! values for the keys it stores edges of. The paper routes this through
+//! per-vertex machine trees over sorted ranges; we implement the same flow
+//! with hash-partitioned owner machines and a relay wave for hot keys.
+//!
+//! Two entry points:
+//!
+//! * [`disseminate`] — pairs start on a single source machine (typically the
+//!   large machine); 1 scatter round + the answer protocol;
+//! * [`lookup`] — pairs already live on their hash-owner machines (e.g. the
+//!   output of [`aggregate_by_key`](super::aggregate_by_key)); answer
+//!   protocol only.
+
+use super::{owner_of, HashKey};
+use crate::cluster::Cluster;
+use crate::error::ModelViolation;
+use crate::payload::{MachineId, Payload};
+use crate::sharded::ShardedVec;
+use std::collections::BTreeMap;
+
+/// Delivers `pairs` (resident on `src`) to every machine that requests their
+/// keys. `requests.shard(m)` lists the keys machine `m` wants (duplicates
+/// are deduplicated locally, for free).
+///
+/// Rounds: 3 when no key is hot, 5 otherwise —
+/// 1. `src` scatters each pair to its hash-owner,
+/// 2. requesters send their key lists to the owners,
+/// 3. owners answer (directly, or via a relay wave for keys requested by
+///    more machines than a capacity-derived threshold, mirroring the paper's
+///    dissemination trees).
+///
+/// Returns the `(key, value)` pairs delivered to each machine (keys missing
+/// from `pairs` are silently absent).
+///
+/// # Errors
+///
+/// Propagates capacity violations in strict mode.
+pub fn disseminate<K, V>(
+    cluster: &mut Cluster,
+    label: &str,
+    pairs: &[(K, V)],
+    src: MachineId,
+    requests: &ShardedVec<K>,
+    owners: &[MachineId],
+) -> Result<ShardedVec<(K, V)>, ModelViolation>
+where
+    K: HashKey + Payload,
+    V: Payload,
+{
+    assert!(!owners.is_empty(), "disseminate: no owners");
+    // Round 1: src scatters pairs to hash owners.
+    let mut out = cluster.empty_outboxes::<(K, V)>();
+    let mut owner_store: Vec<BTreeMap<K, V>> =
+        (0..cluster.machines()).map(|_| BTreeMap::new()).collect();
+    for (k, v) in pairs {
+        let dst = owner_of(k, owners);
+        if dst == src {
+            owner_store[dst].insert(k.clone(), v.clone());
+        } else {
+            out[src].push((dst, (k.clone(), v.clone())));
+        }
+    }
+    let inboxes = cluster.exchange(&format!("{label}.scatter"), out)?;
+    for (mid, inbox) in inboxes.into_iter().enumerate() {
+        for (_src, (k, v)) in inbox {
+            owner_store[mid].insert(k, v);
+        }
+    }
+    answer_requests(cluster, label, owner_store, requests, owners)
+}
+
+/// [`disseminate`] for pairs that already sit on their hash-owner machines
+/// (`store.shard(owner_of(k))` contains `(k, v)`). Saves the scatter round.
+///
+/// # Errors
+///
+/// Propagates capacity violations in strict mode.
+pub fn lookup<K, V>(
+    cluster: &mut Cluster,
+    label: &str,
+    store: &ShardedVec<(K, V)>,
+    requests: &ShardedVec<K>,
+    owners: &[MachineId],
+) -> Result<ShardedVec<(K, V)>, ModelViolation>
+where
+    K: HashKey + Payload,
+    V: Payload,
+{
+    assert!(!owners.is_empty(), "lookup: no owners");
+    let mut owner_store: Vec<BTreeMap<K, V>> =
+        (0..cluster.machines()).map(|_| BTreeMap::new()).collect();
+    for mid in 0..store.machines() {
+        for (k, v) in store.shard(mid) {
+            debug_assert_eq!(owner_of(k, owners), mid, "stored key not on its hash-owner");
+            owner_store[mid].insert(k.clone(), v.clone());
+        }
+    }
+    answer_requests(cluster, label, owner_store, requests, owners)
+}
+
+/// The request/answer protocol shared by [`disseminate`] and [`lookup`].
+fn answer_requests<K, V>(
+    cluster: &mut Cluster,
+    label: &str,
+    owner_store: Vec<BTreeMap<K, V>>,
+    requests: &ShardedVec<K>,
+    owners: &[MachineId],
+) -> Result<ShardedVec<(K, V)>, ModelViolation>
+where
+    K: HashKey + Payload,
+    V: Payload,
+{
+    // Requesters send deduplicated key lists to owners.
+    let mut out = cluster.empty_outboxes::<K>();
+    let mut local_requests: Vec<Vec<K>> =
+        (0..cluster.machines()).map(|_| Vec::new()).collect();
+    for mid in 0..requests.machines() {
+        let mut keys: Vec<K> = requests.shard(mid).to_vec();
+        keys.sort();
+        keys.dedup();
+        for k in keys {
+            let dst = owner_of(&k, owners);
+            if dst == mid {
+                local_requests[mid].push(k);
+            } else {
+                out[mid].push((dst, k));
+            }
+        }
+    }
+    let inboxes = cluster.exchange(&format!("{label}.request"), out)?;
+
+    // Owners tabulate requesters per key (deterministic order).
+    let mut wanted: Vec<BTreeMap<K, Vec<MachineId>>> =
+        (0..cluster.machines()).map(|_| BTreeMap::new()).collect();
+    for (mid, inbox) in inboxes.into_iter().enumerate() {
+        for k in local_requests[mid].drain(..) {
+            wanted[mid].entry(k).or_default().push(mid);
+        }
+        for (requester, k) in inbox {
+            wanted[mid].entry(k).or_default().push(requester);
+        }
+    }
+
+    // Owners answer; hot keys (and owners near their direct budget) go
+    // through a relay wave.
+    let value_words = owner_store
+        .iter()
+        .flat_map(|m| m.values())
+        .map(Payload::words)
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let hot_threshold = (cluster.min_small_capacity() / (4 * value_words)).max(4);
+    // Relay fanout: each tree node forwards the value to at most `branch`
+    // children per round, keeping its send volume within a quarter of the
+    // smallest capacity (the paper's dissemination trees, over requester
+    // lists instead of sorted machine ranges).
+    let branch = hot_threshold.max(2);
+    let mut result: ShardedVec<(K, V)> = ShardedVec::new(cluster);
+    let mut direct = cluster.empty_outboxes::<(K, V)>();
+    // Relay message: (key, value, subtree of requesters the node serves).
+    let mut relay = cluster.empty_outboxes::<(K, V, Vec<u64>)>();
+    for mid in 0..cluster.machines() {
+        // Greedy cap-awareness: once an owner's direct answers approach half
+        // its capacity, remaining keys switch to the relay path (whose send
+        // cost per requester is ~1 id word instead of the full value).
+        let mut direct_words = 0usize;
+        let direct_budget = cluster.capacity(mid) / 2;
+        for (k, requesters) in &wanted[mid] {
+            let Some(v) = owner_store[mid].get(k) else { continue };
+            let cost_direct = requesters.len() * (k.words() + v.words());
+            if requesters.len() <= hot_threshold
+                && direct_words + cost_direct <= direct_budget
+            {
+                direct_words += cost_direct;
+                for &r in requesters {
+                    if r == mid {
+                        result.shard_mut(mid).push((k.clone(), v.clone()));
+                    } else {
+                        direct[mid].push((r, (k.clone(), v.clone())));
+                    }
+                }
+            } else {
+                // Rotate the requester list by a key-dependent offset so the
+                // tree roots of different hot keys land on different
+                // machines (requester lists are sorted, so without rotation
+                // low machine ids would head every tree).
+                let off = (k.hash64() >> 32) as usize % requesters.len();
+                let rotated: Vec<u64> = requesters[off..]
+                    .iter()
+                    .chain(&requesters[..off])
+                    .map(|&r| r as u64)
+                    .collect();
+                // The owner fans out minimally (2 roots): its send volume is
+                // then ~2 headers + the id list per hot key, and the value
+                // replication happens further down the tree.
+                push_subtrees(&mut relay[mid], k, v, &rotated, 2, mid);
+            }
+        }
+    }
+    let inboxes = cluster.exchange(&format!("{label}.answer"), direct)?;
+    for (mid, inbox) in inboxes.into_iter().enumerate() {
+        for (_owner, (k, v)) in inbox {
+            result.shard_mut(mid).push((k, v));
+        }
+    }
+    // Relay rounds: each node delivers locally and re-fans its subtree.
+    // Nodes serving many keys shrink their per-key fanout so the combined
+    // header volume stays bounded (deeper trees instead of fatter sends).
+    let mut wave = relay;
+    while wave.iter().any(|o| !o.is_empty()) {
+        let inboxes = cluster.exchange(&format!("{label}.relay"), wave)?;
+        wave = cluster.empty_outboxes::<(K, V, Vec<u64>)>();
+        for (mid, inbox) in inboxes.into_iter().enumerate() {
+            let tasks = inbox.len().max(1);
+            let b = (branch / tasks).max(2);
+            for (_src, (k, v, subtree)) in inbox {
+                result.shard_mut(mid).push((k.clone(), v.clone()));
+                push_subtrees(&mut wave[mid], &k, &v, &subtree, b, mid);
+            }
+        }
+    }
+    for mid in 0..result.machines() {
+        result.shard_mut(mid).sort_by(|a, b| a.0.cmp(&b.0));
+        result.shard_mut(mid).dedup_by(|a, b| a.0 == b.0);
+    }
+    Ok(result)
+}
+
+/// Splits `ids` into at most `branch` subtrees and enqueues one relay
+/// message per subtree head: `(key, value, rest-of-subtree)`. A head whose
+/// id equals `self_mid` still gets a message through the exchange (so the
+/// delivery is uniformly accounted); self-sends cannot happen here because
+/// an owner never requests its own key through the relay path twice.
+fn push_subtrees<K, V>(
+    out: &mut Vec<(MachineId, (K, V, Vec<u64>))>,
+    k: &K,
+    v: &V,
+    ids: &[u64],
+    branch: usize,
+    _self_mid: MachineId,
+) where
+    K: Clone,
+    V: Clone,
+{
+    if ids.is_empty() {
+        return;
+    }
+    let per = ids.len().div_ceil(branch);
+    for part in ids.chunks(per.max(1)) {
+        let head = part[0] as MachineId;
+        let rest: Vec<u64> = part[1..].to_vec();
+        out.push((head, (k.clone(), v.clone(), rest)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ClusterConfig, Topology};
+
+    fn cluster(k: usize, small_cap: usize) -> Cluster {
+        let mut caps = vec![small_cap; k];
+        caps[0] = 100_000;
+        Cluster::new(
+            ClusterConfig::new(64, 256)
+                .topology(Topology::Custom { capacities: caps, large: Some(0) }),
+        )
+    }
+
+    #[test]
+    fn delivers_requested_values() {
+        let mut c = cluster(6, 400);
+        let owners = c.small_ids();
+        let pairs: Vec<(u32, u64)> = (0..20).map(|k| (k, 100 + k as u64)).collect();
+        let mut req: ShardedVec<u32> = ShardedVec::new(&c);
+        req[1].extend([3, 5, 3]); // duplicate request
+        req[2].extend([5]);
+        req[4].extend([19, 0]);
+        let got = disseminate(&mut c, "d", &pairs, 0, &req, &owners).unwrap();
+        assert_eq!(got.shard(1), &[(3, 103), (5, 105)]);
+        assert_eq!(got.shard(2), &[(5, 105)]);
+        assert_eq!(got.shard(4), &[(0, 100), (19, 119)]);
+        assert!(got.shard(3).is_empty());
+        assert!(c.rounds() <= 4);
+    }
+
+    #[test]
+    fn missing_keys_are_skipped() {
+        let mut c = cluster(4, 400);
+        let owners = c.small_ids();
+        let pairs: Vec<(u32, u64)> = vec![(1, 11)];
+        let mut req: ShardedVec<u32> = ShardedVec::new(&c);
+        req[2].extend([1, 9]); // 9 does not exist
+        let got = disseminate(&mut c, "d", &pairs, 0, &req, &owners).unwrap();
+        assert_eq!(got.shard(2), &[(1, 11)]);
+    }
+
+    #[test]
+    fn hot_key_uses_relay_and_reaches_everyone() {
+        // 40 requesters for one key; small capacity forces the relay path.
+        let k = 41;
+        let mut c = cluster(k, 80);
+        let owners = c.small_ids();
+        let pairs: Vec<(u32, Vec<u64>)> = vec![(7, vec![1, 2, 3, 4])]; // 4-word value
+        let mut req: ShardedVec<u32> = ShardedVec::new(&c);
+        for mid in 1..k {
+            req[mid].push(7);
+        }
+        let got = disseminate(&mut c, "d", &pairs, 0, &req, &owners).unwrap();
+        for mid in 1..k {
+            assert_eq!(got.shard(mid).len(), 1, "machine {mid} missing value");
+            assert_eq!(got.shard(mid)[0].1, vec![1, 2, 3, 4]);
+        }
+        // scatter, request, answer, then a short relay cascade (depth
+        // depends on the capacity-derived branching).
+        assert!((5..=8).contains(&c.rounds()), "rounds = {}", c.rounds());
+    }
+
+    #[test]
+    fn lookup_from_owner_resident_store() {
+        let mut c = cluster(6, 400);
+        let owners = c.small_ids();
+        // Place pairs on their hash-owners directly.
+        let mut store: ShardedVec<(u32, u64)> = ShardedVec::new(&c);
+        for k in 0..30u32 {
+            let mid = owner_of(&k, &owners);
+            store[mid].push((k, k as u64 * 7));
+        }
+        let mut req: ShardedVec<u32> = ShardedVec::new(&c);
+        req[2].extend([4, 9, 28]);
+        req[5].extend([0]);
+        let got = lookup(&mut c, "l", &store, &req, &owners).unwrap();
+        assert_eq!(got.shard(2), &[(4, 28), (9, 63), (28, 196)]);
+        assert_eq!(got.shard(5), &[(0, 0)]);
+        assert!(c.rounds() <= 2, "lookup saves the scatter round");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut c = cluster(6, 400);
+            let owners = c.small_ids();
+            let pairs: Vec<(u32, u64)> = (0..50).map(|k| (k, k as u64 * 3)).collect();
+            let mut req: ShardedVec<u32> = ShardedVec::new(&c);
+            for mid in 1..6 {
+                for k in 0..50 {
+                    if (k + mid as u32) % 3 == 0 {
+                        req[mid].push(k);
+                    }
+                }
+            }
+            disseminate(&mut c, "d", &pairs, 0, &req, &owners).unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,144 @@
+//! Fanout-tree reduction (global sums, counts, minima).
+
+use crate::cluster::Cluster;
+use crate::error::ModelViolation;
+use crate::payload::{MachineId, Payload};
+
+/// Reduces one value per participating machine down to `dst` along a fanout
+/// tree, combining with `combine`. Returns the combined value (logically
+/// resident on `dst`).
+///
+/// `values[i]` is the contribution of machine `participants[i]`.
+/// Rounds: `ceil(log_F P)` with capacity-driven fanout `F`.
+///
+/// # Errors
+///
+/// Propagates capacity violations in strict mode.
+///
+/// # Panics
+///
+/// Panics if `values.len() != participants.len()` or participants is empty.
+pub fn reduce_to<M: Payload>(
+    cluster: &mut Cluster,
+    label: &str,
+    participants: &[MachineId],
+    values: Vec<M>,
+    dst: MachineId,
+    mut combine: impl FnMut(M, M) -> M,
+) -> Result<M, ModelViolation> {
+    assert_eq!(values.len(), participants.len());
+    assert!(!participants.is_empty(), "reduce_to: no participants");
+    // Order with dst (or participants[0]) as the tree root, at index 0.
+    let mut order: Vec<usize> = (0..participants.len()).collect();
+    if let Some(pos) = participants.iter().position(|&p| p == dst) {
+        order.swap(0, pos);
+    }
+    let w = values.iter().map(Payload::words).max().unwrap_or(1).max(1);
+    let min_cap =
+        participants.iter().map(|&m| cluster.capacity(m)).min().unwrap_or(1);
+    let fanout = ((min_cap / 2) / w).max(2);
+
+    // current[i] = Some(partial) if tree-node i still holds a live partial.
+    let mut current: Vec<Option<M>> = values.into_iter().map(Some).collect();
+    let mut active = order.len();
+    while active > 1 {
+        let parents = active.div_ceil(fanout + 1).max(1);
+        let mut out = cluster.empty_outboxes::<(u64, M)>();
+        // Node i (parents <= i < active) sends to parent (i - parents) / fanout.
+        for i in parents..active {
+            let parent = (i - parents) / fanout;
+            let val = current[order[i]].take().expect("live partial");
+            out[participants[order[i]]]
+                .push((participants[order[parent]], (order[parent] as u64, val)));
+        }
+        let inboxes = cluster.exchange(label, out)?;
+        for inbox in inboxes {
+            for (_src, (slot, val)) in inbox {
+                let slot = slot as usize;
+                let cur = current[slot].take().expect("parent partial");
+                current[slot] = Some(combine(cur, val));
+            }
+        }
+        active = parents;
+    }
+    let result = current[order[0]].take().expect("root partial");
+    // If dst was not a participant, forward the result in one more round.
+    if participants[order[0]] != dst {
+        let mut out = cluster.empty_outboxes::<M>();
+        out[participants[order[0]]].push((dst, result.clone()));
+        cluster.exchange(label, out)?;
+    }
+    Ok(result)
+}
+
+/// Sums one `u64` per participating machine into `dst`.
+///
+/// # Errors
+///
+/// Propagates capacity violations in strict mode.
+pub fn sum_to(
+    cluster: &mut Cluster,
+    label: &str,
+    participants: &[MachineId],
+    values: Vec<u64>,
+    dst: MachineId,
+) -> Result<u64, ModelViolation> {
+    reduce_to(cluster, label, participants, values, dst, |a, b| a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ClusterConfig, Topology};
+
+    fn cluster(k: usize, cap: usize) -> Cluster {
+        Cluster::new(ClusterConfig::new(64, 256).topology(Topology::Custom {
+            capacities: vec![cap; k],
+            large: Some(0),
+        }))
+    }
+
+    #[test]
+    fn sums_across_many_machines() {
+        let mut c = cluster(40, 8);
+        let parts: Vec<usize> = (0..40).collect();
+        let vals: Vec<u64> = (0..40).collect();
+        let s = sum_to(&mut c, "sum", &parts, vals, 0).unwrap();
+        assert_eq!(s, (0..40).sum::<u64>());
+        assert!(c.rounds() >= 2, "tight capacity forces a tree");
+    }
+
+    #[test]
+    fn single_round_with_big_capacity() {
+        let mut c = cluster(10, 1000);
+        let parts: Vec<usize> = (0..10).collect();
+        let s = sum_to(&mut c, "sum", &parts, vec![1; 10], 0).unwrap();
+        assert_eq!(s, 10);
+        assert_eq!(c.rounds(), 1);
+    }
+
+    #[test]
+    fn reduce_with_min() {
+        let mut c = cluster(8, 100);
+        let parts: Vec<usize> = (0..8).collect();
+        let vals = vec![9u64, 4, 7, 1, 8, 2, 6, 3];
+        let m = reduce_to(&mut c, "min", &parts, vals, 0, |a, b| a.min(b)).unwrap();
+        assert_eq!(m, 1);
+    }
+
+    #[test]
+    fn dst_outside_participants() {
+        let mut c = cluster(5, 100);
+        let parts: Vec<usize> = vec![1, 2, 3];
+        let s = sum_to(&mut c, "sum", &parts, vec![5, 6, 7], 0).unwrap();
+        assert_eq!(s, 18);
+    }
+
+    #[test]
+    fn single_participant() {
+        let mut c = cluster(3, 100);
+        let s = sum_to(&mut c, "sum", &[2], vec![42], 2).unwrap();
+        assert_eq!(s, 42);
+        assert_eq!(c.rounds(), 0);
+    }
+}

@@ -1,0 +1,501 @@
+//! Distributed sample sort (the paper's Claim 1, after \[34\]).
+//!
+//! After sorting, the concatenation of the participants' shards in machine
+//! order is globally sorted: for participants `M < M'`, every item on `M` is
+//! no greater than any item on `M'` — exactly the postcondition of Claim 1.
+//!
+//! Two strategies, chosen by capacity:
+//!
+//! * **flat** (3–4 rounds): every participant sends `s` evenly spaced local
+//!   sample keys to a coordinator, which picks `P−1` splitters and broadcasts
+//!   them; one routing round finishes.
+//! * **two-level** (≈8 rounds): participants are grouped into `≈√P` groups;
+//!   level-0 splitters route items to groups, level-1 splitters within each
+//!   group finish. Used when `P` is too large for any single machine to hold
+//!   `P−1` splitters — the situation the paper's `O((1−γ)/γ)`-round trees
+//!   address.
+
+use crate::cluster::Cluster;
+use crate::error::ModelViolation;
+use crate::payload::{MachineId, Payload};
+use crate::sharded::ShardedVec;
+
+/// Samples per machine for splitter selection. Oversampling keeps bucket
+/// imbalance low (a factor ~2 of ideal w.h.p. at simulator scales).
+const SAMPLES_PER_MACHINE: usize = 24;
+
+/// Sorts the items of `sv` (which must reside on `participants`) by `key`.
+///
+/// See the module docs for the strategy. Items with equal keys may land on
+/// the same machine regardless of volume; keys used in the workspace embed
+/// tie-breakers ([`mpc_graph::WeightKey`]) so this does not skew balance.
+///
+/// # Errors
+///
+/// Propagates capacity violations in strict mode.
+///
+/// # Panics
+///
+/// Panics if items reside outside `participants`.
+pub fn sample_sort<T, K>(
+    cluster: &mut Cluster,
+    label: &str,
+    sv: ShardedVec<T>,
+    participants: &[MachineId],
+    key: impl Fn(&T) -> K + Copy,
+) -> Result<ShardedVec<T>, ModelViolation>
+where
+    T: Payload,
+    K: Ord + Clone + Payload,
+{
+    assert!(!participants.is_empty(), "sample_sort: no participants");
+    for mid in 0..sv.machines() {
+        assert!(
+            sv.shard(mid).is_empty() || participants.contains(&mid),
+            "sample_sort: data on non-participant machine {mid}"
+        );
+    }
+    let p = participants.len();
+    if p == 1 {
+        let mut sv = sv;
+        sv.shard_mut(participants[0]).sort_by(|a, b| key(a).cmp(&key(b)));
+        return Ok(sv);
+    }
+    let key_words = sv
+        .iter()
+        .map(|(_, t)| key(t).words())
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let coordinator = cluster.large().unwrap_or(participants[0]);
+    let sample_volume = p * SAMPLES_PER_MACHINE * key_words;
+    let splitter_volume = (p - 1) * key_words;
+    let min_cap = participants
+        .iter()
+        .map(|&m| cluster.capacity(m))
+        .min()
+        .expect("participants non-empty");
+    let flat_ok = sample_volume <= cluster.capacity(coordinator) / 2
+        && splitter_volume <= min_cap / 2;
+    if flat_ok {
+        flat_sort(cluster, label, sv, participants, coordinator, key)
+    } else {
+        two_level_sort(cluster, label, sv, participants, coordinator, key)
+    }
+}
+
+/// Picks up to `s` pseudo-random keys from a shard.
+///
+/// The positions are hash-derived (deterministic), **not** local quantiles:
+/// when every machine holds an iid subset of the same distribution, local
+/// quantiles collapse into `s` tight spikes at the global quantiles and the
+/// splitters computed from them leave most of the key space to a handful of
+/// buckets. Random positions give a genuinely uniform pooled sample.
+fn local_samples<T, K>(shard: &[T], s: usize, salt: u64, key: impl Fn(&T) -> K) -> Vec<K>
+where
+    K: Ord + Clone,
+{
+    if shard.len() <= s {
+        let mut keys: Vec<K> = shard.iter().map(|t| key(t)).collect();
+        keys.sort();
+        return keys;
+    }
+    (0..s)
+        .map(|i| {
+            let mut x = salt
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(i as u64);
+            x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            key(&shard[(x % shard.len() as u64) as usize])
+        })
+        .collect()
+}
+
+/// Picks `count` evenly spaced splitters from a pooled sample.
+fn pick_splitters<K: Ord + Clone>(mut samples: Vec<K>, count: usize) -> Vec<K> {
+    samples.sort();
+    if samples.is_empty() || count == 0 {
+        return Vec::new();
+    }
+    (1..=count)
+        .map(|i| samples[(i * samples.len() / (count + 1)).min(samples.len() - 1)].clone())
+        .collect()
+}
+
+/// Picks splitters whose buckets receive key shares proportional to
+/// `weights` (bucket `i` should get `weights[i] / sum(weights)` of the items).
+fn pick_weighted_splitters<K: Ord + Clone>(mut samples: Vec<K>, weights: &[usize]) -> Vec<K> {
+    samples.sort();
+    if samples.is_empty() || weights.len() <= 1 {
+        return Vec::new();
+    }
+    let total: usize = weights.iter().sum();
+    let mut cum = 0usize;
+    weights[..weights.len() - 1]
+        .iter()
+        .map(|w| {
+            cum += w;
+            samples[(cum * samples.len() / total).min(samples.len() - 1)].clone()
+        })
+        .collect()
+}
+
+/// Bucket index of `k` among `splitters` (first splitter `> k` wins).
+fn bucket_of<K: Ord>(k: &K, splitters: &[K]) -> usize {
+    splitters.partition_point(|s| s <= k)
+}
+
+fn flat_sort<T, K>(
+    cluster: &mut Cluster,
+    label: &str,
+    sv: ShardedVec<T>,
+    participants: &[MachineId],
+    coordinator: MachineId,
+    key: impl Fn(&T) -> K + Copy,
+) -> Result<ShardedVec<T>, ModelViolation>
+where
+    T: Payload,
+    K: Ord + Clone + Payload,
+{
+    let p = participants.len();
+    // Round 1: samples to coordinator.
+    let mut out = cluster.empty_outboxes::<K>();
+    let mut pooled: Vec<K> = Vec::new();
+    for &mid in participants {
+        let samples = local_samples(sv.shard(mid), SAMPLES_PER_MACHINE, mid as u64, key);
+        if mid == coordinator {
+            pooled.extend(samples);
+        } else {
+            out[mid].extend(samples.into_iter().map(|k| (coordinator, k)));
+        }
+    }
+    let inboxes = cluster.exchange(&format!("{label}.samples"), out)?;
+    pooled.extend(inboxes[coordinator].iter().map(|(_, k)| k.clone()));
+    let splitters = pick_splitters(pooled, p - 1);
+
+    // Round(s) 2: broadcast splitters.
+    super::broadcast::broadcast(
+        cluster,
+        &format!("{label}.splitters"),
+        coordinator,
+        &splitters,
+        participants,
+    )?;
+
+    // Round 3: route and locally sort.
+    route_and_sort(cluster, &format!("{label}.route"), sv, participants, &splitters, key)
+}
+
+fn two_level_sort<T, K>(
+    cluster: &mut Cluster,
+    label: &str,
+    sv: ShardedVec<T>,
+    participants: &[MachineId],
+    coordinator: MachineId,
+    key: impl Fn(&T) -> K + Copy,
+) -> Result<ShardedVec<T>, ModelViolation>
+where
+    T: Payload,
+    K: Ord + Clone + Payload,
+{
+    let p = participants.len();
+    let group_size = (p as f64).sqrt().ceil() as usize;
+    let groups: Vec<&[MachineId]> = participants.chunks(group_size).collect();
+    let g = groups.len();
+    let key_words = sv.iter().map(|(_, t)| key(t).words()).max().unwrap_or(1).max(1);
+    let min_cap = participants
+        .iter()
+        .map(|&m| cluster.capacity(m))
+        .min()
+        .expect("participants non-empty");
+    // Group leaders receive up to `group_size · s` sample keys; size the
+    // sample count so that stays within a quarter of the smallest capacity.
+    let s = SAMPLES_PER_MACHINE
+        .min(min_cap / (4 * group_size * key_words))
+        .max(2);
+
+    // Round 1: each machine sends samples to its group leader.
+    let mut out = cluster.empty_outboxes::<K>();
+    let mut leader_pool: Vec<Vec<K>> = vec![Vec::new(); g];
+    for (gi, group) in groups.iter().enumerate() {
+        let leader = group[0];
+        for &mid in group.iter() {
+            let samples = local_samples(sv.shard(mid), s, mid as u64, key);
+            if mid == leader {
+                leader_pool[gi].extend(samples);
+            } else {
+                out[mid].extend(samples.into_iter().map(|k| (leader, k)));
+            }
+        }
+    }
+    let inboxes = cluster.exchange(&format!("{label}.l0-samples"), out)?;
+    for (gi, group) in groups.iter().enumerate() {
+        leader_pool[gi].extend(inboxes[group[0]].iter().map(|(_, k)| k.clone()));
+    }
+
+    // Round 2: leaders downsample and forward to the coordinator. The
+    // coordinator capacity (often the large machine) allows far more samples
+    // than the leaf round did, so forward as much as fits.
+    let s2 = (cluster.capacity(coordinator) / (2 * g * key_words)).max(s);
+    let mut out = cluster.empty_outboxes::<K>();
+    let mut pooled: Vec<K> = Vec::new();
+    for (gi, group) in groups.iter().enumerate() {
+        let mut ks = std::mem::take(&mut leader_pool[gi]);
+        ks.sort();
+        let down: Vec<K> = if ks.len() <= s2 {
+            ks
+        } else {
+            (0..s2).map(|i| ks[(2 * i + 1) * ks.len() / (2 * s2)].clone()).collect()
+        };
+        if group[0] == coordinator {
+            pooled.extend(down);
+        } else {
+            out[group[0]].extend(down.into_iter().map(|k| (coordinator, k)));
+        }
+    }
+    let inboxes = cluster.exchange(&format!("{label}.l0-pool"), out)?;
+    pooled.extend(inboxes[coordinator].iter().map(|(_, k)| k.clone()));
+    let group_weights: Vec<usize> = groups.iter().map(|grp| grp.len()).collect();
+    let l0_splitters = pick_weighted_splitters(pooled, &group_weights);
+
+    // Round(s) 3: broadcast level-0 splitters to everyone.
+    super::broadcast::broadcast(
+        cluster,
+        &format!("{label}.l0-splitters"),
+        coordinator,
+        &l0_splitters,
+        participants,
+    )?;
+
+    // Round 4: route items to their group (spread round-robin inside).
+    let mut out = cluster.empty_outboxes::<T>();
+    let mut grouped: ShardedVec<T> = ShardedVec::new(cluster);
+    let mut rr = vec![0usize; g];
+    for mid in 0..sv.machines() {
+        for item in sv.shard(mid) {
+            let gi = bucket_of(&key(item), &l0_splitters);
+            let dst = groups[gi][rr[gi] % groups[gi].len()];
+            rr[gi] += 1;
+            if dst == mid {
+                grouped.shard_mut(mid).push(item.clone());
+            } else {
+                out[mid].push((dst, item.clone()));
+            }
+        }
+    }
+    let inboxes = cluster.exchange(&format!("{label}.l0-route"), out)?;
+    for (mid, inbox) in inboxes.into_iter().enumerate() {
+        grouped.shard_mut(mid).extend(inbox.into_iter().map(|(_, t)| t));
+    }
+
+    // Rounds 5–7: flat sort inside every group, sharing exchanges.
+    // 5: samples to leaders.
+    let mut out = cluster.empty_outboxes::<K>();
+    let mut leader_pool: Vec<Vec<K>> = vec![Vec::new(); g];
+    for (gi, group) in groups.iter().enumerate() {
+        for &mid in group.iter() {
+            let samples = local_samples(grouped.shard(mid), s, mid as u64 ^ 0xABCD, key);
+            if mid == group[0] {
+                leader_pool[gi].extend(samples);
+            } else {
+                out[mid].extend(samples.into_iter().map(|k| (group[0], k)));
+            }
+        }
+    }
+    let inboxes = cluster.exchange(&format!("{label}.l1-samples"), out)?;
+    let mut l1_splitters: Vec<Vec<K>> = Vec::with_capacity(g);
+    for (gi, group) in groups.iter().enumerate() {
+        let mut pool = std::mem::take(&mut leader_pool[gi]);
+        pool.extend(inboxes[group[0]].iter().map(|(_, k)| k.clone()));
+        l1_splitters.push(pick_splitters(pool, group.len() - 1));
+    }
+    // 6: leaders broadcast group splitters along capacity-driven fanout
+    // trees, all groups sharing the same exchanges.
+    {
+        let msg_words = l1_splitters
+            .iter()
+            .map(|sp| sp.iter().map(Payload::words).sum::<usize>())
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let fanout = ((min_cap / 2) / msg_words).max(2);
+        let mut informed: Vec<usize> = vec![1; g];
+        while groups.iter().enumerate().any(|(gi, grp)| informed[gi] < grp.len()) {
+            let mut out = cluster.empty_outboxes::<Vec<K>>();
+            for (gi, grp) in groups.iter().enumerate() {
+                let cur = informed[gi];
+                if cur >= grp.len() {
+                    continue;
+                }
+                let wave_end = (cur + cur * fanout).min(grp.len());
+                for (i, &relay) in grp[..cur].iter().enumerate() {
+                    let lo = cur + i * fanout;
+                    let hi = (lo + fanout).min(wave_end);
+                    for &dst in grp.get(lo..hi).unwrap_or(&[]) {
+                        out[relay].push((dst, l1_splitters[gi].clone()));
+                    }
+                }
+                informed[gi] = wave_end;
+            }
+            cluster.exchange(&format!("{label}.l1-splitters"), out)?;
+        }
+    }
+    // 7: route within groups and sort locally.
+    let mut out = cluster.empty_outboxes::<T>();
+    let mut result: ShardedVec<T> = ShardedVec::new(cluster);
+    for (gi, group) in groups.iter().enumerate() {
+        for &mid in group.iter() {
+            for item in grouped.shard(mid) {
+                let b = bucket_of(&key(item), &l1_splitters[gi]);
+                let dst = group[b];
+                if dst == mid {
+                    result.shard_mut(mid).push(item.clone());
+                } else {
+                    out[mid].push((dst, item.clone()));
+                }
+            }
+        }
+    }
+    let inboxes = cluster.exchange(&format!("{label}.l1-route"), out)?;
+    for (mid, inbox) in inboxes.into_iter().enumerate() {
+        result.shard_mut(mid).extend(inbox.into_iter().map(|(_, t)| t));
+        result.shard_mut(mid).sort_by(|a, b| key(a).cmp(&key(b)));
+    }
+    Ok(result)
+}
+
+fn route_and_sort<T, K>(
+    cluster: &mut Cluster,
+    label: &str,
+    sv: ShardedVec<T>,
+    participants: &[MachineId],
+    splitters: &[K],
+    key: impl Fn(&T) -> K + Copy,
+) -> Result<ShardedVec<T>, ModelViolation>
+where
+    T: Payload,
+    K: Ord + Clone + Payload,
+{
+    let mut out = cluster.empty_outboxes::<T>();
+    let mut result: ShardedVec<T> = ShardedVec::new(cluster);
+    for mid in 0..sv.machines() {
+        for item in sv.shard(mid) {
+            let b = bucket_of(&key(item), splitters);
+            let dst = participants[b];
+            if dst == mid {
+                result.shard_mut(mid).push(item.clone());
+            } else {
+                out[mid].push((dst, item.clone()));
+            }
+        }
+    }
+    let inboxes = cluster.exchange(label, out)?;
+    for (mid, inbox) in inboxes.into_iter().enumerate() {
+        result.shard_mut(mid).extend(inbox.into_iter().map(|(_, t)| t));
+        result.shard_mut(mid).sort_by(|a, b| key(a).cmp(&key(b)));
+    }
+    Ok(result)
+}
+
+/// Checks the Claim-1 postcondition: concatenating `sv`'s shards over
+/// `participants` (in order) yields a `key`-sorted sequence.
+pub fn is_globally_sorted<T, K>(
+    sv: &ShardedVec<T>,
+    participants: &[MachineId],
+    key: impl Fn(&T) -> K,
+) -> bool
+where
+    K: Ord,
+{
+    let mut prev: Option<K> = None;
+    for &mid in participants {
+        for item in sv.shard(mid) {
+            let k = key(item);
+            if let Some(p) = &prev {
+                if *p > k {
+                    return false;
+                }
+            }
+            prev = Some(k);
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ClusterConfig, Enforcement, Topology};
+    use rand::{Rng, SeedableRng};
+
+    fn cluster(k: usize, small_cap: usize, large_cap: usize) -> Cluster {
+        let mut caps = vec![small_cap; k];
+        caps[0] = large_cap;
+        Cluster::new(
+            ClusterConfig::new(64, 256)
+                .topology(Topology::Custom { capacities: caps, large: Some(0) })
+                .enforcement(Enforcement::Strict),
+        )
+    }
+
+    fn random_items(n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.random_range(0..1_000_000)).collect()
+    }
+
+    #[test]
+    fn flat_sort_small_cluster() {
+        let mut c = cluster(9, 2000, 20_000);
+        let parts = c.small_ids();
+        let sv = ShardedVec::scatter(&c, random_items(500, 1), &parts);
+        let sorted = sample_sort(&mut c, "s", sv, &parts, |&x| x).unwrap();
+        assert!(is_globally_sorted(&sorted, &parts, |&x| x));
+        assert_eq!(sorted.total_len(), 500);
+        assert!(c.rounds() <= 4, "flat sort should be <= 4 rounds, was {}", c.rounds());
+    }
+
+    #[test]
+    fn two_level_sort_when_capacity_is_tight() {
+        // 50 participants, capacity too small to hold 49 splitters * margin.
+        let mut c = cluster(51, 90, 400);
+        let parts = c.small_ids();
+        let sv = ShardedVec::scatter(&c, random_items(1000, 2), &parts);
+        let sorted = sample_sort(&mut c, "s", sv, &parts, |&x| x).unwrap();
+        assert!(is_globally_sorted(&sorted, &parts, |&x| x));
+        assert_eq!(sorted.total_len(), 1000);
+        assert!(c.rounds() >= 6, "expected the two-level path, rounds={}", c.rounds());
+    }
+
+    #[test]
+    fn sorts_pairs_by_custom_key() {
+        let mut c = cluster(5, 4000, 20_000);
+        let parts = c.small_ids();
+        let items: Vec<(u32, u64)> =
+            random_items(300, 3).into_iter().enumerate().map(|(i, x)| (i as u32, x)).collect();
+        let sv = ShardedVec::scatter(&c, items, &parts);
+        let sorted = sample_sort(&mut c, "s", sv, &parts, |t| t.1).unwrap();
+        assert!(is_globally_sorted(&sorted, &parts, |t| t.1));
+    }
+
+    #[test]
+    fn single_participant_sorts_locally() {
+        let mut c = cluster(2, 4000, 20_000);
+        let mut sv: ShardedVec<u64> = ShardedVec::new(&c);
+        sv[1].extend([5, 3, 1]);
+        let sorted = sample_sort(&mut c, "s", sv, &[1], |&x| x).unwrap();
+        assert_eq!(sorted.shard(1), &[1, 3, 5]);
+        assert_eq!(c.rounds(), 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = || {
+            let mut c = cluster(9, 2000, 20_000);
+            let parts = c.small_ids();
+            let sv = ShardedVec::scatter(&c, random_items(400, 9), &parts);
+            sample_sort(&mut c, "s", sv, &parts, |&x| x).unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+}

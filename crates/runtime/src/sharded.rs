@@ -1,0 +1,153 @@
+//! [`ShardedVec`]: algorithm data distributed across machines.
+
+use crate::cluster::Cluster;
+use crate::error::ModelViolation;
+use crate::payload::{MachineId, Payload};
+
+/// A vector of items sharded across the cluster's machines.
+///
+/// `shards[mid]` is the data resident on machine `mid`. The struct is plain
+/// data — all movement happens through [`Cluster::exchange`] or the
+/// [`primitives`](crate::primitives) — but it knows how to *account* its
+/// memory footprint against the cluster.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardedVec<T> {
+    shards: Vec<Vec<T>>,
+}
+
+impl<T> ShardedVec<T> {
+    /// Empty shards for every machine of `cluster`.
+    pub fn new(cluster: &Cluster) -> Self {
+        ShardedVec { shards: (0..cluster.machines()).map(|_| Vec::new()).collect() }
+    }
+
+    /// Wraps pre-built shards (must have one entry per machine).
+    pub fn from_shards(shards: Vec<Vec<T>>) -> Self {
+        ShardedVec { shards }
+    }
+
+    /// Distributes `items` across the given machines (round-robin).
+    pub fn scatter(
+        cluster: &Cluster,
+        items: impl IntoIterator<Item = T>,
+        targets: &[MachineId],
+    ) -> Self {
+        assert!(!targets.is_empty(), "scatter needs at least one target machine");
+        let mut sv = ShardedVec::new(cluster);
+        for (i, item) in items.into_iter().enumerate() {
+            sv.shards[targets[i % targets.len()]].push(item);
+        }
+        sv
+    }
+
+    /// Number of machines.
+    pub fn machines(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard of machine `mid`.
+    pub fn shard(&self, mid: MachineId) -> &[T] {
+        &self.shards[mid]
+    }
+
+    /// Mutable shard of machine `mid`.
+    pub fn shard_mut(&mut self, mid: MachineId) -> &mut Vec<T> {
+        &mut self.shards[mid]
+    }
+
+    /// Total item count across shards.
+    pub fn total_len(&self) -> usize {
+        self.shards.iter().map(Vec::len).sum()
+    }
+
+    /// Iterates `(machine, &item)` over all shards in machine order.
+    pub fn iter(&self) -> impl Iterator<Item = (MachineId, &T)> {
+        self.shards
+            .iter()
+            .enumerate()
+            .flat_map(|(mid, shard)| shard.iter().map(move |t| (mid, t)))
+    }
+
+    /// Flattens all shards into one vector (machine order).
+    pub fn into_flat(self) -> Vec<T> {
+        self.shards.into_iter().flatten().collect()
+    }
+
+    /// Largest shard size (balance diagnostics).
+    pub fn max_shard_len(&self) -> usize {
+        self.shards.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+impl<T: Payload> ShardedVec<T> {
+    /// Declares this structure's per-machine footprint under `slot`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelViolation::MemoryOverflow`] in strict mode.
+    pub fn account(&self, cluster: &mut Cluster, slot: &str) -> Result<(), ModelViolation> {
+        for (mid, shard) in self.shards.iter().enumerate() {
+            let words: usize = shard.iter().map(Payload::words).sum();
+            cluster.account(slot, mid, words)?;
+        }
+        Ok(())
+    }
+}
+
+impl<T> std::ops::Index<MachineId> for ShardedVec<T> {
+    type Output = Vec<T>;
+    fn index(&self, mid: MachineId) -> &Vec<T> {
+        &self.shards[mid]
+    }
+}
+
+impl<T> std::ops::IndexMut<MachineId> for ShardedVec<T> {
+    fn index_mut(&mut self, mid: MachineId) -> &mut Vec<T> {
+        &mut self.shards[mid]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ClusterConfig, Topology};
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterConfig::new(16, 64).topology(Topology::Custom {
+            capacities: vec![1000, 50, 50, 50],
+            large: Some(0),
+        }))
+    }
+
+    #[test]
+    fn scatter_round_robin_over_small_machines() {
+        let c = cluster();
+        let sv = ShardedVec::scatter(&c, 0u64..10, &c.small_ids());
+        assert_eq!(sv.total_len(), 10);
+        assert!(sv.shard(0).is_empty()); // large machine got nothing
+        assert_eq!(sv.shard(1).len(), 4);
+        assert_eq!(sv.shard(2).len(), 3);
+        assert_eq!(sv.max_shard_len(), 4);
+    }
+
+    #[test]
+    fn account_checks_capacity() {
+        let mut c = cluster();
+        let mut sv: ShardedVec<u64> = ShardedVec::new(&c);
+        sv.shard_mut(1).extend(0..40);
+        assert!(sv.account(&mut c, "data").is_ok());
+        sv.shard_mut(1).extend(0..20); // 60 > 50
+        assert!(sv.account(&mut c, "data").is_err());
+    }
+
+    #[test]
+    fn iter_and_flatten_preserve_machine_order() {
+        let c = cluster();
+        let mut sv: ShardedVec<u64> = ShardedVec::new(&c);
+        sv[2].push(5);
+        sv[1].push(3);
+        let pairs: Vec<(usize, u64)> = sv.iter().map(|(m, &x)| (m, x)).collect();
+        assert_eq!(pairs, vec![(1, 3), (2, 5)]);
+        assert_eq!(sv.into_flat(), vec![3, 5]);
+    }
+}

@@ -1,0 +1,146 @@
+//! Sequential sketch-Borůvka: connectivity from vertex sketches alone.
+//!
+//! This is the computation the *large machine* performs in the ported
+//! connectivity algorithm (paper Theorem C.1): given one `L0` sketch per
+//! vertex per phase, repeatedly sample an outgoing edge of every current
+//! component (by summing member sketches — linearity!) and contract. After
+//! `O(log n)` phases the components are exactly the connected components,
+//! w.h.p. The graph itself is never consulted.
+
+use crate::l0::{SketchFamily, VertexSketch};
+use mpc_graph::{traversal::Components, DisjointSets};
+
+/// Runs sketch-Borůvka over `sketches[phase][v]`.
+///
+/// Returns min-id-labeled components. With `phases ≈ 2·log₂ n` the result
+/// equals the true components w.h.p.; fewer phases can leave components
+/// under-merged (never over-merged — decoded edges are fingerprint-verified
+/// real edges).
+///
+/// # Panics
+///
+/// Panics if `sketches` is empty or its rows disagree on `n`.
+pub fn sketch_connectivity(
+    family: &SketchFamily,
+    sketches: &[Vec<VertexSketch>],
+    n: usize,
+) -> Components {
+    assert!(!sketches.is_empty(), "need at least one phase of sketches");
+    for row in sketches {
+        assert_eq!(row.len(), n, "one sketch per vertex per phase");
+    }
+    let mut dsu = DisjointSets::new(n);
+    for (phase, row) in sketches.iter().enumerate() {
+        // Sum this phase's fresh sketches per current component.
+        let mut component_sketch: std::collections::BTreeMap<u32, VertexSketch> =
+            std::collections::BTreeMap::new();
+        for v in 0..n as u32 {
+            let root = dsu.find(v);
+            component_sketch
+                .entry(root)
+                .and_modify(|s| s.merge(&row[v as usize]))
+                .or_insert_with(|| row[v as usize].clone());
+        }
+        if component_sketch.len() <= 1 {
+            break;
+        }
+        let mut merged_any = false;
+        for (_root, sketch) in component_sketch {
+            if let Some((u, v)) = family.decode_phase(&sketch, phase) {
+                // Fingerprint-verified: (u, v) is a real edge leaving the
+                // component, so the union is always safe.
+                merged_any |= dsu.union(u, v);
+            }
+        }
+        if !merged_any {
+            // All components decoded nothing: either done or out of luck
+            // this phase; later phases retry with fresh randomness.
+            continue;
+        }
+    }
+    mpc_graph::traversal::components_from_dsu(&mut dsu)
+}
+
+/// Builds per-phase vertex sketches of a whole graph sequentially
+/// (testing / single-machine use; the distributed path builds partial
+/// sketches per machine and merges them with aggregation).
+pub fn sketch_graph(
+    family: &SketchFamily,
+    n: usize,
+    edges: impl IntoIterator<Item = (u32, u32)> + Clone,
+) -> Vec<Vec<VertexSketch>> {
+    (0..family.phases())
+        .map(|phase| {
+            let mut row: Vec<VertexSketch> = (0..n).map(|_| family.empty(phase)).collect();
+            for (u, v) in edges.clone() {
+                family.add_edge_phase(&mut row[u as usize], phase, u, v);
+                family.add_edge_phase(&mut row[v as usize], phase, v, u);
+            }
+            row
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_graph::{generators, traversal::connected_components};
+
+    fn phases_for(n: usize) -> usize {
+        2 * ((n.max(2) as f64).log2().ceil() as usize) + 2
+    }
+
+    fn check_graph(g: &mpc_graph::Graph, seed: u64) {
+        let n = g.n();
+        let fam = SketchFamily::new(n, phases_for(n), seed);
+        let sketches =
+            sketch_graph(&fam, n, g.edges().iter().map(|e| (e.u, e.v)).collect::<Vec<_>>());
+        let got = sketch_connectivity(&fam, &sketches, n);
+        let want = connected_components(g);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn identifies_components_of_random_graphs() {
+        for seed in 0..5 {
+            let g = generators::gnm(60, 90, seed);
+            check_graph(&g, seed);
+        }
+    }
+
+    #[test]
+    fn distinguishes_one_vs_two_cycles() {
+        let one = generators::cycle(64, 3);
+        let two = generators::two_cycles(64, 3);
+        check_graph(&one, 11);
+        check_graph(&two, 11);
+    }
+
+    #[test]
+    fn handles_forests_and_isolated_vertices() {
+        let f = generators::random_forest(50, 5, 2);
+        check_graph(&f, 7);
+        let empty = mpc_graph::Graph::empty(10);
+        check_graph(&empty, 1);
+    }
+
+    #[test]
+    fn merged_sketches_never_produce_fake_edges() {
+        // Even with too few phases, unions only happen on real edges, so the
+        // partition is always a refinement coarsening consistent with G.
+        let g = generators::gnm(80, 120, 9);
+        let fam = SketchFamily::new(80, 2, 13); // deliberately few phases
+        let sketches =
+            sketch_graph(&fam, 80, g.edges().iter().map(|e| (e.u, e.v)).collect::<Vec<_>>());
+        let got = sketch_connectivity(&fam, &sketches, 80);
+        let want = connected_components(&g);
+        // Every merged pair must be truly connected.
+        for u in 0..80u32 {
+            for v in 0..80u32 {
+                if got.same(u, v) {
+                    assert!(want.same(u, v), "sketch over-merged {u},{v}");
+                }
+            }
+        }
+    }
+}

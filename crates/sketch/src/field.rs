@@ -1,0 +1,113 @@
+//! Arithmetic in the prime field `F_p`, `p = 2^61 − 1` (Mersenne).
+//!
+//! Used for polynomial (k-wise independent) hashing and fingerprinting.
+//! The Mersenne modulus admits a fast reduction without division.
+
+/// The field modulus `2^61 − 1`.
+pub const P: u64 = (1 << 61) - 1;
+
+/// Reduces a 128-bit value modulo `P`.
+#[inline]
+pub fn reduce128(x: u128) -> u64 {
+    // Split into 61-bit limbs and fold; at most two folds are needed.
+    let lo = (x & P as u128) as u64;
+    let hi = (x >> 61) as u128;
+    let folded = lo as u128 + hi;
+    let lo2 = (folded & P as u128) as u64;
+    let hi2 = (folded >> 61) as u64;
+    let mut r = lo2 + hi2;
+    if r >= P {
+        r -= P;
+    }
+    r
+}
+
+/// `a + b (mod P)`; inputs must be `< P`.
+#[inline]
+pub fn add(a: u64, b: u64) -> u64 {
+    let mut r = a + b;
+    if r >= P {
+        r -= P;
+    }
+    r
+}
+
+/// `a − b (mod P)`; inputs must be `< P`.
+#[inline]
+pub fn sub(a: u64, b: u64) -> u64 {
+    if a >= b {
+        a - b
+    } else {
+        a + P - b
+    }
+}
+
+/// `a · b (mod P)`; inputs must be `< P`.
+#[inline]
+pub fn mul(a: u64, b: u64) -> u64 {
+    reduce128(a as u128 * b as u128)
+}
+
+/// `b^e (mod P)` by square-and-multiply.
+pub fn pow(mut b: u64, mut e: u64) -> u64 {
+    let mut acc = 1u64;
+    b %= P;
+    while e > 0 {
+        if e & 1 == 1 {
+            acc = mul(acc, b);
+        }
+        b = mul(b, b);
+        e >>= 1;
+    }
+    acc
+}
+
+/// Maps a signed multiplicity into the field (`δ mod P`).
+#[inline]
+pub fn from_i64(x: i64) -> u64 {
+    if x >= 0 {
+        (x as u64) % P
+    } else {
+        sub(0, ((-x) as u64) % P)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_matches_u128_mod() {
+        for &x in &[0u128, 1, P as u128, P as u128 + 1, u128::MAX / 3, u128::MAX] {
+            assert_eq!(reduce128(x) as u128, x % P as u128, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = P - 3;
+        let b = 7;
+        assert_eq!(sub(add(a, b), b), a);
+        assert_eq!(add(sub(a, b), b), a);
+    }
+
+    #[test]
+    fn mul_commutes_and_distributes() {
+        let (a, b, c) = (123_456_789_u64, P - 42, 987_654_321);
+        assert_eq!(mul(a, b), mul(b, a));
+        assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+    }
+
+    #[test]
+    fn pow_small_cases() {
+        assert_eq!(pow(2, 10), 1024);
+        assert_eq!(pow(5, 0), 1);
+        assert_eq!(pow(P - 1, 2), 1); // (-1)^2
+    }
+
+    #[test]
+    fn signed_embedding() {
+        assert_eq!(from_i64(5), 5);
+        assert_eq!(add(from_i64(-5), 5), 0);
+    }
+}

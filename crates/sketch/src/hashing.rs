@@ -1,0 +1,92 @@
+//! `k`-wise independent polynomial hashing over `F_p`.
+//!
+//! The paper replaces the shared randomness assumed by \[36\] with
+//! `O(log n)`-wise independence (proof of Theorem C.1): one machine draws
+//! the polynomial coefficients (`O(polylog n)` bits) and disseminates them.
+//! A degree-`(k−1)` polynomial with uniform coefficients is exactly
+//! `k`-wise independent over `F_p`.
+
+use crate::field;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A `k`-wise independent hash function `F_p → F_p`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KWiseHash {
+    coeffs: Vec<u64>,
+}
+
+impl KWiseHash {
+    /// Draws a fresh degree-`(k−1)` polynomial from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k > 0, "independence parameter must be positive");
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5EED_CAFE_F00D_u64);
+        let coeffs = (0..k).map(|_| rng.random_range(0..field::P)).collect();
+        KWiseHash { coeffs }
+    }
+
+    /// Evaluates the hash at `x` (Horner's rule).
+    pub fn eval(&self, x: u64) -> u64 {
+        let x = x % field::P;
+        let mut acc = 0u64;
+        for &c in &self.coeffs {
+            acc = field::add(field::mul(acc, x), c);
+        }
+        acc
+    }
+
+    /// Number of trailing zero bits of `eval(x)` — the geometric "level" of
+    /// `x` used by the ℓ0-sampler (level `ℓ` keeps items whose hash has at
+    /// least `ℓ` trailing zeros, i.e. a `2^{−ℓ}` subsample).
+    pub fn level(&self, x: u64, max_level: usize) -> usize {
+        let h = self.eval(x);
+        (h.trailing_zeros() as usize).min(max_level)
+    }
+
+    /// The number of coefficients (= the independence parameter `k`).
+    pub fn independence(&self) -> usize {
+        self.coeffs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = KWiseHash::new(8, 7);
+        let b = KWiseHash::new(8, 7);
+        let c = KWiseHash::new(8, 8);
+        assert_eq!(a.eval(12345), b.eval(12345));
+        assert_ne!(a.eval(12345), c.eval(12345)); // overwhelmingly likely
+    }
+
+    #[test]
+    fn levels_are_geometric() {
+        let h = KWiseHash::new(16, 3);
+        let mut counts = vec![0usize; 20];
+        let n = 40_000u64;
+        for x in 0..n {
+            counts[h.level(x, 19)] += 1;
+        }
+        // Level 0 holds about half the items; level 3 about 1/16.
+        assert!((counts[0] as f64 / n as f64 - 0.5).abs() < 0.02);
+        let l3 = counts[3] as f64 / n as f64;
+        assert!((l3 - 0.0625).abs() < 0.01, "level-3 fraction {l3}");
+    }
+
+    #[test]
+    fn evaluation_spreads_values() {
+        let h = KWiseHash::new(8, 11);
+        let mut seen = std::collections::HashSet::new();
+        for x in 0..1000 {
+            seen.insert(h.eval(x));
+        }
+        assert_eq!(seen.len(), 1000, "collisions in 1000 evals are astronomically unlikely");
+    }
+}

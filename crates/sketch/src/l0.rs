@@ -1,0 +1,375 @@
+//! ℓ0-sampling sketches over graph incidence vectors \[36\], specialized to
+//! the AGM edge-sampling use (Appendix C.1 of the paper).
+
+use crate::hashing::KWiseHash;
+use crate::onesparse::{OneSparse, OneSparseDecode};
+use mpc_graph::VertexId;
+use mpc_runtime::Payload;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Buckets per level (two independent one-sparse cells per subsampling
+/// level; a level decodes if any cell isolates a single item).
+const BUCKETS: usize = 3;
+
+/// A single ℓ0-sampler: `levels × BUCKETS` one-sparse cells.
+///
+/// Level `ℓ` retains indices subsampled with probability `2^{−ℓ}`; whatever
+/// level happens to isolate one nonzero index decodes it. Linearity is
+/// inherited from [`OneSparse`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct L0Sampler {
+    cells: Vec<OneSparse>, // levels * BUCKETS, row-major by level
+    levels: usize,
+}
+
+impl L0Sampler {
+    fn new(levels: usize) -> Self {
+        L0Sampler { cells: vec![OneSparse::new(); levels * BUCKETS], levels }
+    }
+
+    fn update(&mut self, index: u64, delta: i64, hashes: &LevelHashes) {
+        let lvl = hashes.level.level(index, self.levels - 1);
+        // The item lives at levels 0..=lvl (geometric subsampling).
+        for l in 0..=lvl {
+            let b = (hashes.bucket.eval(index ^ (l as u64) << 48) % BUCKETS as u64) as usize;
+            self.cells[l * BUCKETS + b].update(index, delta, hashes.z);
+        }
+    }
+
+    /// Merges a sketch from the same family.
+    pub fn merge(&mut self, other: &L0Sampler) {
+        debug_assert_eq!(self.levels, other.levels);
+        for (a, b) in self.cells.iter_mut().zip(&other.cells) {
+            a.merge(b);
+        }
+    }
+
+    fn decode(&self, z: u64) -> Option<u64> {
+        // Prefer sparse (high) levels where isolation is likely.
+        for l in (0..self.levels).rev() {
+            for b in 0..BUCKETS {
+                if let OneSparseDecode::One(idx, _) = self.cells[l * BUCKETS + b].decode(z) {
+                    return Some(idx);
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether every cell is zero (no nonzero coordinates survive).
+    pub fn is_zero(&self) -> bool {
+        self.cells.iter().all(OneSparse::is_zero)
+    }
+}
+
+impl Payload for L0Sampler {
+    fn words(&self) -> usize {
+        3 * self.cells.len()
+    }
+}
+
+#[derive(Clone, Debug)]
+struct LevelHashes {
+    level: KWiseHash,
+    bucket: KWiseHash,
+    z: u64,
+}
+
+/// A family of vertex sketches with shared hash functions.
+///
+/// One machine draws the seeds (`O(polylog n)` bits) and disseminates them;
+/// every machine then builds identical-family sketches from its local edges
+/// (Property 1 / Theorem C.1 in the paper). `phases` independent copies are
+/// drawn so the sketch-Borůvka loop can consume fresh randomness each phase.
+#[derive(Clone, Debug)]
+pub struct SketchFamily {
+    n: u64,
+    levels: usize,
+    hashes: Vec<LevelHashes>,
+}
+
+/// A vertex's sketch for one phase. See [`SketchFamily`].
+pub type VertexSketch = L0Sampler;
+
+impl SketchFamily {
+    /// Creates a family for graphs on `n` vertices with `phases` independent
+    /// copies, deterministically from `seed`.
+    pub fn new(n: usize, phases: usize, seed: u64) -> Self {
+        let n = n as u64;
+        let domain_bits = (2.0 * (n.max(2) as f64).log2()).ceil() as usize + 2;
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xA6A6_5EED);
+        let independence = ((n.max(2) as f64).log2().ceil() as usize + 2).max(4);
+        let hashes = (0..phases)
+            .map(|_| LevelHashes {
+                level: KWiseHash::new(independence, rng.random()),
+                bucket: KWiseHash::new(independence, rng.random()),
+                z: rng.random_range(1..crate::field::P),
+            })
+            .collect();
+        SketchFamily { n, levels: domain_bits, hashes }
+    }
+
+    /// Number of independent phases.
+    pub fn phases(&self) -> usize {
+        self.hashes.len()
+    }
+
+    /// A fresh, empty sketch for `phase`.
+    pub fn empty(&self, phase: usize) -> VertexSketch {
+        let _ = &self.hashes[phase];
+        L0Sampler::new(self.levels)
+    }
+
+    /// Edge-slot index of the ordered pair; both orientations map to the
+    /// same slot, with opposite signs chosen by orientation.
+    fn edge_slot(&self, u: VertexId, v: VertexId) -> (u64, i64) {
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        let slot = a as u64 * self.n + b as u64;
+        let sign = if u < v { 1 } else { -1 };
+        (slot, sign)
+    }
+
+    /// Records edge `{u, v}` in `u`'s sketch for the sketch's phase.
+    ///
+    /// Call once per endpoint: `add_edge(s_u, u, v)` and `add_edge(s_v, v, u)`.
+    /// The ±1 orientation means the two contributions cancel when the
+    /// sketches of `u` and `v` are merged — the AGM trick that makes merged
+    /// sketches see only *outgoing* edges.
+    ///
+    /// The phase is implicit: pass the phase's hash via `phase`.
+    pub fn add_edge_phase(
+        &self,
+        sketch: &mut VertexSketch,
+        phase: usize,
+        u: VertexId,
+        v: VertexId,
+    ) {
+        let (slot, sign) = self.edge_slot(u, v);
+        sketch.update(slot, sign, &self.hashes[phase]);
+    }
+
+    /// [`add_edge_phase`](Self::add_edge_phase) for phase 0 (convenience).
+    pub fn add_edge(&self, sketch: &mut VertexSketch, u: VertexId, v: VertexId) {
+        self.add_edge_phase(sketch, 0, u, v);
+    }
+
+    /// Decodes one surviving edge from a (merged) sketch of `phase`.
+    pub fn decode_phase(&self, sketch: &VertexSketch, phase: usize) -> Option<(VertexId, VertexId)> {
+        let slot = sketch.decode(self.hashes[phase].z)?;
+        let u = (slot / self.n) as VertexId;
+        let v = (slot % self.n) as VertexId;
+        Some((u, v))
+    }
+
+    /// [`decode_phase`](Self::decode_phase) for phase 0 (convenience).
+    pub fn decode(&self, sketch: &VertexSketch) -> Option<(VertexId, VertexId)> {
+        self.decode_phase(sketch, 0)
+    }
+
+    /// Words per vertex sketch (for memory accounting).
+    pub fn sketch_words(&self) -> usize {
+        3 * BUCKETS * self.levels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_edge_decodes() {
+        let fam = SketchFamily::new(10, 1, 1);
+        let mut s = fam.empty(0);
+        fam.add_edge(&mut s, 3, 7);
+        assert_eq!(fam.decode(&s), Some((3, 7)));
+    }
+
+    #[test]
+    fn internal_edges_cancel() {
+        let fam = SketchFamily::new(10, 1, 2);
+        let mut su = fam.empty(0);
+        let mut sv = fam.empty(0);
+        fam.add_edge(&mut su, 2, 5);
+        fam.add_edge(&mut sv, 5, 2);
+        su.merge(&sv);
+        assert!(su.is_zero());
+        assert_eq!(fam.decode(&su), None);
+    }
+
+    #[test]
+    fn decodes_an_outgoing_edge_from_dense_neighborhoods() {
+        // Vertex 0 with 100 incident edges: decode must return one of them.
+        let fam = SketchFamily::new(200, 1, 3);
+        let mut s = fam.empty(0);
+        for v in 1..=100 {
+            fam.add_edge(&mut s, 0, v);
+        }
+        let (u, v) = fam.decode(&s).expect("should isolate some edge");
+        assert_eq!(u, 0);
+        assert!((1..=100).contains(&v));
+    }
+
+    #[test]
+    fn decode_success_rate_is_high() {
+        // Across many random multi-edge sketches, decoding succeeds almost
+        // always (constant success per level, ~log n levels, 2 buckets).
+        let fam = SketchFamily::new(300, 1, 9);
+        let mut ok = 0;
+        let trials = 200;
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..trials {
+            let mut s = fam.empty(0);
+            let deg = rng.random_range(1..80);
+            for _ in 0..deg {
+                let v = rng.random_range(1..300) as VertexId;
+                fam.add_edge(&mut s, 0, v.max(1));
+            }
+            if fam.decode(&s).is_some() {
+                ok += 1;
+            }
+        }
+        assert!(ok * 100 >= trials * 90, "decode succeeded only {ok}/{trials}");
+    }
+
+    #[test]
+    fn phases_are_independent() {
+        let fam = SketchFamily::new(50, 2, 5);
+        let mut a = fam.empty(0);
+        let mut b = fam.empty(1);
+        fam.add_edge_phase(&mut a, 0, 1, 2);
+        fam.add_edge_phase(&mut b, 1, 1, 2);
+        assert_ne!(a, b, "different phases hash differently (w.o.p.)");
+        assert_eq!(fam.decode_phase(&a, 0), Some((1, 2)));
+        assert_eq!(fam.decode_phase(&b, 1), Some((1, 2)));
+    }
+
+    #[test]
+    fn sketch_words_are_polylog() {
+        let fam = SketchFamily::new(4096, 1, 0);
+        // 3 buckets * (2*12+2) levels * 3 words.
+        assert!(fam.sketch_words() <= 3 * 3 * 30, "words = {}", fam.sketch_words());
+        assert_eq!(fam.empty(0).words(), fam.sketch_words());
+    }
+
+    use rand::{Rng, SeedableRng};
+    use rand::rngs::SmallRng;
+}
+
+/// A sparse ℓ0-sampler: only nonzero cells are materialized.
+///
+/// Small machines build *partial* sketches from a handful of local edges, so
+/// almost all of the `levels × BUCKETS` cells are zero; shipping and storing
+/// them sparsely keeps the per-machine footprint proportional to the local
+/// edge count (times `O(log n)`) instead of the dense sketch size. Linear:
+/// merging sparse sketches adds cells pointwise. Convert to a dense
+/// [`L0Sampler`] with [`SketchFamily::to_dense`] for decoding.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct SparseSketch {
+    cells: std::collections::BTreeMap<u32, OneSparse>,
+}
+
+impl SparseSketch {
+    /// An empty sparse sketch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merges another sparse sketch (linearity); zero cells are dropped so
+    /// cancellation keeps the representation minimal.
+    pub fn merge(&mut self, other: &SparseSketch) {
+        for (idx, cell) in &other.cells {
+            let e = self.cells.entry(*idx).or_default();
+            e.merge(cell);
+            if e.is_zero() {
+                self.cells.remove(idx);
+            }
+        }
+    }
+
+    /// Number of nonzero cells.
+    pub fn nnz(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+impl mpc_runtime::Payload for SparseSketch {
+    fn words(&self) -> usize {
+        // 1 index word + 3 payload words per nonzero cell.
+        4 * self.cells.len()
+    }
+}
+
+impl SketchFamily {
+    /// Records edge `{u, v}` in a sparse sketch of `u` for `phase`
+    /// (the sparse counterpart of [`add_edge_phase`](Self::add_edge_phase)).
+    pub fn add_edge_sparse(
+        &self,
+        sketch: &mut SparseSketch,
+        phase: usize,
+        u: VertexId,
+        v: VertexId,
+    ) {
+        let (slot, sign) = self.edge_slot(u, v);
+        let hashes = &self.hashes[phase];
+        let lvl = hashes.level.level(slot, self.levels - 1);
+        for l in 0..=lvl {
+            let b = (hashes.bucket.eval(slot ^ (l as u64) << 48) % BUCKETS as u64) as usize;
+            let idx = (l * BUCKETS + b) as u32;
+            let e = sketch.cells.entry(idx).or_default();
+            e.update(slot, sign, hashes.z);
+            if e.is_zero() {
+                sketch.cells.remove(&idx);
+            }
+        }
+    }
+
+    /// Expands a sparse sketch into the dense form for decoding.
+    pub fn to_dense(&self, sparse: &SparseSketch) -> L0Sampler {
+        let mut dense = L0Sampler::new(self.levels);
+        for (idx, cell) in &sparse.cells {
+            dense.cells[*idx as usize].merge(cell);
+        }
+        dense
+    }
+}
+
+#[cfg(test)]
+mod sparse_tests {
+    use super::*;
+
+    #[test]
+    fn sparse_matches_dense() {
+        let fam = SketchFamily::new(60, 1, 3);
+        let mut dense = fam.empty(0);
+        let mut sparse = SparseSketch::new();
+        for v in 1..20 {
+            fam.add_edge(&mut dense, 0, v);
+            fam.add_edge_sparse(&mut sparse, 0, 0, v);
+        }
+        assert_eq!(fam.to_dense(&sparse), dense);
+    }
+
+    #[test]
+    fn sparse_merge_cancels() {
+        let fam = SketchFamily::new(30, 1, 5);
+        let mut a = SparseSketch::new();
+        let mut b = SparseSketch::new();
+        fam.add_edge_sparse(&mut a, 0, 2, 7);
+        fam.add_edge_sparse(&mut b, 0, 7, 2);
+        a.merge(&b);
+        assert_eq!(a.nnz(), 0);
+        assert!(fam.decode(&fam.to_dense(&a)).is_none());
+    }
+
+    #[test]
+    fn sparse_words_track_nnz() {
+        use mpc_runtime::Payload;
+        let fam = SketchFamily::new(100, 1, 1);
+        let mut s = SparseSketch::new();
+        assert_eq!(s.words(), 0);
+        fam.add_edge_sparse(&mut s, 0, 1, 2);
+        assert!(s.words() >= 4);
+        assert_eq!(s.words(), 4 * s.nnz());
+    }
+}

@@ -1,0 +1,151 @@
+//! One-sparse recovery: the building block of the ℓ0-sampler \[36\].
+//!
+//! A one-sparse sketch summarizes a signed multiset of indices with three
+//! field elements: the total count, the index-weighted count, and a
+//! polynomial fingerprint `Σ δᵢ·z^{iᵢ}`. If the underlying vector has
+//! exactly one nonzero coordinate, the sketch recovers it exactly; the
+//! fingerprint rejects non-one-sparse vectors with probability
+//! `1 − O(domain/P)`.
+
+use crate::field;
+
+/// Decode outcome of a [`OneSparse`] sketch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OneSparseDecode {
+    /// The sketched vector is (almost surely) all zeros.
+    Zero,
+    /// Exactly one nonzero coordinate `(index, multiplicity)`.
+    One(u64, i64),
+    /// More than one nonzero coordinate (or a fingerprint mismatch).
+    Many,
+}
+
+/// A linear one-sparse recovery sketch. 3 words.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct OneSparse {
+    /// Σ δᵢ (exact, signed).
+    count: i64,
+    /// Σ δᵢ · indexᵢ (exact, signed; indices < 2^63/|Σδ| in practice).
+    weighted: i128,
+    /// Σ δᵢ · z^{indexᵢ} (mod P).
+    fingerprint: u64,
+}
+
+impl OneSparse {
+    /// The empty sketch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` copies of `index` (negative `delta` removes).
+    ///
+    /// `z` is the fingerprint base shared by all sketches that will be
+    /// merged together (drawn once per sketch family).
+    pub fn update(&mut self, index: u64, delta: i64, z: u64) {
+        self.count += delta;
+        self.weighted += index as i128 * delta as i128;
+        let term = field::mul(field::from_i64(delta), field::pow(z, index));
+        self.fingerprint = field::add(self.fingerprint, term);
+    }
+
+    /// Merges another sketch built with the same `z` (linearity).
+    pub fn merge(&mut self, other: &OneSparse) {
+        self.count += other.count;
+        self.weighted += other.weighted;
+        self.fingerprint = field::add(self.fingerprint, other.fingerprint);
+    }
+
+    /// Attempts recovery.
+    pub fn decode(&self, z: u64) -> OneSparseDecode {
+        if self.count == 0 {
+            return if self.weighted == 0 && self.fingerprint == 0 {
+                OneSparseDecode::Zero
+            } else {
+                OneSparseDecode::Many
+            };
+        }
+        if self.weighted % self.count as i128 != 0 {
+            return OneSparseDecode::Many;
+        }
+        let idx = self.weighted / self.count as i128;
+        if idx < 0 {
+            return OneSparseDecode::Many;
+        }
+        let idx = idx as u64;
+        let expect = field::mul(field::from_i64(self.count), field::pow(z, idx));
+        if expect == self.fingerprint {
+            OneSparseDecode::One(idx, self.count)
+        } else {
+            OneSparseDecode::Many
+        }
+    }
+
+    /// Whether the sketch is identically zero.
+    pub fn is_zero(&self) -> bool {
+        self.count == 0 && self.weighted == 0 && self.fingerprint == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const Z: u64 = 0x1234_5678_9ABC;
+
+    #[test]
+    fn recovers_single_item() {
+        let mut s = OneSparse::new();
+        s.update(42, 3, Z);
+        assert_eq!(s.decode(Z), OneSparseDecode::One(42, 3));
+    }
+
+    #[test]
+    fn cancellation_yields_zero() {
+        let mut s = OneSparse::new();
+        s.update(7, 1, Z);
+        s.update(7, -1, Z);
+        assert!(s.is_zero());
+        assert_eq!(s.decode(Z), OneSparseDecode::Zero);
+    }
+
+    #[test]
+    fn two_items_are_rejected() {
+        let mut s = OneSparse::new();
+        s.update(3, 1, Z);
+        s.update(11, 1, Z);
+        assert_eq!(s.decode(Z), OneSparseDecode::Many);
+    }
+
+    #[test]
+    fn adversarial_equal_weights_rejected_by_fingerprint() {
+        // count=2, weighted=2*7 → candidate index 7, but the vector is
+        // {6: +1, 8: +1}. The fingerprint catches it.
+        let mut s = OneSparse::new();
+        s.update(6, 1, Z);
+        s.update(8, 1, Z);
+        assert_eq!(s.decode(Z), OneSparseDecode::Many);
+    }
+
+    #[test]
+    fn merge_is_linear() {
+        let mut a = OneSparse::new();
+        let mut b = OneSparse::new();
+        a.update(5, 2, Z);
+        b.update(5, -1, Z);
+        b.update(9, 1, Z);
+        a.merge(&b);
+        // Vector is {5: +1, 9: +1} -> Many.
+        assert_eq!(a.decode(Z), OneSparseDecode::Many);
+        let mut c = OneSparse::new();
+        c.update(9, -1, Z);
+        a.merge(&c);
+        assert_eq!(a.decode(Z), OneSparseDecode::One(5, 1));
+    }
+
+    #[test]
+    fn negative_multiplicity_roundtrips() {
+        let mut s = OneSparse::new();
+        s.update(13, -4, Z);
+        assert_eq!(s.decode(Z), OneSparseDecode::One(13, -4));
+    }
+}

@@ -1,0 +1,49 @@
+//! The paper's motivating example (§1): the "1-vs-2 cycles" problem.
+//!
+//! ```text
+//! cargo run --example two_vs_one_cycle --release
+//! ```
+//!
+//! Conjecturally, distinguishing one n-cycle from two n/2-cycles needs
+//! Ω(log n) rounds in sublinear MPC — yet a *single* near-linear machine
+//! makes it trivial. This example measures both: the heterogeneous solver
+//! (AGM sketches + one local Borůvka, O(1) rounds) against the sublinear
+//! baseline (hooking + pointer jumping, rounds growing with n).
+
+use het_mpc::prelude::*;
+use mpc_baselines::sublinear::{distribute_all, sublinear_config, two_vs_one_cycle_baseline};
+use mpc_core::ported::connectivity::sketch_friendly_config;
+use mpc_core::ported::one_vs_two_cycles;
+
+fn main() {
+    println!("{:>6} | {:>18} | {:>18}", "n", "heterogeneous", "sublinear baseline");
+    println!("{:->6}-+-{:->18}-+-{:->18}", "", "", "");
+    for exp in [6usize, 7, 8, 9] {
+        let n = 1 << exp;
+        let mut het_rounds = 0;
+        let mut sub_rounds = 0;
+        for (label, g) in [
+            ("one", generators::cycle(n, exp as u64)),
+            ("two", generators::two_cycles(n, exp as u64)),
+        ] {
+            // Heterogeneous: O(1) rounds via linear sketches.
+            let mut cluster = Cluster::new(sketch_friendly_config(n, n, 1));
+            let input = common::distribute_edges(&cluster, &g);
+            let single = one_vs_two_cycles(&mut cluster, n, &input).unwrap();
+            assert_eq!(single, label == "one", "het solver wrong on {label}-cycle n={n}");
+            het_rounds = het_rounds.max(cluster.rounds());
+
+            // Sublinear baseline: label contraction, rounds grow with n.
+            let gw = g.with_random_weights(1 << 10, 3);
+            let mut cluster = Cluster::new(sublinear_config(n, n, 1));
+            let input = distribute_all(&cluster, &gw);
+            let single = two_vs_one_cycle_baseline(&mut cluster, n, &input).unwrap();
+            assert_eq!(single, label == "one", "baseline wrong on {label}-cycle n={n}");
+            sub_rounds = sub_rounds.max(cluster.rounds());
+        }
+        println!("{n:>6} | {:>11} rounds | {:>11} rounds", het_rounds, sub_rounds);
+    }
+    println!();
+    println!("The heterogeneous column stays flat; the sublinear column grows —");
+    println!("one near-linear machine dissolves the conjectured Ω(log n) barrier.");
+}

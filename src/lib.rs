@@ -1,0 +1,51 @@
+//! # het-mpc
+//!
+//! A from-scratch Rust reproduction of **Fischer, Horowitz & Oshman,
+//! “Massively Parallel Computation in a Heterogeneous Regime” (PODC 2022)**:
+//! a deterministic simulator for the heterogeneous MPC model (one
+//! near-linear machine + many sublinear machines) together with every
+//! algorithm the paper introduces or ports, the baselines it compares
+//! against, and validation oracles for all of them.
+//!
+//! This crate is a facade: it re-exports the workspace members under short
+//! names. See `README.md` for the architecture and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the paper-to-code mapping.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use het_mpc::prelude::*;
+//!
+//! // A weighted random graph with n = 256, m = 2048.
+//! let g = generators::gnm(256, 2048, 42).with_random_weights(1 << 16, 42);
+//!
+//! // A heterogeneous cluster: machine 0 near-linear, the rest sublinear.
+//! let mut cluster = Cluster::new(ClusterConfig::new(g.n(), g.m()).seed(42));
+//! let input = common::distribute_edges(&cluster, &g);
+//!
+//! // Exact MST in O(log log(m/n)) rounds — verified against Kruskal.
+//! let result = mst::heterogeneous_mst(&mut cluster, g.n(), input).unwrap();
+//! assert!(mst::is_minimum_spanning_forest(&g, &result.forest));
+//! println!("MST of weight {} in {} rounds", result.forest.total_weight, cluster.rounds());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mpc_baselines as baselines;
+pub use mpc_core as core;
+pub use mpc_graph as graph;
+pub use mpc_labeling as labeling;
+pub use mpc_runtime as runtime;
+pub use mpc_sketch as sketch;
+
+/// The most common imports, bundled.
+pub mod prelude {
+    pub use mpc_core::matching::{self, heterogeneous_matching};
+    pub use mpc_core::mst::{self, heterogeneous_mst};
+    pub use mpc_core::ported;
+    pub use mpc_core::spanner::{self, heterogeneous_spanner};
+    pub use mpc_core::common;
+    pub use mpc_graph::{generators, Edge, Graph, VertexId};
+    pub use mpc_runtime::{Cluster, ClusterConfig, Enforcement, ShardedVec, Topology};
+}

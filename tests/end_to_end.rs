@@ -1,0 +1,124 @@
+//! Cross-crate integration: every algorithm of the paper on shared
+//! workload families, validated by the sequential oracles.
+
+use het_mpc::prelude::*;
+use mpc_core::ported;
+use mpc_graph::coloring::is_proper_coloring;
+use mpc_graph::matching::is_maximal_matching;
+use mpc_graph::mis::is_maximal_independent_set;
+use mpc_graph::mst::kruskal;
+use mpc_graph::verify_spanner;
+
+fn workload(seed: u64) -> Graph {
+    generators::gnm(200, 2400, seed).with_random_weights(1 << 18, seed)
+}
+
+#[test]
+fn mst_spanner_matching_on_the_same_graph() {
+    let g = workload(1);
+
+    // MST.
+    let mut cluster = Cluster::new(ClusterConfig::new(g.n(), g.m()).seed(1));
+    let input = common::distribute_edges(&cluster, &g);
+    let mst_result = mst::heterogeneous_mst(&mut cluster, g.n(), input).unwrap();
+    assert_eq!(mst_result.forest.total_weight, kruskal(&g).total_weight);
+    let mst_rounds = cluster.rounds();
+
+    // Spanner (unweighted view of the same topology).
+    let unweighted = generators::gnm(200, 2400, 1);
+    let mut cluster =
+        Cluster::new(ClusterConfig::new(g.n(), g.m()).seed(1).polylog_exponent(1.6));
+    let input = common::distribute_edges(&cluster, &unweighted);
+    let sp = spanner::heterogeneous_spanner(&mut cluster, g.n(), &input, 3).unwrap();
+    assert!(verify_spanner(&unweighted, &sp.spanner, Some(24), 0).within(17.0));
+
+    // Matching.
+    let mut cluster = Cluster::new(ClusterConfig::new(g.n(), g.m()).seed(1));
+    let input = common::distribute_edges(&cluster, &g);
+    let m = matching::heterogeneous_matching(&mut cluster, g.n(), &input).unwrap();
+    assert!(is_maximal_matching(&g, &m.matching));
+
+    assert!(mst_rounds < 60, "MST rounds unexpectedly high: {mst_rounds}");
+}
+
+#[test]
+fn ported_algorithms_cover_appendix_c() {
+    let g = generators::gnm(120, 1000, 2);
+
+    // Connectivity (C.1).
+    let mut cluster = Cluster::new(ported::connectivity::sketch_friendly_config(
+        g.n(),
+        g.m(),
+        2,
+    ));
+    let input = common::distribute_edges(&cluster, &g);
+    let comps = ported::heterogeneous_connectivity(
+        &mut cluster,
+        g.n(),
+        &input,
+        &ported::connectivity::ConnectivityConfig::for_n(g.n()),
+    )
+    .unwrap();
+    assert_eq!(comps, mpc_graph::traversal::connected_components(&g));
+
+    // MIS (C.4).
+    let mut cluster =
+        Cluster::new(ClusterConfig::new(g.n(), g.m()).seed(2).polylog_exponent(1.6));
+    let input = common::distribute_edges(&cluster, &g);
+    let mis = ported::heterogeneous_mis(&mut cluster, g.n(), &input).unwrap();
+    assert!(is_maximal_independent_set(&g, &mis.mis));
+
+    // Coloring (C.5).
+    let mut cluster =
+        Cluster::new(ClusterConfig::new(g.n(), g.m()).seed(2).polylog_exponent(2.0));
+    let input = common::distribute_edges(&cluster, &g);
+    let col = ported::heterogeneous_coloring(&mut cluster, g.n(), &input).unwrap();
+    assert!(is_proper_coloring(&g, &col.colors));
+
+    // Exact min cut (C.2) on a planted instance.
+    let pc = generators::planted_cut(30, 0.6, 3, 2);
+    let mut cluster = Cluster::new(ClusterConfig::new(pc.n(), pc.m()).seed(2));
+    let input = common::distribute_edges(&cluster, &pc);
+    let mc = ported::heterogeneous_min_cut(&mut cluster, pc.n(), &input, 8).unwrap();
+    assert_eq!(mc.value, mpc_graph::mincut::min_cut(&pc).unwrap().weight);
+}
+
+#[test]
+fn filtering_matching_respects_superlinear_memory() {
+    let g = generators::gnm(128, 5000, 3);
+    let f = 0.25;
+    let mut cluster = Cluster::new(
+        ClusterConfig::new(g.n(), g.m())
+            .topology(Topology::Heterogeneous { gamma: 0.66, large_exponent: 1.0 + f })
+            .seed(3),
+    );
+    let input = common::distribute_edges(&cluster, &g);
+    let (m, stats) =
+        matching::filtering::filtering_matching(&mut cluster, g.n(), &input, f).unwrap();
+    assert!(is_maximal_matching(&g, &m));
+    assert!(stats.levels >= 1);
+}
+
+#[test]
+fn general_mst_theorem_3_1_with_superlinear_machine() {
+    // A bigger large machine must not hurt (usually: fewer Borůvka steps).
+    let g = generators::gnm(256, 256 * 40, 4).with_random_weights(1 << 18, 4);
+    let run = |f: f64| {
+        let mut cluster = Cluster::new(
+            ClusterConfig::new(g.n(), g.m())
+                .topology(Topology::Heterogeneous { gamma: 0.5, large_exponent: 1.0 + f })
+                .mem_constant(3.0)
+                .seed(4),
+        );
+        let input = common::distribute_edges(&cluster, &g);
+        let r = mst::heterogeneous_mst(&mut cluster, g.n(), input).unwrap();
+        assert!(mst::is_minimum_spanning_forest(&g, &r.forest));
+        (r.stats.boruvka_steps, cluster.rounds())
+    };
+    let (steps_near, _) = run(0.0);
+    let (steps_super, _) = run(0.4);
+    assert!(
+        steps_super <= steps_near,
+        "superlinear memory should not need more steps ({steps_super} vs {steps_near})"
+    );
+}

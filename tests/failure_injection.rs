@@ -1,0 +1,88 @@
+//! Failure injection: under-provisioned clusters must fail loudly (strict)
+//! or degrade observably (record) — never silently corrupt results.
+
+use het_mpc::prelude::*;
+use mpc_graph::mst::kruskal;
+use mpc_runtime::ModelViolation;
+
+/// A cluster whose small machines are far too small for the workload.
+fn starved_cluster(g: &Graph) -> ClusterConfig {
+    ClusterConfig::new(g.n(), g.m())
+        .mem_constant(0.2) // 30x below the default budget
+        .seed(1)
+}
+
+#[test]
+fn strict_mode_reports_the_offending_exchange() {
+    let g = generators::gnm(256, 4096, 1).with_random_weights(1 << 16, 1);
+    let mut cluster = Cluster::new(starved_cluster(&g).enforcement(Enforcement::Strict));
+    let input = common::distribute_edges(&cluster, &g);
+    match mst::heterogeneous_mst(&mut cluster, g.n(), input) {
+        Err(mst::MstError::Model(v)) => {
+            // The violation names a machine, a round, and a labeled step.
+            let s = v.to_string();
+            assert!(s.contains("machine"), "uninformative violation: {s}");
+            assert!(s.contains("round"), "uninformative violation: {s}");
+        }
+        Err(other) => panic!("expected a model violation, got {other}"),
+        Ok(_) => panic!("a starved cluster must not succeed in strict mode"),
+    }
+}
+
+#[test]
+fn record_mode_still_computes_the_right_answer() {
+    let g = generators::gnm(256, 4096, 1).with_random_weights(1 << 16, 1);
+    let mut cluster = Cluster::new(starved_cluster(&g).enforcement(Enforcement::Record));
+    let input = common::distribute_edges(&cluster, &g);
+    let r = mst::heterogeneous_mst(&mut cluster, g.n(), input).unwrap();
+    assert_eq!(r.forest.total_weight, kruskal(&g).total_weight);
+    assert!(
+        !cluster.violations().is_empty(),
+        "a starved cluster must record violations"
+    );
+}
+
+#[test]
+fn unknown_destination_fails_in_every_mode() {
+    for e in [Enforcement::Strict, Enforcement::Record, Enforcement::Off] {
+        let mut cluster = Cluster::new(
+            ClusterConfig::new(16, 32)
+                .topology(Topology::Custom { capacities: vec![10, 10], large: None })
+                .enforcement(e),
+        );
+        let mut out = cluster.empty_outboxes::<u64>();
+        out[0].push((7, 1)); // machine 7 does not exist
+        assert!(matches!(
+            cluster.exchange("bad", out),
+            Err(ModelViolation::UnknownMachine { .. })
+        ));
+    }
+}
+
+#[test]
+fn memory_accounting_catches_oversized_state() {
+    let mut cluster = Cluster::new(
+        ClusterConfig::new(16, 32)
+            .topology(Topology::Custom { capacities: vec![100, 20], large: Some(0) }),
+    );
+    assert!(cluster.account("big", 1, 19).is_ok());
+    let err = cluster.account("more", 1, 5).unwrap_err();
+    assert!(matches!(err, ModelViolation::MemoryOverflow { machine: 1, .. }));
+}
+
+#[test]
+fn adversarial_layout_does_not_change_results() {
+    use mpc_graph::distribution::Layout;
+    // Contiguous layout: all of a vertex's edges can sit on one machine —
+    // the worst case for the hash-owner primitives' balance assumptions.
+    let g = generators::gnm(200, 3000, 9).with_random_weights(1 << 16, 9);
+    let mut results = Vec::new();
+    for layout in [Layout::RoundRobin, Layout::Contiguous, Layout::Random(5)] {
+        let mut cluster = Cluster::new(ClusterConfig::new(g.n(), g.m()).seed(9));
+        let input = common::distribute_edges_with(&cluster, &g, layout);
+        let r = mst::heterogeneous_mst(&mut cluster, g.n(), input).unwrap();
+        results.push(r.forest.total_weight);
+    }
+    assert_eq!(results[0], kruskal(&g).total_weight);
+    assert!(results.windows(2).all(|w| w[0] == w[1]));
+}
