@@ -75,11 +75,12 @@ pub fn boruvka_contraction(
             shard.push((e.v, e.v));
         }
     }
-    let mut labels =
-        aggregate_by_key(cluster, "boruvka.init", &label_items, &owners, |a, _b| *a)?;
+    let mut labels = aggregate_by_key(cluster, "boruvka.init", &label_items, &owners, |a, _b| *a)?;
 
     let mut live: ShardedVec<Edge> = ShardedVec::from_shards(
-        (0..edges.machines()).map(|mid| edges.shard(mid).to_vec()).collect(),
+        (0..edges.machines())
+            .map(|mid| edges.shard(mid).to_vec())
+            .collect(),
     );
     let mut forest: ShardedVec<Edge> = ShardedVec::new(cluster);
     let mut phases = 0usize;
@@ -157,8 +158,13 @@ pub fn boruvka_contraction(
         for &(a, b, _) in &proposed {
             prop_requests.shard_mut(owner_of(&a, &owners)).push(b);
         }
-        let partner =
-            lookup(cluster, "boruvka.partner", &proposal_store, &prop_requests, &owners)?;
+        let partner = lookup(
+            cluster,
+            "boruvka.partner",
+            &proposal_store,
+            &prop_requests,
+            &owners,
+        )?;
         let mut partner_of: std::collections::HashMap<VertexId, VertexId> =
             std::collections::HashMap::new();
         for mid in 0..partner.machines() {
@@ -235,13 +241,15 @@ pub fn boruvka_contraction(
             }
         }
     }
-    Ok(ContractionResult { labels, forest, phases, jump_rounds })
+    Ok(ContractionResult {
+        labels,
+        forest,
+        phases,
+        jump_rounds,
+    })
 }
 
-fn endpoint_requests(
-    cluster: &Cluster,
-    edges: &ShardedVec<Edge>,
-) -> ShardedVec<VertexId> {
+fn endpoint_requests(cluster: &Cluster, edges: &ShardedVec<Edge>) -> ShardedVec<VertexId> {
     let mut req: ShardedVec<VertexId> = ShardedVec::new(cluster);
     for mid in 0..edges.machines() {
         let shard = req.shard_mut(mid);

@@ -86,7 +86,9 @@ pub fn sublinear_matching(
 ) -> Result<(Matching, usize), ModelViolation> {
     let empty: ShardedVec<(VertexId, u32)> = ShardedVec::new(cluster);
     let out = mpc_core::matching::peeling::peeling_matching(cluster, edges, &empty, "base.match")?;
-    let matching = Matching { edges: out.matching.iter().map(|(_, e)| *e).collect() };
+    let matching = Matching {
+        edges: out.matching.iter().map(|(_, e)| *e).collect(),
+    };
     Ok((matching, out.iterations))
 }
 
@@ -108,7 +110,9 @@ pub fn sublinear_mis(
     let participants: Vec<usize> = (0..cluster.machines()).collect();
     let coordinator = owners[0];
     let mut live: ShardedVec<Edge> = ShardedVec::from_shards(
-        (0..edges.machines()).map(|mid| edges.shard(mid).to_vec()).collect(),
+        (0..edges.machines())
+            .map(|mid| edges.shard(mid).to_vec())
+            .collect(),
     );
     // Vertex state at owners: 0 = undecided, 1 = in MIS, 2 = dominated.
     let mut state: ShardedVec<(VertexId, u32)> = {
@@ -123,8 +127,9 @@ pub fn sublinear_mis(
     };
     let mut iterations = 0usize;
     loop {
-        let counts: Vec<u64> =
-            (0..cluster.machines()).map(|mid| live.shard(mid).len() as u64).collect();
+        let counts: Vec<u64> = (0..cluster.machines())
+            .map(|mid| live.shard(mid).len() as u64)
+            .collect();
         let total = sum_to(cluster, "luby.count", &participants, counts, coordinator)?;
         if total == 0 {
             break;
@@ -158,8 +163,9 @@ pub fn sublinear_mis(
                 }
             }
         }
-        let nbr =
-            aggregate_by_key(cluster, "luby.nbrmin", &nbr_min, &owners, |a, b| (*a).min(*b))?;
+        let nbr = aggregate_by_key(cluster, "luby.nbrmin", &nbr_min, &owners, |a, b| {
+            (*a).min(*b)
+        })?;
         // Owners decide: undecided vertex with prio < min neighbor joins.
         let mut joined: Vec<(VertexId, u32)> = Vec::new();
         for mid in 0..state.machines() {
@@ -191,7 +197,8 @@ pub fn sublinear_mis(
         let joined_store: ShardedVec<(VertexId, u32)> = {
             let mut sv: ShardedVec<(VertexId, u32)> = ShardedVec::new(cluster);
             for (v, f) in &joined {
-                sv.shard_mut(mpc_runtime::primitives::owner_of(v, &owners)).push((*v, *f));
+                sv.shard_mut(mpc_runtime::primitives::owner_of(v, &owners))
+                    .push((*v, *f));
             }
             for mid in 0..sv.machines() {
                 sv.shard_mut(mid).sort_unstable();
@@ -273,7 +280,9 @@ pub fn sublinear_coloring(
     let participants: Vec<usize> = (0..cluster.machines()).collect();
     let coordinator = owners[0];
     let mut live: ShardedVec<Edge> = ShardedVec::from_shards(
-        (0..edges.machines()).map(|mid| edges.shard(mid).to_vec()).collect(),
+        (0..edges.machines())
+            .map(|mid| edges.shard(mid).to_vec())
+            .collect(),
     );
     // Final colors, u32::MAX = undecided; owner-resident.
     let mut colors: ShardedVec<(VertexId, u32)> = {
@@ -288,8 +297,9 @@ pub fn sublinear_coloring(
     };
     let mut iterations = 0usize;
     loop {
-        let counts: Vec<u64> =
-            (0..cluster.machines()).map(|mid| live.shard(mid).len() as u64).collect();
+        let counts: Vec<u64> = (0..cluster.machines())
+            .map(|mid| live.shard(mid).len() as u64)
+            .collect();
         let total = sum_to(cluster, "rcolor.count", &participants, counts, coordinator)?;
         if total == 0 {
             break;

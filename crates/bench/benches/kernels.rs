@@ -46,8 +46,7 @@ fn bench_labeling(c: &mut Criterion) {
             for i in 0..1000u32 {
                 let u = (i * 7919) % 4096;
                 let v = (i * 104729 + 13) % 4096;
-                if let Some(k) = MaxEdgeLabeling::decode(&labels[u as usize], &labels[v as usize])
-                {
+                if let Some(k) = MaxEdgeLabeling::decode(&labels[u as usize], &labels[v as usize]) {
                     acc ^= k.w;
                 }
             }
@@ -88,5 +87,43 @@ fn bench_reference(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sort, bench_labeling, bench_sketch, bench_reference);
+fn bench_exec_engine(c: &mut Criterion) {
+    use mpc_core::ported::connectivity::{sketch_friendly_config, ConnectivityConfig};
+    use mpc_exec::{adapters, ExecMode};
+
+    let mut group = c.benchmark_group("exec_engine");
+    group.sample_size(10);
+    let g = generators::gnm(256, 2048, 7);
+    for (name, mode) in [
+        ("serial", ExecMode::Serial),
+        ("parallel", ExecMode::Parallel),
+    ] {
+        group.bench_function(format!("connectivity_n256_{name}"), |b| {
+            b.iter(|| {
+                let mut cluster = Cluster::new(sketch_friendly_config(g.n(), g.m(), 7));
+                let input = mpc_core::common::distribute_edges(&cluster, &g);
+                black_box(
+                    adapters::heterogeneous_connectivity(
+                        &mut cluster,
+                        g.n(),
+                        &input,
+                        &ConnectivityConfig::for_n(g.n()),
+                        mode,
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sort,
+    bench_labeling,
+    bench_sketch,
+    bench_reference,
+    bench_exec_engine
+);
 criterion_main!(benches);

@@ -31,12 +31,12 @@ fn bench_table1(c: &mut Criterion) {
     group.bench_function("het_spanner_k3_n256", |b| {
         b.iter(|| {
             let mut cluster = Cluster::new(
-                ClusterConfig::new(gu.n(), gu.m()).seed(1).polylog_exponent(1.6),
+                ClusterConfig::new(gu.n(), gu.m())
+                    .seed(1)
+                    .polylog_exponent(1.6),
             );
             let input = common::distribute_edges(&cluster, &gu);
-            black_box(
-                spanner::heterogeneous_spanner(&mut cluster, gu.n(), &input, 3).unwrap(),
-            );
+            black_box(spanner::heterogeneous_spanner(&mut cluster, gu.n(), &input, 3).unwrap());
         })
     });
 
@@ -44,9 +44,7 @@ fn bench_table1(c: &mut Criterion) {
         b.iter(|| {
             let mut cluster = Cluster::new(ClusterConfig::new(gu.n(), gu.m()).seed(1));
             let input = common::distribute_edges(&cluster, &gu);
-            black_box(
-                matching::heterogeneous_matching(&mut cluster, gu.n(), &input).unwrap(),
-            );
+            black_box(matching::heterogeneous_matching(&mut cluster, gu.n(), &input).unwrap());
         })
     });
 

@@ -123,8 +123,7 @@ pub fn table1() {
 
     // Spanner.
     let het = {
-        let mut c =
-            Cluster::new(ClusterConfig::new(n, g.m()).seed(4).polylog_exponent(1.6));
+        let mut c = Cluster::new(ClusterConfig::new(n, g.m()).seed(4).polylog_exponent(1.6));
         let input = common::distribute_edges(&c, &gu);
         spanner::heterogeneous_spanner(&mut c, n, &input, 3).unwrap();
         c.rounds()
@@ -156,7 +155,9 @@ pub fn table1() {
     // Approx weighted min cut.
     let het = {
         let mut c = Cluster::new(
-            ClusterConfig::new(pc.n(), pc.m()).seed(6).polylog_exponent(1.6),
+            ClusterConfig::new(pc.n(), pc.m())
+                .seed(6)
+                .polylog_exponent(1.6),
         );
         let input = common::distribute_edges(&c, &pc);
         let r = ported::approximate_min_cut(&mut c, pc.n(), &input, 0.3).unwrap();
@@ -172,8 +173,7 @@ pub fn table1() {
 
     // Coloring.
     let het = {
-        let mut c =
-            Cluster::new(ClusterConfig::new(n, g.m()).seed(7).polylog_exponent(2.0));
+        let mut c = Cluster::new(ClusterConfig::new(n, g.m()).seed(7).polylog_exponent(2.0));
         let input = common::distribute_edges(&c, &gu);
         ported::heterogeneous_coloring(&mut c, n, &input).unwrap();
         c.rounds()
@@ -194,8 +194,7 @@ pub fn table1() {
 
     // MIS.
     let het = {
-        let mut c =
-            Cluster::new(ClusterConfig::new(n, g.m()).seed(8).polylog_exponent(1.6));
+        let mut c = Cluster::new(ClusterConfig::new(n, g.m()).seed(8).polylog_exponent(1.6));
         let input = common::distribute_edges(&c, &gu);
         ported::heterogeneous_mis(&mut c, n, &input).unwrap();
         c.rounds()
@@ -253,9 +252,7 @@ pub fn mst_scaling() {
     for &density in &[4usize, 8, 16, 32, 64, 128] {
         let g = generators::gnm(n, n * density, 7).with_random_weights(1 << 20, 7);
         // Tight collection budget: the doubly-exponential schedule shows.
-        let mut c = Cluster::new(
-            ClusterConfig::new(g.n(), g.m()).seed(7).mem_constant(3.0),
-        );
+        let mut c = Cluster::new(ClusterConfig::new(g.n(), g.m()).seed(7).mem_constant(3.0));
         let input = common::distribute_edges(&c, &g);
         let r = mst::heterogeneous_mst(&mut c, g.n(), input).unwrap();
         assert!(mst::is_minimum_spanning_forest(&g, &r.forest));
@@ -292,14 +289,21 @@ pub fn mst_superlinear() {
     for &f in &[0.0f64, 0.1, 0.2, 0.4, 0.7] {
         let mut c = Cluster::new(
             ClusterConfig::new(g.n(), g.m())
-                .topology(Topology::Heterogeneous { gamma: 0.5, large_exponent: 1.0 + f })
+                .topology(Topology::Heterogeneous {
+                    gamma: 0.5,
+                    large_exponent: 1.0 + f,
+                })
                 .mem_constant(4.0)
                 .seed(5),
         );
         let input = common::distribute_edges(&c, &g);
         let r = mst::heterogeneous_mst(&mut c, g.n(), input).unwrap();
         assert!(mst::is_minimum_spanning_forest(&g, &r.forest));
-        t.rowd(&[format!("{f:.1}"), c.rounds().to_string(), r.stats.boruvka_steps.to_string()]);
+        t.rowd(&[
+            format!("{f:.1}"),
+            c.rounds().to_string(),
+            r.stats.boruvka_steps.to_string(),
+        ]);
     }
     t.print();
 }
@@ -319,8 +323,11 @@ pub fn spanner() {
         "measured stretch",
     ]);
     for &k in &[2usize, 3, 4, 6] {
-        let mut c =
-            Cluster::new(ClusterConfig::new(g.n(), g.m()).seed(9).polylog_exponent(1.6));
+        let mut c = Cluster::new(
+            ClusterConfig::new(g.n(), g.m())
+                .seed(9)
+                .polylog_exponent(1.6),
+        );
         let input = common::distribute_edges(&c, &g);
         let r = spanner::heterogeneous_spanner(&mut c, g.n(), &input, k).unwrap();
         let rep = mpc_graph::verify_spanner(&g, &r.spanner, Some(16), 1);
@@ -341,8 +348,11 @@ pub fn spanner() {
     for &exp in &[8usize, 9, 10] {
         let n = 1 << exp;
         let g = generators::gnm(n, n * 12, 4);
-        let mut c =
-            Cluster::new(ClusterConfig::new(g.n(), g.m()).seed(4).polylog_exponent(1.6));
+        let mut c = Cluster::new(
+            ClusterConfig::new(g.n(), g.m())
+                .seed(4)
+                .polylog_exponent(1.6),
+        );
         let input = common::distribute_edges(&c, &g);
         let r = spanner::heterogeneous_spanner(&mut c, g.n(), &input, 3).unwrap();
         let norm = r.spanner.m() as f64 / (n as f64).powf(4.0 / 3.0);
@@ -363,7 +373,11 @@ pub fn baswana_ablation() {
             .map(|s| baswana_sen::modified_baswana_sen(&g, k, p, 100 + s).0.m() as f64)
             .sum::<f64>()
             / 5.0;
-        t.rowd(&[format!("{p:.2}"), format!("{avg:.0}"), format!("{:.3}", avg * p / norm)]);
+        t.rowd(&[
+            format!("{p:.2}"),
+            format!("{avg:.0}"),
+            format!("{:.3}", avg * p / norm),
+        ]);
     }
     t.print();
     println!("\n(The last column being ~flat is the 1/p law of Lemma 4.3.)");
@@ -467,14 +481,20 @@ pub fn matching_filtering() {
     for &f in &[0.1f64, 0.15, 0.25, 0.4, 0.7] {
         let mut c = Cluster::new(
             ClusterConfig::new(g.n(), g.m())
-                .topology(Topology::Heterogeneous { gamma: 0.66, large_exponent: 1.0 + f })
+                .topology(Topology::Heterogeneous {
+                    gamma: 0.66,
+                    large_exponent: 1.0 + f,
+                })
                 .seed(19),
         );
         let input = common::distribute_edges(&c, &g);
-        let (m, stats) =
-            matching::filtering::filtering_matching(&mut c, n, &input, f).unwrap();
+        let (m, stats) = matching::filtering::filtering_matching(&mut c, n, &input, f).unwrap();
         assert!(mpc_graph::matching::is_maximal_matching(&g, &m));
-        t.rowd(&[format!("{f:.2}"), stats.levels.to_string(), c.rounds().to_string()]);
+        t.rowd(&[
+            format!("{f:.2}"),
+            stats.levels.to_string(),
+            c.rounds().to_string(),
+        ]);
     }
     t.print();
 }
@@ -506,15 +526,16 @@ pub fn connectivity() {
         let g = generators::gnm(n, n * 3, 29);
         let mut c = Cluster::new(sketch_friendly_config(n, g.m(), 29));
         let input = common::distribute_edges(&c, &g);
-        let got = ported::heterogeneous_connectivity(
-            &mut c,
-            n,
-            &input,
-            &ConnectivityConfig::for_n(n),
-        )
-        .unwrap();
+        let got =
+            ported::heterogeneous_connectivity(&mut c, n, &input, &ConnectivityConfig::for_n(n))
+                .unwrap();
         let ok = got == mpc_graph::traversal::connected_components(&g);
-        t.rowd(&[n.to_string(), g.m().to_string(), c.rounds().to_string(), ok.to_string()]);
+        t.rowd(&[
+            n.to_string(),
+            g.m().to_string(),
+            c.rounds().to_string(),
+            ok.to_string(),
+        ]);
     }
     t.print();
 }
@@ -564,7 +585,9 @@ pub fn mincut() {
     let exact = mpc_graph::mincut::min_cut(&g).unwrap().weight as f64;
     for &eps in &[0.5f64, 0.3, 0.2] {
         let mut c = Cluster::new(
-            ClusterConfig::new(g.n(), g.m()).seed(41).polylog_exponent(1.6),
+            ClusterConfig::new(g.n(), g.m())
+                .seed(41)
+                .polylog_exponent(1.6),
         );
         let input = common::distribute_edges(&c, &g);
         let r = ported::approximate_min_cut(&mut c, g.n(), &input, eps).unwrap();
@@ -582,11 +605,16 @@ pub fn mincut() {
 pub fn mis() {
     println!("\n## E10d — MIS (Theorem C.6: O(log log Δ) rounds)\n");
     let n = 512;
-    let mut t = Table::new(&["m/n", "Δ", "iterations", "rounds", "sublinear (Luby) rounds"]);
+    let mut t = Table::new(&[
+        "m/n",
+        "Δ",
+        "iterations",
+        "rounds",
+        "sublinear (Luby) rounds",
+    ]);
     for &density in &[4usize, 16, 64] {
         let g = generators::gnm(n, n * density, 43);
-        let mut c =
-            Cluster::new(ClusterConfig::new(n, g.m()).seed(43).polylog_exponent(1.6));
+        let mut c = Cluster::new(ClusterConfig::new(n, g.m()).seed(43).polylog_exponent(1.6));
         let input = common::distribute_edges(&c, &g);
         let r = ported::heterogeneous_mis(&mut c, n, &input).unwrap();
         assert!(mpc_graph::mis::is_maximal_independent_set(&g, &r.mis));
@@ -611,12 +639,23 @@ pub fn mis() {
 /// conflict graph is ≈ the input — still correct, just not sparsified.
 pub fn coloring() {
     println!("\n## E10e — (Δ+1)-coloring (Theorem C.7: O(1) rounds)\n");
-    let mut t = Table::new(&["graph", "m", "Δ", "conflict edges", "conflicts/m", "restarts", "rounds"]);
+    let mut t = Table::new(&[
+        "graph",
+        "m",
+        "Δ",
+        "conflict edges",
+        "conflicts/m",
+        "restarts",
+        "rounds",
+    ]);
     // High-Δ instance: sparsification clearly visible.
     {
         let g = generators::star(4096);
-        let mut c =
-            Cluster::new(ClusterConfig::new(g.n(), g.m()).seed(47).polylog_exponent(2.0));
+        let mut c = Cluster::new(
+            ClusterConfig::new(g.n(), g.m())
+                .seed(47)
+                .polylog_exponent(2.0),
+        );
         let input = common::distribute_edges(&c, &g);
         let r = ported::heterogeneous_coloring(&mut c, g.n(), &input).unwrap();
         assert!(mpc_graph::coloring::is_proper_coloring(&g, &r.colors));
@@ -633,8 +672,7 @@ pub fn coloring() {
     for &exp in &[8usize, 9, 10] {
         let n = 1 << exp;
         let g = generators::gnm(n, n * 12, 47);
-        let mut c =
-            Cluster::new(ClusterConfig::new(n, g.m()).seed(47).polylog_exponent(2.0));
+        let mut c = Cluster::new(ClusterConfig::new(n, g.m()).seed(47).polylog_exponent(2.0));
         let input = common::distribute_edges(&c, &g);
         let r = ported::heterogeneous_coloring(&mut c, n, &input).unwrap();
         assert!(mpc_graph::coloring::is_proper_coloring(&g, &r.colors));
@@ -680,4 +718,141 @@ pub fn two_vs_one() {
         t.rowd(&[n.to_string(), het.to_string(), sub.to_string()]);
     }
     t.print();
+}
+
+/// E12: the execution engine — serial vs parallel wall-clock for the
+/// `MachineProgram` ports, and the simulated per-round makespan under
+/// uniform / capacity-proportional / straggler cost profiles.
+///
+/// Wall-clock compares *host* time of the two schedules (identical results,
+/// asserted); makespans are the [`mpc_runtime::CostModel`]'s simulated
+/// critical path — the quantity the round-counting model cannot see.
+pub fn exec_engine() {
+    use mpc_exec::ExecMode;
+    use mpc_runtime::CostModel;
+
+    println!("\n## E12 — execution engine (serial vs parallel; heterogeneous cost model)\n");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "host cores: {cores} — parallel wall-clock can only beat serial with >1 core;\n\
+         on a single core the comparison measures pure engine overhead (results are\n\
+         bit-identical across schedules either way, see crates/exec/tests/determinism.rs)\n"
+    );
+
+    let topologies: Vec<(&str, f64)> = vec![("gamma=0.66", 0.66), ("gamma=0.50", 0.50)];
+    let mut t = Table::new(&[
+        "algorithm",
+        "topology",
+        "machines",
+        "rounds",
+        "serial wall",
+        "parallel wall",
+        "speedup",
+        "uniform makespan",
+        "prop-cap makespan",
+        "straggler makespan",
+    ]);
+
+    // A cluster for the given profile; the cost model is orthogonal to
+    // behavior, so every profile sees identical rounds and traffic.
+    let cluster_for = |gamma: f64, n: usize, m: usize, seed: u64| {
+        Cluster::new(
+            sketch_friendly_config(n, m, seed).topology(Topology::Heterogeneous {
+                gamma,
+                large_exponent: 1.0,
+            }),
+        )
+    };
+
+    let n = 384;
+    let g_conn = generators::gnm(n, n * 6, 7);
+    let g_mst = generators::gnm(n, n * 6, 7).with_random_weights(1 << 16, 7);
+
+    // One run of `algo` on a fresh cluster; returns (wall, makespan,
+    // rounds, machines, result digest). The digest — component count or
+    // forest weight — lets the mode comparison assert result equality.
+    let run_once = |algo: &str, gamma: f64, model: &str, mode: ExecMode| {
+        let g = if algo == "connectivity" {
+            &g_conn
+        } else {
+            &g_mst
+        };
+        let mut c = cluster_for(gamma, g.n(), g.m(), 7);
+        let caps: Vec<usize> = (0..c.machines()).map(|m| c.capacity(m)).collect();
+        let straggle_mid = c.small_ids()[0];
+        c.set_cost_model(match model {
+            "uniform" => CostModel::uniform(caps.len(), 1.0, 1.0, 0.0),
+            "prop" => CostModel::proportional_to_capacity(&caps, 1.0),
+            _ => CostModel::uniform(caps.len(), 1.0, 1.0, 0.0).with_straggler(straggle_mid, 0.1),
+        });
+        let input = common::distribute_edges(&c, g);
+        let (wall, digest) = if algo == "connectivity" {
+            let programs = mpc_exec::ConnectivityProgram::for_cluster(
+                &c,
+                g.n(),
+                &input,
+                &ConnectivityConfig::for_n(g.n()),
+            );
+            let out = mpc_exec::Executor::new("conn", mode)
+                .run(&mut c, programs)
+                .expect("exec connectivity");
+            let large = c.large().unwrap();
+            let comps = out.programs[large].result.clone().expect("components");
+            (out.wall, comps.count as u128)
+        } else {
+            let programs = mpc_exec::BoruvkaProgram::for_cluster(&c, &input);
+            let out = mpc_exec::Executor::new("boruvka", mode)
+                .run(&mut c, programs)
+                .expect("exec boruvka");
+            let large = c.large().unwrap();
+            let forest = out.programs[large].forest.clone().expect("forest");
+            (out.wall, forest.total_weight)
+        };
+        (
+            wall,
+            c.critical_path_seconds(),
+            c.rounds(),
+            c.machines(),
+            digest,
+        )
+    };
+
+    for (name, gamma) in &topologies {
+        for algo in ["connectivity", "boruvka-msf"] {
+            // Both modes under the uniform profile for the wall-clock
+            // comparison — with the result digests asserted equal.
+            let (wall_s, span_uniform, rounds, machines, digest_s) =
+                run_once(algo, *gamma, "uniform", ExecMode::Serial);
+            let (wall_p, _, _, _, digest_p) = run_once(algo, *gamma, "uniform", ExecMode::Parallel);
+            assert_eq!(
+                digest_s, digest_p,
+                "{algo} {name}: serial and parallel results diverged"
+            );
+            // The cost model is orthogonal to behavior, so the remaining
+            // profiles need one (serial) run each, just for the makespan.
+            let (_, span_prop, _, _, _) = run_once(algo, *gamma, "prop", ExecMode::Serial);
+            let (_, span_straggler, _, _, _) =
+                run_once(algo, *gamma, "straggler", ExecMode::Serial);
+            let walls = [wall_s, wall_p];
+            let spans = [span_uniform, span_prop, span_straggler];
+            let speedup = walls[0].as_secs_f64() / walls[1].as_secs_f64().max(1e-9);
+            t.row(&[
+                algo.to_string(),
+                name.to_string(),
+                machines.to_string(),
+                rounds.to_string(),
+                format!("{:.2?}", walls[0]),
+                format!("{:.2?}", walls[1]),
+                format!("{speedup:.2}x"),
+                format!("{:.0}", spans[0]),
+                format!("{:.0}", spans[1]),
+                format!("{:.0}", spans[2]),
+            ]);
+        }
+    }
+    t.print();
+    println!("\nmakespans: simulated seconds along the critical path (unit-rate words);");
+    println!("prop-cap = speeds/bandwidths proportional to machine capacity, latency 1s/round;");
+    println!("straggler = one small machine at 10% speed — the schedule the model calls 'free'");
+    println!("dominates exactly when that machine holds the bottleneck shard.");
 }

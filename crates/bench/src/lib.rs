@@ -39,6 +39,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "mis",
     "coloring",
     "two_vs_one",
+    "exec",
 ];
 
 /// Runs one experiment by name, printing its tables to stdout.
@@ -64,6 +65,7 @@ pub fn run_experiment(name: &str) {
         "mis" => experiments::mis(),
         "coloring" => experiments::coloring(),
         "two_vs_one" => experiments::two_vs_one(),
+        "exec" => experiments::exec_engine(),
         other => panic!("unknown experiment '{other}'; see --list"),
     }
 }

@@ -74,21 +74,18 @@ pub fn filtering_matching(
     // Bottom level: matched directly on the large machine.
     let bottom = gather_to(cluster, "filter.bottom", levels.last().unwrap(), large)?;
     cluster.account("filter.large", large, bottom.len() * 2)?;
-    let mut matching =
-        mpc_graph::matching::greedy_matching_over(n, bottom.into_iter(), &[]);
+    let mut matching = mpc_graph::matching::greedy_matching_over(n, bottom, &[]);
 
     // Unwind: at each level, ship matched flags down, absorb the residual.
     let participants: Vec<usize> = (0..cluster.machines()).collect();
     for level in (0..levels.len() - 1).rev() {
         let matched_pairs: Vec<(VertexId, u32)> = {
-            let mut v: Vec<VertexId> =
-                matching.edges.iter().flat_map(|e| [e.u, e.v]).collect();
+            let mut v: Vec<VertexId> = matching.edges.iter().flat_map(|e| [e.u, e.v]).collect();
             v.sort_unstable();
             v.dedup();
             v.into_iter().map(|x| (x, 1)).collect()
         };
-        let requests =
-            common::endpoint_requests(cluster, &levels[level], |e| (e.u, e.v));
+        let requests = common::endpoint_requests(cluster, &levels[level], |e| (e.u, e.v));
         let delivered = mpc_runtime::primitives::disseminate(
             cluster,
             "filter.flags",
@@ -99,8 +96,7 @@ pub fn filtering_matching(
         )?;
         let mut residual: ShardedVec<Edge> = ShardedVec::new(cluster);
         for mid in 0..levels[level].machines() {
-            let flag: HashSet<VertexId> =
-                delivered.shard(mid).iter().map(|&(v, _)| v).collect();
+            let flag: HashSet<VertexId> = delivered.shard(mid).iter().map(|&(v, _)| v).collect();
             let shard = residual.shard_mut(mid);
             for e in levels[level].shard(mid) {
                 if !flag.contains(&e.u) && !flag.contains(&e.v) {
@@ -111,17 +107,17 @@ pub fn filtering_matching(
         let counts: Vec<u64> = (0..cluster.machines())
             .map(|mid| residual.shard(mid).len() as u64)
             .collect();
-        let total =
-            sum_to(cluster, "filter.residual-count", &participants, counts, large)?;
+        let total = sum_to(
+            cluster,
+            "filter.residual-count",
+            &participants,
+            counts,
+            large,
+        )?;
         stats.residuals.push(total as usize);
         let residual_edges = gather_to(cluster, "filter.residual", &residual, large)?;
-        let pre: Vec<VertexId> =
-            matching.edges.iter().flat_map(|e| [e.u, e.v]).collect();
-        let extension = mpc_graph::matching::greedy_matching_over(
-            n,
-            residual_edges.into_iter(),
-            &pre,
-        );
+        let pre: Vec<VertexId> = matching.edges.iter().flat_map(|e| [e.u, e.v]).collect();
+        let extension = mpc_graph::matching::greedy_matching_over(n, residual_edges, &pre);
         matching.extend_disjoint(&extension);
     }
     cluster.release("filter.large");
@@ -138,7 +134,10 @@ mod tests {
     fn run(g: &mpc_graph::Graph, f: f64, seed: u64) -> (Matching, FilteringStats, u64) {
         let mut cluster = Cluster::new(
             ClusterConfig::new(g.n(), g.m())
-                .topology(Topology::Heterogeneous { gamma: 0.66, large_exponent: 1.0 + f })
+                .topology(Topology::Heterogeneous {
+                    gamma: 0.66,
+                    large_exponent: 1.0 + f,
+                })
                 .seed(seed),
         );
         let input = common::distribute_edges(&cluster, g);
@@ -173,7 +172,11 @@ mod tests {
         let g = generators::gnm(128, 6000, 7);
         let (_, stats, _) = run(&g, 0.3, 7);
         for w in stats.level_sizes.windows(2) {
-            assert!(w[1] < w[0], "level sizes must shrink: {:?}", stats.level_sizes);
+            assert!(
+                w[1] < w[0],
+                "level sizes must shrink: {:?}",
+                stats.level_sizes
+            );
         }
     }
 }

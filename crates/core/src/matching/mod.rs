@@ -112,7 +112,10 @@ pub fn heterogeneous_matching(
     let m = edges.total_len();
     let mut stats = MatchingStats::default();
     if m == 0 {
-        return Ok(MatchingResult { matching: Matching::new(), stats });
+        return Ok(MatchingResult {
+            matching: Matching::new(),
+            stats,
+        });
     }
     let d = (2.0 * m as f64 / n.max(1) as f64).max(1.0);
     let threshold = ((d * d).ceil() as usize).max(1);
@@ -199,8 +202,9 @@ pub fn heterogeneous_matching(
         if used.contains(u) {
             continue;
         }
-        if let Some((_r, e)) =
-            candidates.iter().find(|(_r, e)| !used.contains(&e.other(*u)))
+        if let Some((_r, e)) = candidates
+            .iter()
+            .find(|(_r, e)| !used.contains(&e.other(*u)))
         {
             used.insert(*u);
             used.insert(e.other(*u));
@@ -225,8 +229,7 @@ pub fn heterogeneous_matching(
     )?;
     let mut residual: ShardedVec<Edge> = ShardedVec::new(cluster);
     for mid in 0..edges.machines() {
-        let flag: HashSet<VertexId> =
-            delivered.shard(mid).iter().map(|&(v, _)| v).collect();
+        let flag: HashSet<VertexId> = delivered.shard(mid).iter().map(|&(v, _)| v).collect();
         let shard = residual.shard_mut(mid);
         for e in edges.shard(mid) {
             if !flag.contains(&e.u) && !flag.contains(&e.v) {
@@ -235,10 +238,16 @@ pub fn heterogeneous_matching(
         }
     }
     let participants: Vec<usize> = (0..cluster.machines()).collect();
-    let counts: Vec<u64> =
-        (0..cluster.machines()).map(|mid| residual.shard(mid).len() as u64).collect();
-    let residual_count =
-        sum_to(cluster, "match.residual-count", &participants, counts, large)?;
+    let counts: Vec<u64> = (0..cluster.machines())
+        .map(|mid| residual.shard(mid).len() as u64)
+        .collect();
+    let residual_count = sum_to(
+        cluster,
+        "match.residual-count",
+        &participants,
+        counts,
+        large,
+    )?;
     stats.residual_edges = residual_count;
     // The paper aborts above 2n; we use the volume the large machine can
     // actually accept — the same O(n) bound with its real constant.
@@ -251,14 +260,16 @@ pub fn heterogeneous_matching(
     }
     let residual_edges = gather_to(cluster, "match.residual-up", &residual, large)?;
     let pre: Vec<VertexId> = used.iter().copied().collect();
-    let m3 =
-        mpc_graph::matching::greedy_matching_over(n, residual_edges.iter().copied(), &pre);
+    let m3 = mpc_graph::matching::greedy_matching_over(n, residual_edges.iter().copied(), &pre);
     stats.m3 = m3.len();
 
     let mut all = m1_edges;
     all.extend(m2_edges);
     all.extend(m3.edges.iter().copied());
-    Ok(MatchingResult { matching: Matching { edges: all }, stats })
+    Ok(MatchingResult {
+        matching: Matching { edges: all },
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -269,8 +280,7 @@ mod tests {
     use mpc_runtime::ClusterConfig;
 
     fn run(g: &mpc_graph::Graph, seed: u64) -> (MatchingResult, u64) {
-        let mut cluster =
-            Cluster::new(ClusterConfig::new(g.n(), g.m().max(1)).seed(seed));
+        let mut cluster = Cluster::new(ClusterConfig::new(g.n(), g.m().max(1)).seed(seed));
         let input = common::distribute_edges(&cluster, g);
         let r = heterogeneous_matching(&mut cluster, g.n(), &input).unwrap();
         (r, cluster.rounds())

@@ -66,13 +66,26 @@ pub fn peeling_matching(
 
     // Prune edges incident to pre-matched vertices before the first round.
     if matched.total_len() > 0 {
-        prune(cluster, &mut live, &matched, &owners, &format!("{label}.preprune"))?;
+        prune(
+            cluster,
+            &mut live,
+            &matched,
+            &owners,
+            &format!("{label}.preprune"),
+        )?;
     }
 
     loop {
-        let counts: Vec<u64> =
-            (0..cluster.machines()).map(|mid| live.shard(mid).len() as u64).collect();
-        let total = sum_to(cluster, &format!("{label}.count"), &participants, counts, coordinator)?;
+        let counts: Vec<u64> = (0..cluster.machines())
+            .map(|mid| live.shard(mid).len() as u64)
+            .collect();
+        let total = sum_to(
+            cluster,
+            &format!("{label}.count"),
+            &participants,
+            counts,
+            coordinator,
+        )?;
         if total == 0 {
             break;
         }
@@ -98,8 +111,13 @@ pub fn peeling_matching(
         // Each machine asks for the minima of its live endpoints and keeps
         // the edges that win on both sides.
         let requests = common::endpoint_requests(cluster, &live, |re| (re.1.u, re.1.v));
-        let delivered =
-            lookup(cluster, &format!("{label}.minrank-look"), &minima, &requests, &owners)?;
+        let delivered = lookup(
+            cluster,
+            &format!("{label}.minrank-look"),
+            &minima,
+            &requests,
+            &owners,
+        )?;
         let mut newly_matched: ShardedVec<(VertexId, u32)> = ShardedVec::new(cluster);
         for mid in 0..live.machines() {
             let local: std::collections::HashMap<VertexId, (u64, Edge)> =
@@ -131,9 +149,19 @@ pub fn peeling_matching(
             shard.sort_unstable();
             shard.dedup_by_key(|p| p.0);
         }
-        prune(cluster, &mut live, &matched, &owners, &format!("{label}.prune"))?;
+        prune(
+            cluster,
+            &mut live,
+            &matched,
+            &owners,
+            &format!("{label}.prune"),
+        )?;
     }
-    Ok(PeelingOutcome { matching, matched, iterations })
+    Ok(PeelingOutcome {
+        matching,
+        matched,
+        iterations,
+    })
 }
 
 /// Removes live edges with a matched endpoint (one lookup round).
@@ -162,13 +190,12 @@ fn prune(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mpc_graph::matching::{is_maximal_matching, Matching};
     use mpc_graph::generators;
+    use mpc_graph::matching::{is_maximal_matching, Matching};
     use mpc_runtime::ClusterConfig;
 
     fn run(g: &mpc_graph::Graph, seed: u64) -> (PeelingOutcome, u64) {
-        let mut cluster =
-            Cluster::new(ClusterConfig::new(g.n(), g.m().max(1)).seed(seed));
+        let mut cluster = Cluster::new(ClusterConfig::new(g.n(), g.m().max(1)).seed(seed));
         let input = common::distribute_edges(&cluster, g);
         let empty: ShardedVec<(VertexId, u32)> = ShardedVec::new(&cluster);
         let out = peeling_matching(&mut cluster, &input, &empty, "peel").unwrap();
@@ -180,7 +207,9 @@ mod tests {
         for seed in 0..4 {
             let g = generators::gnm(100, 600, seed);
             let (out, _) = run(&g, seed);
-            let m = Matching { edges: out.matching.iter().map(|(_, e)| *e).collect() };
+            let m = Matching {
+                edges: out.matching.iter().map(|(_, e)| *e).collect(),
+            };
             assert!(is_maximal_matching(&g, &m), "seed {seed}");
         }
     }

@@ -71,11 +71,19 @@ pub fn contract_lightest_lists(
     }
     let nv = ids.len();
     let mut vls: Vec<VertexLists> = (0..nv)
-        .map(|_| VertexLists { edges: Vec::new(), cursor: 0, complete: true })
+        .map(|_| VertexLists {
+            edges: Vec::new(),
+            cursor: 0,
+            complete: true,
+        })
         .collect();
     for (v, es) in lists {
         let i = index[&v];
-        vls[i] = VertexLists { complete: es.len() < k, edges: es, cursor: 0 };
+        vls[i] = VertexLists {
+            complete: es.len() < k,
+            edges: es,
+            cursor: 0,
+        };
     }
 
     let mut dsu = DisjointSets::new(nv);
@@ -118,7 +126,7 @@ pub fn contract_lightest_lists(
                 }
                 let te = vl.edges[vl.cursor];
                 let key = te.orig.weight_key();
-                if best.as_ref().map_or(true, |(_, bk)| key < *bk) {
+                if best.as_ref().is_none_or(|(_, bk)| key < *bk) {
                     best = Some((te, key));
                 }
             }
@@ -163,7 +171,11 @@ pub fn contract_lightest_lists(
     let rename: Vec<(VertexId, VertexId)> = (0..nv as u32)
         .map(|i| (ids[i as usize], min_id[dsu.find(i) as usize]))
         .collect();
-    ContractionOutcome { chosen, rename, new_vertex_count: dsu.component_count() }
+    ContractionOutcome {
+        chosen,
+        rename,
+        new_vertex_count: dsu.component_count(),
+    }
 }
 
 #[cfg(test)]
@@ -228,8 +240,7 @@ mod tests {
     fn progress_shrinks_vertex_count_by_factor_k() {
         use mpc_graph::generators;
         let g = generators::gnm(100, 2000, 1).with_random_weights(1 << 20, 9);
-        let tagged: Vec<TaggedEdge> =
-            g.edges().iter().map(|&e| TaggedEdge::identity(e)).collect();
+        let tagged: Vec<TaggedEdge> = g.edges().iter().map(|&e| TaggedEdge::identity(e)).collect();
         let k = 4;
         let out = contract_lightest_lists(lists_of(100, &tagged, k), k);
         // Connected-ish graph: every final cluster is passive (k+1 members)

@@ -63,9 +63,14 @@ pub fn kkt_finish(
     let values: Vec<Vec<u64>> = (0..cluster.machines())
         .map(|mid| samples.iter().map(|s| s.shard(mid).len() as u64).collect())
         .collect();
-    let totals = reduce_to(cluster, "mst.kkt.count", &participants, values, large, |a, b| {
-        a.iter().zip(&b).map(|(x, y)| x + y).collect()
-    })
+    let totals = reduce_to(
+        cluster,
+        "mst.kkt.count",
+        &participants,
+        values,
+        large,
+        |a, b| a.iter().zip(&b).map(|(x, y)| x + y).collect(),
+    )
     .map_err(MstError::Model)?;
 
     // Pick the first repetition whose sample volume fits the budget.
@@ -103,9 +108,8 @@ pub fn kkt_finish(
         .filter(|&v| needed[v as usize])
         .map(|v| (v, labeling.label(v).clone()))
         .collect();
-    let delivered =
-        disseminate(cluster, "mst.kkt.labels", &pairs, large, &requests, &owners)
-            .map_err(MstError::Model)?;
+    let delivered = disseminate(cluster, "mst.kkt.labels", &pairs, large, &requests, &owners)
+        .map_err(MstError::Model)?;
 
     // Small machines keep only F-light edges.
     let mut light: ShardedVec<TaggedEdge> = ShardedVec::new(cluster);
@@ -126,8 +130,8 @@ pub fn kkt_finish(
         }
     }
 
-    let lights = gather_to(cluster, "mst.kkt.gather-light", &light, large)
-        .map_err(MstError::Model)?;
+    let lights =
+        gather_to(cluster, "mst.kkt.gather-light", &light, large).map_err(MstError::Model)?;
     let f_light_count = lights.len();
 
     // Finish locally: MST over (sampled ∪ light) in current ids, then map
@@ -149,7 +153,11 @@ pub fn kkt_finish(
 
     cluster.release("mst.kkt.sample");
     cluster.release("mst.kkt.labels");
-    Ok(KktOutcome { mst_edges, rep_used: rep, f_light_count })
+    Ok(KktOutcome {
+        mst_edges,
+        rep_used: rep,
+        f_light_count,
+    })
 }
 
 #[cfg(test)]
@@ -172,13 +180,16 @@ mod tests {
             let tagged = ShardedVec::from_shards(
                 (0..input.machines())
                     .map(|mid| {
-                        input.shard(mid).iter().map(|&e| TaggedEdge::identity(e)).collect()
+                        input
+                            .shard(mid)
+                            .iter()
+                            .map(|&e| TaggedEdge::identity(e))
+                            .collect()
                     })
                     .collect(),
             );
             let budget = cluster.capacity(cluster.large().unwrap()) / 16;
-            let out =
-                kkt_finish(&mut cluster, g.n(), g.n(), &tagged, budget, 5).unwrap();
+            let out = kkt_finish(&mut cluster, g.n(), g.n(), &tagged, budget, 5).unwrap();
             let forest = mpc_graph::mst::Forest::from_edges(out.mst_edges);
             assert!(
                 super::super::is_minimum_spanning_forest(&g, &forest),
@@ -190,12 +201,17 @@ mod tests {
     #[test]
     fn f_light_volume_is_near_theory() {
         let g = generators::gnm(150, 3000, 9).with_random_weights(1 << 20, 9);
-        let mut cluster =
-            Cluster::new(ClusterConfig::new(g.n(), g.m()).seed(9));
+        let mut cluster = Cluster::new(ClusterConfig::new(g.n(), g.m()).seed(9));
         let input = common::distribute_edges(&cluster, &g);
         let tagged = ShardedVec::from_shards(
             (0..input.machines())
-                .map(|mid| input.shard(mid).iter().map(|&e| TaggedEdge::identity(e)).collect())
+                .map(|mid| {
+                    input
+                        .shard(mid)
+                        .iter()
+                        .map(|&e| TaggedEdge::identity(e))
+                        .collect()
+                })
                 .collect(),
         );
         let budget = 1200usize; // p = 1200/(4*3000) = 0.1 → E[light] ≤ n/p = 1500

@@ -54,7 +54,10 @@ impl fmt::Display for MstError {
         match self {
             MstError::Model(v) => write!(f, "model violation: {v}"),
             MstError::SamplingFailed => {
-                write!(f, "all KKT sampling repetitions exceeded their volume bounds")
+                write!(
+                    f,
+                    "all KKT sampling repetitions exceeded their volume bounds"
+                )
             }
         }
     }
@@ -81,7 +84,10 @@ pub struct MstConfig {
 
 impl Default for MstConfig {
     fn default() -> Self {
-        MstConfig { kkt_repetitions: 5, max_boruvka_steps: 12 }
+        MstConfig {
+            kkt_repetitions: 5,
+            max_boruvka_steps: 12,
+        }
     }
 }
 
@@ -169,13 +175,10 @@ pub fn heterogeneous_mst_with(
         // Tiny remainder: ship everything and finish locally.
         if m_cur * TAGGED_WORDS <= 2 * budget_edges {
             let rest = gather_to(cluster, "mst.final-gather", &cur, large)?;
-            let local = mpc_graph::Graph::new(
-                n,
-                rest.iter().map(|te| te.cur),
-            );
+            let local = mpc_graph::Graph::new(n, rest.iter().map(|te| te.cur));
             let msf = mpc_graph::mst::kruskal(&local);
             let orig_of = orig_lookup(&rest);
-            chosen.extend(msf.edges.iter().map(|e| orig_of(e)));
+            chosen.extend(msf.edges.iter().map(orig_of));
             stats.finished_by_direct_gather = true;
             break;
         }
@@ -232,7 +235,10 @@ pub fn heterogeneous_mst_with(
     cluster.release("mst.edges");
     chosen.sort_by_key(Edge::weight_key);
     chosen.dedup();
-    Ok(MstResult { forest: Forest::from_edges(chosen), stats })
+    Ok(MstResult {
+        forest: Forest::from_edges(chosen),
+        stats,
+    })
 }
 
 /// A closure mapping a *current* edge back to the original edge it tags.
@@ -303,11 +309,7 @@ fn boruvka_step(
 
     let outcome = contract_lightest_lists(lists, k);
     cluster.release("mst.large.lists");
-    cluster.account(
-        "mst.large.rename",
-        large,
-        2 * outcome.rename.len(),
-    )?;
+    cluster.account("mst.large.rename", large, 2 * outcome.rename.len())?;
 
     // Disseminate the rename map to machines holding affected endpoints.
     let requests = common::endpoint_requests(cluster, cur, |te| (te.cur.u, te.cur.v));
@@ -339,13 +341,10 @@ fn collect_lightest_sorted(
     use std::collections::BTreeMap;
     // Claim 1: sort directed copies by (vertex, weight key); afterwards each
     // vertex's edges form a run over consecutive machines, lightest first.
-    let sorted = mpc_runtime::primitives::sample_sort(
-        cluster,
-        "mst.arrange",
-        items,
-        owners,
-        |(v, te)| (*v, te.orig.weight_key()),
-    )?;
+    let sorted =
+        mpc_runtime::primitives::sample_sort(cluster, "mst.arrange", items, owners, |(v, te)| {
+            (*v, te.orig.weight_key())
+        })?;
     // Claim 4: per-machine run lengths to the large machine. Sorted runs
     // mean at most (n' + K) pairs in total.
     let mut out = cluster.empty_outboxes::<(VertexId, u64)>();
@@ -441,8 +440,7 @@ fn relabel_and_dedup(
     cur: ShardedVec<TaggedEdge>,
     rename: &[(VertexId, VertexId)],
 ) -> Result<ShardedVec<TaggedEdge>, ModelViolation> {
-    let map: std::collections::HashMap<VertexId, VertexId> =
-        rename.iter().copied().collect();
+    let map: std::collections::HashMap<VertexId, VertexId> = rename.iter().copied().collect();
     // Route (pair, original edge) — the current edge is reconstructed from
     // the pair key plus the original weight, keeping partials at 4 words.
     let mut relabeled: ShardedVec<((u32, u32), Edge)> = ShardedVec::new(cluster);
@@ -547,7 +545,10 @@ mod tests {
         let g = generators::gnm(256, 8000, 2).with_random_weights(1 << 20, 2);
         let mut cluster = Cluster::new(
             ClusterConfig::new(g.n(), g.m())
-                .topology(Topology::Heterogeneous { gamma: 0.5, large_exponent: 1.0 })
+                .topology(Topology::Heterogeneous {
+                    gamma: 0.5,
+                    large_exponent: 1.0,
+                })
                 .seed(4),
         );
         let input = common::distribute_edges(&cluster, &g);

@@ -77,7 +77,11 @@ pub fn heterogeneous_coloring(
     let deg_pairs = gather_to(cluster, "color.deg-up", &agg, large)?;
     let delta = deg_pairs.iter().map(|&(_, d)| d).max().unwrap_or(0);
     if delta == 0 {
-        return Ok(ColoringResult { colors: vec![0; n], conflict_edges: 0, restarts: 0 });
+        return Ok(ColoringResult {
+            colors: vec![0; n],
+            conflict_edges: 0,
+            restarts: 0,
+        });
     }
     let palette_size = (2.0 * (n.max(2) as f64).ln()).ceil() as usize + 2;
 
@@ -127,7 +131,11 @@ pub fn heterogeneous_coloring(
             let all = gather_to(cluster, "color.fallback", edges, large)?;
             let g = mpc_graph::Graph::new(n, all);
             let colors = mpc_graph::coloring::greedy_coloring(&g, &[]);
-            return Ok(ColoringResult { colors, conflict_edges: g.m(), restarts });
+            return Ok(ColoringResult {
+                colors,
+                conflict_edges: g.m(),
+                restarts,
+            });
         }
     }
 }
@@ -153,7 +161,9 @@ mod tests {
 
     fn run(g: &mpc_graph::Graph, seed: u64) -> (ColoringResult, u64) {
         let mut cluster = Cluster::new(
-            ClusterConfig::new(g.n(), g.m().max(1)).seed(seed).polylog_exponent(2.0),
+            ClusterConfig::new(g.n(), g.m().max(1))
+                .seed(seed)
+                .polylog_exponent(2.0),
         );
         let input = common::distribute_edges(&cluster, g);
         let r = heterogeneous_coloring(&mut cluster, g.n(), &input).unwrap();

@@ -32,7 +32,9 @@ pub struct ConnectivityConfig {
 impl ConnectivityConfig {
     /// Default: `2⌈log₂ n⌉ + 2` phases.
     pub fn for_n(n: usize) -> Self {
-        ConnectivityConfig { phases: 2 * ((n.max(2) as f64).log2().ceil() as usize) + 2 }
+        ConnectivityConfig {
+            phases: 2 * ((n.max(2) as f64).log2().ceil() as usize) + 2,
+        }
     }
 }
 
@@ -52,7 +54,9 @@ pub fn heterogeneous_connectivity(
     edges: &ShardedVec<Edge>,
     config: &ConnectivityConfig,
 ) -> Result<Components, ModelViolation> {
-    let large = cluster.large().expect("connectivity requires a large machine");
+    let large = cluster
+        .large()
+        .expect("connectivity requires a large machine");
     let owners = common::owners(cluster);
 
     // Round(s) 1: broadcast the family seed.
@@ -121,8 +125,7 @@ pub fn one_vs_two_cycles(
     n: usize,
     edges: &ShardedVec<Edge>,
 ) -> Result<bool, ModelViolation> {
-    let comps =
-        heterogeneous_connectivity(cluster, n, edges, &ConnectivityConfig::for_n(n))?;
+    let comps = heterogeneous_connectivity(cluster, n, edges, &ConnectivityConfig::for_n(n))?;
     Ok(comps.count == 1)
 }
 
@@ -142,7 +145,12 @@ pub fn components_below_threshold(
     let filtered: ShardedVec<Edge> = ShardedVec::from_shards(
         (0..edges.machines())
             .map(|mid| {
-                edges.shard(mid).iter().filter(|e| e.w <= threshold).copied().collect()
+                edges
+                    .shard(mid)
+                    .iter()
+                    .filter(|e| e.w <= threshold)
+                    .copied()
+                    .collect()
             })
             .collect(),
     );
@@ -153,7 +161,9 @@ pub fn components_below_threshold(
 /// volume is honestly `Θ(n log³ n)` bits, so the polylog budget must cover
 /// it (the paper's `Õ(·)` hides the same factor).
 pub fn sketch_friendly_config(n: usize, m: usize, seed: u64) -> mpc_runtime::ClusterConfig {
-    mpc_runtime::ClusterConfig::new(n, m).seed(seed).polylog_exponent(2.6)
+    mpc_runtime::ClusterConfig::new(n, m)
+        .seed(seed)
+        .polylog_exponent(2.6)
 }
 
 #[cfg(test)]
@@ -163,8 +173,7 @@ mod tests {
     use mpc_runtime::Cluster;
 
     fn run(g: &mpc_graph::Graph, seed: u64) -> (Components, u64) {
-        let mut cluster =
-            Cluster::new(sketch_friendly_config(g.n(), g.m().max(1), seed));
+        let mut cluster = Cluster::new(sketch_friendly_config(g.n(), g.m().max(1), seed));
         let input = common::distribute_edges(&cluster, g);
         let c = heterogeneous_connectivity(
             &mut cluster,
@@ -189,10 +198,7 @@ mod tests {
     fn constant_rounds_across_sizes() {
         let (_, r1) = run(&generators::gnm(64, 160, 1), 1);
         let (_, r2) = run(&generators::gnm(256, 640, 1), 1);
-        assert!(
-            r2 <= r1 + 4,
-            "rounds should not grow with n: {r1} -> {r2}"
-        );
+        assert!(r2 <= r1 + 4, "rounds should not grow with n: {r1} -> {r2}");
     }
 
     #[test]
@@ -210,18 +216,15 @@ mod tests {
     #[test]
     fn threshold_counting() {
         // Path with increasing weights: threshold cuts the tail.
-        let edges: Vec<Edge> = (0..9).map(|i| Edge::new(i, i + 1, (i + 1) as u64)).collect();
+        let edges: Vec<Edge> = (0..9)
+            .map(|i| Edge::new(i, i + 1, (i + 1) as u64))
+            .collect();
         let g = mpc_graph::Graph::new(10, edges);
         let mut cluster = Cluster::new(sketch_friendly_config(10, 9, 5));
         let input = common::distribute_edges(&cluster, &g);
-        let c = components_below_threshold(
-            &mut cluster,
-            10,
-            &input,
-            5,
-            &ConnectivityConfig::for_n(10),
-        )
-        .unwrap();
+        let c =
+            components_below_threshold(&mut cluster, 10, &input, 5, &ConnectivityConfig::for_n(10))
+                .unwrap();
         // Edges 1..=5 survive: vertices 0-5 connected, 6,7,8,9 isolated.
         assert_eq!(c, 5);
     }

@@ -43,7 +43,10 @@ pub fn approximate_min_cut(
     edges: &ShardedVec<Edge>,
     epsilon: f64,
 ) -> Result<ApproxMinCut, ModelViolation> {
-    assert!((0.0..1.0).contains(&epsilon) && epsilon > 0.0, "epsilon in (0,1)");
+    assert!(
+        (0.0..1.0).contains(&epsilon) && epsilon > 0.0,
+        "epsilon in (0,1)"
+    );
     let large = cluster.large().expect("min cut requires a large machine");
     let total_weight: u64 = edges.iter().map(|(_, e)| e.w).sum();
     let c_sample = (n.max(2) as f64).ln() * 3.0 / (epsilon * epsilon);
@@ -80,8 +83,7 @@ pub fn approximate_min_cut(
         let counts: Vec<u64> = (0..cluster.machines())
             .map(|mid| skeleton.shard(mid).len() as u64)
             .collect();
-        let total =
-            sum_to(cluster, "xcut.count", &participants, counts, large)?;
+        let total = sum_to(cluster, "xcut.count", &participants, counts, large)?;
         let budget = (cluster.capacity(large) / 6) as u64;
         if total > budget {
             // Finer guesses only get denser; the current estimate stands.
@@ -107,8 +109,10 @@ pub fn approximate_min_cut(
             cluster.release("xcut.large");
             continue;
         }
-        let sw_edges: Vec<(u32, u32, u64)> =
-            sk.iter().map(|(e, c)| (index[&e.u], index[&e.v], *c as u64)).collect();
+        let sw_edges: Vec<(u32, u32, u64)> = sk
+            .iter()
+            .map(|(e, c)| (index[&e.u], index[&e.v], *c as u64))
+            .collect();
         let Some(mc) = mpc_graph::mincut::stoer_wagner(ids.len(), &sw_edges) else {
             cluster.release("xcut.large");
             continue; // disconnected skeleton: λ̂ too large, try finer
@@ -178,7 +182,9 @@ mod tests {
 
     fn run(g: &mpc_graph::Graph, eps: f64, seed: u64) -> ApproxMinCut {
         let mut cluster = Cluster::new(
-            ClusterConfig::new(g.n(), g.m()).seed(seed).polylog_exponent(1.6),
+            ClusterConfig::new(g.n(), g.m())
+                .seed(seed)
+                .polylog_exponent(1.6),
         );
         let input = common::distribute_edges(&cluster, g);
         approximate_min_cut(&mut cluster, g.n(), &input, eps).unwrap()

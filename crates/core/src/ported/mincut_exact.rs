@@ -57,8 +57,7 @@ pub fn heterogeneous_min_cut(
             shard.push((e.v, 1));
         }
     }
-    let deg_at_owner =
-        aggregate_by_key(cluster, "cut.degree", &deg_items, &owners, |a, b| a + b)?;
+    let deg_at_owner = aggregate_by_key(cluster, "cut.degree", &deg_items, &owners, |a, b| a + b)?;
     let deg_pairs = gather_to(cluster, "cut.degree-up", &deg_at_owner, large)?;
     let delta = deg_pairs.iter().map(|&(_, d)| d).min().unwrap_or(0).max(1);
     let mut best = u128::from(delta);
@@ -77,8 +76,7 @@ pub fn heterogeneous_min_cut(
                 shard.push((e.v, (r2, *e)));
             }
         }
-        let two_out =
-            top_t_per_key(cluster, "cut.2out", &items, &owners, large, |_| 2, |x| x.0)?;
+        let two_out = top_t_per_key(cluster, "cut.2out", &items, &owners, large, |_| 2, |x| x.0)?;
         let mut dsu = DisjointSets::new(n);
         for (_v, es) in &two_out {
             for (_r, e) in es {
@@ -103,8 +101,7 @@ pub fn heterogeneous_min_cut(
         )?;
         let mut extra: ShardedVec<Edge> = ShardedVec::new(cluster);
         for mid in 0..edges.machines() {
-            let lab: HashMap<VertexId, VertexId> =
-                delivered.shard(mid).iter().copied().collect();
+            let lab: HashMap<VertexId, VertexId> = delivered.shard(mid).iter().copied().collect();
             let shard = extra.shard_mut(mid);
             for e in edges.shard(mid) {
                 if lab[&e.u] != lab[&e.v] && cluster.rng(mid).random_bool(p) {
@@ -132,8 +129,7 @@ pub fn heterogeneous_min_cut(
         )?;
         let mut multi: ShardedVec<((u32, u32), u64)> = ShardedVec::new(cluster);
         for mid in 0..edges.machines() {
-            let lab: HashMap<VertexId, VertexId> =
-                delivered.shard(mid).iter().copied().collect();
+            let lab: HashMap<VertexId, VertexId> = delivered.shard(mid).iter().copied().collect();
             let shard = multi.shard_mut(mid);
             for e in edges.shard(mid) {
                 let (a, b) = (lab[&e.u], lab[&e.v]);
@@ -147,14 +143,14 @@ pub fn heterogeneous_min_cut(
         cluster.account("cut.large", large, pairs.len() * 3)?;
 
         // Local Stoer–Wagner on the contracted multigraph.
-        let mut ids: Vec<VertexId> = pairs
-            .iter()
-            .flat_map(|((a, b), _)| [*a, *b])
-            .collect();
+        let mut ids: Vec<VertexId> = pairs.iter().flat_map(|((a, b), _)| [*a, *b]).collect();
         ids.sort_unstable();
         ids.dedup();
-        let index: HashMap<VertexId, u32> =
-            ids.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect();
+        let index: HashMap<VertexId, u32> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u32))
+            .collect();
         let sw_edges: Vec<(u32, u32, u64)> = pairs
             .iter()
             .map(|((a, b), c)| (index[a], index[b], *c))
@@ -174,7 +170,11 @@ pub fn heterogeneous_min_cut(
         }
         cluster.release("cut.large");
     }
-    Ok(MinCutResult { value: best, singleton, trial_sizes })
+    Ok(MinCutResult {
+        value: best,
+        singleton,
+        trial_sizes,
+    })
 }
 
 #[cfg(test)]
@@ -184,8 +184,7 @@ mod tests {
     use mpc_runtime::ClusterConfig;
 
     fn run(g: &mpc_graph::Graph, trials: usize, seed: u64) -> (MinCutResult, u64) {
-        let mut cluster =
-            Cluster::new(ClusterConfig::new(g.n(), g.m()).seed(seed));
+        let mut cluster = Cluster::new(ClusterConfig::new(g.n(), g.m()).seed(seed));
         let input = common::distribute_edges(&cluster, g);
         let r = heterogeneous_min_cut(&mut cluster, g.n(), &input, trials).unwrap();
         (r, cluster.rounds())

@@ -66,8 +66,9 @@ pub fn heterogeneous_mis(
 
     // Live edges, each machine knowing its endpoints' ranks.
     let mut live: ShardedVec<Edge> = ShardedVec::new(cluster);
-    let mut local_rank: Vec<std::collections::HashMap<VertexId, u32>> =
-        (0..cluster.machines()).map(|_| std::collections::HashMap::new()).collect();
+    let mut local_rank: Vec<std::collections::HashMap<VertexId, u32>> = (0..cluster.machines())
+        .map(|_| std::collections::HashMap::new())
+        .collect();
     for mid in 0..edges.machines() {
         local_rank[mid] = ranks_delivered.shard(mid).iter().copied().collect();
         *live.shard_mut(mid) = edges.shard(mid).to_vec();
@@ -127,8 +128,9 @@ pub fn heterogeneous_mis(
                 }
             }
         }
-        let counts: Vec<u64> =
-            (0..cluster.machines()).map(|mid| batch.shard(mid).len() as u64).collect();
+        let counts: Vec<u64> = (0..cluster.machines())
+            .map(|mid| batch.shard(mid).len() as u64)
+            .collect();
         let total = sum_to(cluster, "mis.count", &participants, counts, large)?;
         batch_edges.push(total as usize);
         if total as usize * 2 > budget {
@@ -199,10 +201,13 @@ pub fn heterogeneous_mis(
                 }
             }
         }
-        let dominated =
-            aggregate_by_key(cluster, "mis.dominated", &dominated_items, &owners, |a, b| {
-                a | b
-            })?;
+        let dominated = aggregate_by_key(
+            cluster,
+            "mis.dominated",
+            &dominated_items,
+            &owners,
+            |a, b| a | b,
+        )?;
         // Mirror domination to the large machine so the final sweep knows
         // which undecided vertices are already covered.
         let dom_pairs = gather_to(cluster, "mis.dominated-up", &dominated, large)?;
@@ -210,8 +215,13 @@ pub fn heterogeneous_mis(
             dominated_flag[v as usize] = true;
         }
         let live_requests = common::endpoint_requests(cluster, &live, |e| (e.u, e.v));
-        let dom_local =
-            lookup(cluster, "mis.dominated-look", &dominated, &live_requests, &owners)?;
+        let dom_local = lookup(
+            cluster,
+            "mis.dominated-look",
+            &dominated,
+            &live_requests,
+            &owners,
+        )?;
         for mid in 0..live.machines() {
             let dead: std::collections::HashSet<VertexId> =
                 dom_local.shard(mid).iter().map(|&(v, _)| v).collect();
@@ -226,8 +236,7 @@ pub fn heterogeneous_mis(
         let live_counts: Vec<u64> = (0..cluster.machines())
             .map(|mid| live.shard(mid).len() as u64)
             .collect();
-        let live_total =
-            sum_to(cluster, "mis.live-count", &participants, live_counts, large)?;
+        let live_total = sum_to(cluster, "mis.live-count", &participants, live_counts, large)?;
         if (live_total as usize) * 2 <= budget {
             break;
         }
@@ -245,10 +254,7 @@ pub fn heterogeneous_mis(
         adj.entry(e.v).or_default().push(e.u);
     }
     for &v in &perm {
-        if in_mis[v as usize]
-            || dominated_flag[v as usize]
-            || rank[v as usize] < decided_upto
-        {
+        if in_mis[v as usize] || dominated_flag[v as usize] || rank[v as usize] < decided_upto {
             continue;
         }
         let blocked = adj
@@ -258,9 +264,12 @@ pub fn heterogeneous_mis(
             in_mis[v as usize] = true;
         }
     }
-    let mis: Vec<VertexId> =
-        (0..n as VertexId).filter(|&v| in_mis[v as usize]).collect();
-    Ok(MisResult { mis, iterations, batch_edges })
+    let mis: Vec<VertexId> = (0..n as VertexId).filter(|&v| in_mis[v as usize]).collect();
+    Ok(MisResult {
+        mis,
+        iterations,
+        batch_edges,
+    })
 }
 
 #[cfg(test)]
@@ -272,7 +281,9 @@ mod tests {
 
     fn run(g: &mpc_graph::Graph, seed: u64) -> (MisResult, u64) {
         let mut cluster = Cluster::new(
-            ClusterConfig::new(g.n(), g.m().max(1)).seed(seed).polylog_exponent(1.6),
+            ClusterConfig::new(g.n(), g.m().max(1))
+                .seed(seed)
+                .polylog_exponent(1.6),
         );
         let input = common::distribute_edges(&cluster, g);
         let r = heterogeneous_mis(&mut cluster, g.n(), &input).unwrap();

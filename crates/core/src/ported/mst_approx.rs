@@ -73,13 +73,22 @@ pub fn approximate_mst_weight(
     let mut sum = 0f64;
     for j in 0..thresholds.len() {
         let lo = thresholds[j];
-        let hi = if j + 1 < thresholds.len() { thresholds[j + 1] } else { w_max };
+        let hi = if j + 1 < thresholds.len() {
+            thresholds[j + 1]
+        } else {
+            w_max
+        };
         if hi > lo {
             sum += (hi - lo) as f64 * component_counts[j] as f64;
         }
     }
     let estimate = n as f64 - (w_max as f64) * c_last as f64 + sum;
-    Ok(MstApprox { estimate, thresholds, component_counts, parallel_rounds })
+    Ok(MstApprox {
+        estimate,
+        thresholds,
+        component_counts,
+        parallel_rounds,
+    })
 }
 
 /// Convenience wrapper used by tests and benches: builds a sketch-friendly
@@ -128,7 +137,11 @@ mod tests {
         let g = generators::gnm(60, 150, 3); // all weights 1
         let exact = kruskal(&g).total_weight as f64;
         let (r, _) = estimate_for_graph(&g, 0.5, 3).unwrap();
-        assert!((r.estimate - exact).abs() < 1e-9, "{} vs {exact}", r.estimate);
+        assert!(
+            (r.estimate - exact).abs() < 1e-9,
+            "{} vs {exact}",
+            r.estimate
+        );
     }
 
     #[test]
@@ -143,6 +156,10 @@ mod tests {
     fn parallel_rounds_are_constant() {
         let g = generators::gnm(64, 200, 5).with_random_weights(16, 5);
         let (r, _) = estimate_for_graph(&g, 0.5, 5).unwrap();
-        assert!(r.parallel_rounds <= 12, "parallel rounds {}", r.parallel_rounds);
+        assert!(
+            r.parallel_rounds <= 12,
+            "parallel rounds {}",
+            r.parallel_rounds
+        );
     }
 }

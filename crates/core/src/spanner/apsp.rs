@@ -59,7 +59,11 @@ pub fn build_apsp_oracle(
     };
     let stretch_bound = if weighted { 12 * k - 1 } else { 6 * k - 1 };
     let adj = result.spanner.adjacency();
-    Ok(ApspOracle { spanner: result.spanner, adj, stretch_bound })
+    Ok(ApspOracle {
+        spanner: result.spanner,
+        adj,
+        stretch_bound,
+    })
 }
 
 /// Measures the worst observed stretch of `oracle` against exact distances

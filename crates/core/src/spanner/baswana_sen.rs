@@ -75,7 +75,11 @@ pub fn phase1(
     center_universe: usize,
 ) -> BsPhase1 {
     assert!(k >= 1, "spanner parameter k must be >= 1");
-    assert_eq!(level_edges.len(), k, "need one edge set per level (level k may be empty)");
+    assert_eq!(
+        level_edges.len(),
+        k,
+        "need one edge set per level (level k may be empty)"
+    );
     let mut rng = SmallRng::seed_from_u64(seed ^ 0xBA5A_0A5E);
     let p_center = (center_universe.max(2) as f64).powf(-1.0 / k as f64);
 
@@ -142,7 +146,12 @@ pub fn phase1(
         alive = next_alive;
         stats.push(st);
     }
-    BsPhase1 { edges: edges_out, centers, removal_level, stats }
+    BsPhase1 {
+        edges: edges_out,
+        centers,
+        removal_level,
+        stats,
+    }
 }
 
 fn build_adj(n: usize, edges: &[Edge]) -> Vec<Vec<(VertexId, u64)>> {
@@ -164,7 +173,9 @@ pub fn phase2(g: &Graph, p1: &BsPhase1) -> Vec<Edge> {
     let adj = g.adjacency();
     let mut out: Vec<Edge> = Vec::new();
     for v in 0..g.n() as VertexId {
-        let Some(t) = p1.removal_level[v as usize] else { continue };
+        let Some(t) = p1.removal_level[v as usize] else {
+            continue;
+        };
         // One edge per adjacent level-(t-1) cluster: choose the minimum
         // (cluster, neighbor) representative.
         let mut best: std::collections::BTreeMap<VertexId, (VertexId, u64)> =
@@ -200,13 +211,11 @@ pub fn baswana_sen(g: &Graph, k: usize, seed: u64) -> (Graph, BsPhase1) {
 /// subsamples (each edge kept independently with probability `p`), phase 2
 /// over the full graph. Lemma 4.3: `(2k−1)`-spanner of expected size
 /// `O(k·n^(1+1/k)/p)`.
-pub fn modified_baswana_sen(
-    g: &Graph,
-    k: usize,
-    p: f64,
-    seed: u64,
-) -> (Graph, BsPhase1) {
-    assert!((0.0..=1.0).contains(&p), "sampling probability must be in [0,1]");
+pub fn modified_baswana_sen(g: &Graph, k: usize, p: f64, seed: u64) -> (Graph, BsPhase1) {
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "sampling probability must be in [0,1]"
+    );
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x90D1F1ED);
     let levels: Vec<Vec<Edge>> = (0..k)
         .map(|_| {
@@ -313,7 +322,10 @@ mod tests {
         let g = generators::gnm(50, 200, 4);
         let (_, p1) = baswana_sen(&g, 2, 4);
         for v in 0..50 {
-            assert!(p1.removal_level[v as usize].is_some(), "vertex {v} never removed");
+            assert!(
+                p1.removal_level[v as usize].is_some(),
+                "vertex {v} never removed"
+            );
         }
     }
 

@@ -43,7 +43,11 @@ pub fn level_edge_key(level: usize, cu: VertexId, cv: VertexId) -> LevelEdgeKey 
 
 /// Unpacks a cluster-edge key into `(level, σ_u, σ_v)`.
 pub fn unpack_level_edge(key: &LevelEdgeKey) -> (usize, VertexId, VertexId) {
-    ((key.0 >> 32) as usize, (key.0 & 0xFFFF_FFFF) as VertexId, key.1 as VertexId)
+    (
+        (key.0 >> 32) as usize,
+        (key.0 & 0xFFFF_FFFF) as VertexId,
+        key.1 as VertexId,
+    )
 }
 
 /// The distributed clustering-graph structure.
@@ -73,7 +77,9 @@ pub fn build_clustering_graphs(
     n: usize,
     edges: &ShardedVec<Edge>,
 ) -> Result<ClusteringGraphs, ModelViolation> {
-    let large = cluster.large().expect("clustering graphs need a large machine");
+    let large = cluster
+        .large()
+        .expect("clustering graphs need a large machine");
     let owners = common::owners(cluster);
 
     // Step 1: degrees (aggregation) → owners → large.
@@ -85,8 +91,7 @@ pub fn build_clustering_graphs(
             shard.push((e.v, 1));
         }
     }
-    let deg_at_owner =
-        aggregate_by_key(cluster, "cg.degree", &deg_items, &owners, |a, b| a + b)?;
+    let deg_at_owner = aggregate_by_key(cluster, "cg.degree", &deg_items, &owners, |a, b| a + b)?;
     let deg_pairs = gather_to(cluster, "cg.degree-up", &deg_at_owner, large)?;
     let mut deg: Vec<u32> = vec![0; n];
     for &(v, d) in &deg_pairs {
@@ -119,20 +124,21 @@ pub fn build_clustering_graphs(
         .collect();
     let requests = common::endpoint_requests(cluster, edges, |e| (e.u, e.v));
     let delivered = mpc_runtime::primitives::disseminate(
-        cluster,
-        "cg.masks",
-        &pairs,
-        large,
-        &requests,
-        &owners,
+        cluster, "cg.masks", &pairs, large, &requests, &owners,
     )?;
 
     // Step 3: coverage — for each vertex, OR of neighbors' sampled masks.
     let mut cover_items: ShardedVec<(VertexId, u64)> = ShardedVec::new(cluster);
-    let mut local_info: Vec<std::collections::HashMap<VertexId, (u32, u64)>> =
-        (0..cluster.machines()).map(|_| std::collections::HashMap::new()).collect();
+    let mut local_info: Vec<std::collections::HashMap<VertexId, (u32, u64)>> = (0..cluster
+        .machines())
+        .map(|_| std::collections::HashMap::new())
+        .collect();
     for mid in 0..cluster.machines() {
-        local_info[mid] = delivered.shard(mid).iter().map(|&(v, dm)| (v, dm)).collect();
+        local_info[mid] = delivered
+            .shard(mid)
+            .iter()
+            .map(|&(v, dm)| (v, dm))
+            .collect();
         let shard = cover_items.shard_mut(mid);
         for e in edges.shard(mid) {
             let mu = local_info[mid].get(&e.u).map_or(0, |x| x.1);
@@ -157,10 +163,7 @@ pub fn build_clustering_graphs(
         for i in 1..levels {
             for j in 0..HITTING_SET_TRIALS {
                 let b = bit(i, j);
-                if deg[v] as u64 >= (1u64 << i)
-                    && sampled[v] & b == 0
-                    && covered[v] & b == 0
-                {
+                if deg[v] as u64 >= (1u64 << i) && sampled[v] & b == 0 && covered[v] & b == 0 {
                     m |= b;
                 }
             }
@@ -202,12 +205,7 @@ pub fn build_clustering_graphs(
         .map(|v| (v, b_mask[v as usize]))
         .collect();
     let delivered_b = mpc_runtime::primitives::disseminate(
-        cluster,
-        "cg.bmask",
-        &b_pairs,
-        large,
-        &requests,
-        &owners,
+        cluster, "cg.bmask", &b_pairs, large, &requests, &owners,
     )?;
     // Candidate neighbor per level: value = Vec<u32> (u32::MAX = none).
     let mut cand_items: ShardedVec<(VertexId, Vec<u32>)> = ShardedVec::new(cluster);
@@ -249,8 +247,11 @@ pub fn build_clustering_graphs(
     let mut star_edges: ShardedVec<Edge> = ShardedVec::new(cluster);
     let mut center_level_counts: Vec<usize> = vec![0; levels];
     for (mid, inbox) in inboxes.into_iter().enumerate() {
-        let cands: std::collections::HashMap<VertexId, &Vec<u32>> =
-            cand_at_owner.shard(mid).iter().map(|(v, c)| (*v, c)).collect();
+        let cands: std::collections::HashMap<VertexId, &Vec<u32>> = cand_at_owner
+            .shard(mid)
+            .iter()
+            .map(|(v, c)| (*v, c))
+            .collect();
         for (_src, (v, (d, bmask))) in inbox {
             let nbr = cands.get(&v);
             // i_u = max level where v ∈ B_i or some neighbor ∈ B_i.
@@ -285,8 +286,7 @@ pub fn build_clustering_graphs(
     // here because the loop above already runs at the orchestrator level).
 
     // Step 5: cluster edges. Machines look up (σ, deg) for their endpoints.
-    let sigma_of_endpoints =
-        lookup(cluster, "cg.sigma", &sigma, &requests, &owners)?;
+    let sigma_of_endpoints = lookup(cluster, "cg.sigma", &sigma, &requests, &owners)?;
     let mut level_items: ShardedVec<(LevelEdgeKey, Edge)> = ShardedVec::new(cluster);
     for mid in 0..cluster.machines() {
         let info: std::collections::HashMap<VertexId, (VertexId, u32)> =
@@ -336,8 +336,7 @@ mod tests {
     use mpc_runtime::ClusterConfig;
 
     fn build(g: &mpc_graph::Graph, seed: u64) -> (ClusteringGraphs, Cluster) {
-        let mut cluster =
-            Cluster::new(ClusterConfig::new(g.n(), g.m()).seed(seed));
+        let mut cluster = Cluster::new(ClusterConfig::new(g.n(), g.m()).seed(seed));
         let input = common::distribute_edges(&cluster, g);
         let cg = build_clustering_graphs(&mut cluster, g.n(), &input).unwrap();
         (cg, cluster)

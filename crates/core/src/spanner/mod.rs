@@ -135,9 +135,14 @@ pub fn heterogeneous_spanner(
         witness.insert(*key, *orig);
         let j = (tag & 0xFF) as usize;
         if j == 0 {
-            full_edges.entry(i).or_default().push(Edge::unweighted(a, b));
+            full_edges
+                .entry(i)
+                .or_default()
+                .push(Edge::unweighted(a, b));
         } else {
-            let slot = sampled_edges.entry(i).or_insert_with(|| vec![Vec::new(); k]);
+            let slot = sampled_edges
+                .entry(i)
+                .or_insert_with(|| vec![Vec::new(); k]);
             slot[j - 1].push(Edge::unweighted(a, b));
         }
     }
@@ -227,8 +232,11 @@ pub fn heterogeneous_spanner(
     // stretch, as in classic Baswana–Sen).
     let mut cand_items: ShardedVec<((u64, u64), (u32, Edge))> = ShardedVec::new(cluster);
     for mid in 0..cg.cluster_edges.machines() {
-        let hist: HashMap<u64, &Vec<u32>> =
-            delivered.shard(mid).iter().map(|(k2, h)| (*k2, h)).collect();
+        let hist: HashMap<u64, &Vec<u32>> = delivered
+            .shard(mid)
+            .iter()
+            .map(|(k2, h)| (*k2, h))
+            .collect();
         let shard = cand_items.shard_mut(mid);
         for (key, orig) in cg.cluster_edges.shard(mid) {
             let (i, a, b) = unpack_level_edge(key);
@@ -247,10 +255,7 @@ pub fn heterogeneous_spanner(
                 if t >= 1 && hy.len() >= t {
                     let c = hy[t - 1];
                     if hx[t - 1] != c {
-                        shard.push((
-                            (((i as u64) << 32) | x as u64, c as u64),
-                            (y, *orig),
-                        ));
+                        shard.push(((((i as u64) << 32) | x as u64, c as u64), (y, *orig)));
                     }
                 }
             }
@@ -303,7 +308,10 @@ pub fn heterogeneous_spanner_weighted(
     let max_w = edges.iter().map(|(_, e)| e.w).max().unwrap_or(1).max(1);
     let classes = (max_w as f64).log2().floor() as usize + 1;
     let mut all_edges: Vec<Edge> = Vec::new();
-    let mut stats = SpannerStats { weight_classes: classes, ..Default::default() };
+    let mut stats = SpannerStats {
+        weight_classes: classes,
+        ..Default::default()
+    };
     for c in 0..classes {
         let (lo, hi) = (1u64 << c, (1u64 << (c + 1)) - 1);
         let class_edges: ShardedVec<Edge> = ShardedVec::from_shards(
@@ -338,7 +346,10 @@ pub fn heterogeneous_spanner_weighted(
             all_edges.push(Edge::new(e.u, e.v, w));
         }
     }
-    Ok(SpannerResult { spanner: Graph::new(n, all_edges), stats })
+    Ok(SpannerResult {
+        spanner: Graph::new(n, all_edges),
+        stats,
+    })
 }
 
 fn distinct_endpoints(edges: &[Edge]) -> usize {
@@ -356,7 +367,9 @@ mod tests {
 
     fn run(g: &Graph, k: usize, seed: u64) -> (SpannerResult, u64) {
         let mut cluster = Cluster::new(
-            ClusterConfig::new(g.n(), g.m()).seed(seed).polylog_exponent(1.6),
+            ClusterConfig::new(g.n(), g.m())
+                .seed(seed)
+                .polylog_exponent(1.6),
         );
         let input = common::distribute_edges(&cluster, g);
         let r = heterogeneous_spanner(&mut cluster, g.n(), &input, k).unwrap();
@@ -402,7 +415,10 @@ mod tests {
         // O(1) rounds: no growth trend beyond small jitter.
         let max = *rounds.iter().max().unwrap();
         let min = *rounds.iter().min().unwrap();
-        assert!(max <= min + 8, "rounds should be ~constant in n, got {rounds:?}");
+        assert!(
+            max <= min + 8,
+            "rounds should be ~constant in n, got {rounds:?}"
+        );
     }
 
     #[test]
@@ -410,7 +426,9 @@ mod tests {
         let g = generators::gnm(100, 800, 6).with_random_weights(64, 6);
         let k = 2;
         let mut cluster = Cluster::new(
-            ClusterConfig::new(g.n(), g.m()).seed(6).polylog_exponent(1.6),
+            ClusterConfig::new(g.n(), g.m())
+                .seed(6)
+                .polylog_exponent(1.6),
         );
         let input = common::distribute_edges(&cluster, &g);
         let r = heterogeneous_spanner_weighted(&mut cluster, g.n(), &input, k).unwrap();

@@ -1,0 +1,64 @@
+//! Thin call-style adapters: the legacy function signatures, backed by the
+//! execution engine.
+//!
+//! Existing code written against `mpc_core::ported::heterogeneous_connectivity(
+//! &mut cluster, ...)` can switch to the engine by swapping the import; the
+//! adapter builds the per-machine programs, runs the driver in the
+//! requested [`ExecMode`], and extracts the result from the large
+//! machine's final state.
+
+use crate::driver::{ExecError, ExecMode, Executor};
+use crate::programs::{BoruvkaProgram, ConnectivityProgram};
+use mpc_core::ported::connectivity::ConnectivityConfig;
+use mpc_graph::mst::Forest;
+use mpc_graph::traversal::Components;
+use mpc_graph::Edge;
+use mpc_runtime::{Cluster, ShardedVec};
+
+/// Engine-backed twin of
+/// [`mpc_core::ported::heterogeneous_connectivity`]: identical results,
+/// machine steps driven by the [`Executor`].
+///
+/// # Errors
+///
+/// Propagates capacity violations in strict mode; see [`ExecError`].
+pub fn heterogeneous_connectivity(
+    cluster: &mut Cluster,
+    n: usize,
+    edges: &ShardedVec<Edge>,
+    config: &ConnectivityConfig,
+    mode: ExecMode,
+) -> Result<Components, ExecError> {
+    let programs = ConnectivityProgram::for_cluster(cluster, n, edges, config);
+    let large = cluster
+        .large()
+        .expect("connectivity requires a large machine");
+    let outcome = Executor::new("conn", mode).run(cluster, programs)?;
+    Ok(outcome.programs[large]
+        .result
+        .clone()
+        .expect("large machine halts with a result"))
+}
+
+/// Engine-backed Borůvka minimum spanning forest: same forest (same
+/// tie-breaking) as [`mpc_core::mst::heterogeneous_mst`], computed in
+/// 4-round contraction waves.
+///
+/// # Errors
+///
+/// Propagates capacity violations in strict mode; see [`ExecError`].
+pub fn boruvka_msf(
+    cluster: &mut Cluster,
+    edges: &ShardedVec<Edge>,
+    mode: ExecMode,
+) -> Result<Forest, ExecError> {
+    let programs = BoruvkaProgram::for_cluster(cluster, edges);
+    let large = cluster
+        .large()
+        .expect("Borůvka MSF requires a large machine");
+    let mut outcome = Executor::new("boruvka", mode).run(cluster, programs)?;
+    Ok(outcome.programs[large]
+        .forest
+        .take()
+        .expect("large machine halts with a forest"))
+}

@@ -1,0 +1,294 @@
+//! The round driver: steps every machine, serially or concurrently, with
+//! bit-identical results either way.
+//!
+//! Determinism argument: each machine's step consumes only (a) its own
+//! program state, (b) its own private RNG stream, and (c) its inbox, whose
+//! order [`Cluster::exchange`](mpc_runtime::Cluster::exchange) fixes
+//! (ascending source id, then send order). Machines share nothing mutable,
+//! so the *schedule* of steps cannot influence any machine's output;
+//! running them on one thread or sixteen produces the same outboxes, the
+//! same round log, and the same RNG streams. The `parallel_matches_serial`
+//! tests assert this bit-for-bit.
+
+use crate::machine::{MachineCtx, MachineProgram, StepOutcome};
+use mpc_runtime::{Cluster, MachineId, ModelViolation};
+use std::error::Error;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How the driver schedules machine steps within a round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// One machine after another on the calling thread.
+    Serial,
+    /// All machines concurrently on scoped OS threads (the environment has
+    /// no crates.io access, so this uses `std::thread::scope` with evenly
+    /// chunked machines instead of a rayon pool).
+    #[default]
+    Parallel,
+}
+
+/// Errors of a program execution.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExecError {
+    /// A capacity violation surfaced by the cluster in strict mode.
+    Model(ModelViolation),
+    /// The program did not terminate within the round limit.
+    RoundLimit {
+        /// The limit that was hit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Model(v) => write!(f, "model violation: {v}"),
+            ExecError::RoundLimit { limit } => {
+                write!(f, "program exceeded the round limit of {limit}")
+            }
+        }
+    }
+}
+
+impl Error for ExecError {}
+
+impl From<ModelViolation> for ExecError {
+    fn from(v: ModelViolation) -> Self {
+        ExecError::Model(v)
+    }
+}
+
+/// What a finished run returns.
+#[derive(Debug)]
+pub struct ExecOutcome<P> {
+    /// Final per-machine program states (extract results from these).
+    pub programs: Vec<P>,
+    /// Exchange rounds this run consumed.
+    pub rounds: u64,
+    /// Host wall-clock time of the run (the quantity the serial-vs-parallel
+    /// bench compares; simulated time lives in the cluster's round log).
+    pub wall: Duration,
+}
+
+/// Drives a [`MachineProgram`] over a cluster.
+#[derive(Clone, Debug)]
+pub struct Executor {
+    label: String,
+    mode: ExecMode,
+    max_rounds: u64,
+    threads: usize,
+}
+
+/// Result of stepping one machine.
+struct StepSlot<M> {
+    outbox: Vec<(MachineId, M)>,
+    halt: bool,
+    work: u64,
+}
+
+/// One machine's inputs for a round, bundled so a worker thread can own it.
+struct WorkItem<'a, P: MachineProgram> {
+    mid: MachineId,
+    stepping: bool,
+    program: &'a mut P,
+    rng: &'a mut rand::rngs::SmallRng,
+    inbox: Vec<(MachineId, P::Message)>,
+    slot: Option<StepSlot<P::Message>>,
+}
+
+impl Executor {
+    /// An executor labeling its exchanges `{label}.r{round}`.
+    pub fn new(label: &str, mode: ExecMode) -> Self {
+        Executor {
+            label: label.to_string(),
+            mode,
+            max_rounds: 100_000,
+            threads: 0,
+        }
+    }
+
+    /// Serial executor (reference schedule).
+    pub fn serial(label: &str) -> Self {
+        Executor::new(label, ExecMode::Serial)
+    }
+
+    /// Parallel executor (one chunk of machines per OS thread).
+    pub fn parallel(label: &str) -> Self {
+        Executor::new(label, ExecMode::Parallel)
+    }
+
+    /// Overrides the termination safety net (default 100 000 rounds).
+    pub fn max_rounds(mut self, limit: u64) -> Self {
+        self.max_rounds = limit.max(1);
+        self
+    }
+
+    /// Caps worker threads in parallel mode (0 = one per available core).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    fn worker_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        std::thread::available_parallelism().map_or(4, |n| n.get())
+    }
+
+    /// Runs `programs` (one per machine) to completion.
+    ///
+    /// Every round: step all active machines, charge each machine's message
+    /// volume plus [`MachineCtx::charge`]d extra as local work, then move
+    /// the union of outboxes through one capacity-checked
+    /// [`exchange`](Cluster::exchange). Ends when all machines have halted
+    /// with nothing in flight.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::Model`] on a capacity violation in strict mode;
+    /// [`ExecError::RoundLimit`] if the program fails to terminate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `programs.len()` differs from the cluster's machine count.
+    pub fn run<P: MachineProgram>(
+        &self,
+        cluster: &mut Cluster,
+        mut programs: Vec<P>,
+    ) -> Result<ExecOutcome<P>, ExecError> {
+        let k = cluster.machines();
+        assert_eq!(programs.len(), k, "need exactly one program per machine");
+        let caps: Vec<usize> = (0..k).map(|m| cluster.capacity(m)).collect();
+        let large = cluster.large();
+        let start = Instant::now();
+
+        let mut halted = vec![false; k];
+        let mut inboxes: Vec<Vec<(MachineId, P::Message)>> = (0..k).map(|_| Vec::new()).collect();
+        let mut round: u64 = 0;
+
+        loop {
+            let any_stepping = (0..k).any(|m| !halted[m] || !inboxes[m].is_empty());
+            if !any_stepping {
+                break;
+            }
+            if round >= self.max_rounds {
+                return Err(ExecError::RoundLimit {
+                    limit: self.max_rounds,
+                });
+            }
+
+            // Bundle per-machine state so threads can own disjoint slices.
+            let rngs = cluster.rngs_mut();
+            let mut items: Vec<WorkItem<'_, P>> = programs
+                .iter_mut()
+                .zip(rngs.iter_mut())
+                .zip(inboxes.iter_mut().map(std::mem::take))
+                .enumerate()
+                .map(|(mid, ((program, rng), inbox))| WorkItem {
+                    mid,
+                    stepping: !halted[mid] || !inbox.is_empty(),
+                    program,
+                    rng,
+                    inbox,
+                    slot: None,
+                })
+                .collect();
+
+            match self.mode {
+                ExecMode::Serial => {
+                    for item in &mut items {
+                        step_item(item, &caps, large, k, round);
+                    }
+                }
+                ExecMode::Parallel => {
+                    let threads = self.worker_threads().min(k).max(1);
+                    let chunk = k.div_ceil(threads);
+                    std::thread::scope(|scope| {
+                        for chunk_items in items.chunks_mut(chunk) {
+                            let caps = &caps;
+                            scope.spawn(move || {
+                                for item in chunk_items {
+                                    step_item(item, caps, large, k, round);
+                                }
+                            });
+                        }
+                    });
+                }
+            }
+
+            // Fold results back in machine order (deterministic regardless
+            // of which thread ran which machine).
+            let mut outgoing: Vec<Vec<(MachineId, P::Message)>> =
+                (0..k).map(|_| Vec::new()).collect();
+            let mut any_messages = false;
+            let mut work_charges: Vec<(MachineId, u64)> = Vec::new();
+            for item in items {
+                let mid = item.mid;
+                if let Some(slot) = item.slot {
+                    halted[mid] = slot.halt;
+                    any_messages |= !slot.outbox.is_empty();
+                    if slot.work > 0 {
+                        work_charges.push((mid, slot.work));
+                    }
+                    outgoing[mid] = slot.outbox;
+                }
+            }
+            for (mid, work) in work_charges {
+                cluster.charge_work(mid, work);
+            }
+
+            if !any_messages && halted.iter().all(|&h| h) {
+                // Everyone is done and nothing is in flight: no final
+                // exchange, the round was pure local wind-down.
+                break;
+            }
+            inboxes = cluster.exchange(&format!("{}.r{:03}", self.label, round), outgoing)?;
+            round += 1;
+        }
+
+        Ok(ExecOutcome {
+            programs,
+            rounds: round,
+            wall: start.elapsed(),
+        })
+    }
+}
+
+/// Steps one machine: builds its context, runs the program, records the
+/// outcome and the deterministic work charge (inbox + outbox words + any
+/// explicitly charged computation).
+fn step_item<P: MachineProgram>(
+    item: &mut WorkItem<'_, P>,
+    caps: &[usize],
+    large: Option<MachineId>,
+    machines: usize,
+    round: u64,
+) {
+    if !item.stepping {
+        item.slot = None;
+        return;
+    }
+    let inbox = std::mem::take(&mut item.inbox);
+    let inbox_words: usize = inbox
+        .iter()
+        .map(|(_, m)| mpc_runtime::Payload::words(m))
+        .sum();
+    let ctx = MachineCtx::new(item.mid, machines, large, caps[item.mid], round, item.rng);
+    let outcome = item.program.step(&ctx, inbox);
+    let extra = ctx.charged();
+    let (outbox, halt) = match outcome {
+        StepOutcome::Send(outbox) => (outbox, false),
+        StepOutcome::Halt => (Vec::new(), true),
+    };
+    let outbox_words: usize = outbox
+        .iter()
+        .map(|(_, m)| mpc_runtime::Payload::words(m))
+        .sum();
+    item.slot = Some(StepSlot {
+        outbox,
+        halt,
+        work: inbox_words as u64 + outbox_words as u64 + extra,
+    });
+}

@@ -1,0 +1,52 @@
+//! # mpc-exec — the parallel execution engine
+//!
+//! The paper's model promises that per-round local computation is "free";
+//! the legacy simulator nevertheless executes every machine's local work
+//! *serially* on one thread, so simulated wall-clock grows with cluster
+//! size — the opposite of what an MPC deployment does. This crate closes
+//! that gap:
+//!
+//! * [`MachineProgram`] — an algorithm as a per-machine state machine
+//!   (`step(ctx, inbox) -> StepOutcome`), i.e. *data the engine drives*
+//!   instead of a loop that owns the [`Cluster`](mpc_runtime::Cluster);
+//! * [`Executor`] — a round driver that steps all machines concurrently
+//!   (scoped OS threads; the offline build environment has no rayon) with
+//!   deterministic inbox ordering and **bit-identical** round logs,
+//!   results, and RNG streams to serial execution under the same seed;
+//! * a heterogeneous [`CostModel`](mpc_runtime::CostModel) (per-machine
+//!   compute speed, link bandwidth, per-round latency) lives in
+//!   `mpc-runtime` and turns every round into a simulated *makespan*, so
+//!   straggler and non-uniform-speed scenarios are measurable.
+//!
+//! Ported programs live in [`programs`]; the legacy call-style signatures
+//! survive as thin [`adapters`].
+//!
+//! ## Example
+//!
+//! ```
+//! use mpc_exec::{ExecMode, adapters};
+//! use mpc_core::common;
+//! use mpc_core::ported::connectivity::{sketch_friendly_config, ConnectivityConfig};
+//! use mpc_graph::generators;
+//! use mpc_runtime::Cluster;
+//!
+//! let g = generators::gnm(64, 160, 7);
+//! let mut cluster = Cluster::new(sketch_friendly_config(g.n(), g.m(), 7));
+//! let edges = common::distribute_edges(&cluster, &g);
+//! let comps = adapters::heterogeneous_connectivity(
+//!     &mut cluster, g.n(), &edges, &ConnectivityConfig::for_n(g.n()), ExecMode::Parallel,
+//! ).unwrap();
+//! assert_eq!(comps, mpc_graph::traversal::connected_components(&g));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adapters;
+pub mod driver;
+pub mod machine;
+pub mod programs;
+
+pub use driver::{ExecError, ExecMode, ExecOutcome, Executor};
+pub use machine::{MachineCtx, MachineProgram, StepOutcome};
+pub use programs::{BoruvkaProgram, ConnectivityProgram};

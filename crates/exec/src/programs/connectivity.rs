@@ -1,0 +1,181 @@
+//! [`ConnectivityProgram`]: the paper's `O(1)`-round connectivity port
+//! (Theorem C.1) expressed as a per-machine state machine.
+//!
+//! Same mathematics as [`mpc_core::ported::heterogeneous_connectivity`],
+//! re-phased onto the program clock (`ctx.round`):
+//!
+//! | round | who    | does |
+//! |------:|--------|------|
+//! | 0     | large  | draws the sketch-family seed from its private RNG, sends it to every machine |
+//! | 1     | smalls | build partial sparse sketches of their local edges, send each `(phase, vertex)` partial to its hash-owner |
+//! | 2     | owners | sum partials per key (sketches are linear), forward to the large machine |
+//! | 3     | large  | dense-ifies the per-vertex sketches, runs sketch-Borůvka locally, halts with the [`Components`] |
+//!
+//! The seed is the large machine's **first** RNG draw — exactly what the
+//! legacy implementation draws — and sketch merging is field addition
+//! (commutative and associative), so the resulting components are
+//! *identical* to the legacy path on the same cluster seed, which the
+//! equivalence tests assert.
+
+use crate::machine::{MachineCtx, MachineProgram, StepOutcome};
+use mpc_core::ported::connectivity::ConnectivityConfig;
+use mpc_graph::traversal::Components;
+use mpc_graph::Edge;
+use mpc_runtime::{Cluster, MachineId, Payload, ShardedVec};
+use mpc_sketch::{sketch_connectivity, SketchFamily, SparseSketch, VertexSketch};
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// Messages of the connectivity program.
+#[derive(Clone, Debug)]
+pub enum ConnMsg {
+    /// The sketch-family seed, broadcast by the large machine.
+    Seed(u64),
+    /// A (partial or merged) sparse sketch for key `(phase << 32) | vertex`.
+    Partial(u64, SparseSketch),
+}
+
+impl Payload for ConnMsg {
+    fn words(&self) -> usize {
+        match self {
+            ConnMsg::Seed(_) => 1,
+            ConnMsg::Partial(_, s) => 1 + s.words(),
+        }
+    }
+}
+
+/// Per-machine state of the connectivity port.
+pub struct ConnectivityProgram {
+    n: usize,
+    phases: usize,
+    owners: Vec<MachineId>,
+    local_edges: Vec<Edge>,
+    /// The family seed: drawn in round 0 on the large machine, received in
+    /// round 1 on the smalls.
+    seed: Option<u64>,
+    /// Set on the large machine when it halts.
+    pub result: Option<Components>,
+}
+
+impl ConnectivityProgram {
+    /// Builds one program per machine of `cluster`, with the input edges
+    /// sharded as `edges` (typically
+    /// [`common::distribute_edges`](mpc_core::common::distribute_edges)).
+    pub fn for_cluster(
+        cluster: &Cluster,
+        n: usize,
+        edges: &ShardedVec<Edge>,
+        config: &ConnectivityConfig,
+    ) -> Vec<Self> {
+        let owners = cluster.small_ids();
+        assert!(
+            cluster.large().is_some(),
+            "connectivity requires a large machine"
+        );
+        (0..cluster.machines())
+            .map(|mid| ConnectivityProgram {
+                n,
+                phases: config.phases,
+                owners: owners.clone(),
+                local_edges: edges.shard(mid).to_vec(),
+                seed: None,
+                result: None,
+            })
+            .collect()
+    }
+
+    fn owner_of(&self, key: u64) -> MachineId {
+        self.owners[(key % self.owners.len() as u64) as usize]
+    }
+}
+
+impl MachineProgram for ConnectivityProgram {
+    type Message = ConnMsg;
+
+    fn step(
+        &mut self,
+        ctx: &MachineCtx<'_>,
+        inbox: Vec<(MachineId, ConnMsg)>,
+    ) -> StepOutcome<ConnMsg> {
+        match ctx.round {
+            // Round 0 — the large machine distributes shared randomness.
+            0 => {
+                if !ctx.is_large() {
+                    return StepOutcome::idle();
+                }
+                let seed: u64 = ctx.rng().random();
+                self.seed = Some(seed);
+                let out = ctx
+                    .small_ids()
+                    .into_iter()
+                    .map(|mid| (mid, ConnMsg::Seed(seed)))
+                    .collect();
+                StepOutcome::Send(out)
+            }
+            // Round 1 — small machines sketch their local edges.
+            1 => {
+                let Some((_, ConnMsg::Seed(seed))) = inbox.into_iter().next() else {
+                    return StepOutcome::idle(); // the large machine
+                };
+                self.seed = Some(seed);
+                let family = SketchFamily::new(self.n, self.phases, seed);
+                let mut partials: BTreeMap<u64, SparseSketch> = BTreeMap::new();
+                for e in &self.local_edges {
+                    for phase in 0..self.phases {
+                        let ku = ((phase as u64) << 32) | e.u as u64;
+                        let kv = ((phase as u64) << 32) | e.v as u64;
+                        family.add_edge_sparse(partials.entry(ku).or_default(), phase, e.u, e.v);
+                        family.add_edge_sparse(partials.entry(kv).or_default(), phase, e.v, e.u);
+                    }
+                }
+                // Sketch construction is the dominant local computation;
+                // report it so the cost model sees the skew.
+                ctx.charge((self.local_edges.len() * self.phases) as u64);
+                let out = partials
+                    .into_iter()
+                    .map(|(key, s)| (self.owner_of(key), ConnMsg::Partial(key, s)))
+                    .collect();
+                StepOutcome::Send(out)
+            }
+            // Round 2 — owners sum partials per key (linearity).
+            2 => {
+                if inbox.is_empty() {
+                    return StepOutcome::idle();
+                }
+                let large = ctx.large.expect("checked in for_cluster");
+                let mut merged: BTreeMap<u64, SparseSketch> = BTreeMap::new();
+                for (_, msg) in inbox {
+                    if let ConnMsg::Partial(key, s) = msg {
+                        merged.entry(key).or_default().merge(&s);
+                    }
+                }
+                let out = merged
+                    .into_iter()
+                    .map(|(key, s)| (large, ConnMsg::Partial(key, s)))
+                    .collect();
+                StepOutcome::Send(out)
+            }
+            // Round 3 — the large machine runs sketch-Borůvka locally.
+            _ => {
+                if !ctx.is_large() {
+                    return StepOutcome::Halt;
+                }
+                let seed = self.seed.expect("seed drawn in round 0");
+                let family = SketchFamily::new(self.n, self.phases, seed);
+                let mut rows: Vec<Vec<VertexSketch>> = (0..self.phases)
+                    .map(|p| (0..self.n).map(|_| family.empty(p)).collect())
+                    .collect();
+                for (_, msg) in inbox {
+                    if let ConnMsg::Partial(key, sparse) = msg {
+                        let phase = (key >> 32) as usize;
+                        let v = (key & 0xFFFF_FFFF) as usize;
+                        rows[phase][v] = family.to_dense(&sparse);
+                    }
+                }
+                ctx.charge((self.n * self.phases) as u64);
+                self.result = Some(sketch_connectivity(&family, &rows, self.n));
+                StepOutcome::Halt
+            }
+        }
+    }
+}

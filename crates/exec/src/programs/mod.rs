@@ -1,0 +1,14 @@
+//! Algorithms ported to the [`MachineProgram`](crate::MachineProgram)
+//! execution model.
+//!
+//! Each port is mathematically the same algorithm as its legacy call-style
+//! twin in `mpc-core` and produces **identical results** on the same
+//! cluster seed (asserted by the `legacy_equivalence` tests); what changes
+//! is the shape: per-machine state machines the engine can schedule
+//! concurrently, instead of a loop that owns the whole cluster.
+
+pub mod boruvka;
+pub mod connectivity;
+
+pub use boruvka::{BoruvkaProgram, MstMsg};
+pub use connectivity::{ConnMsg, ConnectivityProgram};

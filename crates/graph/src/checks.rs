@@ -42,8 +42,7 @@ impl SpannerReport {
 /// spanner must be a subgraph (§4).
 pub fn verify_spanner(g: &Graph, h: &Graph, sources: Option<usize>, seed: u64) -> SpannerReport {
     use std::collections::HashSet;
-    let g_set: HashSet<(VertexId, VertexId)> =
-        g.edges().iter().map(|e| (e.u, e.v)).collect();
+    let g_set: HashSet<(VertexId, VertexId)> = g.edges().iter().map(|e| (e.u, e.v)).collect();
     for e in h.edges() {
         assert!(
             g_set.contains(&(e.u, e.v)),
@@ -58,7 +57,9 @@ pub fn verify_spanner(g: &Graph, h: &Graph, sources: Option<usize>, seed: u64) -
         None => (0..n as VertexId).collect(),
         Some(k) => {
             let mut rng = SmallRng::seed_from_u64(seed);
-            (0..k.min(n)).map(|_| rng.random_range(0..n as VertexId)).collect()
+            (0..k.min(n))
+                .map(|_| rng.random_range(0..n as VertexId))
+                .collect()
         }
     };
     let mut max_stretch: f64 = 1.0;
@@ -82,15 +83,18 @@ pub fn verify_spanner(g: &Graph, h: &Graph, sources: Option<usize>, seed: u64) -
             }
         }
     }
-    SpannerReport { max_stretch, pairs_checked: pairs, spanner_edges: h.m() }
+    SpannerReport {
+        max_stretch,
+        pairs_checked: pairs,
+        spanner_edges: h.m(),
+    }
 }
 
 /// Whether `forest_edges` form a spanning forest of `g`:
 /// acyclic, subgraph of `g`, and connecting exactly `g`'s components.
 pub fn is_spanning_forest(g: &Graph, forest_edges: &[crate::ids::Edge]) -> bool {
     use std::collections::HashSet;
-    let g_set: HashSet<(VertexId, VertexId)> =
-        g.edges().iter().map(|e| (e.u, e.v)).collect();
+    let g_set: HashSet<(VertexId, VertexId)> = g.edges().iter().map(|e| (e.u, e.v)).collect();
     let mut dsu = crate::dsu::DisjointSets::new(g.n());
     for e in forest_edges {
         let ne = e.normalized();

@@ -9,7 +9,9 @@ pub type Color = u32;
 /// Whether `colors` (length `n`) is a proper coloring of `g`.
 pub fn is_proper_coloring(g: &Graph, colors: &[Color]) -> bool {
     colors.len() == g.n()
-        && g.edges().iter().all(|e| colors[e.u as usize] != colors[e.v as usize])
+        && g.edges()
+            .iter()
+            .all(|e| colors[e.u as usize] != colors[e.v as usize])
 }
 
 /// Number of distinct colors used.
@@ -50,7 +52,10 @@ pub fn greedy_coloring(g: &Graph, order: &[VertexId]) -> Vec<Color> {
         }
         colors[v as usize] = Some(c);
     }
-    colors.into_iter().map(|c| c.expect("all vertices colored")).collect()
+    colors
+        .into_iter()
+        .map(|c| c.expect("all vertices colored"))
+        .collect()
 }
 
 /// Greedy *list*-coloring: each vertex must pick from its own palette.
@@ -76,7 +81,12 @@ pub fn greedy_list_coloring(
             .find(|c| !neighbor_colors.contains(c))?;
         colors[v as usize] = Some(pick);
     }
-    Some(colors.into_iter().map(|c| c.expect("all vertices colored")).collect())
+    Some(
+        colors
+            .into_iter()
+            .map(|c| c.expect("all vertices colored"))
+            .collect(),
+    )
 }
 
 #[cfg(test)]

@@ -75,7 +75,9 @@ impl DisjointSets {
 
     /// Canonical labeling: for each element, the representative of its set.
     pub fn labels(&mut self) -> Vec<u32> {
-        (0..self.parent.len() as u32).map(|x| self.find(x)).collect()
+        (0..self.parent.len() as u32)
+            .map(|x| self.find(x))
+            .collect()
     }
 }
 

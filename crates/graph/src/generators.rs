@@ -154,16 +154,16 @@ pub fn random_tree(n: usize, seed: u64) -> Graph {
         return Graph::new(2, [Edge::unweighted(0, 1)]);
     }
     let mut rng = rng_for(seed, 0x7EE);
-    let prufer: Vec<VertexId> =
-        (0..n - 2).map(|_| rng.random_range(0..n as VertexId)).collect();
+    let prufer: Vec<VertexId> = (0..n - 2)
+        .map(|_| rng.random_range(0..n as VertexId))
+        .collect();
     let mut degree = vec![1u32; n];
     for &x in &prufer {
         degree[x as usize] += 1;
     }
     let mut edges = Vec::with_capacity(n - 1);
     // Standard O(n log n) Prüfer decoding with a min-heap of leaves.
-    let mut leaves: std::collections::BinaryHeap<std::cmp::Reverse<VertexId>> = (0..n
-        as VertexId)
+    let mut leaves: std::collections::BinaryHeap<std::cmp::Reverse<VertexId>> = (0..n as VertexId)
         .filter(|&v| degree[v as usize] == 1)
         .map(std::cmp::Reverse)
         .collect();
@@ -288,7 +288,10 @@ pub fn barbell(k: usize, bridge_len: usize, seed: u64) -> Graph {
     let clique = |off: usize, edges: &mut Vec<Edge>| {
         for u in 0..k {
             for v in (u + 1)..k {
-                edges.push(Edge::unweighted((off + u) as VertexId, (off + v) as VertexId));
+                edges.push(Edge::unweighted(
+                    (off + u) as VertexId,
+                    (off + v) as VertexId,
+                ));
             }
         }
     };
@@ -358,7 +361,11 @@ mod tests {
     #[test]
     fn chung_lu_is_skewed() {
         let g = chung_lu(300, 900, 2.5, 11);
-        assert!(g.m() > 100, "expected a non-trivial edge count, got {}", g.m());
+        assert!(
+            g.m() > 100,
+            "expected a non-trivial edge count, got {}",
+            g.m()
+        );
         let degs = g.degrees();
         let max = *degs.iter().max().unwrap();
         let avg = g.average_degree();

@@ -44,7 +44,10 @@ impl Graph {
 
     /// A graph with `n` vertices and no edges.
     pub fn empty(n: usize) -> Self {
-        Graph { n, edges: Vec::new() }
+        Graph {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Number of vertices.
@@ -69,7 +72,7 @@ impl Graph {
 
     /// Iterates over vertex ids `0..n`.
     pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
-        (0..self.n as VertexId).into_iter()
+        0..self.n as VertexId
     }
 
     /// Average degree `2m/n` (the paper's `d`), or 0 for the empty graph.
@@ -125,7 +128,10 @@ impl Graph {
 
     /// Returns the subgraph containing only edges accepted by `keep`.
     pub fn filter_edges(&self, mut keep: impl FnMut(&Edge) -> bool) -> Graph {
-        Graph { n: self.n, edges: self.edges.iter().copied().filter(|e| keep(e)).collect() }
+        Graph {
+            n: self.n,
+            edges: self.edges.iter().copied().filter(|e| keep(e)).collect(),
+        }
     }
 
     /// Returns the subgraph induced by the vertex set `verts`
@@ -196,12 +202,18 @@ mod tests {
     use super::*;
 
     fn triangle() -> Graph {
-        Graph::new(3, [Edge::new(0, 1, 5), Edge::new(1, 2, 3), Edge::new(2, 0, 4)])
+        Graph::new(
+            3,
+            [Edge::new(0, 1, 5), Edge::new(1, 2, 3), Edge::new(2, 0, 4)],
+        )
     }
 
     #[test]
     fn dedup_keeps_lightest_parallel_edge() {
-        let g = Graph::new(2, [Edge::new(0, 1, 9), Edge::new(1, 0, 4), Edge::new(0, 1, 7)]);
+        let g = Graph::new(
+            2,
+            [Edge::new(0, 1, 9), Edge::new(1, 0, 4), Edge::new(0, 1, 7)],
+        );
         assert_eq!(g.m(), 1);
         assert_eq!(g.edges()[0].w, 4);
     }

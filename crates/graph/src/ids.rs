@@ -42,13 +42,21 @@ impl Edge {
         if self.u <= self.v {
             self
         } else {
-            Edge { u: self.v, v: self.u, w: self.w }
+            Edge {
+                u: self.v,
+                v: self.u,
+                w: self.w,
+            }
         }
     }
 
     /// Returns the same edge oriented in the opposite direction.
     pub fn reversed(self) -> Self {
-        Edge { u: self.v, v: self.u, w: self.w }
+        Edge {
+            u: self.v,
+            v: self.u,
+            w: self.w,
+        }
     }
 
     /// The endpoint different from `x`.
@@ -80,7 +88,11 @@ impl Edge {
     /// are unique for any input.
     pub fn weight_key(&self) -> WeightKey {
         let e = self.normalized();
-        WeightKey { w: e.w, u: e.u, v: e.v }
+        WeightKey {
+            w: e.w,
+            u: e.u,
+            v: e.v,
+        }
     }
 }
 
@@ -106,8 +118,11 @@ pub struct WeightKey {
 
 impl WeightKey {
     /// A key larger than every real edge key (used as "+infinity").
-    pub const INFINITY: WeightKey =
-        WeightKey { w: Weight::MAX, u: VertexId::MAX, v: VertexId::MAX };
+    pub const INFINITY: WeightKey = WeightKey {
+        w: Weight::MAX,
+        u: VertexId::MAX,
+        v: VertexId::MAX,
+    };
 }
 
 #[cfg(test)]

@@ -76,7 +76,9 @@ pub fn is_maximal_matching(g: &Graph, m: &Matching) -> bool {
         return false;
     }
     let mask = m.matched_mask(g.n());
-    g.edges().iter().all(|e| mask[e.u as usize] || mask[e.v as usize])
+    g.edges()
+        .iter()
+        .all(|e| mask[e.u as usize] || mask[e.v as usize])
 }
 
 /// Greedy maximal matching scanning edges in the given order.
@@ -119,8 +121,10 @@ pub fn maximum_matching_size_bruteforce(g: &Graph) -> usize {
     assert!(edges.len() <= 20, "bruteforce limited to 20 edges");
     let mut best = 0usize;
     for mask in 0u32..(1u32 << edges.len()) {
-        let chosen: Vec<Edge> =
-            (0..edges.len()).filter(|i| mask >> i & 1 == 1).map(|i| edges[i]).collect();
+        let chosen: Vec<Edge> = (0..edges.len())
+            .filter(|i| mask >> i & 1 == 1)
+            .map(|i| edges[i])
+            .collect();
         if is_matching(g.n(), &chosen) {
             best = best.max(chosen.len());
         }
@@ -169,10 +173,14 @@ mod tests {
     #[test]
     fn non_maximal_is_rejected() {
         let g = generators::path(4); // 0-1-2-3
-        let m = Matching { edges: vec![Edge::unweighted(1, 2)] };
+        let m = Matching {
+            edges: vec![Edge::unweighted(1, 2)],
+        };
         // Edge 0-1 and 2-3 are covered; this IS maximal for the path.
         assert!(is_maximal_matching(&g, &m));
-        let m2 = Matching { edges: vec![Edge::unweighted(0, 1)] };
+        let m2 = Matching {
+            edges: vec![Edge::unweighted(0, 1)],
+        };
         // Edge 2-3 has no matched endpoint: not maximal.
         assert!(!is_maximal_matching(&g, &m2));
     }

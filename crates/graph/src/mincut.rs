@@ -99,8 +99,11 @@ pub fn stoer_wagner(n: usize, edges: &[(VertexId, VertexId, Weight)]) -> Option<
         let t = *order.last().unwrap();
         let s = order[order.len() - 2];
         let cut_of_phase = weights[t];
-        let candidate = MinCut { weight: cut_of_phase, side: merged[t].clone() };
-        if best.as_ref().map_or(true, |b| candidate.weight < b.weight) {
+        let candidate = MinCut {
+            weight: cut_of_phase,
+            side: merged[t].clone(),
+        };
+        if best.as_ref().is_none_or(|b| candidate.weight < b.weight) {
             best = Some(candidate);
         }
         // Merge t into s.
@@ -140,7 +143,7 @@ pub fn min_cut(g: &Graph) -> Option<MinCut> {
 /// Exhaustive minimum cut (2^(n−1) subsets); oracle for tiny graphs.
 pub fn min_cut_bruteforce(g: &Graph) -> Option<u128> {
     let n = g.n();
-    if n < 2 || n > 20 {
+    if !(2..=20).contains(&n) {
         return None;
     }
     let mut best = u128::MAX;

@@ -12,7 +12,9 @@ pub fn is_independent_set(g: &Graph, set: &[VertexId]) -> bool {
         }
         in_set[v as usize] = true;
     }
-    g.edges().iter().all(|e| !(in_set[e.u as usize] && in_set[e.v as usize]))
+    g.edges()
+        .iter()
+        .all(|e| !(in_set[e.u as usize] && in_set[e.v as usize]))
 }
 
 /// Whether `set` is a *maximal* independent set: independent, and every

@@ -23,7 +23,10 @@ impl Forest {
     pub fn from_edges(mut edges: Vec<Edge>) -> Self {
         edges.sort_by_key(Edge::weight_key);
         let total_weight = edges.iter().map(|e| e.w as u128).sum();
-        Forest { edges, total_weight }
+        Forest {
+            edges,
+            total_weight,
+        }
     }
 
     /// Number of forest edges.
@@ -77,7 +80,7 @@ pub fn boruvka(g: &Graph) -> Forest {
             }
             any = true;
             for r in [ru, rv] {
-                if best[r].map_or(true, |b| e.weight_key() < b.weight_key()) {
+                if best[r].is_none_or(|b| e.weight_key() < b.weight_key()) {
                     best[r] = Some(e);
                 }
             }
@@ -94,7 +97,10 @@ pub fn boruvka(g: &Graph) -> Forest {
                 }
             }
         }
-        debug_assert!(merged, "Borůvka must make progress while outgoing edges exist");
+        debug_assert!(
+            merged,
+            "Borůvka must make progress while outgoing edges exist"
+        );
     }
     Forest::from_edges(picked)
 }
@@ -182,7 +188,10 @@ mod tests {
             if mask.count_ones() != 4 {
                 continue;
             }
-            let chosen: Vec<_> = (0..m).filter(|i| mask >> i & 1 == 1).map(|i| edges[i]).collect();
+            let chosen: Vec<_> = (0..m)
+                .filter(|i| mask >> i & 1 == 1)
+                .map(|i| edges[i])
+                .collect();
             let mut dsu = DisjointSets::new(5);
             let mut ok = true;
             for e in &chosen {

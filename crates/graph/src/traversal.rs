@@ -41,7 +41,7 @@ pub fn dijkstra(adj: &Adjacency, source: VertexId) -> Vec<u64> {
             continue;
         }
         for &(v, w) in adj.neighbors(u) {
-            let nd = d + w as u64;
+            let nd = d + w;
             if nd < dist[v as usize] {
                 dist[v as usize] = nd;
                 heap.push(Reverse((nd, v)));
@@ -84,9 +84,13 @@ pub fn components_from_dsu(dsu: &mut DisjointSets) -> Components {
         let r = dsu.find(v) as usize;
         min_id[r] = min_id[r].min(v);
     }
-    let label: Vec<VertexId> =
-        (0..n as VertexId).map(|v| min_id[dsu.find(v) as usize]).collect();
-    Components { count: dsu.component_count(), label }
+    let label: Vec<VertexId> = (0..n as VertexId)
+        .map(|v| min_id[dsu.find(v) as usize])
+        .collect();
+    Components {
+        count: dsu.component_count(),
+        label,
+    }
 }
 
 /// Weighted eccentricity-based diameter estimate (max over BFS from sample).
@@ -157,7 +161,7 @@ mod tests {
         let c = connected_components(&f);
         assert_eq!(c.count, 3);
         assert!(c.same(0, 1) || !c.same(0, 59)); // labels are consistent
-        // Labels are minimum ids: the label of vertex 0 is 0.
+                                                 // Labels are minimum ids: the label of vertex 0 is 0.
         assert_eq!(c.label[0], 0);
     }
 

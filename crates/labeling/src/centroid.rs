@@ -69,8 +69,7 @@ impl CentroidDecomposition {
                 members.push(x);
                 order.push(x);
                 for &(y, _) in adj.neighbors(x) {
-                    if !removed[y as usize] && y != parent[x as usize] && size[y as usize] == 0
-                    {
+                    if !removed[y as usize] && y != parent[x as usize] && size[y as usize] == 0 {
                         size[y as usize] = 1;
                         parent[y as usize] = x;
                         stack.push(y);
@@ -114,7 +113,10 @@ impl CentroidDecomposition {
                 }
             }
         }
-        CentroidDecomposition { ancestors, max_depth }
+        CentroidDecomposition {
+            ancestors,
+            max_depth,
+        }
     }
 
     /// The centroid ancestry of `v`, topmost centroid first.
@@ -137,7 +139,11 @@ mod tests {
     fn depth_is_logarithmic_on_paths() {
         let g = generators::path(1024);
         let cd = CentroidDecomposition::new(&g);
-        assert!(cd.max_depth() <= 11, "depth {} > log2(1024)+1", cd.max_depth());
+        assert!(
+            cd.max_depth() <= 11,
+            "depth {} > log2(1024)+1",
+            cd.max_depth()
+        );
     }
 
     #[test]
@@ -145,7 +151,11 @@ mod tests {
         for seed in 0..5 {
             let g = generators::random_tree(500, seed);
             let cd = CentroidDecomposition::new(&g);
-            assert!(cd.max_depth() <= 10, "seed {seed}: depth {}", cd.max_depth());
+            assert!(
+                cd.max_depth() <= 10,
+                "seed {seed}: depth {}",
+                cd.max_depth()
+            );
         }
     }
 

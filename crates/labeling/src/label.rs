@@ -53,7 +53,11 @@ pub struct NotAForestError {
 
 impl fmt::Display for NotAForestError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "input graph is not a forest: edge {:?} closes a cycle", self.witness)
+        write!(
+            f,
+            "input graph is not a forest: edge {:?} closes a cycle",
+            self.witness
+        )
     }
 }
 
@@ -92,13 +96,15 @@ impl MaxEdgeLabeling {
         // length — equivalent and simple: walk from c, allowing only
         // vertices whose ancestry length > d (not yet removed at level d).
         let mut labels: Vec<Label> = (0..n as VertexId)
-            .map(|v| Label { tree: comps.label[v as usize], entries: Vec::new() })
+            .map(|v| Label {
+                tree: comps.label[v as usize],
+                entries: Vec::new(),
+            })
             .collect();
         // depth_of[v] = index at which v itself was removed (= len-1 when
         // ancestry ends with v; ancestry always ends with the centroid that
         // removed v... only if v IS that centroid). Removal level of v:
-        let removal_level =
-            |v: VertexId| -> usize { cd.ancestry(v).len() - 1 };
+        let removal_level = |v: VertexId| -> usize { cd.ancestry(v).len() - 1 };
         // Collect centroids by (level, id): centroid c at level d governs
         // the piece of vertices v with ancestry(v)[d] == c.
         for v in 0..n as VertexId {
@@ -106,7 +112,10 @@ impl MaxEdgeLabeling {
             debug_assert_eq!(anc[removal_level(v)], *anc.last().unwrap());
             labels[v as usize].entries = anc
                 .iter()
-                .map(|&c| LabelEntry { centroid: c, max_to_centroid: ZERO_KEY })
+                .map(|&c| LabelEntry {
+                    centroid: c,
+                    max_to_centroid: ZERO_KEY,
+                })
                 .collect();
         }
         // BFS from each centroid c at its level d, visiting only vertices
@@ -224,7 +233,11 @@ mod tests {
         let lab = MaxEdgeLabeling::build(&f).unwrap();
         let l = lab.labels();
         assert!(MaxEdgeLabeling::decode(&l[0], &l[2]).is_none());
-        assert!(MaxEdgeLabeling::is_f_light(&l[0], &l[2], &Edge::new(0, 2, 1_000)));
+        assert!(MaxEdgeLabeling::is_f_light(
+            &l[0],
+            &l[2],
+            &Edge::new(0, 2, 1_000)
+        ));
     }
 
     #[test]
@@ -256,6 +269,10 @@ mod tests {
         let f = generators::path(1 << 10);
         let lab = MaxEdgeLabeling::build(&f).unwrap();
         // <= 1 + 3 * (log2(n)+1) words.
-        assert!(lab.max_label_words() <= 1 + 3 * 11, "got {}", lab.max_label_words());
+        assert!(
+            lab.max_label_words() <= 1 + 3 * 11,
+            "got {}",
+            lab.max_label_words()
+        );
     }
 }

@@ -1,8 +1,8 @@
 //! Property tests: the labeling decoder agrees with the exact oracle on
 //! arbitrary random forests, for all vertex pairs.
 
-use mpc_labeling::{reference, MaxEdgeLabeling};
 use mpc_graph::{generators, Graph, VertexId};
+use mpc_labeling::{reference, MaxEdgeLabeling};
 use proptest::prelude::*;
 
 fn arbitrary_forest() -> impl Strategy<Value = Graph> {

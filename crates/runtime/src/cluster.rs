@@ -1,6 +1,7 @@
 //! The [`Cluster`]: machines, rounds, and resource accounting.
 
 use crate::config::{ClusterConfig, Enforcement};
+use crate::cost::CostModel;
 use crate::error::ModelViolation;
 use crate::payload::{MachineId, Payload};
 use rand::rngs::SmallRng;
@@ -8,7 +9,7 @@ use rand::SeedableRng;
 use std::collections::BTreeMap;
 
 /// Per-round accounting record (one entry per [`Cluster::exchange`]).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RoundRecord {
     /// Label supplied by the algorithm (e.g. `"mst.collect-lightest"`).
     pub label: String,
@@ -20,6 +21,12 @@ pub struct RoundRecord {
     pub total_words: usize,
     /// Total number of messages this round.
     pub messages: usize,
+    /// Local-computation words charged via [`Cluster::charge_work`] since
+    /// the previous round, summed over machines.
+    pub total_work: u64,
+    /// Simulated duration of the round under the cluster's
+    /// [`CostModel`]: the barrier waits for the slowest machine.
+    pub makespan: f64,
 }
 
 /// A simulated MPC cluster (paper §2).
@@ -44,6 +51,9 @@ pub struct Cluster {
     memory_slots: BTreeMap<String, Vec<usize>>,
     peak_resident: Vec<usize>,
     config: ClusterConfig,
+    cost: CostModel,
+    /// Local-computation words charged since the last exchange.
+    pending_work: Vec<u64>,
 }
 
 impl Cluster {
@@ -63,6 +73,8 @@ impl Cluster {
             .collect();
         Cluster {
             peak_resident: vec![0; k],
+            cost: CostModel::uniform(k, 1.0, 1.0, 0.0),
+            pending_work: vec![0; k],
             caps,
             large,
             rngs,
@@ -87,7 +99,9 @@ impl Cluster {
 
     /// Ids of all non-large machines, in ascending order.
     pub fn small_ids(&self) -> Vec<MachineId> {
-        (0..self.machines()).filter(|&i| Some(i) != self.large).collect()
+        (0..self.machines())
+            .filter(|&i| Some(i) != self.large)
+            .collect()
     }
 
     /// Capacity of machine `mid` in words.
@@ -97,7 +111,11 @@ impl Cluster {
 
     /// The smallest capacity among non-large machines.
     pub fn min_small_capacity(&self) -> usize {
-        self.small_ids().iter().map(|&i| self.caps[i]).min().unwrap_or(0)
+        self.small_ids()
+            .iter()
+            .map(|&i| self.caps[i])
+            .min()
+            .unwrap_or(0)
     }
 
     /// Rounds elapsed so far.
@@ -113,6 +131,51 @@ impl Cluster {
     /// The per-machine private RNG (deterministic in the master seed).
     pub fn rng(&mut self, mid: MachineId) -> &mut SmallRng {
         &mut self.rngs[mid]
+    }
+
+    /// All per-machine RNGs at once, so an execution engine can step every
+    /// machine concurrently while each machine still consumes exactly its
+    /// own private stream (index `mid`).
+    pub fn rngs_mut(&mut self) -> &mut [SmallRng] {
+        &mut self.rngs
+    }
+
+    /// Replaces the cluster's [`CostModel`] (defaults to
+    /// [`CostModel::uniform`] with unit rates and zero latency).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model covers a different number of machines.
+    pub fn set_cost_model(&mut self, cost: CostModel) {
+        assert_eq!(
+            cost.machines(),
+            self.machines(),
+            "cost model machine count mismatch"
+        );
+        self.cost = cost;
+    }
+
+    /// The active cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Charges `words` of local computation to machine `mid`; the next
+    /// [`exchange`](Cluster::exchange) folds it into that round's makespan.
+    /// "Free local computation" in the paper's sense still takes wall-clock
+    /// time on a real machine — this is how an execution engine reports it.
+    pub fn charge_work(&mut self, mid: MachineId, words: u64) {
+        assert!(
+            mid < self.machines(),
+            "charge_work: machine {mid} out of range"
+        );
+        self.pending_work[mid] = self.pending_work[mid].saturating_add(words);
+    }
+
+    /// Total simulated execution time so far: the sum of per-round
+    /// makespans (the critical path of the synchronous schedule).
+    pub fn critical_path_seconds(&self) -> f64 {
+        self.log.iter().map(|r| r.makespan).sum()
     }
 
     /// The full per-round log.
@@ -209,12 +272,15 @@ impl Cluster {
                 })?;
             }
         }
+        let work = std::mem::replace(&mut self.pending_work, vec![0; k]);
         self.log.push(RoundRecord {
             label: label.to_string(),
             max_sent: sent.iter().copied().max().unwrap_or(0),
             max_recv: recv.iter().copied().max().unwrap_or(0),
             total_words: sent.iter().sum(),
             messages,
+            total_work: work.iter().sum(),
+            makespan: self.cost.round_makespan(&sent, &recv, &work),
         });
         // Deliver deterministically: ascending source, preserving send order.
         let mut inboxes: Vec<Vec<(MachineId, M)>> = (0..k).map(|_| Vec::new()).collect();
@@ -230,6 +296,10 @@ impl Cluster {
     /// `slot` (replacing the slot's previous value). A machine's resident
     /// total is the sum over all slots; the update is checked against the
     /// machine's capacity.
+    ///
+    /// The slot value is recorded (and counted toward the peak) *before*
+    /// the capacity check — a failed `Strict` account therefore leaves the
+    /// slot set, and the caller releases it like any other slot.
     ///
     /// # Errors
     ///
@@ -291,27 +361,39 @@ impl Cluster {
 
     /// Maximum words sent or received by any machine in any round so far.
     pub fn max_round_traffic(&self) -> usize {
-        self.log.iter().map(|r| r.max_sent.max(r.max_recv)).max().unwrap_or(0)
+        self.log
+            .iter()
+            .map(|r| r.max_sent.max(r.max_recv))
+            .max()
+            .unwrap_or(0)
     }
 
-    /// Attributes rounds and traffic to algorithm steps: groups the round
-    /// log by the label's first dot-separated component (e.g. every
-    /// `mst.kkt.*` exchange under `mst`), returning
-    /// `(prefix, rounds, total words)` sorted by round count, descending.
+    /// Attributes rounds, traffic, and simulated time to algorithm steps:
+    /// groups the round log by the label's first dot-separated component
+    /// (e.g. every `mst.kkt.*` exchange under `mst`), returning
+    /// `(prefix, rounds, total words, makespan seconds)` sorted by round
+    /// count, descending.
     ///
-    /// Useful for answering "where did my rounds go?" in experiments.
-    pub fn round_summary(&self) -> Vec<(String, u64, usize)> {
-        let mut acc: std::collections::BTreeMap<String, (u64, usize)> =
+    /// Useful for answering "where did my rounds (and my wall-clock) go?"
+    /// in experiments.
+    pub fn round_summary(&self) -> Vec<(String, u64, usize, f64)> {
+        let mut acc: std::collections::BTreeMap<String, (u64, usize, f64)> =
             std::collections::BTreeMap::new();
         for rec in &self.log {
-            let prefix = rec.label.split('.').next().unwrap_or(&rec.label).to_string();
+            let prefix = rec
+                .label
+                .split('.')
+                .next()
+                .unwrap_or(&rec.label)
+                .to_string();
             let e = acc.entry(prefix).or_default();
             e.0 += 1;
             e.1 += rec.total_words;
+            e.2 += rec.makespan;
         }
-        let mut v: Vec<(String, u64, usize)> =
-            acc.into_iter().map(|(k, (r, w))| (k, r, w)).collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1));
+        let mut v: Vec<(String, u64, usize, f64)> =
+            acc.into_iter().map(|(k, (r, w, s))| (k, r, w, s)).collect();
+        v.sort_by_key(|t| std::cmp::Reverse(t.1));
         v
     }
 }
@@ -354,7 +436,10 @@ mod tests {
             out[1].push((0, 7)); // 25 words > capacity 20 of machine 1
         }
         let err = c.exchange("overflow", out).unwrap_err();
-        assert!(matches!(err, ModelViolation::SendOverflow { machine: 1, .. }));
+        assert!(matches!(
+            err,
+            ModelViolation::SendOverflow { machine: 1, .. }
+        ));
     }
 
     #[test]
@@ -365,13 +450,19 @@ mod tests {
             out[0].push((2, 7)); // large can send 25, but machine 2 can't hold it
         }
         let err = c.exchange("overflow", out).unwrap_err();
-        assert!(matches!(err, ModelViolation::RecvOverflow { machine: 2, .. }));
+        assert!(matches!(
+            err,
+            ModelViolation::RecvOverflow { machine: 2, .. }
+        ));
     }
 
     #[test]
     fn record_mode_logs_instead_of_failing() {
         let cfg = ClusterConfig::new(16, 64)
-            .topology(Topology::Custom { capacities: vec![5, 5], large: None })
+            .topology(Topology::Custom {
+                capacities: vec![5, 5],
+                large: None,
+            })
             .enforcement(Enforcement::Record);
         let mut c = Cluster::new(cfg);
         let mut out = c.empty_outboxes::<u64>();
@@ -389,18 +480,23 @@ mod tests {
         c.account("labels", 1, 6).unwrap();
         assert_eq!(c.resident(1), 18);
         assert!(c.account("more", 1, 10).is_err()); // 28 > 20
+                                                    // `account` records the slot value *before* the capacity check, so
+                                                    // a failed Strict account leaves the slot set: the 10 words of
+                                                    // "more" are resident (and count toward the peak) until released.
+        assert_eq!(c.resident(1), 28);
+        assert_eq!(c.peak_resident()[1], 28);
         c.release("labels");
-        // Note: failed Strict account still recorded the slot value before
-        // erroring is not the case — the slot was set, so release it too.
         c.release("more");
         assert_eq!(c.resident(1), 12);
-        assert!(c.peak_resident()[1] >= 18);
     }
 
     #[test]
     fn unknown_machine_is_error_in_all_modes() {
         let cfg = ClusterConfig::new(16, 64)
-            .topology(Topology::Custom { capacities: vec![5, 5], large: None })
+            .topology(Topology::Custom {
+                capacities: vec![5, 5],
+                large: None,
+            })
             .enforcement(Enforcement::Off);
         let mut c = Cluster::new(cfg);
         let mut out = c.empty_outboxes::<u64>();
@@ -432,9 +528,48 @@ mod tests {
         }
         let summary = c.round_summary();
         assert_eq!(summary.len(), 2);
-        let mst = summary.iter().find(|(p, _, _)| p == "mst").unwrap();
+        let mst = summary.iter().find(|(p, _, _, _)| p == "mst").unwrap();
         assert_eq!(mst.1, 2);
         assert_eq!(mst.2, 2);
+        // Unit-rate default cost model: each round's makespan equals its
+        // bottleneck word count (1 word sent or received per round here).
+        assert!((mst.3 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn charged_work_flows_into_makespan_and_resets() {
+        let mut c = tiny();
+        c.set_cost_model(crate::cost::CostModel::uniform(3, 2.0, 1.0, 0.0));
+        c.charge_work(1, 10); // 10 words at speed 2 => 5 seconds
+        let out = c.empty_outboxes::<u64>();
+        c.exchange("work", out).unwrap();
+        let rec = &c.round_log()[0];
+        assert_eq!(rec.total_work, 10);
+        assert!((rec.makespan - 5.0).abs() < 1e-9);
+        // Pending work was consumed by the exchange.
+        let out = c.empty_outboxes::<u64>();
+        c.exchange("idle", out).unwrap();
+        assert_eq!(c.round_log()[1].total_work, 0);
+        assert!((c.critical_path_seconds() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn straggler_cost_model_stretches_rounds() {
+        let mut c = tiny();
+        let uniform_span = {
+            let mut out = c.empty_outboxes::<u64>();
+            out[1].push((0, 1));
+            out[1].push((0, 2));
+            c.exchange("t", out).unwrap();
+            c.round_log()[0].makespan
+        };
+        let mut s = tiny();
+        s.set_cost_model(crate::cost::CostModel::uniform(3, 1.0, 1.0, 0.0).with_straggler(1, 0.1));
+        let mut out = s.empty_outboxes::<u64>();
+        out[1].push((0, 1));
+        out[1].push((0, 2));
+        s.exchange("t", out).unwrap();
+        assert!(s.round_log()[0].makespan > 9.0 * uniform_span);
     }
 
     #[test]

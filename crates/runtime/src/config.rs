@@ -91,7 +91,10 @@ impl ClusterConfig {
         ClusterConfig {
             n,
             m,
-            topology: Topology::Heterogeneous { gamma: 0.66, large_exponent: 1.0 },
+            topology: Topology::Heterogeneous {
+                gamma: 0.66,
+                large_exponent: 1.0,
+            },
             enforcement: Enforcement::Strict,
             mem_constant: 6.0,
             polylog_exponent: 1.3,
@@ -131,7 +134,10 @@ impl ClusterConfig {
 
     /// `log₂(n)^b`, floored at 1 (the "polylog" factor in capacities).
     pub fn polylog(&self) -> f64 {
-        (self.n.max(2) as f64).log2().powf(self.polylog_exponent).max(1.0)
+        (self.n.max(2) as f64)
+            .log2()
+            .powf(self.polylog_exponent)
+            .max(1.0)
     }
 
     /// Capacity in words of a machine with memory exponent `e`:
@@ -148,9 +154,15 @@ impl ClusterConfig {
     /// Panics on nonsensical parameters (γ outside `(0,1)`, zero machines).
     pub fn resolve(&self) -> (Vec<usize>, Option<MachineId>) {
         match &self.topology {
-            Topology::Heterogeneous { gamma, large_exponent } => {
+            Topology::Heterogeneous {
+                gamma,
+                large_exponent,
+            } => {
                 assert!((0.0..1.0).contains(gamma), "gamma must be in (0,1)");
-                assert!(*large_exponent >= 1.0, "large machine is at least near-linear");
+                assert!(
+                    *large_exponent >= 1.0,
+                    "large machine is at least near-linear"
+                );
                 let small_cap = self.capacity_for_exponent(*gamma);
                 let large_cap = self.capacity_for_exponent(*large_exponent);
                 let k = self.small_machine_count(*gamma);
@@ -208,8 +220,7 @@ mod tests {
 
     #[test]
     fn sublinear_has_no_large() {
-        let cfg = ClusterConfig::new(1000, 8000)
-            .topology(Topology::Sublinear { gamma: 0.5 });
+        let cfg = ClusterConfig::new(1000, 8000).topology(Topology::Sublinear { gamma: 0.5 });
         let (caps, large) = cfg.resolve();
         assert_eq!(large, None);
         assert!(caps.iter().all(|&c| c == caps[0]));
@@ -230,7 +241,10 @@ mod tests {
     #[should_panic]
     fn bad_gamma_panics() {
         ClusterConfig::new(10, 10)
-            .topology(Topology::Heterogeneous { gamma: 1.5, large_exponent: 1.0 })
+            .topology(Topology::Heterogeneous {
+                gamma: 1.5,
+                large_exponent: 1.0,
+            })
             .resolve();
     }
 

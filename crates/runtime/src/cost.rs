@@ -1,0 +1,172 @@
+//! Heterogeneous cost model: what a round *costs* in simulated time.
+//!
+//! The paper's model counts rounds; real heterogeneous clusters (in the
+//! spirit of *Parallel Query Processing with Heterogeneous Machines* and
+//! *Coded Computation over Heterogeneous Clusters*) pay wall-clock per
+//! round proportional to the **slowest** machine: each machine `i` spends
+//! `work_i / speed_i` seconds computing and `(sent_i + recv_i) /
+//! bandwidth_i` seconds on the wire, and the synchronous barrier waits for
+//! the maximum. The [`CostModel`] turns the per-round accounting the
+//! [`Cluster`](crate::Cluster) already does into a simulated per-round
+//! *makespan* and a total *critical-path time*, which is what the bench
+//! tables report for straggler / non-uniform scenarios.
+//!
+//! Units are arbitrary but consistent: speeds and bandwidths are
+//! words-per-second, latency is seconds. The defaults (speed 1, bandwidth
+//! 1, latency 0) make makespans directly comparable to word counts.
+
+use crate::payload::MachineId;
+
+/// Per-machine speeds, link bandwidths, and a per-round latency.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CostModel {
+    speeds: Vec<f64>,
+    bandwidths: Vec<f64>,
+    round_latency: f64,
+}
+
+impl CostModel {
+    /// A uniform model: every machine computes `speed` words/sec and moves
+    /// `bandwidth` words/sec; every round costs `round_latency` seconds of
+    /// synchronization overhead.
+    pub fn uniform(machines: usize, speed: f64, bandwidth: f64, round_latency: f64) -> Self {
+        assert!(machines > 0, "cost model needs at least one machine");
+        assert!(speed > 0.0 && bandwidth > 0.0, "speeds must be positive");
+        assert!(round_latency >= 0.0, "latency cannot be negative");
+        CostModel {
+            speeds: vec![speed; machines],
+            bandwidths: vec![bandwidth; machines],
+            round_latency,
+        }
+    }
+
+    /// Explicit per-machine speeds and bandwidths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors disagree in length, are empty, or contain
+    /// non-positive rates.
+    pub fn new(speeds: Vec<f64>, bandwidths: Vec<f64>, round_latency: f64) -> Self {
+        assert_eq!(
+            speeds.len(),
+            bandwidths.len(),
+            "speeds/bandwidths length mismatch"
+        );
+        assert!(!speeds.is_empty(), "cost model needs at least one machine");
+        assert!(
+            speeds.iter().chain(&bandwidths).all(|&r| r > 0.0),
+            "rates must be positive"
+        );
+        assert!(round_latency >= 0.0, "latency cannot be negative");
+        CostModel {
+            speeds,
+            bandwidths,
+            round_latency,
+        }
+    }
+
+    /// A model where each machine's speed and bandwidth scale with its
+    /// memory capacity relative to the smallest machine — the "big machine
+    /// is also the fast machine" reading of the heterogeneous regime.
+    pub fn proportional_to_capacity(caps: &[usize], round_latency: f64) -> Self {
+        assert!(!caps.is_empty(), "cost model needs at least one machine");
+        let base = caps.iter().copied().min().unwrap_or(1).max(1) as f64;
+        let rel: Vec<f64> = caps.iter().map(|&c| (c.max(1) as f64) / base).collect();
+        CostModel {
+            speeds: rel.clone(),
+            bandwidths: rel,
+            round_latency,
+        }
+    }
+
+    /// Returns the model with machine `mid` slowed by `factor` (both
+    /// compute and bandwidth): `factor = 0.25` makes it a 4× straggler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mid` is out of range or `factor` is not positive.
+    pub fn with_straggler(mut self, mid: MachineId, factor: f64) -> Self {
+        assert!(mid < self.speeds.len(), "straggler id out of range");
+        assert!(factor > 0.0, "straggler factor must be positive");
+        self.speeds[mid] *= factor;
+        self.bandwidths[mid] *= factor;
+        self
+    }
+
+    /// Number of machines the model covers.
+    pub fn machines(&self) -> usize {
+        self.speeds.len()
+    }
+
+    /// Compute speed of machine `mid` (words/sec).
+    pub fn speed(&self, mid: MachineId) -> f64 {
+        self.speeds[mid]
+    }
+
+    /// Link bandwidth of machine `mid` (words/sec).
+    pub fn bandwidth(&self, mid: MachineId) -> f64 {
+        self.bandwidths[mid]
+    }
+
+    /// Fixed synchronization cost of every round (seconds).
+    pub fn round_latency(&self) -> f64 {
+        self.round_latency
+    }
+
+    /// Simulated duration of one synchronous round: the barrier waits for
+    /// the slowest machine, so the round costs
+    /// `latency + max_i(work_i/speed_i + (sent_i+recv_i)/bandwidth_i)`.
+    pub fn round_makespan(&self, sent: &[usize], recv: &[usize], work: &[u64]) -> f64 {
+        debug_assert_eq!(sent.len(), self.speeds.len());
+        let worst = (0..self.speeds.len())
+            .map(|i| {
+                let wire = (sent[i] + recv[i]) as f64 / self.bandwidths[i];
+                let cpu = work[i] as f64 / self.speeds[i];
+                wire + cpu
+            })
+            .fold(0.0_f64, f64::max);
+        self.round_latency + worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_round_is_bottleneck_word_count() {
+        let m = CostModel::uniform(3, 1.0, 1.0, 0.0);
+        let span = m.round_makespan(&[10, 0, 2], &[0, 10, 2], &[0, 0, 0]);
+        assert_eq!(span, 10.0);
+    }
+
+    #[test]
+    fn straggler_dominates_makespan() {
+        let m = CostModel::uniform(3, 1.0, 1.0, 0.5).with_straggler(2, 0.25);
+        // Machine 2 moves 4 words at bandwidth 0.25 => 16s, plus latency.
+        let span = m.round_makespan(&[0, 0, 4], &[0, 0, 0], &[0, 0, 0]);
+        assert!((span - 16.5).abs() < 1e-9, "span = {span}");
+    }
+
+    #[test]
+    fn work_charges_against_compute_speed() {
+        let m = CostModel::new(vec![2.0, 1.0], vec![1.0, 1.0], 0.0);
+        // Same work, half the speed on machine 1.
+        let span = m.round_makespan(&[0, 0], &[0, 0], &[8, 8]);
+        assert_eq!(span, 8.0);
+    }
+
+    #[test]
+    fn proportional_scales_with_capacity() {
+        let m = CostModel::proportional_to_capacity(&[400, 100, 100], 0.0);
+        assert_eq!(m.speed(0), 4.0);
+        assert_eq!(m.speed(1), 1.0);
+        assert_eq!(m.machines(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_rate_rejected() {
+        CostModel::new(vec![0.0], vec![1.0], 0.0);
+    }
+}

@@ -45,6 +45,7 @@
 
 pub mod cluster;
 pub mod config;
+pub mod cost;
 pub mod error;
 pub mod payload;
 pub mod primitives;
@@ -52,6 +53,7 @@ pub mod sharded;
 
 pub use cluster::{Cluster, RoundRecord};
 pub use config::{ClusterConfig, Enforcement, Topology};
+pub use cost::CostModel;
 pub use error::ModelViolation;
 pub use payload::{MachineId, Payload};
 pub use sharded::ShardedVec;

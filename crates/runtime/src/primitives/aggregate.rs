@@ -44,8 +44,7 @@ where
     let k_machines = cluster.machines();
     let group = (k_machines as f64).sqrt().ceil() as usize;
     let mut out = cluster.empty_outboxes::<(K, V)>();
-    let mut local: Vec<BTreeMap<K, V>> =
-        (0..k_machines).map(|_| BTreeMap::new()).collect();
+    let mut local: Vec<BTreeMap<K, V>> = (0..k_machines).map(|_| BTreeMap::new()).collect();
     for mid in 0..items.machines() {
         let mut partial: BTreeMap<K, V> = BTreeMap::new();
         for (k, v) in items.shard(mid) {
@@ -61,7 +60,9 @@ where
         }
         let g = (mid / group) as u64;
         for (k, v) in partial {
-            let idx = (k.hash64().wrapping_add(g.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            let idx = (k
+                .hash64()
+                .wrapping_add(g.wrapping_mul(0x9e37_79b9_7f4a_7c15))
                 % owners.len() as u64) as usize;
             let dst = owners[idx];
             if dst == mid {
@@ -79,8 +80,7 @@ where
     }
     // Stage B: collectors forward their combined partials to the hash owner.
     let mut out = cluster.empty_outboxes::<(K, V)>();
-    let mut at_owner: Vec<BTreeMap<K, V>> =
-        (0..k_machines).map(|_| BTreeMap::new()).collect();
+    let mut at_owner: Vec<BTreeMap<K, V>> = (0..k_machines).map(|_| BTreeMap::new()).collect();
     for mid in 0..k_machines {
         for (k, v) in std::mem::take(&mut local[mid]) {
             let dst = owner_of(&k, owners);
@@ -166,9 +166,11 @@ where
         }
         let g = (mid / group) as u64;
         for (k, mut vs) in groups {
-            vs.sort_by(|a, b| rank(a).cmp(&rank(b)));
+            vs.sort_by_key(|a| rank(a));
             vs.truncate(t_of(&k).max(1));
-            let idx = (k.hash64().wrapping_add(g.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            let idx = (k
+                .hash64()
+                .wrapping_add(g.wrapping_mul(0x9e37_79b9_7f4a_7c15))
                 % owners.len() as u64) as usize;
             let collector = owners[idx];
             for v in vs {
@@ -193,7 +195,7 @@ where
             groups.entry(k).or_default().push(v);
         }
         for (k, mut vs) in groups {
-            vs.sort_by(|a, b| rank(a).cmp(&rank(b)));
+            vs.sort_by_key(|a| rank(a));
             vs.truncate(t_of(&k).max(1));
             let owner = owner_of(&k, owners);
             for v in vs {
@@ -219,7 +221,7 @@ where
             groups.entry(k).or_default().push(v);
         }
         for (k, mut vs) in groups {
-            vs.sort_by(|a, b| rank(a).cmp(&rank(b)));
+            vs.sort_by_key(|a| rank(a));
             vs.truncate(t_of(&k).max(1));
             for v in vs {
                 if mid == dst {
@@ -241,7 +243,7 @@ where
     Ok(groups
         .into_iter()
         .map(|(k, mut vs)| {
-            vs.sort_by(|a, b| rank(a).cmp(&rank(b)));
+            vs.sort_by_key(|a| rank(a));
             (k, vs)
         })
         .collect())
@@ -277,8 +279,9 @@ mod tests {
         assert_eq!(c.rounds(), 2); // collect + combine stages
         let mut all: Vec<(u32, u64)> = agg.into_flat();
         all.sort();
-        let expect: Vec<(u32, u64)> =
-            (0..10).map(|k| (k, if k % 2 == 0 { 8 } else { 4 })).collect();
+        let expect: Vec<(u32, u64)> = (0..10)
+            .map(|k| (k, if k % 2 == 0 { 8 } else { 4 }))
+            .collect();
         assert_eq!(all, expect);
     }
 
@@ -319,9 +322,16 @@ mod tests {
             sv[1 + (v as usize % 4)].push((0u32, v));
             sv[1 + (v as usize % 4)].push((1u32, v));
         }
-        let got =
-            top_t_per_key(&mut c, "top", &sv, &owners, 0, |k| if *k == 0 { 1 } else { 3 }, |v| *v)
-                .unwrap();
+        let got = top_t_per_key(
+            &mut c,
+            "top",
+            &sv,
+            &owners,
+            0,
+            |k| if *k == 0 { 1 } else { 3 },
+            |v| *v,
+        )
+        .unwrap();
         assert_eq!(got[0].1, vec![0]);
         assert_eq!(got[1].1, vec![0, 1, 2]);
     }

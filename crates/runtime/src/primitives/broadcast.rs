@@ -33,7 +33,11 @@ pub fn broadcast<M: Payload>(
         return Ok(0);
     }
     let w = msg.words().max(1);
-    let min_cap = order.iter().map(|&m| cluster.capacity(m)).min().unwrap_or(1);
+    let min_cap = order
+        .iter()
+        .map(|&m| cluster.capacity(m))
+        .min()
+        .unwrap_or(1);
     let fanout = ((min_cap / 2) / w).max(2);
     let mut informed = 1usize;
     let mut rounds = 0u64;
@@ -61,10 +65,10 @@ mod tests {
     use crate::config::{ClusterConfig, Topology};
 
     fn cluster(caps: Vec<usize>) -> Cluster {
-        Cluster::new(
-            ClusterConfig::new(64, 256)
-                .topology(Topology::Custom { capacities: caps, large: Some(0) }),
-        )
+        Cluster::new(ClusterConfig::new(64, 256).topology(Topology::Custom {
+            capacities: caps,
+            large: Some(0),
+        }))
     }
 
     #[test]
@@ -84,7 +88,7 @@ mod tests {
         let msg = vec![1u64, 2]; // 2 words; fanout = (5/2)/2 = 1 -> clamped to 2
         let r = broadcast(&mut c, "b", 0, &msg, &targets).unwrap();
         // 1 + 2 + 4 + ... covers 33 nodes in ceil(log3ish) waves; sanity range:
-        assert!(r >= 3 && r <= 6, "rounds = {r}");
+        assert!((3..=6).contains(&r), "rounds = {r}");
         // No capacity violations in strict mode: reaching here proves it.
     }
 

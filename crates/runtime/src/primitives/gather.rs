@@ -45,10 +45,10 @@ mod tests {
     use crate::config::{ClusterConfig, Topology};
 
     fn cluster(caps: Vec<usize>) -> Cluster {
-        Cluster::new(
-            ClusterConfig::new(64, 256)
-                .topology(Topology::Custom { capacities: caps, large: Some(0) }),
-        )
+        Cluster::new(ClusterConfig::new(64, 256).topology(Topology::Custom {
+            capacities: caps,
+            large: Some(0),
+        }))
     }
 
     #[test]

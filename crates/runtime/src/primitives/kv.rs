@@ -115,8 +115,7 @@ where
 {
     // Requesters send deduplicated key lists to owners.
     let mut out = cluster.empty_outboxes::<K>();
-    let mut local_requests: Vec<Vec<K>> =
-        (0..cluster.machines()).map(|_| Vec::new()).collect();
+    let mut local_requests: Vec<Vec<K>> = (0..cluster.machines()).map(|_| Vec::new()).collect();
     for mid in 0..requests.machines() {
         let mut keys: Vec<K> = requests.shard(mid).to_vec();
         keys.sort();
@@ -170,11 +169,11 @@ where
         let mut direct_words = 0usize;
         let direct_budget = cluster.capacity(mid) / 2;
         for (k, requesters) in &wanted[mid] {
-            let Some(v) = owner_store[mid].get(k) else { continue };
+            let Some(v) = owner_store[mid].get(k) else {
+                continue;
+            };
             let cost_direct = requesters.len() * (k.words() + v.words());
-            if requesters.len() <= hot_threshold
-                && direct_words + cost_direct <= direct_budget
-            {
+            if requesters.len() <= hot_threshold && direct_words + cost_direct <= direct_budget {
                 direct_words += cost_direct;
                 for &r in requesters {
                     if r == mid {
@@ -265,10 +264,10 @@ mod tests {
     fn cluster(k: usize, small_cap: usize) -> Cluster {
         let mut caps = vec![small_cap; k];
         caps[0] = 100_000;
-        Cluster::new(
-            ClusterConfig::new(64, 256)
-                .topology(Topology::Custom { capacities: caps, large: Some(0) }),
-        )
+        Cluster::new(ClusterConfig::new(64, 256).topology(Topology::Custom {
+            capacities: caps,
+            large: Some(0),
+        }))
     }
 
     #[test]
@@ -348,7 +347,7 @@ mod tests {
             let mut req: ShardedVec<u32> = ShardedVec::new(&c);
             for mid in 1..6 {
                 for k in 0..50 {
-                    if (k + mid as u32) % 3 == 0 {
+                    if (k + mid as u32).is_multiple_of(3) {
                         req[mid].push(k);
                     }
                 }

@@ -34,8 +34,11 @@ pub fn reduce_to<M: Payload>(
         order.swap(0, pos);
     }
     let w = values.iter().map(Payload::words).max().unwrap_or(1).max(1);
-    let min_cap =
-        participants.iter().map(|&m| cluster.capacity(m)).min().unwrap_or(1);
+    let min_cap = participants
+        .iter()
+        .map(|&m| cluster.capacity(m))
+        .min()
+        .unwrap_or(1);
     let fanout = ((min_cap / 2) / w).max(2);
 
     // current[i] = Some(partial) if tree-node i still holds a live partial.

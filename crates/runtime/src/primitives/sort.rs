@@ -58,7 +58,7 @@ where
     let p = participants.len();
     if p == 1 {
         let mut sv = sv;
-        sv.shard_mut(participants[0]).sort_by(|a, b| key(a).cmp(&key(b)));
+        sv.shard_mut(participants[0]).sort_by_key(|a| key(a));
         return Ok(sv);
     }
     let key_words = sv
@@ -75,8 +75,8 @@ where
         .map(|&m| cluster.capacity(m))
         .min()
         .expect("participants non-empty");
-    let flat_ok = sample_volume <= cluster.capacity(coordinator) / 2
-        && splitter_volume <= min_cap / 2;
+    let flat_ok =
+        sample_volume <= cluster.capacity(coordinator) / 2 && splitter_volume <= min_cap / 2;
     if flat_ok {
         flat_sort(cluster, label, sv, participants, coordinator, key)
     } else {
@@ -96,7 +96,7 @@ where
     K: Ord + Clone,
 {
     if shard.len() <= s {
-        let mut keys: Vec<K> = shard.iter().map(|t| key(t)).collect();
+        let mut keys: Vec<K> = shard.iter().map(&key).collect();
         keys.sort();
         return keys;
     }
@@ -184,7 +184,14 @@ where
     )?;
 
     // Round 3: route and locally sort.
-    route_and_sort(cluster, &format!("{label}.route"), sv, participants, &splitters, key)
+    route_and_sort(
+        cluster,
+        &format!("{label}.route"),
+        sv,
+        participants,
+        &splitters,
+        key,
+    )
 }
 
 fn two_level_sort<T, K>(
@@ -203,7 +210,12 @@ where
     let group_size = (p as f64).sqrt().ceil() as usize;
     let groups: Vec<&[MachineId]> = participants.chunks(group_size).collect();
     let g = groups.len();
-    let key_words = sv.iter().map(|(_, t)| key(t).words()).max().unwrap_or(1).max(1);
+    let key_words = sv
+        .iter()
+        .map(|(_, t)| key(t).words())
+        .max()
+        .unwrap_or(1)
+        .max(1);
     let min_cap = participants
         .iter()
         .map(|&m| cluster.capacity(m))
@@ -246,7 +258,9 @@ where
         let down: Vec<K> = if ks.len() <= s2 {
             ks
         } else {
-            (0..s2).map(|i| ks[(2 * i + 1) * ks.len() / (2 * s2)].clone()).collect()
+            (0..s2)
+                .map(|i| ks[(2 * i + 1) * ks.len() / (2 * s2)].clone())
+                .collect()
         };
         if group[0] == coordinator {
             pooled.extend(down);
@@ -286,7 +300,9 @@ where
     }
     let inboxes = cluster.exchange(&format!("{label}.l0-route"), out)?;
     for (mid, inbox) in inboxes.into_iter().enumerate() {
-        grouped.shard_mut(mid).extend(inbox.into_iter().map(|(_, t)| t));
+        grouped
+            .shard_mut(mid)
+            .extend(inbox.into_iter().map(|(_, t)| t));
     }
 
     // Rounds 5–7: flat sort inside every group, sharing exchanges.
@@ -321,7 +337,11 @@ where
             .max(1);
         let fanout = ((min_cap / 2) / msg_words).max(2);
         let mut informed: Vec<usize> = vec![1; g];
-        while groups.iter().enumerate().any(|(gi, grp)| informed[gi] < grp.len()) {
+        while groups
+            .iter()
+            .enumerate()
+            .any(|(gi, grp)| informed[gi] < grp.len())
+        {
             let mut out = cluster.empty_outboxes::<Vec<K>>();
             for (gi, grp) in groups.iter().enumerate() {
                 let cur = informed[gi];
@@ -359,8 +379,10 @@ where
     }
     let inboxes = cluster.exchange(&format!("{label}.l1-route"), out)?;
     for (mid, inbox) in inboxes.into_iter().enumerate() {
-        result.shard_mut(mid).extend(inbox.into_iter().map(|(_, t)| t));
-        result.shard_mut(mid).sort_by(|a, b| key(a).cmp(&key(b)));
+        result
+            .shard_mut(mid)
+            .extend(inbox.into_iter().map(|(_, t)| t));
+        result.shard_mut(mid).sort_by_key(|a| key(a));
     }
     Ok(result)
 }
@@ -392,8 +414,10 @@ where
     }
     let inboxes = cluster.exchange(label, out)?;
     for (mid, inbox) in inboxes.into_iter().enumerate() {
-        result.shard_mut(mid).extend(inbox.into_iter().map(|(_, t)| t));
-        result.shard_mut(mid).sort_by(|a, b| key(a).cmp(&key(b)));
+        result
+            .shard_mut(mid)
+            .extend(inbox.into_iter().map(|(_, t)| t));
+        result.shard_mut(mid).sort_by_key(|a| key(a));
     }
     Ok(result)
 }
@@ -434,7 +458,10 @@ mod tests {
         caps[0] = large_cap;
         Cluster::new(
             ClusterConfig::new(64, 256)
-                .topology(Topology::Custom { capacities: caps, large: Some(0) })
+                .topology(Topology::Custom {
+                    capacities: caps,
+                    large: Some(0),
+                })
                 .enforcement(Enforcement::Strict),
         )
     }
@@ -452,7 +479,11 @@ mod tests {
         let sorted = sample_sort(&mut c, "s", sv, &parts, |&x| x).unwrap();
         assert!(is_globally_sorted(&sorted, &parts, |&x| x));
         assert_eq!(sorted.total_len(), 500);
-        assert!(c.rounds() <= 4, "flat sort should be <= 4 rounds, was {}", c.rounds());
+        assert!(
+            c.rounds() <= 4,
+            "flat sort should be <= 4 rounds, was {}",
+            c.rounds()
+        );
     }
 
     #[test]
@@ -464,15 +495,22 @@ mod tests {
         let sorted = sample_sort(&mut c, "s", sv, &parts, |&x| x).unwrap();
         assert!(is_globally_sorted(&sorted, &parts, |&x| x));
         assert_eq!(sorted.total_len(), 1000);
-        assert!(c.rounds() >= 6, "expected the two-level path, rounds={}", c.rounds());
+        assert!(
+            c.rounds() >= 6,
+            "expected the two-level path, rounds={}",
+            c.rounds()
+        );
     }
 
     #[test]
     fn sorts_pairs_by_custom_key() {
         let mut c = cluster(5, 4000, 20_000);
         let parts = c.small_ids();
-        let items: Vec<(u32, u64)> =
-            random_items(300, 3).into_iter().enumerate().map(|(i, x)| (i as u32, x)).collect();
+        let items: Vec<(u32, u64)> = random_items(300, 3)
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| (i as u32, x))
+            .collect();
         let sv = ShardedVec::scatter(&c, items, &parts);
         let sorted = sample_sort(&mut c, "s", sv, &parts, |t| t.1).unwrap();
         assert!(is_globally_sorted(&sorted, &parts, |t| t.1));

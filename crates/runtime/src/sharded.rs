@@ -18,7 +18,9 @@ pub struct ShardedVec<T> {
 impl<T> ShardedVec<T> {
     /// Empty shards for every machine of `cluster`.
     pub fn new(cluster: &Cluster) -> Self {
-        ShardedVec { shards: (0..cluster.machines()).map(|_| Vec::new()).collect() }
+        ShardedVec {
+            shards: (0..cluster.machines()).map(|_| Vec::new()).collect(),
+        }
     }
 
     /// Wraps pre-built shards (must have one entry per machine).
@@ -32,7 +34,10 @@ impl<T> ShardedVec<T> {
         items: impl IntoIterator<Item = T>,
         targets: &[MachineId],
     ) -> Self {
-        assert!(!targets.is_empty(), "scatter needs at least one target machine");
+        assert!(
+            !targets.is_empty(),
+            "scatter needs at least one target machine"
+        );
         let mut sv = ShardedVec::new(cluster);
         for (i, item) in items.into_iter().enumerate() {
             sv.shards[targets[i % targets.len()]].push(item);

@@ -2,9 +2,7 @@
 //! distribution, results must equal their sequential references and respect
 //! capacities in strict mode.
 
-use mpc_runtime::primitives::{
-    aggregate_by_key, disseminate, sample_sort, sum_to, top_t_per_key,
-};
+use mpc_runtime::primitives::{aggregate_by_key, disseminate, sample_sort, sum_to, top_t_per_key};
 use mpc_runtime::{Cluster, ClusterConfig, ShardedVec, Topology};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -12,10 +10,10 @@ use std::collections::BTreeMap;
 fn cluster(machines: usize, cap: usize) -> Cluster {
     let mut caps = vec![cap; machines];
     caps[0] = cap * 50;
-    Cluster::new(
-        ClusterConfig::new(256, 1024)
-            .topology(Topology::Custom { capacities: caps, large: Some(0) }),
-    )
+    Cluster::new(ClusterConfig::new(256, 1024).topology(Topology::Custom {
+        capacities: caps,
+        large: Some(0),
+    }))
 }
 
 proptest! {

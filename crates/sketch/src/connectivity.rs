@@ -93,8 +93,11 @@ mod tests {
     fn check_graph(g: &mpc_graph::Graph, seed: u64) {
         let n = g.n();
         let fam = SketchFamily::new(n, phases_for(n), seed);
-        let sketches =
-            sketch_graph(&fam, n, g.edges().iter().map(|e| (e.u, e.v)).collect::<Vec<_>>());
+        let sketches = sketch_graph(
+            &fam,
+            n,
+            g.edges().iter().map(|e| (e.u, e.v)).collect::<Vec<_>>(),
+        );
         let got = sketch_connectivity(&fam, &sketches, n);
         let want = connected_components(g);
         assert_eq!(got, want);
@@ -130,8 +133,11 @@ mod tests {
         // partition is always a refinement coarsening consistent with G.
         let g = generators::gnm(80, 120, 9);
         let fam = SketchFamily::new(80, 2, 13); // deliberately few phases
-        let sketches =
-            sketch_graph(&fam, 80, g.edges().iter().map(|e| (e.u, e.v)).collect::<Vec<_>>());
+        let sketches = sketch_graph(
+            &fam,
+            80,
+            g.edges().iter().map(|e| (e.u, e.v)).collect::<Vec<_>>(),
+        );
         let got = sketch_connectivity(&fam, &sketches, 80);
         let want = connected_components(&g);
         // Every merged pair must be truly connected.

@@ -11,7 +11,7 @@ pub const P: u64 = (1 << 61) - 1;
 pub fn reduce128(x: u128) -> u64 {
     // Split into 61-bit limbs and fold; at most two folds are needed.
     let lo = (x & P as u128) as u64;
-    let hi = (x >> 61) as u128;
+    let hi = x >> 61;
     let folded = lo as u128 + hi;
     let lo2 = (folded & P as u128) as u64;
     let hi2 = (folded >> 61) as u64;

@@ -69,7 +69,7 @@ mod tests {
     #[test]
     fn levels_are_geometric() {
         let h = KWiseHash::new(16, 3);
-        let mut counts = vec![0usize; 20];
+        let mut counts = [0usize; 20];
         let n = 40_000u64;
         for x in 0..n {
             counts[h.level(x, 19)] += 1;
@@ -87,6 +87,10 @@ mod tests {
         for x in 0..1000 {
             seen.insert(h.eval(x));
         }
-        assert_eq!(seen.len(), 1000, "collisions in 1000 evals are astronomically unlikely");
+        assert_eq!(
+            seen.len(),
+            1000,
+            "collisions in 1000 evals are astronomically unlikely"
+        );
     }
 }

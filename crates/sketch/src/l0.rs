@@ -25,7 +25,10 @@ pub struct L0Sampler {
 
 impl L0Sampler {
     fn new(levels: usize) -> Self {
-        L0Sampler { cells: vec![OneSparse::new(); levels * BUCKETS], levels }
+        L0Sampler {
+            cells: vec![OneSparse::new(); levels * BUCKETS],
+            levels,
+        }
     }
 
     fn update(&mut self, index: u64, delta: i64, hashes: &LevelHashes) {
@@ -107,7 +110,11 @@ impl SketchFamily {
                 z: rng.random_range(1..crate::field::P),
             })
             .collect();
-        SketchFamily { n, levels: domain_bits, hashes }
+        SketchFamily {
+            n,
+            levels: domain_bits,
+            hashes,
+        }
     }
 
     /// Number of independent phases.
@@ -155,7 +162,11 @@ impl SketchFamily {
     }
 
     /// Decodes one surviving edge from a (merged) sketch of `phase`.
-    pub fn decode_phase(&self, sketch: &VertexSketch, phase: usize) -> Option<(VertexId, VertexId)> {
+    pub fn decode_phase(
+        &self,
+        sketch: &VertexSketch,
+        phase: usize,
+    ) -> Option<(VertexId, VertexId)> {
         let slot = sketch.decode(self.hashes[phase].z)?;
         let u = (slot / self.n) as VertexId;
         let v = (slot % self.n) as VertexId;
@@ -229,7 +240,10 @@ mod tests {
                 ok += 1;
             }
         }
-        assert!(ok * 100 >= trials * 90, "decode succeeded only {ok}/{trials}");
+        assert!(
+            ok * 100 >= trials * 90,
+            "decode succeeded only {ok}/{trials}"
+        );
     }
 
     #[test]
@@ -248,12 +262,16 @@ mod tests {
     fn sketch_words_are_polylog() {
         let fam = SketchFamily::new(4096, 1, 0);
         // 3 buckets * (2*12+2) levels * 3 words.
-        assert!(fam.sketch_words() <= 3 * 3 * 30, "words = {}", fam.sketch_words());
+        assert!(
+            fam.sketch_words() <= 3 * 3 * 30,
+            "words = {}",
+            fam.sketch_words()
+        );
         assert_eq!(fam.empty(0).words(), fam.sketch_words());
     }
 
-    use rand::{Rng, SeedableRng};
     use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
 }
 
 /// A sparse ℓ0-sampler: only nonzero cells are materialized.

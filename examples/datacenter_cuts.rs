@@ -37,8 +37,11 @@ fn main() {
     // Weighted capacities: cross-links get capacity 1..8.
     let gw = g.clone().with_random_weights(8, 7);
     let exact_w = mpc_graph::mincut::min_cut(&gw).unwrap().weight as f64;
-    let mut cluster =
-        Cluster::new(ClusterConfig::new(gw.n(), gw.m()).seed(2).polylog_exponent(1.6));
+    let mut cluster = Cluster::new(
+        ClusterConfig::new(gw.n(), gw.m())
+            .seed(2)
+            .polylog_exponent(1.6),
+    );
     let input = common::distribute_edges(&cluster, &gw);
     let approx = ported::approximate_min_cut(&mut cluster, gw.n(), &input, 0.3).unwrap();
     println!(

@@ -55,7 +55,10 @@ fn main() {
         }
     }
     let measured = apsp::measured_stretch(&g, &oracle, 24);
-    println!("worst stretch over sampled sources: {measured:.2} (bound {})", oracle.stretch_bound);
+    println!(
+        "worst stretch over sampled sources: {measured:.2} (bound {})",
+        oracle.stretch_bound
+    );
     assert!(worst <= oracle.stretch_bound as f64);
     println!("within the O(log n) guarantee ✓");
 }

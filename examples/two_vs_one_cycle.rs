@@ -16,7 +16,10 @@ use mpc_core::ported::connectivity::sketch_friendly_config;
 use mpc_core::ported::one_vs_two_cycles;
 
 fn main() {
-    println!("{:>6} | {:>18} | {:>18}", "n", "heterogeneous", "sublinear baseline");
+    println!(
+        "{:>6} | {:>18} | {:>18}",
+        "n", "heterogeneous", "sublinear baseline"
+    );
     println!("{:->6}-+-{:->18}-+-{:->18}", "", "", "");
     for exp in [6usize, 7, 8, 9] {
         let n = 1 << exp;
@@ -30,7 +33,11 @@ fn main() {
             let mut cluster = Cluster::new(sketch_friendly_config(n, n, 1));
             let input = common::distribute_edges(&cluster, &g);
             let single = one_vs_two_cycles(&mut cluster, n, &input).unwrap();
-            assert_eq!(single, label == "one", "het solver wrong on {label}-cycle n={n}");
+            assert_eq!(
+                single,
+                label == "one",
+                "het solver wrong on {label}-cycle n={n}"
+            );
             het_rounds = het_rounds.max(cluster.rounds());
 
             // Sublinear baseline: label contraction, rounds grow with n.
@@ -38,10 +45,17 @@ fn main() {
             let mut cluster = Cluster::new(sublinear_config(n, n, 1));
             let input = distribute_all(&cluster, &gw);
             let single = two_vs_one_cycle_baseline(&mut cluster, n, &input).unwrap();
-            assert_eq!(single, label == "one", "baseline wrong on {label}-cycle n={n}");
+            assert_eq!(
+                single,
+                label == "one",
+                "baseline wrong on {label}-cycle n={n}"
+            );
             sub_rounds = sub_rounds.max(cluster.rounds());
         }
-        println!("{n:>6} | {:>11} rounds | {:>11} rounds", het_rounds, sub_rounds);
+        println!(
+            "{n:>6} | {:>11} rounds | {:>11} rounds",
+            het_rounds, sub_rounds
+        );
     }
     println!();
     println!("The heterogeneous column stays flat; the sublinear column grows —");

@@ -34,6 +34,7 @@
 
 pub use mpc_baselines as baselines;
 pub use mpc_core as core;
+pub use mpc_exec as exec;
 pub use mpc_graph as graph;
 pub use mpc_labeling as labeling;
 pub use mpc_runtime as runtime;
@@ -41,11 +42,12 @@ pub use mpc_sketch as sketch;
 
 /// The most common imports, bundled.
 pub mod prelude {
+    pub use mpc_core::common;
     pub use mpc_core::matching::{self, heterogeneous_matching};
     pub use mpc_core::mst::{self, heterogeneous_mst};
     pub use mpc_core::ported;
     pub use mpc_core::spanner::{self, heterogeneous_spanner};
-    pub use mpc_core::common;
+    pub use mpc_exec::{ExecMode, Executor, MachineProgram, StepOutcome};
     pub use mpc_graph::{generators, Edge, Graph, VertexId};
-    pub use mpc_runtime::{Cluster, ClusterConfig, Enforcement, ShardedVec, Topology};
+    pub use mpc_runtime::{Cluster, ClusterConfig, CostModel, Enforcement, ShardedVec, Topology};
 }

@@ -20,7 +20,10 @@ fn different_seeds_change_random_choices_not_answers() {
     let weight_at = |seed: u64| {
         let mut cluster = Cluster::new(ClusterConfig::new(g.n(), g.m()).seed(seed));
         let input = common::distribute_edges(&cluster, &g);
-        mst::heterogeneous_mst(&mut cluster, g.n(), input).unwrap().forest.total_weight
+        mst::heterogeneous_mst(&mut cluster, g.n(), input)
+            .unwrap()
+            .forest
+            .total_weight
     };
     // The MST weight is seed-independent even though sampling differs.
     assert_eq!(weight_at(1), weight_at(2));
@@ -31,8 +34,11 @@ fn different_seeds_change_random_choices_not_answers() {
 fn spanner_and_matching_are_deterministic() {
     let g = generators::gnm(160, 1600, 19);
     let spanner_run = || {
-        let mut cluster =
-            Cluster::new(ClusterConfig::new(g.n(), g.m()).seed(5).polylog_exponent(1.6));
+        let mut cluster = Cluster::new(
+            ClusterConfig::new(g.n(), g.m())
+                .seed(5)
+                .polylog_exponent(1.6),
+        );
         let input = common::distribute_edges(&cluster, &g);
         let r = spanner::heterogeneous_spanner(&mut cluster, g.n(), &input, 3).unwrap();
         (r.spanner.m(), cluster.rounds())

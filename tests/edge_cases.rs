@@ -54,8 +54,11 @@ fn grid_graph_spanner() {
     // Grids have girth 4 and no dense clusters — a stress case for the
     // clustering-graph construction (every degree is 2..4 ⇒ few levels).
     let g = generators::grid(16, 16);
-    let mut cluster =
-        Cluster::new(ClusterConfig::new(g.n(), g.m()).seed(6).polylog_exponent(1.6));
+    let mut cluster = Cluster::new(
+        ClusterConfig::new(g.n(), g.m())
+            .seed(6)
+            .polylog_exponent(1.6),
+    );
     let input = common::distribute_edges(&cluster, &g);
     let r = spanner::heterogeneous_spanner(&mut cluster, g.n(), &input, 2).unwrap();
     let rep = mpc_graph::verify_spanner(&g, &r.spanner, Some(20), 0);
@@ -67,7 +70,10 @@ fn two_machine_minimum_cluster() {
     // The smallest legal cluster: one large + two small machines.
     let g = generators::gnm(32, 64, 7).with_random_weights(100, 7);
     let mut cluster = Cluster::new(ClusterConfig::new(g.n(), g.m()).seed(7).topology(
-        Topology::Custom { capacities: vec![100_000, 2_000, 2_000], large: Some(0) },
+        Topology::Custom {
+            capacities: vec![100_000, 2_000, 2_000],
+            large: Some(0),
+        },
     ));
     let input = common::distribute_edges(&cluster, &g);
     let r = mst::heterogeneous_mst(&mut cluster, g.n(), input).unwrap();
@@ -80,7 +86,10 @@ fn gamma_extremes() {
     for gamma in [0.3f64, 0.9] {
         let mut cluster = Cluster::new(
             ClusterConfig::new(g.n(), g.m())
-                .topology(Topology::Heterogeneous { gamma, large_exponent: 1.0 })
+                .topology(Topology::Heterogeneous {
+                    gamma,
+                    large_exponent: 1.0,
+                })
                 .seed(8),
         );
         let input = common::distribute_edges(&cluster, &g);
@@ -106,8 +115,11 @@ fn disconnected_many_components() {
 #[test]
 fn spanner_on_already_sparse_graph_keeps_connectivity() {
     let g = generators::random_tree(200, 10);
-    let mut cluster =
-        Cluster::new(ClusterConfig::new(g.n(), g.m()).seed(10).polylog_exponent(1.6));
+    let mut cluster = Cluster::new(
+        ClusterConfig::new(g.n(), g.m())
+            .seed(10)
+            .polylog_exponent(1.6),
+    );
     let input = common::distribute_edges(&cluster, &g);
     let r = spanner::heterogeneous_spanner(&mut cluster, g.n(), &input, 3).unwrap();
     // A spanner of a tree must be the tree.
@@ -117,8 +129,11 @@ fn spanner_on_already_sparse_graph_keeps_connectivity() {
 #[test]
 fn mis_on_complete_graph_is_a_single_vertex() {
     let g = generators::complete(64);
-    let mut cluster =
-        Cluster::new(ClusterConfig::new(g.n(), g.m()).seed(11).polylog_exponent(1.6));
+    let mut cluster = Cluster::new(
+        ClusterConfig::new(g.n(), g.m())
+            .seed(11)
+            .polylog_exponent(1.6),
+    );
     let input = common::distribute_edges(&cluster, &g);
     let r = mpc_core::ported::heterogeneous_mis(&mut cluster, g.n(), &input).unwrap();
     assert_eq!(r.mis.len(), 1);
@@ -127,8 +142,11 @@ fn mis_on_complete_graph_is_a_single_vertex() {
 #[test]
 fn coloring_on_bipartite_graph_is_proper() {
     let g = generators::grid(12, 12);
-    let mut cluster =
-        Cluster::new(ClusterConfig::new(g.n(), g.m()).seed(12).polylog_exponent(2.0));
+    let mut cluster = Cluster::new(
+        ClusterConfig::new(g.n(), g.m())
+            .seed(12)
+            .polylog_exponent(2.0),
+    );
     let input = common::distribute_edges(&cluster, &g);
     let r = mpc_core::ported::heterogeneous_coloring(&mut cluster, g.n(), &input).unwrap();
     assert!(mpc_graph::coloring::is_proper_coloring(&g, &r.colors));

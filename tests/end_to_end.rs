@@ -26,8 +26,11 @@ fn mst_spanner_matching_on_the_same_graph() {
 
     // Spanner (unweighted view of the same topology).
     let unweighted = generators::gnm(200, 2400, 1);
-    let mut cluster =
-        Cluster::new(ClusterConfig::new(g.n(), g.m()).seed(1).polylog_exponent(1.6));
+    let mut cluster = Cluster::new(
+        ClusterConfig::new(g.n(), g.m())
+            .seed(1)
+            .polylog_exponent(1.6),
+    );
     let input = common::distribute_edges(&cluster, &unweighted);
     let sp = spanner::heterogeneous_spanner(&mut cluster, g.n(), &input, 3).unwrap();
     assert!(verify_spanner(&unweighted, &sp.spanner, Some(24), 0).within(17.0));
@@ -38,7 +41,10 @@ fn mst_spanner_matching_on_the_same_graph() {
     let m = matching::heterogeneous_matching(&mut cluster, g.n(), &input).unwrap();
     assert!(is_maximal_matching(&g, &m.matching));
 
-    assert!(mst_rounds < 60, "MST rounds unexpectedly high: {mst_rounds}");
+    assert!(
+        mst_rounds < 60,
+        "MST rounds unexpectedly high: {mst_rounds}"
+    );
 }
 
 #[test]
@@ -62,15 +68,21 @@ fn ported_algorithms_cover_appendix_c() {
     assert_eq!(comps, mpc_graph::traversal::connected_components(&g));
 
     // MIS (C.4).
-    let mut cluster =
-        Cluster::new(ClusterConfig::new(g.n(), g.m()).seed(2).polylog_exponent(1.6));
+    let mut cluster = Cluster::new(
+        ClusterConfig::new(g.n(), g.m())
+            .seed(2)
+            .polylog_exponent(1.6),
+    );
     let input = common::distribute_edges(&cluster, &g);
     let mis = ported::heterogeneous_mis(&mut cluster, g.n(), &input).unwrap();
     assert!(is_maximal_independent_set(&g, &mis.mis));
 
     // Coloring (C.5).
-    let mut cluster =
-        Cluster::new(ClusterConfig::new(g.n(), g.m()).seed(2).polylog_exponent(2.0));
+    let mut cluster = Cluster::new(
+        ClusterConfig::new(g.n(), g.m())
+            .seed(2)
+            .polylog_exponent(2.0),
+    );
     let input = common::distribute_edges(&cluster, &g);
     let col = ported::heterogeneous_coloring(&mut cluster, g.n(), &input).unwrap();
     assert!(is_proper_coloring(&g, &col.colors));
@@ -89,7 +101,10 @@ fn filtering_matching_respects_superlinear_memory() {
     let f = 0.25;
     let mut cluster = Cluster::new(
         ClusterConfig::new(g.n(), g.m())
-            .topology(Topology::Heterogeneous { gamma: 0.66, large_exponent: 1.0 + f })
+            .topology(Topology::Heterogeneous {
+                gamma: 0.66,
+                large_exponent: 1.0 + f,
+            })
             .seed(3),
     );
     let input = common::distribute_edges(&cluster, &g);
@@ -106,7 +121,10 @@ fn general_mst_theorem_3_1_with_superlinear_machine() {
     let run = |f: f64| {
         let mut cluster = Cluster::new(
             ClusterConfig::new(g.n(), g.m())
-                .topology(Topology::Heterogeneous { gamma: 0.5, large_exponent: 1.0 + f })
+                .topology(Topology::Heterogeneous {
+                    gamma: 0.5,
+                    large_exponent: 1.0 + f,
+                })
                 .mem_constant(3.0)
                 .seed(4),
         );

@@ -47,7 +47,10 @@ fn unknown_destination_fails_in_every_mode() {
     for e in [Enforcement::Strict, Enforcement::Record, Enforcement::Off] {
         let mut cluster = Cluster::new(
             ClusterConfig::new(16, 32)
-                .topology(Topology::Custom { capacities: vec![10, 10], large: None })
+                .topology(Topology::Custom {
+                    capacities: vec![10, 10],
+                    large: None,
+                })
                 .enforcement(e),
         );
         let mut out = cluster.empty_outboxes::<u64>();
@@ -61,13 +64,16 @@ fn unknown_destination_fails_in_every_mode() {
 
 #[test]
 fn memory_accounting_catches_oversized_state() {
-    let mut cluster = Cluster::new(
-        ClusterConfig::new(16, 32)
-            .topology(Topology::Custom { capacities: vec![100, 20], large: Some(0) }),
-    );
+    let mut cluster = Cluster::new(ClusterConfig::new(16, 32).topology(Topology::Custom {
+        capacities: vec![100, 20],
+        large: Some(0),
+    }));
     assert!(cluster.account("big", 1, 19).is_ok());
     let err = cluster.account("more", 1, 5).unwrap_err();
-    assert!(matches!(err, ModelViolation::MemoryOverflow { machine: 1, .. }));
+    assert!(matches!(
+        err,
+        ModelViolation::MemoryOverflow { machine: 1, .. }
+    ));
 }
 
 #[test]

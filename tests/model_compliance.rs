@@ -14,7 +14,10 @@ fn mst_respects_capacities_across_gamma() {
         let g = generators::gnm(256, 256 * 16, 9).with_random_weights(1 << 16, 9);
         let mut cluster = Cluster::new(
             ClusterConfig::new(g.n(), g.m())
-                .topology(Topology::Heterogeneous { gamma, large_exponent: 1.0 })
+                .topology(Topology::Heterogeneous {
+                    gamma,
+                    large_exponent: 1.0,
+                })
                 .enforcement(Enforcement::Strict)
                 .seed(9),
         );
@@ -51,8 +54,11 @@ fn round_log_labels_every_exchange() {
 #[test]
 fn per_round_traffic_never_exceeds_the_largest_capacity() {
     let g = generators::gnm(200, 3000, 5);
-    let mut cluster =
-        Cluster::new(ClusterConfig::new(g.n(), g.m()).seed(5).polylog_exponent(1.6));
+    let mut cluster = Cluster::new(
+        ClusterConfig::new(g.n(), g.m())
+            .seed(5)
+            .polylog_exponent(1.6),
+    );
     let input = common::distribute_edges(&cluster, &g);
     spanner::heterogeneous_spanner(&mut cluster, g.n(), &input, 3).unwrap();
     let large_cap = cluster.capacity(cluster.large().unwrap());
@@ -64,7 +70,9 @@ fn record_mode_agrees_with_strict_mode_results() {
     let g = generators::gnm(150, 1500, 7).with_random_weights(500, 7);
     let run = |enforcement| {
         let mut cluster = Cluster::new(
-            ClusterConfig::new(g.n(), g.m()).enforcement(enforcement).seed(7),
+            ClusterConfig::new(g.n(), g.m())
+                .enforcement(enforcement)
+                .seed(7),
         );
         let input = common::distribute_edges(&cluster, &g);
         let r = mst::heterogeneous_mst(&mut cluster, g.n(), input).unwrap();
