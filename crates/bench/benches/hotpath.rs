@@ -1,0 +1,35 @@
+//! Criterion timings for the engine's round hot path: per-round thread
+//! spawning vs the persistent pool, on the same skewed ring workload the
+//! `hotpath` experiment sweeps (see `src/hotpath.rs` and `BENCH_exec.json`
+//! for the full K sweep).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpc_bench::hotpath::{ripple_cluster, ripple_programs};
+use mpc_exec::{ExecMode, Executor};
+use std::hint::black_box;
+
+fn bench_exec_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exec_hotpath");
+    group.sample_size(10);
+    for (name, mode) in [
+        ("ripple_k64_serial", ExecMode::Serial),
+        ("ripple_k64_spawn_per_round", ExecMode::SpawnPerRound),
+        ("ripple_k64_pool", ExecMode::Parallel),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cluster = ripple_cluster(64);
+                let programs = ripple_programs(&cluster, 40, 800);
+                black_box(
+                    Executor::new("ripple", mode)
+                        .run(&mut cluster, programs)
+                        .unwrap(),
+                );
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exec_modes);
+criterion_main!(benches);

@@ -1,0 +1,325 @@
+//! The `hotpath` experiment: what the engine's per-round host overhead
+//! costs, and what the persistent pool buys back.
+//!
+//! Two per-round costs dominate the engine's host wall-clock at high round
+//! counts: (1) `ExecMode::SpawnPerRound` pays an OS thread spawn + join per
+//! worker **every round**, and (2) its static chunking serializes every
+//! machine that shares a chunk with the large machine — deliberately the
+//! heaviest per-round workload in the paper's heterogeneous regime (the
+//! straggler effect heterogeneous-cluster work treats as the dominant
+//! cost). The pooled `ExecMode::Parallel` spawns once per run and claims
+//! machines dynamically, so neither cost scales with the round count.
+//!
+//! The workload is a message ring ([`RippleProgram`]) with a skewed
+//! per-machine compute profile (machine 0 does `K/4`× the work of a small
+//! machine), swept over K ∈ {8, 64, 256} machines — plus one end-to-end
+//! connectivity run on a larger graph for realism. Results are printed as
+//! a markdown table and written machine-readably to `BENCH_exec.json` at
+//! the repo root, starting the perf trajectory the ROADMAP asks for.
+//!
+//! All three schedules are asserted bit-identical (checksums and round
+//! counts) before any result is reported.
+
+use crate::Table;
+use mpc_core::common;
+use mpc_core::ported::connectivity::{sketch_friendly_config, ConnectivityConfig};
+use mpc_exec::{ConnectivityProgram, ExecMode, Executor, MachineCtx, MachineProgram, StepOutcome};
+use mpc_graph::generators;
+use mpc_runtime::{Cluster, ClusterConfig, MachineId, Topology};
+use std::time::Duration;
+
+/// A ring program stressing the round loop: every machine forwards one
+/// word to its successor each round and burns a deterministic amount of
+/// local compute, skewed so machine 0 (the large machine) is the
+/// straggler. No RNG, so any cross-schedule divergence shows up in the
+/// checksum immediately.
+pub struct RippleProgram {
+    rounds: u64,
+    work_iters: u64,
+    /// Deterministic digest of everything this machine computed/received.
+    pub checksum: u64,
+}
+
+impl RippleProgram {
+    /// Burns `iters` multiply-rotate steps; returns the mixed accumulator.
+    fn busywork(seed: u64, iters: u64) -> u64 {
+        let mut acc = seed | 1;
+        for i in 0..iters {
+            acc = acc.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17) ^ i;
+        }
+        acc
+    }
+}
+
+impl MachineProgram for RippleProgram {
+    type Message = u64;
+
+    fn step(&mut self, ctx: &MachineCtx<'_>, inbox: Vec<(MachineId, u64)>) -> StepOutcome<u64> {
+        for (_, m) in &inbox {
+            self.checksum ^= m;
+        }
+        let acc = Self::busywork(self.checksum, self.work_iters);
+        self.checksum ^= acc;
+        // Report the compute to the cost model so simulated makespans see
+        // the same skew the host does.
+        ctx.charge(self.work_iters);
+        if ctx.round + 1 >= self.rounds {
+            return StepOutcome::Halt;
+        }
+        StepOutcome::Send(vec![((ctx.mid + 1) % ctx.machines, acc)])
+    }
+}
+
+/// A cluster with `k` small machines plus one large machine (id 0).
+pub fn ripple_cluster(k: usize) -> Cluster {
+    Cluster::new(ClusterConfig::new(1024, 4096).topology(Topology::Custom {
+        capacities: vec![4096; k + 1],
+        large: Some(0),
+    }))
+}
+
+/// One [`RippleProgram`] per machine: small machines do `small_work`
+/// iterations per round, the large machine `small_work · k/4` (the
+/// straggler skew).
+pub fn ripple_programs(cluster: &Cluster, rounds: u64, small_work: u64) -> Vec<RippleProgram> {
+    let k = cluster.machines();
+    let skew = (k as u64 / 4).max(2);
+    (0..k)
+        .map(|mid| RippleProgram {
+            rounds,
+            work_iters: if Some(mid) == cluster.large() {
+                small_work * skew
+            } else {
+                small_work
+            },
+            checksum: mid as u64,
+        })
+        .collect()
+}
+
+/// Worker threads for both parallel schedules: pinned (rather than
+/// host-derived) so the comparison measures the *schedulers* — the same
+/// worker count either spawned per round or parked on the pool's barrier —
+/// independent of the benchmarking host's core count.
+const WORKERS: usize = 8;
+
+/// One timed ripple run; returns (wall, checksum, rounds).
+fn time_ripple(mode: ExecMode, k: usize, rounds: u64, small_work: u64) -> (Duration, u64, u64) {
+    let mut cluster = ripple_cluster(k);
+    let programs = ripple_programs(&cluster, rounds, small_work);
+    let out = Executor::new("ripple", mode)
+        .threads(WORKERS)
+        .run(&mut cluster, programs)
+        .expect("ripple run");
+    let checksum = out
+        .programs
+        .iter()
+        .fold(0u64, |acc, p| acc ^ p.checksum.rotate_left(11));
+    (out.wall, checksum, out.rounds)
+}
+
+/// One timed connectivity run on `g`; returns (wall, component count, rounds).
+fn time_connectivity(mode: ExecMode, g: &mpc_graph::Graph, seed: u64) -> (Duration, u64, u64) {
+    let mut cluster = Cluster::new(sketch_friendly_config(g.n(), g.m(), seed));
+    let edges = common::distribute_edges(&cluster, g);
+    let programs = ConnectivityProgram::for_cluster(
+        &cluster,
+        g.n(),
+        &edges,
+        &ConnectivityConfig::for_n(g.n()),
+    );
+    let out = Executor::new("conn", mode)
+        .threads(WORKERS)
+        .run(&mut cluster, programs)
+        .expect("connectivity run");
+    let large = cluster.large().expect("heterogeneous topology");
+    let comps = out.programs[large].result.as_ref().expect("components");
+    (out.wall, comps.count as u64, out.rounds)
+}
+
+/// Best-of-`reps` wall time for `run`, asserting the digest never moves.
+fn best_of<F: FnMut() -> (Duration, u64, u64)>(reps: usize, mut run: F) -> (f64, u64, u64) {
+    let (mut best, digest, rounds) = run();
+    for _ in 1..reps {
+        let (wall, d, r) = run();
+        assert_eq!((d, r), (digest, rounds), "nondeterministic timing run");
+        best = best.min(wall);
+    }
+    (best.as_secs_f64() * 1e3, digest, rounds)
+}
+
+struct Case {
+    workload: String,
+    machines: usize,
+    rounds: u64,
+    serial_ms: f64,
+    spawn_ms: f64,
+    pool_ms: f64,
+}
+
+impl Case {
+    fn speedup(&self) -> f64 {
+        self.spawn_ms / self.pool_ms.max(1e-9)
+    }
+}
+
+/// Runs the experiment; `quick` shrinks the sweep for CI smoke runs.
+pub fn run(quick: bool) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("\n## hotpath — per-round engine overhead: spawn-per-round vs persistent pool\n");
+    println!(
+        "host cores: {cores}; both parallel schedules run {WORKERS} workers (pinned, so\n\
+         the comparison measures the schedulers, not the host); wall times are\n\
+         best-of-N host milliseconds; all three schedules are asserted\n\
+         bit-identical before results are reported.\n"
+    );
+
+    let (ks, rounds, small_work, reps): (&[usize], u64, u64, usize) = if quick {
+        (&[8, 64], 50, 600, 1)
+    } else {
+        (&[8, 64, 256], 250, 1500, 3)
+    };
+
+    let mut cases: Vec<Case> = Vec::new();
+    for &k in ks {
+        // `best_of` asserts within-mode stability; the digests it returns
+        // gate all three schedules against each other before the case is
+        // recorded.
+        let (serial_ms, d_serial, r_serial) = best_of(reps, || {
+            time_ripple(ExecMode::Serial, k, rounds, small_work)
+        });
+        let (spawn_ms, d_spawn, r_spawn) = best_of(reps, || {
+            time_ripple(ExecMode::SpawnPerRound, k, rounds, small_work)
+        });
+        let (pool_ms, d_pool, r_pool) = best_of(reps, || {
+            time_ripple(ExecMode::Parallel, k, rounds, small_work)
+        });
+        assert_eq!(
+            (d_serial, r_serial),
+            (d_spawn, r_spawn),
+            "K={k}: spawn-per-round diverged from serial"
+        );
+        assert_eq!(
+            (d_serial, r_serial),
+            (d_pool, r_pool),
+            "K={k}: pool diverged from serial"
+        );
+        cases.push(Case {
+            workload: format!("ripple(r={rounds},w={small_work})"),
+            machines: k + 1,
+            rounds: r_serial,
+            serial_ms,
+            spawn_ms,
+            pool_ms,
+        });
+    }
+
+    // One end-to-end program on a larger graph: few rounds, heavy steps —
+    // the regime where spawn overhead matters least (reported for honesty).
+    let (n, density, seed) = if quick { (1200, 6, 7) } else { (4000, 6, 7) };
+    let g = generators::gnm(n, n * density, seed);
+    let (serial_ms, d_serial, r_serial) =
+        best_of(reps, || time_connectivity(ExecMode::Serial, &g, seed));
+    let (spawn_ms, d_spawn, r_spawn) = best_of(reps, || {
+        time_connectivity(ExecMode::SpawnPerRound, &g, seed)
+    });
+    let (pool_ms, d_pool, r_pool) =
+        best_of(reps, || time_connectivity(ExecMode::Parallel, &g, seed));
+    assert_eq!(
+        (d_serial, r_serial),
+        (d_spawn, r_spawn),
+        "connectivity: spawn-per-round diverged from serial"
+    );
+    assert_eq!(
+        (d_serial, r_serial),
+        (d_pool, r_pool),
+        "connectivity: pool diverged from serial"
+    );
+    let conn_machines = Cluster::new(sketch_friendly_config(g.n(), g.m(), seed)).machines();
+    cases.push(Case {
+        workload: format!("connectivity(n={n},m={})", g.m()),
+        machines: conn_machines,
+        rounds: r_serial,
+        serial_ms,
+        spawn_ms,
+        pool_ms,
+    });
+
+    let mut t = Table::new(&[
+        "workload",
+        "machines",
+        "rounds",
+        "serial ms",
+        "spawn/round ms",
+        "pool ms",
+        "pool speedup vs spawn",
+    ]);
+    for c in &cases {
+        t.row(&[
+            c.workload.clone(),
+            c.machines.to_string(),
+            c.rounds.to_string(),
+            format!("{:.2}", c.serial_ms),
+            format!("{:.2}", c.spawn_ms),
+            format!("{:.2}", c.pool_ms),
+            format!("{:.2}x", c.speedup()),
+        ]);
+    }
+    t.print();
+
+    let path = bench_json_path();
+    write_json(&path, quick, cores, &cases);
+    println!("\n[hotpath: wrote {}]", path.display());
+}
+
+/// `BENCH_exec.json` lives at the repo root so the perf trajectory is one
+/// flat file per subsystem.
+fn bench_json_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_exec.json")
+}
+
+fn write_json(path: &std::path::Path, quick: bool, cores: usize, cases: &[Case]) {
+    let mut body = String::new();
+    body.push_str("{\n");
+    body.push_str("  \"bench\": \"exec_hotpath\",\n");
+    body.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if quick { "quick" } else { "full" }
+    ));
+    body.push_str(&format!("  \"host_cores\": {cores},\n"));
+    body.push_str("  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"machines\": {}, \"rounds\": {}, \
+             \"serial_ms\": {:.3}, \"spawn_per_round_ms\": {:.3}, \"pool_ms\": {:.3}, \
+             \"pool_speedup_vs_spawn\": {:.3}}}{}\n",
+            c.workload,
+            c.machines,
+            c.rounds,
+            c.serial_ms,
+            c.spawn_ms,
+            c.pool_ms,
+            c.speedup(),
+            if i + 1 == cases.len() { "" } else { "," },
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    std::fs::write(path, body).expect("write BENCH_exec.json");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ripple_is_deterministic_across_modes() {
+        let (_, s, rs) = time_ripple(ExecMode::Serial, 6, 12, 50);
+        let (_, p, rp) = time_ripple(ExecMode::Parallel, 6, 12, 50);
+        let (_, c, rc) = time_ripple(ExecMode::SpawnPerRound, 6, 12, 50);
+        assert_eq!((s, rs), (p, rp));
+        assert_eq!((s, rs), (c, rc));
+        // 12 program steps: sends at rounds 0..=10, halt at 11 — the final
+        // wind-down round needs no exchange.
+        assert_eq!(rs, 11);
+    }
+}

@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod hotpath;
 pub mod table;
 
 pub use table::Table;
@@ -40,6 +41,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "coloring",
     "two_vs_one",
     "exec",
+    "hotpath",
 ];
 
 /// Runs one experiment by name, printing its tables to stdout.
@@ -49,6 +51,16 @@ pub const EXPERIMENTS: &[&str] = &[
 /// Panics on unknown experiment names (callers validate against
 /// [`EXPERIMENTS`]).
 pub fn run_experiment(name: &str) {
+    run_experiment_opts(name, false);
+}
+
+/// [`run_experiment`] with options: `quick` shrinks the sweeps of the
+/// experiments that support it (currently `hotpath`) for CI smoke runs.
+///
+/// # Panics
+///
+/// See [`run_experiment`].
+pub fn run_experiment_opts(name: &str, quick: bool) {
     match name {
         "table1" => experiments::table1(),
         "mst_scaling" => experiments::mst_scaling(),
@@ -66,6 +78,7 @@ pub fn run_experiment(name: &str) {
         "coloring" => experiments::coloring(),
         "two_vs_one" => experiments::two_vs_one(),
         "exec" => experiments::exec_engine(),
+        "hotpath" => hotpath::run(quick),
         other => panic!("unknown experiment '{other}'; see --list"),
     }
 }

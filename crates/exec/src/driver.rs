@@ -6,14 +6,28 @@
 //! order [`Cluster::exchange`](mpc_runtime::Cluster::exchange) fixes
 //! (ascending source id, then send order). Machines share nothing mutable,
 //! so the *schedule* of steps cannot influence any machine's output;
-//! running them on one thread or sixteen produces the same outboxes, the
-//! same round log, and the same RNG streams. The `parallel_matches_serial`
-//! tests assert this bit-for-bit.
+//! running them on one thread or sixteen — statically chunked or
+//! dynamically claimed off the worker pool — produces the same outboxes,
+//! the same round log, and the same RNG streams. The
+//! `parallel_matches_serial` tests and `crates/exec/tests/pool.rs` assert
+//! this bit-for-bit.
+//!
+//! The round loop is the engine's host-side hot path, so it allocates
+//! nothing per round in steady state: exchanges go through the
+//! buffer-reusing [`Cluster::exchange_into`](mpc_runtime::Cluster::exchange_into),
+//! round labels share one interned prefix
+//! ([`RoundLabel`](mpc_runtime::RoundLabel)), and in
+//! [`ExecMode::Parallel`] the worker threads are spawned **once per run**
+//! ([`pool`](crate::pool)) instead of once per round.
 
 use crate::machine::{MachineCtx, MachineProgram, StepOutcome};
-use mpc_runtime::{Cluster, MachineId, ModelViolation};
+use crate::pool::{PanicPayload, PoolCore};
+use mpc_runtime::{Cluster, MachineId, ModelViolation, RoundLabel};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 use std::error::Error;
 use std::fmt;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// How the driver schedules machine steps within a round.
@@ -21,11 +35,16 @@ use std::time::{Duration, Instant};
 pub enum ExecMode {
     /// One machine after another on the calling thread.
     Serial,
-    /// All machines concurrently on scoped OS threads (the environment has
-    /// no crates.io access, so this uses `std::thread::scope` with evenly
-    /// chunked machines instead of a rayon pool).
+    /// All machines concurrently on a persistent worker pool (spawned once
+    /// per run; machines are claimed dynamically so a straggler machine
+    /// never serializes anyone else's work). Std-only — the environment
+    /// has no crates.io access, hence no rayon.
     #[default]
     Parallel,
+    /// The pre-pool baseline: scoped OS threads spawned **every round**,
+    /// with machines statically chunked per thread. Kept so the `hotpath`
+    /// bench can measure what the pool buys; not a mode to pick otherwise.
+    SpawnPerRound,
 }
 
 /// Errors of a program execution.
@@ -87,14 +106,35 @@ struct StepSlot<M> {
     work: u64,
 }
 
-/// One machine's inputs for a round, bundled so a worker thread can own it.
-struct WorkItem<'a, P: MachineProgram> {
-    mid: MachineId,
-    stepping: bool,
-    program: &'a mut P,
-    rng: &'a mut rand::rngs::SmallRng,
+/// One machine's run-long state: program, private RNG, and the per-round
+/// inbox/outcome mailboxes. Owned behind a `Mutex` so pool workers can
+/// claim machines in any order; each slot is only ever touched by one
+/// thread at a time (the claim counter hands out disjoint indices), so the
+/// locks never contend.
+struct MachineSlot<P: MachineProgram> {
+    program: P,
+    rng: SmallRng,
     inbox: Vec<(MachineId, P::Message)>,
-    slot: Option<StepSlot<P::Message>>,
+    halted: bool,
+    /// Whether this machine steps this round (active, or reactivated by a
+    /// message). Set by the driving thread before the round barrier.
+    stepping: bool,
+    /// The step's outcome, folded back in machine-id order after the round.
+    outcome: Option<StepSlot<P::Message>>,
+}
+
+/// Immutable cluster shape shared with the step job.
+struct StepCtx {
+    caps: Vec<usize>,
+    large: Option<MachineId>,
+    machines: usize,
+}
+
+/// How one `run` ended, before panic payloads are re-raised.
+enum DriveEnd {
+    Done(u64),
+    Failed(ExecError),
+    Panicked(PanicPayload),
 }
 
 impl Executor {
@@ -113,7 +153,7 @@ impl Executor {
         Executor::new(label, ExecMode::Serial)
     }
 
-    /// Parallel executor (one chunk of machines per OS thread).
+    /// Parallel executor (persistent worker pool, dynamic claiming).
     pub fn parallel(label: &str) -> Self {
         Executor::new(label, ExecMode::Parallel)
     }
@@ -152,132 +192,228 @@ impl Executor {
     ///
     /// # Panics
     ///
-    /// Panics if `programs.len()` differs from the cluster's machine count.
+    /// Panics if `programs.len()` differs from the cluster's machine count,
+    /// or if a [`MachineProgram::step`] panics (the panic is re-raised on
+    /// the calling thread in every mode).
     pub fn run<P: MachineProgram>(
         &self,
         cluster: &mut Cluster,
-        mut programs: Vec<P>,
+        programs: Vec<P>,
     ) -> Result<ExecOutcome<P>, ExecError> {
         let k = cluster.machines();
         assert_eq!(programs.len(), k, "need exactly one program per machine");
-        let caps: Vec<usize> = (0..k).map(|m| cluster.capacity(m)).collect();
-        let large = cluster.large();
         let start = Instant::now();
+        let ctx = StepCtx {
+            caps: (0..k).map(|m| cluster.capacity(m)).collect(),
+            large: cluster.large(),
+            machines: k,
+        };
 
-        let mut halted = vec![false; k];
-        let mut inboxes: Vec<Vec<(MachineId, P::Message)>> = (0..k).map(|_| Vec::new()).collect();
+        // Move each machine's program and private RNG into its slot for the
+        // duration of the run (the RNGs go back below, stream positions
+        // intact, so the cluster observes exactly a serial execution).
+        let mut slots: Vec<Mutex<MachineSlot<P>>> = programs
+            .into_iter()
+            .zip(cluster.rngs_mut().iter_mut())
+            .map(|(program, rng)| {
+                Mutex::new(MachineSlot {
+                    program,
+                    rng: std::mem::replace(rng, SmallRng::seed_from_u64(0)),
+                    inbox: Vec::new(),
+                    halted: false,
+                    stepping: false,
+                    outcome: None,
+                })
+            })
+            .collect();
+
+        // Serial and spawn-per-round wrap their stepping in `catch_unwind`
+        // for the same reason the pool catches on its workers: a step panic
+        // must flow through `DriveEnd::Panicked` so the RNG/program
+        // restoration below runs before the payload is re-raised —
+        // post-panic cluster state is identical in every mode.
+        let end = match self.mode {
+            ExecMode::Serial => {
+                let slots = &slots;
+                self.drive(cluster, slots, &mut |round| {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        for mid in 0..k {
+                            step_slot(&slots[mid], mid, &ctx, round);
+                        }
+                    }))
+                })
+            }
+            ExecMode::SpawnPerRound => {
+                let threads = self.worker_threads().min(k).max(1);
+                let chunk = k.div_ceil(threads);
+                let ids: Vec<usize> = (0..k).collect();
+                let slots = &slots;
+                let ctx = &ctx;
+                self.drive(cluster, slots, &mut |round| {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        std::thread::scope(|scope| {
+                            for chunk_ids in ids.chunks(chunk) {
+                                scope.spawn(move || {
+                                    for &mid in chunk_ids {
+                                        step_slot(&slots[mid], mid, ctx, round);
+                                    }
+                                });
+                            }
+                        });
+                    }))
+                })
+            }
+            ExecMode::Parallel => {
+                let pool = PoolCore::new(k, self.worker_threads().min(k).max(1));
+                let slots_ref = &slots;
+                let ctx = &ctx;
+                let job = move |mid: usize, round: u64| step_slot(&slots_ref[mid], mid, ctx, round);
+                std::thread::scope(|scope| {
+                    pool.spawn_workers(scope, &job);
+                    let end = self.drive(cluster, slots_ref, &mut |round| pool.run_round(round));
+                    // Every exit path must release the workers, or the
+                    // scope's implicit join would hang.
+                    pool.shutdown();
+                    end
+                })
+            }
+        };
+
+        // Hand the programs and the advanced RNG streams back. A panicking
+        // step poisons its slot's mutex; ignore the poison here so the
+        // *original* payload (not a `PoisonError`) reaches the caller.
+        let mut programs = Vec::with_capacity(k);
+        for (slot, rng) in slots.iter_mut().zip(cluster.rngs_mut().iter_mut()) {
+            let slot = slot.get_mut().unwrap_or_else(|p| p.into_inner());
+            std::mem::swap(rng, &mut slot.rng);
+        }
+        for slot in slots {
+            let slot = slot.into_inner().unwrap_or_else(|p| p.into_inner());
+            programs.push(slot.program);
+        }
+
+        match end {
+            DriveEnd::Done(rounds) => Ok(ExecOutcome {
+                programs,
+                rounds,
+                wall: start.elapsed(),
+            }),
+            DriveEnd::Failed(e) => Err(e),
+            DriveEnd::Panicked(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+
+    /// The mode-independent round loop: activation flags, the step barrier
+    /// (`step_all`), machine-order fold-back, and the exchange — with the
+    /// outbox/inbox buffers reused across rounds.
+    fn drive<P: MachineProgram>(
+        &self,
+        cluster: &mut Cluster,
+        slots: &[Mutex<MachineSlot<P>>],
+        step_all: &mut dyn FnMut(u64) -> Result<(), PanicPayload>,
+    ) -> DriveEnd {
+        let k = slots.len();
+        let prefix: Arc<str> = Arc::from(self.label.as_str());
+        let mut outgoing: Vec<Vec<(MachineId, P::Message)>> = (0..k).map(|_| Vec::new()).collect();
+        let mut inboxes: Vec<Vec<(MachineId, P::Message)>> = Vec::new();
         let mut round: u64 = 0;
 
         loop {
-            let any_stepping = (0..k).any(|m| !halted[m] || !inboxes[m].is_empty());
+            let mut any_stepping = false;
+            for slot in slots {
+                let mut s = slot.lock().unwrap();
+                s.stepping = !s.halted || !s.inbox.is_empty();
+                any_stepping |= s.stepping;
+            }
             if !any_stepping {
                 break;
             }
             if round >= self.max_rounds {
-                return Err(ExecError::RoundLimit {
+                return DriveEnd::Failed(ExecError::RoundLimit {
                     limit: self.max_rounds,
                 });
             }
 
-            // Bundle per-machine state so threads can own disjoint slices.
-            let rngs = cluster.rngs_mut();
-            let mut items: Vec<WorkItem<'_, P>> = programs
-                .iter_mut()
-                .zip(rngs.iter_mut())
-                .zip(inboxes.iter_mut().map(std::mem::take))
-                .enumerate()
-                .map(|(mid, ((program, rng), inbox))| WorkItem {
-                    mid,
-                    stepping: !halted[mid] || !inbox.is_empty(),
-                    program,
-                    rng,
-                    inbox,
-                    slot: None,
-                })
-                .collect();
-
-            match self.mode {
-                ExecMode::Serial => {
-                    for item in &mut items {
-                        step_item(item, &caps, large, k, round);
-                    }
-                }
-                ExecMode::Parallel => {
-                    let threads = self.worker_threads().min(k).max(1);
-                    let chunk = k.div_ceil(threads);
-                    std::thread::scope(|scope| {
-                        for chunk_items in items.chunks_mut(chunk) {
-                            let caps = &caps;
-                            scope.spawn(move || {
-                                for item in chunk_items {
-                                    step_item(item, caps, large, k, round);
-                                }
-                            });
-                        }
-                    });
-                }
+            if let Err(payload) = step_all(round) {
+                return DriveEnd::Panicked(payload);
             }
 
             // Fold results back in machine order (deterministic regardless
             // of which thread ran which machine).
-            let mut outgoing: Vec<Vec<(MachineId, P::Message)>> =
-                (0..k).map(|_| Vec::new()).collect();
             let mut any_messages = false;
-            let mut work_charges: Vec<(MachineId, u64)> = Vec::new();
-            for item in items {
-                let mid = item.mid;
-                if let Some(slot) = item.slot {
-                    halted[mid] = slot.halt;
-                    any_messages |= !slot.outbox.is_empty();
-                    if slot.work > 0 {
-                        work_charges.push((mid, slot.work));
+            let mut all_halted = true;
+            for (mid, slot) in slots.iter().enumerate() {
+                let mut s = slot.lock().unwrap();
+                if let Some(step) = s.outcome.take() {
+                    s.halted = step.halt;
+                    any_messages |= !step.outbox.is_empty();
+                    if step.work > 0 {
+                        cluster.charge_work(mid, step.work);
                     }
-                    outgoing[mid] = slot.outbox;
+                    outgoing[mid] = step.outbox;
+                } else {
+                    outgoing[mid].clear();
                 }
-            }
-            for (mid, work) in work_charges {
-                cluster.charge_work(mid, work);
+                all_halted &= s.halted;
             }
 
-            if !any_messages && halted.iter().all(|&h| h) {
+            if !any_messages && all_halted {
                 // Everyone is done and nothing is in flight: no final
                 // exchange, the round was pure local wind-down.
                 break;
             }
-            inboxes = cluster.exchange(&format!("{}.r{:03}", self.label, round), outgoing)?;
+            if let Err(v) = cluster.exchange_into(
+                RoundLabel::with_seq(&prefix, round),
+                &mut outgoing,
+                &mut inboxes,
+            ) {
+                return DriveEnd::Failed(v.into());
+            }
             round += 1;
+            for (mid, slot) in slots.iter().enumerate() {
+                let mut s = slot.lock().unwrap();
+                std::mem::swap(&mut s.inbox, &mut inboxes[mid]);
+            }
         }
 
-        Ok(ExecOutcome {
-            programs,
-            rounds: round,
-            wall: start.elapsed(),
-        })
+        DriveEnd::Done(round)
     }
 }
 
 /// Steps one machine: builds its context, runs the program, records the
 /// outcome and the deterministic work charge (inbox + outbox words + any
-/// explicitly charged computation).
-fn step_item<P: MachineProgram>(
-    item: &mut WorkItem<'_, P>,
-    caps: &[usize],
-    large: Option<MachineId>,
-    machines: usize,
+/// explicitly charged computation). The slot lock is uncontended by
+/// construction — each machine index is handed to exactly one thread.
+fn step_slot<P: MachineProgram>(
+    slot: &Mutex<MachineSlot<P>>,
+    mid: MachineId,
+    ctx: &StepCtx,
     round: u64,
 ) {
-    if !item.stepping {
-        item.slot = None;
+    let mut slot = match slot.lock() {
+        Ok(s) => s,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let slot = &mut *slot;
+    if !slot.stepping {
+        slot.outcome = None;
         return;
     }
-    let inbox = std::mem::take(&mut item.inbox);
+    let inbox = std::mem::take(&mut slot.inbox);
     let inbox_words: usize = inbox
         .iter()
         .map(|(_, m)| mpc_runtime::Payload::words(m))
         .sum();
-    let ctx = MachineCtx::new(item.mid, machines, large, caps[item.mid], round, item.rng);
-    let outcome = item.program.step(&ctx, inbox);
-    let extra = ctx.charged();
+    let mctx = MachineCtx::new(
+        mid,
+        ctx.machines,
+        ctx.large,
+        ctx.caps[mid],
+        round,
+        &mut slot.rng,
+    );
+    let outcome = slot.program.step(&mctx, inbox);
+    let extra = mctx.charged();
     let (outbox, halt) = match outcome {
         StepOutcome::Send(outbox) => (outbox, false),
         StepOutcome::Halt => (Vec::new(), true),
@@ -286,7 +422,7 @@ fn step_item<P: MachineProgram>(
         .iter()
         .map(|(_, m)| mpc_runtime::Payload::words(m))
         .sum();
-    item.slot = Some(StepSlot {
+    slot.outcome = Some(StepSlot {
         outbox,
         halt,
         work: inbox_words as u64 + outbox_words as u64 + extra,

@@ -9,10 +9,12 @@
 //! * [`MachineProgram`] — an algorithm as a per-machine state machine
 //!   (`step(ctx, inbox) -> StepOutcome`), i.e. *data the engine drives*
 //!   instead of a loop that owns the [`Cluster`](mpc_runtime::Cluster);
-//! * [`Executor`] — a round driver that steps all machines concurrently
-//!   (scoped OS threads; the offline build environment has no rayon) with
-//!   deterministic inbox ordering and **bit-identical** round logs,
-//!   results, and RNG streams to serial execution under the same seed;
+//! * [`Executor`] — a round driver that steps all machines concurrently on
+//!   a **persistent worker pool** ([`pool`]; std-only, the offline build
+//!   environment has no rayon) with dynamic work claiming, deterministic
+//!   inbox ordering, and **bit-identical** round logs, results, and RNG
+//!   streams to serial execution under the same seed. The round loop is
+//!   allocation-free in steady state (interned labels, reused buffers);
 //! * a heterogeneous [`CostModel`](mpc_runtime::CostModel) (per-machine
 //!   compute speed, link bandwidth, per-round latency) lives in
 //!   `mpc-runtime` and turns every round into a simulated *makespan*, so
@@ -45,6 +47,7 @@
 pub mod adapters;
 pub mod driver;
 pub mod machine;
+pub mod pool;
 pub mod programs;
 
 pub use driver::{ExecError, ExecMode, ExecOutcome, Executor};

@@ -70,10 +70,18 @@ impl<'a> MachineCtx<'a> {
     }
 
     /// Ids of all non-large machines, ascending.
+    ///
+    /// Allocates; per-round code should prefer
+    /// [`small_ids_iter`](MachineCtx::small_ids_iter).
     pub fn small_ids(&self) -> Vec<MachineId> {
-        (0..self.machines)
-            .filter(|&i| Some(i) != self.large)
-            .collect()
+        self.small_ids_iter().collect()
+    }
+
+    /// Iterator over all non-large machine ids, ascending — the
+    /// allocation-free counterpart of [`small_ids`](MachineCtx::small_ids).
+    pub fn small_ids_iter(&self) -> impl Iterator<Item = MachineId> + '_ {
+        let large = self.large;
+        (0..self.machines).filter(move |&i| Some(i) != large)
     }
 
     /// This machine's private RNG (the same per-machine stream

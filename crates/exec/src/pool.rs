@@ -1,0 +1,223 @@
+//! The persistent worker pool: one set of OS threads per run, not per
+//! round.
+//!
+//! `std::thread::scope` costs a spawn + join of every worker on **every
+//! round**; at hundreds of rounds that syscall traffic dominates the
+//! engine's host wall-clock (see the `hotpath` bench). The pool spawns its
+//! workers once per [`Executor::run`](crate::Executor::run) and drives them
+//! through a condvar round barrier instead.
+//!
+//! Work is claimed **dynamically**: workers pull machine indices off a
+//! shared atomic counter one at a time, so a straggler machine (the large
+//! machine deliberately carries the heaviest per-round workload in the
+//! paper's heterogeneous regime) occupies one worker while the rest drain
+//! every other machine — static chunking would serialize the straggler's
+//! whole chunk behind it. Dynamic claiming is still deterministic: each
+//! machine's step touches only that machine's own state, so *which* worker
+//! runs it (and in what order) cannot influence any output; the driver
+//! folds results back in machine-id order.
+//!
+//! A panic inside a job is caught ([`std::panic::catch_unwind`]), parked in
+//! the pool, and re-raised on the driving thread by
+//! [`run_round`](PoolCore::run_round) — a panicking
+//! [`MachineProgram::step`](crate::MachineProgram::step) propagates to the
+//! caller instead of deadlocking the barrier.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::thread::Scope;
+
+/// A panic payload carried off a worker thread.
+pub type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+/// Round-barrier state shared by the driving thread and the workers.
+struct Coord {
+    /// Bumped by the driving thread to release the workers into a round.
+    epoch: u64,
+    /// The round number workers pass to the job for the current epoch.
+    round: u64,
+    /// Workers that have not yet finished the current epoch.
+    remaining: usize,
+    /// Set once; workers exit at the next barrier.
+    shutdown: bool,
+}
+
+/// The shared core of a worker pool (created once per run; workers borrow
+/// it for the enclosing [`std::thread::scope`]).
+pub struct PoolCore {
+    items: usize,
+    workers: usize,
+    /// Next unclaimed machine index of the current round.
+    next: AtomicUsize,
+    coord: Mutex<Coord>,
+    /// Wakes workers at a round start (and for shutdown).
+    start: Condvar,
+    /// Wakes the driving thread when the last worker finishes a round.
+    done: Condvar,
+    /// First panic caught in a job this round, if any.
+    panic: Mutex<Option<PanicPayload>>,
+}
+
+impl PoolCore {
+    /// A pool that distributes `items` jobs per round over `workers`
+    /// threads (callers clamp `workers` to a sensible range first).
+    pub fn new(items: usize, workers: usize) -> Self {
+        assert!(workers > 0, "pool needs at least one worker");
+        PoolCore {
+            items,
+            workers,
+            next: AtomicUsize::new(0),
+            coord: Mutex::new(Coord {
+                epoch: 0,
+                round: 0,
+                remaining: 0,
+                shutdown: false,
+            }),
+            start: Condvar::new(),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    /// Number of worker threads the pool was sized for.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Spawns the worker threads into `scope`. `job(index, round)` steps
+    /// one machine; it must be safe to call concurrently for distinct
+    /// indices (each worker claims disjoint indices).
+    pub fn spawn_workers<'scope, 'env, F>(
+        &'scope self,
+        scope: &'scope Scope<'scope, 'env>,
+        job: &'scope F,
+    ) where
+        F: Fn(usize, u64) + Sync,
+    {
+        for _ in 0..self.workers {
+            scope.spawn(move || self.worker(job));
+        }
+    }
+
+    fn worker<F: Fn(usize, u64) + Sync>(&self, job: &F) {
+        let mut seen_epoch = 0u64;
+        loop {
+            let round = {
+                let mut c = self.coord.lock().unwrap();
+                while !c.shutdown && c.epoch == seen_epoch {
+                    c = self.start.wait(c).unwrap();
+                }
+                if c.shutdown {
+                    return;
+                }
+                seen_epoch = c.epoch;
+                c.round
+            };
+            // Dynamic claiming: one machine at a time off the shared
+            // counter, so no worker ever queues behind a straggler.
+            loop {
+                let i = self.next.fetch_add(1, Ordering::Relaxed);
+                if i >= self.items {
+                    break;
+                }
+                // Catching inside the claim loop keeps the barrier sound:
+                // the worker still reports completion, and the driving
+                // thread re-raises the payload after the round.
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| job(i, round))) {
+                    let mut slot = self.panic.lock().unwrap();
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                }
+            }
+            let mut c = self.coord.lock().unwrap();
+            c.remaining -= 1;
+            if c.remaining == 0 {
+                self.done.notify_all();
+            }
+        }
+    }
+
+    /// Runs one round: releases the workers, waits for all of them, and
+    /// re-raises the first panic any job hit.
+    ///
+    /// # Errors
+    ///
+    /// Returns the caught panic payload; the caller is expected to
+    /// [`std::panic::resume_unwind`] it after shutting the pool down.
+    pub fn run_round(&self, round: u64) -> Result<(), PanicPayload> {
+        // The claim counter reset happens-before any worker claims: workers
+        // only start after observing the epoch bump under the coord lock.
+        self.next.store(0, Ordering::Relaxed);
+        {
+            let mut c = self.coord.lock().unwrap();
+            c.epoch += 1;
+            c.round = round;
+            c.remaining = self.workers;
+            self.start.notify_all();
+        }
+        let mut c = self.coord.lock().unwrap();
+        while c.remaining != 0 {
+            c = self.done.wait(c).unwrap();
+        }
+        drop(c);
+        match self.panic.lock().unwrap().take() {
+            Some(payload) => Err(payload),
+            None => Ok(()),
+        }
+    }
+
+    /// Tells the workers to exit at the next barrier. Must be called before
+    /// the enclosing scope ends on **every** path, or the scope's implicit
+    /// join blocks forever.
+    pub fn shutdown(&self) {
+        let mut c = self.coord.lock().unwrap();
+        c.shutdown = true;
+        self.start.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn pool_runs_every_item_exactly_once_per_round() {
+        let hits: Vec<AtomicU64> = (0..23).map(|_| AtomicU64::new(0)).collect();
+        let pool = PoolCore::new(hits.len(), 4);
+        let job = |i: usize, _round: u64| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        };
+        std::thread::scope(|scope| {
+            pool.spawn_workers(scope, &job);
+            for round in 0..5 {
+                pool.run_round(round).unwrap();
+            }
+            pool.shutdown();
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 5, "item {i}");
+        }
+    }
+
+    #[test]
+    fn pool_reports_a_job_panic_instead_of_deadlocking() {
+        let pool = PoolCore::new(8, 3);
+        let job = |i: usize, _round: u64| {
+            if i == 5 {
+                panic!("job 5 exploded");
+            }
+        };
+        std::thread::scope(|scope| {
+            pool.spawn_workers(scope, &job);
+            let err = pool.run_round(0).unwrap_err();
+            let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+            assert!(msg.contains("exploded"), "unexpected payload: {msg}");
+            // The pool survives the panic: the next round still runs.
+            pool.run_round(1).unwrap_err(); // item 5 panics every round
+            pool.shutdown();
+        });
+    }
+}

@@ -106,8 +106,7 @@ impl MachineProgram for ConnectivityProgram {
                 let seed: u64 = ctx.rng().random();
                 self.seed = Some(seed);
                 let out = ctx
-                    .small_ids()
-                    .into_iter()
+                    .small_ids_iter()
                     .map(|mid| (mid, ConnMsg::Seed(seed)))
                     .collect();
                 StepOutcome::Send(out)

@@ -1,0 +1,137 @@
+//! The persistent pool's contract: pooled execution is **bit-identical**
+//! to the serial reference — results, round log (labels, word counts,
+//! makespans), RNG stream positions — at every thread count, and a
+//! panicking program propagates instead of deadlocking the barrier.
+
+use mpc_core::common;
+use mpc_core::ported::connectivity::{sketch_friendly_config, ConnectivityConfig};
+use mpc_exec::{ConnectivityProgram, ExecMode, Executor, MachineCtx, MachineProgram, StepOutcome};
+use mpc_graph::generators;
+use mpc_runtime::{Cluster, MachineId};
+use rand::RngCore;
+
+/// One full connectivity run; returns (components, round log, RNG draws).
+fn run_connectivity(
+    mode: ExecMode,
+    threads: usize,
+    seed: u64,
+) -> (
+    mpc_graph::traversal::Components,
+    Vec<mpc_runtime::RoundRecord>,
+    Vec<u64>,
+) {
+    let g = generators::gnm(90, 260, seed);
+    let config = ConnectivityConfig::for_n(g.n());
+    let mut cluster = Cluster::new(sketch_friendly_config(g.n(), g.m(), seed));
+    let edges = common::distribute_edges(&cluster, &g);
+    let programs = ConnectivityProgram::for_cluster(&cluster, g.n(), &edges, &config);
+    let outcome = Executor::new("conn", mode)
+        .threads(threads)
+        .run(&mut cluster, programs)
+        .unwrap();
+    let large = cluster.large().unwrap();
+    let result = outcome.programs[large].result.clone().unwrap();
+    let log = cluster.round_log().to_vec();
+    let draws = (0..cluster.machines())
+        .map(|mid| cluster.rng(mid).next_u64())
+        .collect();
+    (result, log, draws)
+}
+
+#[test]
+fn pooled_is_bit_identical_to_serial_across_thread_counts() {
+    for seed in [5u64, 77] {
+        let (r_ref, log_ref, rng_ref) = run_connectivity(ExecMode::Serial, 1, seed);
+        assert!(
+            log_ref.iter().all(|rec| rec.makespan.is_finite()),
+            "reference log must carry makespans"
+        );
+        for threads in [1usize, 3, 16] {
+            let (r, log, rng) = run_connectivity(ExecMode::Parallel, threads, seed);
+            assert_eq!(r, r_ref, "threads={threads} seed={seed}: results differ");
+            // Full log equality covers labels, traffic, work, AND makespans.
+            assert_eq!(
+                log, log_ref,
+                "threads={threads} seed={seed}: round logs differ"
+            );
+            assert_eq!(
+                rng, rng_ref,
+                "threads={threads} seed={seed}: RNG positions differ"
+            );
+        }
+        // The spawn-per-round baseline must agree too (the hotpath bench
+        // relies on the three modes being interchangeable).
+        let (r, log, rng) = run_connectivity(ExecMode::SpawnPerRound, 3, seed);
+        assert_eq!((r, log, rng), (r_ref, log_ref, rng_ref), "seed={seed}");
+    }
+}
+
+/// A program whose designated machine panics at round 1.
+#[derive(Debug)]
+struct PanicsAtRound1 {
+    bomb: bool,
+}
+
+impl MachineProgram for PanicsAtRound1 {
+    type Message = u64;
+
+    fn step(&mut self, ctx: &MachineCtx<'_>, _inbox: Vec<(MachineId, u64)>) -> StepOutcome<u64> {
+        if ctx.round >= 1 {
+            if self.bomb {
+                panic!("bomb machine detonated");
+            }
+            return StepOutcome::Halt;
+        }
+        // Keep everyone active into round 1 with a ring message.
+        StepOutcome::Send(vec![((ctx.mid + 1) % ctx.machines, ctx.round)])
+    }
+}
+
+#[test]
+fn panicking_step_propagates_instead_of_deadlocking() {
+    for mode in [
+        ExecMode::Parallel,
+        ExecMode::Serial,
+        ExecMode::SpawnPerRound,
+    ] {
+        let mut cluster = Cluster::new(mpc_runtime::ClusterConfig::new(64, 256).topology(
+            mpc_runtime::Topology::Custom {
+                capacities: vec![1000; 9],
+                large: Some(0),
+            },
+        ));
+        let programs: Vec<PanicsAtRound1> = (0..cluster.machines())
+            .map(|mid| PanicsAtRound1 { bomb: mid == 4 })
+            .collect();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Executor::new("bomb", mode)
+                .threads(3)
+                .run(&mut cluster, programs)
+        }))
+        .expect_err("the step panic must propagate to the caller");
+        // The per-machine RNG streams were restored before the re-raise —
+        // a leaked placeholder would leave every machine on the same
+        // seed-0 stream.
+        assert_ne!(
+            cluster.rng(1).next_u64(),
+            cluster.rng(2).next_u64(),
+            "mode {mode:?}: cluster RNGs were not restored after the panic"
+        );
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_string)
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        if mode == ExecMode::SpawnPerRound {
+            // The legacy baseline re-raises via the scope join, which
+            // replaces the payload ("a scoped thread panicked"); only the
+            // pool preserves the program's own payload.
+            continue;
+        }
+        assert!(
+            msg.contains("detonated"),
+            "mode {mode:?}: expected the program's payload, got {msg:?}"
+        );
+    }
+}

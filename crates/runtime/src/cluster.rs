@@ -3,6 +3,7 @@
 use crate::config::{ClusterConfig, Enforcement};
 use crate::cost::CostModel;
 use crate::error::ModelViolation;
+use crate::label::RoundLabel;
 use crate::payload::{MachineId, Payload};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -11,8 +12,9 @@ use std::collections::BTreeMap;
 /// Per-round accounting record (one entry per [`Cluster::exchange`]).
 #[derive(Clone, Debug, PartialEq)]
 pub struct RoundRecord {
-    /// Label supplied by the algorithm (e.g. `"mst.collect-lightest"`).
-    pub label: String,
+    /// Label supplied by the algorithm (e.g. `"mst.collect-lightest"`,
+    /// or an interned prefix + round counter on the engine's hot path).
+    pub label: RoundLabel,
     /// Maximum words sent by any single machine this round.
     pub max_sent: usize,
     /// Maximum words received by any single machine this round.
@@ -54,6 +56,14 @@ pub struct Cluster {
     cost: CostModel,
     /// Local-computation words charged since the last exchange.
     pending_work: Vec<u64>,
+    /// Per-round scratch (words sent per machine), reused across exchanges
+    /// so the round hot path allocates nothing.
+    sent_scratch: Vec<usize>,
+    /// Per-round scratch: words addressed to each machine.
+    recv_scratch: Vec<usize>,
+    /// Per-round scratch: message count per destination, used to pre-size
+    /// inboxes before delivery.
+    inbox_counts: Vec<usize>,
 }
 
 impl Cluster {
@@ -75,6 +85,9 @@ impl Cluster {
             peak_resident: vec![0; k],
             cost: CostModel::uniform(k, 1.0, 1.0, 0.0),
             pending_work: vec![0; k],
+            sent_scratch: vec![0; k],
+            recv_scratch: vec![0; k],
+            inbox_counts: vec![0; k],
             caps,
             large,
             rngs,
@@ -98,10 +111,18 @@ impl Cluster {
     }
 
     /// Ids of all non-large machines, in ascending order.
+    ///
+    /// Allocates a fresh `Vec` on every call; hot paths that only iterate
+    /// should prefer [`small_ids_iter`](Cluster::small_ids_iter).
     pub fn small_ids(&self) -> Vec<MachineId> {
-        (0..self.machines())
-            .filter(|&i| Some(i) != self.large)
-            .collect()
+        self.small_ids_iter().collect()
+    }
+
+    /// Iterator over all non-large machine ids, ascending — the
+    /// allocation-free counterpart of [`small_ids`](Cluster::small_ids).
+    pub fn small_ids_iter(&self) -> impl Iterator<Item = MachineId> + '_ {
+        let large = self.large;
+        (0..self.machines()).filter(move |&i| Some(i) != large)
     }
 
     /// Capacity of machine `mid` in words.
@@ -111,9 +132,8 @@ impl Cluster {
 
     /// The smallest capacity among non-large machines.
     pub fn min_small_capacity(&self) -> usize {
-        self.small_ids()
-            .iter()
-            .map(|&i| self.caps[i])
+        self.small_ids_iter()
+            .map(|i| self.caps[i])
             .min()
             .unwrap_or(0)
     }
@@ -217,6 +237,10 @@ impl Cluster {
     /// `inboxes[dst]` lists `(source, payload)` pairs in deterministic order
     /// (ascending source id, then send order).
     ///
+    /// Allocates the returned inboxes; round-loop hot paths that can hold
+    /// onto buffers across rounds should use
+    /// [`exchange_into`](Cluster::exchange_into) instead.
+    ///
     /// # Errors
     ///
     /// In `Strict` mode, returns a [`ModelViolation`] if any machine sends or
@@ -225,8 +249,37 @@ impl Cluster {
     pub fn exchange<M: Payload>(
         &mut self,
         label: &str,
-        outgoing: Vec<Vec<(MachineId, M)>>,
+        mut outgoing: Vec<Vec<(MachineId, M)>>,
     ) -> Result<Vec<Vec<(MachineId, M)>>, ModelViolation> {
+        let mut inboxes = Vec::new();
+        self.exchange_into(RoundLabel::new(label), &mut outgoing, &mut inboxes)?;
+        Ok(inboxes)
+    }
+
+    /// [`exchange`](Cluster::exchange) with caller-owned buffers: the
+    /// engine's zero-allocation round path.
+    ///
+    /// Drains `outgoing` into `inboxes` (cleared and pre-sized from the
+    /// counting pass; spare capacity is retained). Holding both buffer sets
+    /// across rounds makes the steady-state exchange allocation-free apart
+    /// from inbox growth on the first rounds.
+    ///
+    /// # Errors
+    ///
+    /// See [`exchange`](Cluster::exchange). On error `outgoing` is left
+    /// undrained and `inboxes` is left untouched — a buffer-reusing caller
+    /// must treat its contents (stale messages from the previous round) as
+    /// garbage and abort or clear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outgoing` does not have one entry per machine.
+    pub fn exchange_into<M: Payload>(
+        &mut self,
+        label: RoundLabel,
+        outgoing: &mut [Vec<(MachineId, M)>],
+        inboxes: &mut Vec<Vec<(MachineId, M)>>,
+    ) -> Result<(), ModelViolation> {
         assert_eq!(
             outgoing.len(),
             self.machines(),
@@ -235,8 +288,9 @@ impl Cluster {
         let k = self.machines();
         self.rounds += 1;
         let round = self.rounds;
-        let mut sent = vec![0usize; k];
-        let mut recv = vec![0usize; k];
+        self.sent_scratch.fill(0);
+        self.recv_scratch.fill(0);
+        self.inbox_counts.fill(0);
         let mut messages = 0usize;
         for (src, msgs) in outgoing.iter().enumerate() {
             for (dst, m) in msgs {
@@ -247,49 +301,64 @@ impl Cluster {
                     });
                 }
                 let w = m.words();
-                sent[src] += w;
-                recv[*dst] += w;
+                self.sent_scratch[src] += w;
+                self.recv_scratch[*dst] += w;
+                self.inbox_counts[*dst] += 1;
                 messages += 1;
             }
         }
         for mid in 0..k {
-            if sent[mid] > self.caps[mid] {
+            let (sent, recv, cap) = (
+                self.sent_scratch[mid],
+                self.recv_scratch[mid],
+                self.caps[mid],
+            );
+            if sent > cap {
                 self.report(ModelViolation::SendOverflow {
                     machine: mid,
                     round,
                     label: label.to_string(),
-                    words: sent[mid],
-                    capacity: self.caps[mid],
+                    words: sent,
+                    capacity: cap,
                 })?;
             }
-            if recv[mid] > self.caps[mid] {
+            if recv > cap {
                 self.report(ModelViolation::RecvOverflow {
                     machine: mid,
                     round,
                     label: label.to_string(),
-                    words: recv[mid],
-                    capacity: self.caps[mid],
+                    words: recv,
+                    capacity: cap,
                 })?;
             }
         }
-        let work = std::mem::replace(&mut self.pending_work, vec![0; k]);
         self.log.push(RoundRecord {
-            label: label.to_string(),
-            max_sent: sent.iter().copied().max().unwrap_or(0),
-            max_recv: recv.iter().copied().max().unwrap_or(0),
-            total_words: sent.iter().sum(),
+            label,
+            max_sent: self.sent_scratch.iter().copied().max().unwrap_or(0),
+            max_recv: self.recv_scratch.iter().copied().max().unwrap_or(0),
+            total_words: self.sent_scratch.iter().sum(),
             messages,
-            total_work: work.iter().sum(),
-            makespan: self.cost.round_makespan(&sent, &recv, &work),
+            total_work: self.pending_work.iter().sum(),
+            makespan: self.cost.round_makespan(
+                &self.sent_scratch,
+                &self.recv_scratch,
+                &self.pending_work,
+            ),
         });
+        self.pending_work.fill(0);
         // Deliver deterministically: ascending source, preserving send order.
-        let mut inboxes: Vec<Vec<(MachineId, M)>> = (0..k).map(|_| Vec::new()).collect();
-        for (src, msgs) in outgoing.into_iter().enumerate() {
-            for (dst, m) in msgs {
+        // Each inbox is pre-sized exactly, so the push loop never reallocates.
+        inboxes.resize_with(k, Vec::new);
+        for (dst, inbox) in inboxes.iter_mut().enumerate() {
+            inbox.clear();
+            inbox.reserve(self.inbox_counts[dst]);
+        }
+        for (src, msgs) in outgoing.iter_mut().enumerate() {
+            for (dst, m) in msgs.drain(..) {
                 inboxes[dst].push((src, m));
             }
         }
-        Ok(inboxes)
+        Ok(())
     }
 
     /// Declares the resident memory of machine `mid` under accounting slot
@@ -313,9 +382,16 @@ impl Cluster {
     ) -> Result<(), ModelViolation> {
         let k = self.machines();
         assert!(mid < k, "account: machine {mid} out of range");
-        self.memory_slots
-            .entry(slot.to_string())
-            .or_insert_with(|| vec![0; k])[mid] = words;
+        // Look up with the borrowed key first: repeated accounting into an
+        // existing slot must not allocate a fresh `String` per call.
+        match self.memory_slots.get_mut(slot) {
+            Some(per_machine) => per_machine[mid] = words,
+            None => {
+                let mut per_machine = vec![0; k];
+                per_machine[mid] = words;
+                self.memory_slots.insert(slot.to_string(), per_machine);
+            }
+        }
         let total: usize = self.memory_slots.values().map(|v| v[mid]).sum();
         self.peak_resident[mid] = self.peak_resident[mid].max(total);
         if total > self.caps[mid] {
@@ -380,13 +456,7 @@ impl Cluster {
         let mut acc: std::collections::BTreeMap<String, (u64, usize, f64)> =
             std::collections::BTreeMap::new();
         for rec in &self.log {
-            let prefix = rec
-                .label
-                .split('.')
-                .next()
-                .unwrap_or(&rec.label)
-                .to_string();
-            let e = acc.entry(prefix).or_default();
+            let e = acc.entry(rec.label.group().to_string()).or_default();
             e.0 += 1;
             e.1 += rec.total_words;
             e.2 += rec.makespan;
@@ -576,7 +646,72 @@ mod tests {
     fn small_ids_excludes_large() {
         let c = tiny();
         assert_eq!(c.small_ids(), vec![1, 2]);
+        assert_eq!(c.small_ids_iter().collect::<Vec<_>>(), vec![1, 2]);
         assert_eq!(c.large(), Some(0));
         assert_eq!(c.min_small_capacity(), 20);
+    }
+
+    #[test]
+    fn exchange_into_reuses_buffers_and_matches_exchange() {
+        use crate::label::RoundLabel;
+        use std::sync::Arc;
+
+        // Reference: the allocating API.
+        let mut a = tiny();
+        let mut out = a.empty_outboxes::<u64>();
+        out[1].push((0, 11));
+        out[2].push((0, 22));
+        out[2].push((1, 33));
+        let expect = a.exchange("x.r000", out).unwrap();
+
+        // Same round through caller-owned buffers, twice, to exercise reuse.
+        let mut b = tiny();
+        let prefix: Arc<str> = Arc::from("x");
+        let mut outgoing = b.empty_outboxes::<u64>();
+        let mut inboxes: Vec<Vec<(MachineId, u64)>> = Vec::new();
+        for round in 0..2u64 {
+            outgoing[1].push((0, 11));
+            outgoing[2].push((0, 22));
+            outgoing[2].push((1, 33));
+            b.exchange_into(
+                RoundLabel::with_seq(&prefix, round),
+                &mut outgoing,
+                &mut inboxes,
+            )
+            .unwrap();
+            assert_eq!(inboxes, expect, "round {round}");
+            // Outboxes come back drained but usable for the next round.
+            assert!(outgoing.iter().all(Vec::is_empty));
+        }
+        assert_eq!(b.rounds(), 2);
+        assert_eq!(b.round_log()[0].label.to_string(), "x.r000");
+        assert_eq!(
+            b.round_log()[0].total_words,
+            expect.iter().flatten().count()
+        );
+        // Accounting fields agree with the allocating path.
+        assert_eq!(b.round_log()[0].max_sent, a.round_log()[0].max_sent);
+        assert_eq!(b.round_log()[0].messages, a.round_log()[0].messages);
+        assert!((b.round_log()[0].makespan - a.round_log()[0].makespan).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exchange_into_presizes_inboxes_exactly() {
+        let mut c = tiny();
+        let prefix: std::sync::Arc<str> = std::sync::Arc::from("size");
+        let mut outgoing = c.empty_outboxes::<u64>();
+        let mut inboxes: Vec<Vec<(MachineId, u64)>> = Vec::new();
+        for _ in 0..7 {
+            outgoing[0].push((1, 9));
+        }
+        c.exchange_into(
+            crate::label::RoundLabel::with_seq(&prefix, 0),
+            &mut outgoing,
+            &mut inboxes,
+        )
+        .unwrap();
+        assert_eq!(inboxes[1].len(), 7);
+        assert!(inboxes[1].capacity() >= 7);
+        assert!(inboxes[0].is_empty() && inboxes[2].is_empty());
     }
 }

@@ -47,6 +47,7 @@ pub mod cluster;
 pub mod config;
 pub mod cost;
 pub mod error;
+pub mod label;
 pub mod payload;
 pub mod primitives;
 pub mod sharded;
@@ -55,5 +56,6 @@ pub use cluster::{Cluster, RoundRecord};
 pub use config::{ClusterConfig, Enforcement, Topology};
 pub use cost::CostModel;
 pub use error::ModelViolation;
+pub use label::RoundLabel;
 pub use payload::{MachineId, Payload};
 pub use sharded::ShardedVec;

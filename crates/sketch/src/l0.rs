@@ -41,11 +41,14 @@ impl L0Sampler {
     }
 
     /// Merges a sketch from the same family.
+    ///
+    /// The cell arrays always have identical lengths within a family, so
+    /// the merge runs as one batched pass over the word-level cell slices
+    /// (see [`OneSparse::merge_slices`]) — this is the inner loop of the
+    /// connectivity program's owner-merge round.
     pub fn merge(&mut self, other: &L0Sampler) {
         debug_assert_eq!(self.levels, other.levels);
-        for (a, b) in self.cells.iter_mut().zip(&other.cells) {
-            a.merge(b);
-        }
+        OneSparse::merge_slices(&mut self.cells, &other.cells);
     }
 
     fn decode(&self, z: u64) -> Option<u64> {
@@ -282,9 +285,15 @@ mod tests {
 /// edge count (times `O(log n)`) instead of the dense sketch size. Linear:
 /// merging sparse sketches adds cells pointwise. Convert to a dense
 /// [`L0Sampler`] with [`SketchFamily::to_dense`] for decoding.
+///
+/// Cells live in one contiguous vector sorted by cell index (canonical: no
+/// zero cells), so [`merge`](SparseSketch::merge) — the inner loop of the
+/// connectivity owner-merge round — is a linear two-pointer join over flat
+/// memory instead of per-cell tree-map lookups.
 #[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub struct SparseSketch {
-    cells: std::collections::BTreeMap<u32, OneSparse>,
+    /// `(cell index, cell)`, strictly ascending by index, no zero cells.
+    cells: Vec<(u32, OneSparse)>,
 }
 
 impl SparseSketch {
@@ -295,14 +304,44 @@ impl SparseSketch {
 
     /// Merges another sparse sketch (linearity); zero cells are dropped so
     /// cancellation keeps the representation minimal.
+    ///
+    /// Both operands are sorted, so this is a batched merge-join: `O(a + b)`
+    /// cell operations over contiguous memory.
     pub fn merge(&mut self, other: &SparseSketch) {
-        for (idx, cell) in &other.cells {
-            let e = self.cells.entry(*idx).or_default();
-            e.merge(cell);
-            if e.is_zero() {
-                self.cells.remove(idx);
+        if other.cells.is_empty() {
+            return;
+        }
+        if self.cells.is_empty() {
+            self.cells = other.cells.clone();
+            return;
+        }
+        let mut out = Vec::with_capacity(self.cells.len() + other.cells.len());
+        let (a, b) = (&self.cells, &other.cells);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => {
+                    out.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    let mut cell = a[i].1;
+                    cell.merge(&b[j].1);
+                    if !cell.is_zero() {
+                        out.push((a[i].0, cell));
+                    }
+                    i += 1;
+                    j += 1;
+                }
             }
         }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        self.cells = out;
     }
 
     /// Number of nonzero cells.
@@ -334,10 +373,19 @@ impl SketchFamily {
         for l in 0..=lvl {
             let b = (hashes.bucket.eval(slot ^ (l as u64) << 48) % BUCKETS as u64) as usize;
             let idx = (l * BUCKETS + b) as u32;
-            let e = sketch.cells.entry(idx).or_default();
-            e.update(slot, sign, hashes.z);
-            if e.is_zero() {
-                sketch.cells.remove(&idx);
+            match sketch.cells.binary_search_by_key(&idx, |c| c.0) {
+                Ok(pos) => {
+                    let cell = &mut sketch.cells[pos].1;
+                    cell.update(slot, sign, hashes.z);
+                    if cell.is_zero() {
+                        sketch.cells.remove(pos);
+                    }
+                }
+                Err(pos) => {
+                    let mut cell = OneSparse::new();
+                    cell.update(slot, sign, hashes.z);
+                    sketch.cells.insert(pos, (idx, cell));
+                }
             }
         }
     }

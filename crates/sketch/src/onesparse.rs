@@ -49,10 +49,23 @@ impl OneSparse {
     }
 
     /// Merges another sketch built with the same `z` (linearity).
+    #[inline]
     pub fn merge(&mut self, other: &OneSparse) {
         self.count += other.count;
         self.weighted += other.weighted;
         self.fingerprint = field::add(self.fingerprint, other.fingerprint);
+    }
+
+    /// Batched merge of equal-length cell slices: `dst[i] += src[i]` for
+    /// every cell. Asserting the lengths up front lets the compiler drop
+    /// per-cell bounds checks and unroll the word-level add loop — the
+    /// ℓ0-sampler merge ([`L0Sampler::merge`](crate::L0Sampler::merge))
+    /// calls this once per sketch instead of bounds-checking per cell.
+    pub fn merge_slices(dst: &mut [OneSparse], src: &[OneSparse]) {
+        assert_eq!(dst.len(), src.len(), "cell count mismatch");
+        for (a, b) in dst.iter_mut().zip(src) {
+            a.merge(b);
+        }
     }
 
     /// Attempts recovery.
