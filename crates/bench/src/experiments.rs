@@ -768,11 +768,13 @@ pub fn exec_engine() {
     let g_conn = generators::gnm(n, n * 6, 7);
     let g_mst = generators::gnm(n, n * 6, 7).with_random_weights(1 << 16, 7);
 
-    // One run of `algo` on a fresh cluster; returns (wall, makespan,
-    // rounds, machines, result digest). The digest — component count or
-    // forest weight — lets the mode comparison assert result equality.
+    // One run of `algo` — through the Algorithm registry, like every other
+    // consumer — on a fresh cluster; returns (wall, makespan, rounds,
+    // machines, result digest). The digest — component count, forest
+    // weight, or matching size — lets the mode comparison assert result
+    // equality.
     let run_once = |algo: &str, gamma: f64, model: &str, mode: ExecMode| {
-        let g = if algo == "connectivity" {
+        let g = if algo == "connectivity" || algo == "matching" {
             &g_conn
         } else {
             &g_mst
@@ -786,28 +788,12 @@ pub fn exec_engine() {
             _ => CostModel::uniform(caps.len(), 1.0, 1.0, 0.0).with_straggler(straggle_mid, 0.1),
         });
         let input = common::distribute_edges(&c, g);
-        let (wall, digest) = if algo == "connectivity" {
-            let programs = mpc_exec::ConnectivityProgram::for_cluster(
-                &c,
-                g.n(),
-                &input,
-                &ConnectivityConfig::for_n(g.n()),
-            );
-            let out = mpc_exec::Executor::new("conn", mode)
-                .run(&mut c, programs)
-                .expect("exec connectivity");
-            let large = c.large().unwrap();
-            let comps = out.programs[large].result.clone().expect("components");
-            (out.wall, comps.count as u128)
-        } else {
-            let programs = mpc_exec::BoruvkaProgram::for_cluster(&c, &input);
-            let out = mpc_exec::Executor::new("boruvka", mode)
-                .run(&mut c, programs)
-                .expect("exec boruvka");
-            let large = c.large().unwrap();
-            let forest = out.programs[large].forest.clone().expect("forest");
-            (out.wall, forest.total_weight)
-        };
+        let started = std::time::Instant::now();
+        let out =
+            mpc_exec::registry::run(algo, &mut c, &mpc_exec::AlgoInput::new(g.n(), &input), mode)
+                .expect("registered algorithm run");
+        let wall = started.elapsed();
+        let digest = out.digest();
         (
             wall,
             c.critical_path_seconds(),
@@ -818,7 +804,7 @@ pub fn exec_engine() {
     };
 
     for (name, gamma) in &topologies {
-        for algo in ["connectivity", "boruvka-msf"] {
+        for algo in ["connectivity", "boruvka-msf", "mst", "matching"] {
             // Both modes under the uniform profile for the wall-clock
             // comparison — with the result digests asserted equal.
             let (wall_s, span_uniform, rounds, machines, digest_s) =
@@ -855,4 +841,69 @@ pub fn exec_engine() {
     println!("prop-cap = speeds/bandwidths proportional to machine capacity, latency 1s/round;");
     println!("straggler = one small machine at 10% speed — the schedule the model calls 'free'");
     println!("dominates exactly when that machine holds the bottleneck shard.");
+}
+
+/// E13: registry smoke — every registered algorithm runs under both
+/// `ExecMode::Serial` and `ExecMode::Parallel` with identical results.
+///
+/// This is the CI gate the multi-layer port promises: a program that
+/// drifts from its serial twin, or an algorithm that drops out of the
+/// registry, fails this experiment (and with it the build).
+pub fn registry_smoke() {
+    use mpc_exec::{registry, AlgoInput, ExecMode};
+
+    println!("\n## E13 — registry smoke (every algorithm, serial vs parallel)\n");
+    let expected = [
+        "connectivity",
+        "boruvka-msf",
+        "mst",
+        "matching",
+        "spanner",
+        "spanner-weighted",
+    ];
+    for name in expected {
+        assert!(
+            registry::get(name).is_some(),
+            "algorithm '{name}' missing from the registry"
+        );
+    }
+
+    let g = generators::gnm(128, 768, 5).with_random_weights(1 << 12, 5);
+    let mut t = Table::new(&[
+        "algorithm",
+        "paper",
+        "rounds",
+        "digest",
+        "serial == parallel",
+    ]);
+    for algo in registry::algorithms() {
+        let run = |mode: ExecMode| {
+            let config = if algo.name == "connectivity" {
+                sketch_friendly_config(g.n(), g.m(), 5)
+            } else {
+                ClusterConfig::new(g.n(), g.m()).seed(5)
+            };
+            let mut c = Cluster::new(config);
+            let input = common::distribute_edges(&c, &g);
+            let out = registry::run(algo.name, &mut c, &AlgoInput::new(g.n(), &input), mode)
+                .expect("registered algorithm run");
+            (out.digest(), c.rounds())
+        };
+        let (d_serial, r_serial) = run(ExecMode::Serial);
+        let (d_pool, r_pool) = run(ExecMode::Parallel);
+        assert_eq!(
+            (d_serial, r_serial),
+            (d_pool, r_pool),
+            "{}: serial and parallel runs diverged",
+            algo.name
+        );
+        t.row(&[
+            algo.name.to_string(),
+            algo.paper.to_string(),
+            r_serial.to_string(),
+            d_serial.to_string(),
+            "yes".to_string(),
+        ]);
+    }
+    t.print();
 }

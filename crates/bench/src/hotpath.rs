@@ -118,10 +118,15 @@ fn time_ripple(mode: ExecMode, k: usize, rounds: u64, small_work: u64) -> (Durat
     (out.wall, checksum, out.rounds)
 }
 
-/// One timed connectivity run on `g`; returns (wall, component count, rounds).
+/// One timed connectivity run on `g`; returns (wall, component count,
+/// rounds). Wall time covers program construction + run + extraction —
+/// the same basis as [`time_registry`], so the end-to-end rows of the
+/// table are comparable (the ripple rows measure `out.wall`, the bare
+/// round loop, and are only compared among themselves).
 fn time_connectivity(mode: ExecMode, g: &mpc_graph::Graph, seed: u64) -> (Duration, u64, u64) {
     let mut cluster = Cluster::new(sketch_friendly_config(g.n(), g.m(), seed));
     let edges = common::distribute_edges(&cluster, g);
+    let started = std::time::Instant::now();
     let programs = ConnectivityProgram::for_cluster(
         &cluster,
         g.n(),
@@ -134,7 +139,30 @@ fn time_connectivity(mode: ExecMode, g: &mpc_graph::Graph, seed: u64) -> (Durati
         .expect("connectivity run");
     let large = cluster.large().expect("heterogeneous topology");
     let comps = out.programs[large].result.as_ref().expect("components");
-    (out.wall, comps.count as u64, out.rounds)
+    (started.elapsed(), comps.count as u64, out.rounds)
+}
+
+/// One timed registry run (MST / matching end-to-end programs); returns
+/// (wall, digest, rounds). Routed through `registry::run` like every other
+/// consumer of the ported algorithms.
+fn time_registry(
+    name: &str,
+    mode: ExecMode,
+    g: &mpc_graph::Graph,
+    seed: u64,
+) -> (Duration, u64, u64) {
+    let mut cluster = Cluster::new(ClusterConfig::new(g.n(), g.m()).seed(seed));
+    let edges = common::distribute_edges(&cluster, g);
+    let started = std::time::Instant::now();
+    let out = mpc_exec::registry::run(
+        name,
+        &mut cluster,
+        &mpc_exec::AlgoInput::new(g.n(), &edges),
+        mode,
+    )
+    .expect("registry run");
+    let wall = started.elapsed();
+    (wall, out.digest() as u64, cluster.rounds())
 }
 
 /// Best-of-`reps` wall time for `run`, asserting the digest never moves.
@@ -244,6 +272,40 @@ pub fn run(quick: bool) {
         spawn_ms,
         pool_ms,
     });
+
+    // The newly ported end-to-end programs, through the Algorithm registry:
+    // the full MST pipeline (contraction waves + KKT) and the three-phase
+    // matching — many short rounds, the regime the pool is built for.
+    let g_mst = g.clone().with_random_weights(1 << 20, seed);
+    for (algo, graph) in [("mst", &g_mst), ("matching", &g)] {
+        let (serial_ms, d_serial, r_serial) =
+            best_of(reps, || time_registry(algo, ExecMode::Serial, graph, seed));
+        let (spawn_ms, d_spawn, r_spawn) = best_of(reps, || {
+            time_registry(algo, ExecMode::SpawnPerRound, graph, seed)
+        });
+        let (pool_ms, d_pool, r_pool) = best_of(reps, || {
+            time_registry(algo, ExecMode::Parallel, graph, seed)
+        });
+        assert_eq!(
+            (d_serial, r_serial),
+            (d_spawn, r_spawn),
+            "{algo}: spawn-per-round diverged from serial"
+        );
+        assert_eq!(
+            (d_serial, r_serial),
+            (d_pool, r_pool),
+            "{algo}: pool diverged from serial"
+        );
+        let machines = Cluster::new(ClusterConfig::new(graph.n(), graph.m()).seed(seed)).machines();
+        cases.push(Case {
+            workload: format!("{algo}(n={n},m={})", graph.m()),
+            machines,
+            rounds: r_serial,
+            serial_ms,
+            spawn_ms,
+            pool_ms,
+        });
+    }
 
     let mut t = Table::new(&[
         "workload",

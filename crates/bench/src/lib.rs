@@ -42,6 +42,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "two_vs_one",
     "exec",
     "hotpath",
+    "registry",
 ];
 
 /// Runs one experiment by name, printing its tables to stdout.
@@ -79,6 +80,7 @@ pub fn run_experiment_opts(name: &str, quick: bool) {
         "two_vs_one" => experiments::two_vs_one(),
         "exec" => experiments::exec_engine(),
         "hotpath" => hotpath::run(quick),
+        "registry" => experiments::registry_smoke(),
         other => panic!("unknown experiment '{other}'; see --list"),
     }
 }

@@ -95,6 +95,47 @@ pub struct MatchingResult {
     pub stats: MatchingStats,
 }
 
+/// The average degree `d` and the low/high threshold `d²` (Theorem 5.1) —
+/// shared with the engine's `MatchingProgram` coordinator.
+pub fn degree_split(n: usize, m: usize) -> (f64, usize) {
+    let d = (2.0 * m as f64 / n.max(1) as f64).max(1.0);
+    let threshold = ((d * d).ceil() as usize).max(1);
+    (d, threshold)
+}
+
+/// Phase-2 per-vertex sample size `t ≈ 2d·log n`, capped by the large
+/// machine's item budget spread over the high-degree vertices.
+pub fn phase2_t(large_capacity: usize, n: usize, d: f64, high_count: usize) -> usize {
+    let ln_n = (n.max(2) as f64).ln();
+    let budget_items = large_capacity / 8;
+    let t_target = (2.0 * d * ln_n).ceil() as usize;
+    t_target.min(budget_items / high_count.max(1)).max(1)
+}
+
+/// The large machine's greedy Phase-2 extension over the per-vertex sampled
+/// candidate lists (ascending vertex id, candidates ascending by rank).
+/// Marks both endpoints of every chosen edge in `used`.
+pub fn greedy_extend(
+    sampled: &[(VertexId, Vec<(u64, Edge)>)],
+    used: &mut HashSet<VertexId>,
+) -> Vec<Edge> {
+    let mut m2_edges: Vec<Edge> = Vec::new();
+    for (u, candidates) in sampled {
+        if used.contains(u) {
+            continue;
+        }
+        if let Some((_r, e)) = candidates
+            .iter()
+            .find(|(_r, e)| !used.contains(&e.other(*u)))
+        {
+            used.insert(*u);
+            used.insert(e.other(*u));
+            m2_edges.push(*e);
+        }
+    }
+    m2_edges
+}
+
 /// Runs the three-phase maximal-matching algorithm (Theorem 5.1).
 ///
 /// # Errors
@@ -117,8 +158,7 @@ pub fn heterogeneous_matching(
             stats,
         });
     }
-    let d = (2.0 * m as f64 / n.max(1) as f64).max(1.0);
-    let threshold = ((d * d).ceil() as usize).max(1);
+    let (d, threshold) = degree_split(n, m);
     stats.average_degree = d;
     stats.threshold = threshold;
 
@@ -166,10 +206,7 @@ pub fn heterogeneous_matching(
     // Phase 2: the large machine samples ~2d·log n random incident edges of
     // every high-degree vertex (random ranks + top-t selection, exactly the
     // paper's rank trick) and greedily extends the matching.
-    let ln_n = (n.max(2) as f64).ln();
-    let budget_items = cluster.capacity(large) / 8;
-    let t_target = (2.0 * d * ln_n).ceil() as usize;
-    let t = t_target.min(budget_items / high.len().max(1)).max(1);
+    let t = phase2_t(cluster.capacity(large), n, d, high.len());
     let mut high_items: ShardedVec<(VertexId, (u64, Edge))> = ShardedVec::new(cluster);
     for mid in 0..edges.machines() {
         let shard = high_items.shard_mut(mid);
@@ -197,20 +234,7 @@ pub fn heterogeneous_matching(
         used.insert(e.u);
         used.insert(e.v);
     }
-    let mut m2_edges: Vec<Edge> = Vec::new();
-    for (u, candidates) in &sampled {
-        if used.contains(u) {
-            continue;
-        }
-        if let Some((_r, e)) = candidates
-            .iter()
-            .find(|(_r, e)| !used.contains(&e.other(*u)))
-        {
-            used.insert(*u);
-            used.insert(e.other(*u));
-            m2_edges.push(*e);
-        }
-    }
+    let m2_edges = greedy_extend(&sampled, &mut used);
     stats.m2 = m2_edges.len();
 
     // Phase 3: disseminate matched flags, count and collect the residual.

@@ -33,6 +33,43 @@ pub struct PeelingOutcome {
     pub iterations: usize,
 }
 
+/// Per-machine step: the minimum `(rank, edge)` per endpoint over one
+/// machine's live edges — what each machine announces to the vertex owners.
+pub fn local_vertex_minima(
+    live: &[(u64, Edge)],
+) -> std::collections::BTreeMap<VertexId, (u64, Edge)> {
+    let mut best: std::collections::BTreeMap<VertexId, (u64, Edge)> =
+        std::collections::BTreeMap::new();
+    for &(rank, e) in live {
+        for v in [e.u, e.v] {
+            best.entry(v)
+                .and_modify(|b| {
+                    if rank < b.0 {
+                        *b = (rank, e);
+                    }
+                })
+                .or_insert((rank, e));
+        }
+    }
+    best
+}
+
+/// Per-machine step: the live edges whose rank is the global minimum at
+/// *both* endpoints (`minima` holds the delivered per-vertex global minima).
+pub fn winning_edges(
+    live: &[(u64, Edge)],
+    minima: &std::collections::HashMap<VertexId, (u64, Edge)>,
+) -> Vec<Edge> {
+    let mut won: Vec<Edge> = Vec::new();
+    for &(rank, e) in live {
+        let wins = |v: VertexId| minima.get(&v).is_some_and(|&(r, _)| r == rank);
+        if wins(e.u) && wins(e.v) {
+            won.push(e);
+        }
+    }
+    won
+}
+
 /// Runs peeling until no live edge remains (a maximal matching of the
 /// input). `pre_matched` vertices are treated as already matched: their
 /// edges are pruned before the first iteration.
@@ -122,14 +159,7 @@ pub fn peeling_matching(
         for mid in 0..live.machines() {
             let local: std::collections::HashMap<VertexId, (u64, Edge)> =
                 delivered.shard(mid).iter().copied().collect();
-            let mut won: Vec<Edge> = Vec::new();
-            for &(rank, e) in live.shard(mid) {
-                let wins = |v: VertexId| local.get(&v).is_some_and(|&(r, _)| r == rank);
-                if wins(e.u) && wins(e.v) {
-                    won.push(e);
-                }
-            }
-            for e in won {
+            for e in winning_edges(live.shard(mid), &local) {
                 matching.shard_mut(mid).push(e);
                 newly_matched.shard_mut(mid).push((e.u, 1));
                 newly_matched.shard_mut(mid).push((e.v, 1));

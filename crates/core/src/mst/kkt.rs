@@ -22,6 +22,39 @@ pub struct KktOutcome {
     pub f_light_count: usize,
 }
 
+/// The KKT sampling probability `p = budget/(4m')`, capped at 1 — shared
+/// with the engine's `MstProgram` so both draw the same per-edge coins.
+pub fn sample_probability(budget_edges: usize, m_cur: usize) -> f64 {
+    ((budget_edges as f64) / (4.0 * m_cur.max(1) as f64)).min(1.0)
+}
+
+/// Large-local step: MSF `F` of the sampled subgraph (current ids) plus its
+/// max-edge labeling.
+pub fn span_sample(n: usize, sampled: &[TaggedEdge]) -> (mpc_graph::mst::Forest, MaxEdgeLabeling) {
+    let sample_graph = Graph::new(n, sampled.iter().map(|te| te.cur));
+    let msf = mpc_graph::mst::kruskal(&sample_graph);
+    let forest_graph = Graph::new(n, msf.edges.iter().copied());
+    let labeling = MaxEdgeLabeling::build(&forest_graph).expect("MSF is a forest");
+    (msf, labeling)
+}
+
+/// Large-local finish: MST over the pooled `sampled ∪ F-light` edges in
+/// current ids, mapped back to the original edges they tag.
+pub fn finish_pool(n: usize, pool: &[TaggedEdge]) -> Vec<Edge> {
+    let mut orig_of: HashMap<(VertexId, VertexId), Edge> = HashMap::new();
+    for te in pool {
+        let k = (te.cur.u.min(te.cur.v), te.cur.u.max(te.cur.v));
+        orig_of.entry(k).or_insert(te.orig);
+    }
+    let final_graph = Graph::new(n, pool.iter().map(|te| te.cur));
+    let msf_final = mpc_graph::mst::kruskal(&final_graph);
+    msf_final
+        .edges
+        .iter()
+        .map(|e| orig_of[&(e.u.min(e.v), e.u.max(e.v))])
+        .collect()
+}
+
 /// Runs the sampling + F-light finish on the current contracted edges.
 ///
 /// `n` is the *original* vertex-universe size (labels are indexed by
@@ -39,7 +72,7 @@ pub fn kkt_finish(
     let large = cluster.large().expect("KKT requires a large machine");
     let owners = common::owners(cluster);
     let m_cur = cur.total_len().max(1);
-    let p = ((budget_edges as f64) / (4.0 * m_cur as f64)).min(1.0);
+    let p = sample_probability(budget_edges, m_cur);
     let _ = n_cur;
 
     // Sample `reps` subgraphs in parallel on the small machines.
@@ -87,10 +120,7 @@ pub fn kkt_finish(
 
     // Sampled MSF F on current-id edges (weights tie-broken by cur key;
     // the F-light test below uses the same key, so the order is consistent).
-    let sample_graph = Graph::new(n, sampled.iter().map(|te| te.cur));
-    let msf = mpc_graph::mst::kruskal(&sample_graph);
-    let forest_graph = Graph::new(n, msf.edges.iter().copied());
-    let labeling = MaxEdgeLabeling::build(&forest_graph).expect("MSF is a forest");
+    let (_msf, labeling) = span_sample(n, &sampled);
     let label_words: usize = labeling.labels().iter().map(Payload::words).sum();
     cluster
         .account("mst.kkt.labels", large, label_words)
@@ -138,18 +168,7 @@ pub fn kkt_finish(
     // every chosen edge back to the original edge it tags.
     let mut pool: Vec<TaggedEdge> = sampled;
     pool.extend(lights.iter().copied());
-    let mut orig_of: HashMap<(VertexId, VertexId), Edge> = HashMap::new();
-    for te in &pool {
-        let k = (te.cur.u.min(te.cur.v), te.cur.u.max(te.cur.v));
-        orig_of.entry(k).or_insert(te.orig);
-    }
-    let final_graph = Graph::new(n, pool.iter().map(|te| te.cur));
-    let msf_final = mpc_graph::mst::kruskal(&final_graph);
-    let mst_edges: Vec<Edge> = msf_final
-        .edges
-        .iter()
-        .map(|e| orig_of[&(e.u.min(e.v), e.u.max(e.v))])
-        .collect();
+    let mst_edges = finish_pool(n, &pool);
 
     cluster.release("mst.kkt.sample");
     cluster.release("mst.kkt.labels");

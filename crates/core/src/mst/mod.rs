@@ -23,7 +23,7 @@
 //! attached to it").
 
 mod contract;
-mod kkt;
+pub mod kkt;
 
 pub use contract::{contract_lightest_lists, ContractionOutcome};
 
@@ -36,7 +36,7 @@ use std::error::Error;
 use std::fmt;
 
 /// Words of a [`TaggedEdge`] (for budget arithmetic).
-const TAGGED_WORDS: usize = 4;
+pub const TAGGED_WORDS: usize = 4;
 
 /// Errors of the MST algorithm.
 #[derive(Debug)]
@@ -116,6 +116,90 @@ pub struct MstResult {
     pub stats: MstStats,
 }
 
+/// The large machine's collection budget: a quarter of its memory, in
+/// edges ([`TAGGED_WORDS`] words each).
+pub fn collection_budget(large_capacity: usize) -> usize {
+    (large_capacity / (4 * TAGGED_WORDS)).max(8)
+}
+
+/// One decision of the MST orchestration loop (shared by the legacy
+/// call-style loop and the engine's `MstProgram` coordinator, so both take
+/// bit-identical trajectories).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MstMove {
+    /// Remainder fits the large machine: gather everything, finish locally.
+    FinishGather,
+    /// KKT sampling applies: sample, label, keep F-light, finish locally.
+    Kkt,
+    /// Run one doubly-exponential Borůvka step with list length `k`.
+    Wave {
+        /// Lightest-list length for this contraction step.
+        k: usize,
+    },
+}
+
+/// The next move of the MST loop given the current contracted size, the
+/// steps taken so far, and the collection budget — exactly the stop rules
+/// of [`heterogeneous_mst_with`].
+pub fn next_move(
+    m_cur: usize,
+    n_cur: usize,
+    steps: usize,
+    budget_edges: usize,
+    config: &MstConfig,
+) -> MstMove {
+    if m_cur * TAGGED_WORDS <= 2 * budget_edges {
+        return MstMove::FinishGather;
+    }
+    if n_cur.saturating_mul(m_cur) <= (budget_edges * budget_edges) / 16 {
+        return MstMove::Kkt;
+    }
+    if steps >= config.max_boruvka_steps {
+        return MstMove::Kkt;
+    }
+    MstMove::Wave {
+        k: (budget_edges / n_cur.max(1)).max(2),
+    }
+}
+
+/// Applies a rename map to one machine's tagged edges, dropping edges that
+/// became internal: the per-machine half of the relabel round (Claim 2).
+/// Returns `(normalized current pair, original edge)` partials, which the
+/// pair's hash-owner deduplicates keeping the lightest.
+pub fn relabel_pairs(
+    shard: &[TaggedEdge],
+    rename: &std::collections::HashMap<VertexId, VertexId>,
+) -> Vec<((u32, u32), Edge)> {
+    let mut out = Vec::new();
+    for te in shard {
+        let u = *rename.get(&te.cur.u).unwrap_or(&te.cur.u);
+        let v = *rename.get(&te.cur.v).unwrap_or(&te.cur.v);
+        if u == v {
+            continue; // became internal
+        }
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        out.push(((a, b), te.orig));
+    }
+    out
+}
+
+/// Rebuilds a [`TaggedEdge`] from a deduplicated `(pair, original)` partial.
+pub fn pair_to_tagged(pair: (u32, u32), orig: Edge) -> TaggedEdge {
+    TaggedEdge {
+        cur: Edge::new(pair.0, pair.1, orig.w),
+        orig,
+    }
+}
+
+/// The large machine's local finish for a tiny remainder: exact MSF over
+/// the current edges, mapped back to the original edges they tag.
+pub fn local_msf_finish(n: usize, rest: &[TaggedEdge]) -> Vec<Edge> {
+    let local = mpc_graph::Graph::new(n, rest.iter().map(|te| te.cur));
+    let msf = mpc_graph::mst::kruskal(&local);
+    let orig_of = orig_lookup(rest);
+    msf.edges.iter().map(orig_of).collect()
+}
+
 /// Runs the heterogeneous MST algorithm with default configuration.
 ///
 /// `edges` must be the input edge list sharded over the small machines
@@ -149,7 +233,7 @@ pub fn heterogeneous_mst_with(
         .expect("heterogeneous MST requires a large machine");
     let owners = common::owners(cluster);
     // The large machine devotes a quarter of its memory to edge collection.
-    let budget_edges = (cluster.capacity(large) / (4 * TAGGED_WORDS)).max(8);
+    let budget_edges = collection_budget(cluster.capacity(large));
 
     // Lift input edges into tagged form (cur == orig initially).
     let mut cur: ShardedVec<TaggedEdge> = ShardedVec::from_shards(
@@ -170,65 +254,51 @@ pub fn heterogeneous_mst_with(
     let mut chosen: Vec<Edge> = Vec::new(); // MST edges (original ids), on large
     let mut stats = MstStats::default();
 
-    // Part 1: doubly-exponential Borůvka until the KKT step fits.
+    // Part 1: doubly-exponential Borůvka until the KKT step fits. Every
+    // decision goes through the shared [`next_move`] rule so the engine's
+    // `MstProgram` coordinator replays the identical trajectory.
     loop {
-        // Tiny remainder: ship everything and finish locally.
-        if m_cur * TAGGED_WORDS <= 2 * budget_edges {
-            let rest = gather_to(cluster, "mst.final-gather", &cur, large)?;
-            let local = mpc_graph::Graph::new(n, rest.iter().map(|te| te.cur));
-            let msf = mpc_graph::mst::kruskal(&local);
-            let orig_of = orig_lookup(&rest);
-            chosen.extend(msf.edges.iter().map(orig_of));
-            stats.finished_by_direct_gather = true;
-            break;
-        }
-        // KKT applicability: E[F-light] = n'/p with p = budget/(4m') must fit.
-        if n_cur.saturating_mul(m_cur) <= (budget_edges * budget_edges) / 16 {
-            let kkt_out = kkt::kkt_finish(
-                cluster,
-                n,
-                n_cur,
-                &cur,
-                budget_edges,
-                config.kkt_repetitions,
-            )?;
-            chosen.extend(kkt_out.mst_edges);
-            stats.kkt_rep_used = Some(kkt_out.rep_used);
-            stats.f_light_edges = kkt_out.f_light_count;
-            break;
-        }
-        if stats.boruvka_steps >= config.max_boruvka_steps {
-            // Safety net; with the adaptive schedule this is unreachable for
-            // sane budgets, but guarantee termination regardless.
-            let kkt_out = kkt::kkt_finish(
-                cluster,
-                n,
-                n_cur,
-                &cur,
-                budget_edges,
-                config.kkt_repetitions,
-            )?;
-            chosen.extend(kkt_out.mst_edges);
-            stats.kkt_rep_used = Some(kkt_out.rep_used);
-            stats.f_light_edges = kkt_out.f_light_count;
-            break;
-        }
+        match next_move(m_cur, n_cur, stats.boruvka_steps, budget_edges, config) {
+            // Tiny remainder: ship everything and finish locally.
+            MstMove::FinishGather => {
+                let rest = gather_to(cluster, "mst.final-gather", &cur, large)?;
+                chosen.extend(local_msf_finish(n, &rest));
+                stats.finished_by_direct_gather = true;
+                break;
+            }
+            // KKT applicability: E[F-light] = n'/p with p = budget/(4m')
+            // fits — or the step safety net tripped (same fallback).
+            MstMove::Kkt => {
+                let kkt_out = kkt::kkt_finish(
+                    cluster,
+                    n,
+                    n_cur,
+                    &cur,
+                    budget_edges,
+                    config.kkt_repetitions,
+                )?;
+                chosen.extend(kkt_out.mst_edges);
+                stats.kkt_rep_used = Some(kkt_out.rep_used);
+                stats.f_light_edges = kkt_out.f_light_count;
+                break;
+            }
+            // One Borůvka step with k = budget/n' (squares step over step).
+            MstMove::Wave { k } => {
+                let step = boruvka_step(cluster, &owners, large, &cur, k)?;
+                stats.boruvka_steps += 1;
+                chosen.extend(step.chosen);
 
-        // One Borůvka step with k = budget/n' (squares step over step).
-        let k = (budget_edges / n_cur.max(1)).max(2);
-        let step = boruvka_step(cluster, &owners, large, &cur, k)?;
-        stats.boruvka_steps += 1;
-        chosen.extend(step.chosen);
-
-        // Relabel + dedup on the small machines (aggregation, Claim 2).
-        cur = relabel_and_dedup(cluster, &owners, cur, &step.rename)?;
-        cur.account(cluster, "mst.edges")?;
-        m_cur = cur.total_len();
-        n_cur = step.new_vertex_count.max(1);
-        stats.contraction_trace.push((n_cur, m_cur));
-        if m_cur == 0 {
-            stats.finished_by_direct_gather = true;
-            break;
+                // Relabel + dedup on the small machines (aggregation, Claim 2).
+                cur = relabel_and_dedup(cluster, &owners, cur, &step.rename)?;
+                cur.account(cluster, "mst.edges")?;
+                m_cur = cur.total_len();
+                n_cur = step.new_vertex_count.max(1);
+                stats.contraction_trace.push((n_cur, m_cur));
+                if m_cur == 0 {
+                    stats.finished_by_direct_gather = true;
+                    break;
+                }
+            }
         }
     }
 
@@ -445,16 +515,7 @@ fn relabel_and_dedup(
     // the pair key plus the original weight, keeping partials at 4 words.
     let mut relabeled: ShardedVec<((u32, u32), Edge)> = ShardedVec::new(cluster);
     for mid in 0..cur.machines() {
-        let shard = relabeled.shard_mut(mid);
-        for te in cur.shard(mid) {
-            let u = *map.get(&te.cur.u).unwrap_or(&te.cur.u);
-            let v = *map.get(&te.cur.v).unwrap_or(&te.cur.v);
-            if u == v {
-                continue; // became internal
-            }
-            let (a, b) = if u < v { (u, v) } else { (v, u) };
-            shard.push(((a, b), te.orig));
-        }
+        *relabeled.shard_mut(mid) = relabel_pairs(cur.shard(mid), &map);
     }
     let deduped = aggregate_by_key(cluster, "mst.dedup", &relabeled, owners, |a, b| {
         if a.weight_key() <= b.weight_key() {
@@ -469,10 +530,7 @@ fn relabel_and_dedup(
                 deduped
                     .shard(mid)
                     .iter()
-                    .map(|((a, b), orig)| TaggedEdge {
-                        cur: Edge::new(*a, *b, orig.w),
-                        orig: *orig,
-                    })
+                    .map(|&((a, b), orig)| pair_to_tagged((a, b), orig))
                     .collect()
             })
             .collect(),

@@ -50,6 +50,148 @@ pub fn unpack_level_edge(key: &LevelEdgeKey) -> (usize, VertexId, VertexId) {
     )
 }
 
+/// Number of clustering levels for maximum degree `delta`
+/// (`⌊log₂ Δ⌋`, at least 1).
+pub fn levels_for_delta(delta: u32) -> usize {
+    ((delta.max(1) as f64).log2().floor() as usize).max(1)
+}
+
+/// Bit index of trial `j` of level `i` in the packed hitting-set masks.
+pub fn hitting_bit(i: usize, j: usize) -> u64 {
+    1u64 << ((i - 1) * HITTING_SET_TRIALS + j)
+}
+
+/// The large machine's hitting-set sampling (Algorithm 5 line 3): one
+/// membership mask per vertex, levels `1..levels`, [`HITTING_SET_TRIALS`]
+/// trials each with probability `i/2^i`. The nested draw order is part of
+/// the contract — the engine's `SpannerProgram` replays it bit-for-bit on
+/// the same RNG stream.
+pub fn sample_hitting_masks(rng: &mut rand::rngs::SmallRng, n: usize, levels: usize) -> Vec<u64> {
+    let mut sampled: Vec<u64> = vec![0; n];
+    for mask in sampled.iter_mut() {
+        for i in 1..levels {
+            let p = (i as f64 / (1u64 << i) as f64).min(1.0);
+            for j in 0..HITTING_SET_TRIALS {
+                if rng.random_bool(p) {
+                    *mask |= hitting_bit(i, j);
+                }
+            }
+        }
+    }
+    sampled
+}
+
+/// The large machine's local finish of the hitting sets: add uncovered
+/// high-degree vertices, keep the smallest trial per level, and fold into
+/// per-vertex `B_i = ∪_{lvl ≥ i} D_lvl` level masks.
+pub fn finalize_b_masks(deg: &[u32], sampled: &[u64], covered: &[u64], levels: usize) -> Vec<u64> {
+    let n = deg.len();
+    let mut final_mask: Vec<u64> = vec![0; n];
+    for v in 0..n {
+        let mut m = sampled[v];
+        for i in 1..levels {
+            for j in 0..HITTING_SET_TRIALS {
+                let b = hitting_bit(i, j);
+                if deg[v] as u64 >= (1u64 << i) && sampled[v] & b == 0 && covered[v] & b == 0 {
+                    m |= b;
+                }
+            }
+        }
+        final_mask[v] = m;
+    }
+    // D_0 = V (every vertex with an edge). Pick the smallest trial per level.
+    let mut best_trial: Vec<usize> = vec![0; levels];
+    for i in 1..levels {
+        let mut best = usize::MAX;
+        for j in 0..HITTING_SET_TRIALS {
+            let size = (0..n)
+                .filter(|&v| final_mask[v] & hitting_bit(i, j) != 0)
+                .count();
+            if size < best {
+                best = size;
+                best_trial[i] = j;
+            }
+        }
+    }
+    // B_i = ∪_{lvl >= i} D_lvl; encode as a per-vertex level mask.
+    let mut b_mask: Vec<u64> = vec![0; n];
+    for v in 0..n {
+        let mut in_level = vec![false; levels];
+        in_level[0] = deg[v] > 0; // D_0 = V
+        for i in 1..levels {
+            in_level[i] = final_mask[v] & hitting_bit(i, best_trial[i]) != 0;
+        }
+        let mut acc = false;
+        for i in (0..levels).rev() {
+            acc |= in_level[i];
+            if acc {
+                b_mask[v] |= 1 << i;
+            }
+        }
+    }
+    b_mask
+}
+
+/// Per-machine step: for every endpoint of the machine's edges, the
+/// smallest neighbor inside `B_i` per level (`u32::MAX` = none) — the
+/// candidate lists the vertex owners aggregate by elementwise minimum.
+pub fn min_neighbor_candidates(
+    levels: usize,
+    edges: &[Edge],
+    bmask_of: impl Fn(VertexId) -> u64,
+) -> std::collections::BTreeMap<VertexId, Vec<u32>> {
+    let mut per_vertex: std::collections::BTreeMap<VertexId, Vec<u32>> =
+        std::collections::BTreeMap::new();
+    for e in edges {
+        for (x, y) in [(e.u, e.v), (e.v, e.u)] {
+            let ym = bmask_of(y);
+            let entry = per_vertex
+                .entry(x)
+                .or_insert_with(|| vec![u32::MAX; levels]);
+            for i in 0..levels {
+                if ym & (1 << i) != 0 {
+                    entry[i] = entry[i].min(y);
+                }
+            }
+        }
+    }
+    per_vertex
+}
+
+/// Owner-side step: the star center `σ_v` of a vertex from its own B-mask
+/// and its aggregated neighbor candidates (Algorithm 5 line 9: `i_v` is the
+/// highest level where `v ∈ B_i` or a neighbor is; `σ_v = v` if `v` itself
+/// qualifies, else the smallest qualifying neighbor).
+pub fn sigma_for(
+    v: VertexId,
+    bmask: u64,
+    cand: Option<&Vec<u32>>,
+    levels: usize,
+) -> (VertexId, usize) {
+    let mut iu = 0usize;
+    for i in (0..levels).rev() {
+        let self_in = bmask & (1 << i) != 0;
+        let nbr_in = cand.is_some_and(|c| c[i] != u32::MAX);
+        if self_in || nbr_in {
+            iu = i;
+            break;
+        }
+    }
+    let sigma = if bmask & (1 << iu) != 0 {
+        v
+    } else {
+        cand.expect("i_u > 0 implies a neighbor candidate")[iu]
+    };
+    (sigma, iu)
+}
+
+/// The clustering level of an edge: `⌊log₂ min(deg u, deg v)⌋`, clamped.
+pub fn edge_level(du: u32, dv: u32, levels: usize) -> usize {
+    let min_deg = du.min(dv).max(1);
+    let level = (min_deg as f64).log2().floor() as usize;
+    level.min(levels - 1)
+}
+
 /// The distributed clustering-graph structure.
 #[derive(Debug)]
 pub struct ClusteringGraphs {
@@ -97,8 +239,8 @@ pub fn build_clustering_graphs(
     for &(v, d) in &deg_pairs {
         deg[v as usize] = d;
     }
-    let delta = deg.iter().copied().max().unwrap_or(1).max(1);
-    let levels = ((delta as f64).log2().floor() as usize).max(1);
+    let delta = deg.iter().copied().max().unwrap_or(1);
+    let levels = levels_for_delta(delta);
     assert!(
         levels * HITTING_SET_TRIALS <= 60,
         "mask packing supports log Δ · trials <= 60"
@@ -106,18 +248,7 @@ pub fn build_clustering_graphs(
 
     // Step 2: the large machine samples D^j_i (i >= 1) and disseminates
     // per-vertex (deg, membership-mask) — O(polylog) bits per vertex.
-    let bit = |i: usize, j: usize| 1u64 << ((i - 1) * HITTING_SET_TRIALS + j);
-    let mut sampled: Vec<u64> = vec![0; n];
-    for v in 0..n {
-        for i in 1..levels {
-            let p = (i as f64 / (1u64 << i) as f64).min(1.0);
-            for j in 0..HITTING_SET_TRIALS {
-                if cluster.rng(large).random_bool(p) {
-                    sampled[v] |= bit(i, j);
-                }
-            }
-        }
-    }
+    let sampled = sample_hitting_masks(cluster.rng(large), n, levels);
     let pairs: Vec<(VertexId, (u32, u64))> = (0..n as VertexId)
         .filter(|&v| deg[v as usize] > 0)
         .map(|v| (v, (deg[v as usize], sampled[v as usize])))
@@ -157,47 +288,7 @@ pub fn build_clustering_graphs(
 
     // Large machine: additions, best trial per level, B_i masks.
     // final D^j_i = sampled ∪ {u : deg(u) >= 2^i, not covered in D^j_i}.
-    let mut final_mask: Vec<u64> = vec![0; n];
-    for v in 0..n {
-        let mut m = sampled[v];
-        for i in 1..levels {
-            for j in 0..HITTING_SET_TRIALS {
-                let b = bit(i, j);
-                if deg[v] as u64 >= (1u64 << i) && sampled[v] & b == 0 && covered[v] & b == 0 {
-                    m |= b;
-                }
-            }
-        }
-        final_mask[v] = m;
-    }
-    // D_0 = V (every vertex with an edge). Pick the smallest trial per level.
-    let mut best_trial: Vec<usize> = vec![0; levels];
-    for i in 1..levels {
-        let mut best = usize::MAX;
-        for j in 0..HITTING_SET_TRIALS {
-            let size = (0..n).filter(|&v| final_mask[v] & bit(i, j) != 0).count();
-            if size < best {
-                best = size;
-                best_trial[i] = j;
-            }
-        }
-    }
-    // B_i = ∪_{lvl >= i} D_lvl; encode as a per-vertex level mask.
-    let mut b_mask: Vec<u64> = vec![0; n];
-    for v in 0..n {
-        let mut in_level = vec![false; levels];
-        in_level[0] = deg[v] > 0; // D_0 = V
-        for i in 1..levels {
-            in_level[i] = final_mask[v] & bit(i, best_trial[i]) != 0;
-        }
-        let mut acc = false;
-        for i in (0..levels).rev() {
-            acc |= in_level[i];
-            if acc {
-                b_mask[v] |= 1 << i;
-            }
-        }
-    }
+    let b_mask = finalize_b_masks(&deg, &sampled, &covered, levels);
 
     // Step 4: disseminate B-masks; aggregate per-level min-neighbor-in-B.
     let b_pairs: Vec<(VertexId, u64)> = (0..n as VertexId)
@@ -212,21 +303,9 @@ pub fn build_clustering_graphs(
     for mid in 0..cluster.machines() {
         let bm: std::collections::HashMap<VertexId, u64> =
             delivered_b.shard(mid).iter().copied().collect();
-        let mut per_vertex: std::collections::BTreeMap<VertexId, Vec<u32>> =
-            std::collections::BTreeMap::new();
-        for e in edges.shard(mid) {
-            for (x, y) in [(e.u, e.v), (e.v, e.u)] {
-                let ym = bm.get(&y).copied().unwrap_or(0);
-                let entry = per_vertex
-                    .entry(x)
-                    .or_insert_with(|| vec![u32::MAX; levels]);
-                for i in 0..levels {
-                    if ym & (1 << i) != 0 {
-                        entry[i] = entry[i].min(y);
-                    }
-                }
-            }
-        }
+        let per_vertex = min_neighbor_candidates(levels, edges.shard(mid), |y| {
+            bm.get(&y).copied().unwrap_or(0)
+        });
         *cand_items.shard_mut(mid) = per_vertex.into_iter().collect();
     }
     let cand_at_owner = aggregate_by_key(cluster, "cg.cands", &cand_items, &owners, |a, b| {
@@ -253,22 +332,9 @@ pub fn build_clustering_graphs(
             .map(|(v, c)| (*v, c))
             .collect();
         for (_src, (v, (d, bmask))) in inbox {
-            let nbr = cands.get(&v);
+            let nbr = cands.get(&v).copied();
             // i_u = max level where v ∈ B_i or some neighbor ∈ B_i.
-            let mut iu = 0usize;
-            for i in (0..levels).rev() {
-                let self_in = bmask & (1 << i) != 0;
-                let nbr_in = nbr.is_some_and(|c| c[i] != u32::MAX);
-                if self_in || nbr_in {
-                    iu = i;
-                    break;
-                }
-            }
-            let sigma_v = if bmask & (1 << iu) != 0 {
-                v
-            } else {
-                nbr.expect("i_u > 0 implies a neighbor candidate")[iu]
-            };
+            let (sigma_v, iu) = sigma_for(v, bmask, nbr, levels);
             sigma.shard_mut(mid).push((v, (sigma_v, d)));
             if sigma_v != v {
                 star_edges.shard_mut(mid).push(Edge::unweighted(v, sigma_v));
@@ -298,9 +364,7 @@ pub fn build_clustering_graphs(
             if su == sv {
                 continue;
             }
-            let min_deg = du.min(dv).max(1);
-            let level = (min_deg as f64).log2().floor() as usize;
-            let level = level.min(levels - 1);
+            let level = edge_level(du, dv, levels);
             shard.push((level_edge_key(level, su, sv), *e));
         }
     }

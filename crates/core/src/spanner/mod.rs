@@ -60,6 +60,126 @@ pub struct SpannerResult {
     pub stats: SpannerStats,
 }
 
+/// The per-level sampling probability
+/// `p_i = min(1, 2k·i^(1+1/k)/2^i)` (level 0 ships in full).
+pub fn sampling_probability(k: usize, i: usize) -> f64 {
+    if i == 0 {
+        return 1.0;
+    }
+    let k_f = k as f64;
+    (2.0 * k_f * (i as f64).powf(1.0 + 1.0 / k_f) / (1u64 << i) as f64).min(1.0)
+}
+
+/// Output of the large machine's local per-level spanning step.
+pub struct LevelSpans {
+    /// Witness-mapped phase-1 spanner edges (full levels exact, sampled
+    /// levels re-clustering edges).
+    pub edges: Vec<Edge>,
+    /// Phase-1 clustering traces of the sampled levels (for history
+    /// dissemination), keyed by level.
+    pub phase1: std::collections::BTreeMap<usize, baswana_sen::BsPhase1>,
+    /// `(level, σ_u, σ_v)` → smallest original witness edge.
+    pub witness: HashMap<LevelEdgeKey, Edge>,
+    /// Phase-1 edge count (for [`SpannerStats::phase1_edges`]).
+    pub phase1_edges: usize,
+}
+
+/// The large machine's local step: span every level from the gathered
+/// `(tag, cluster-edge key, witness)` triples — full levels via original
+/// Baswana–Sen (phases 1+2), sampled levels via the modified phase 1 only.
+/// Shared with the engine's `SpannerProgram`, which must reproduce it
+/// bit-for-bit from the same gather order.
+pub fn span_levels(n: usize, k: usize, received: &[(u32, LevelEdgeKey, Edge)]) -> LevelSpans {
+    let mut witness: HashMap<LevelEdgeKey, Edge> = HashMap::new();
+    let mut full_edges: HashMap<usize, Vec<Edge>> = HashMap::new();
+    let mut sampled_edges: HashMap<usize, Vec<Vec<Edge>>> = HashMap::new();
+    for (tag, key, orig) in received {
+        let (i, a, b) = unpack_level_edge(key);
+        witness.insert(*key, *orig);
+        let j = (tag & 0xFF) as usize;
+        if j == 0 {
+            full_edges
+                .entry(i)
+                .or_default()
+                .push(Edge::unweighted(a, b));
+        } else {
+            let slot = sampled_edges
+                .entry(i)
+                .or_insert_with(|| vec![Vec::new(); k]);
+            slot[j - 1].push(Edge::unweighted(a, b));
+        }
+    }
+    let mut spanner_edges: Vec<Edge> = Vec::new();
+    let mut phase1_edges = 0usize;
+    // Full levels: exact (2k−1)-spanner via original Baswana–Sen.
+    let mut full_levels: Vec<usize> = full_edges.keys().copied().collect();
+    full_levels.sort_unstable();
+    for i in full_levels {
+        let level_edges = &full_edges[&i];
+        let a_i = Graph::new(n, level_edges.iter().copied());
+        let n_i = distinct_endpoints(level_edges).max(2);
+        let levels: Vec<Vec<Edge>> = (0..k).map(|_| a_i.edges().to_vec()).collect();
+        let p1 = baswana_sen::phase1(n, &levels, k, 0xF011 + i as u64, n_i);
+        let mut h_i = p1.edges.clone();
+        h_i.extend(baswana_sen::phase2(&a_i, &p1));
+        phase1_edges += h_i.len();
+        for e in h_i {
+            spanner_edges.push(witness[&level_edge_key(i, e.u, e.v)]);
+        }
+    }
+    // Sampled levels: phase 1 only; remember histories for dissemination.
+    let mut phase1_by_level: std::collections::BTreeMap<usize, baswana_sen::BsPhase1> =
+        std::collections::BTreeMap::new();
+    let mut sampled_levels: Vec<usize> = sampled_edges.keys().copied().collect();
+    sampled_levels.sort_unstable();
+    for i in sampled_levels {
+        let subs = &sampled_edges[&i];
+        let n_i = distinct_endpoints(&subs.concat()).max(2);
+        // BS levels 1..k−1 use subsample j = 1..k−1; level k is unused.
+        let mut levels: Vec<Vec<Edge>> = subs[..k - 1].to_vec();
+        levels.push(Vec::new());
+        let p1 = baswana_sen::phase1(n, &levels, k, 0x5AAD + i as u64, n_i);
+        phase1_edges += p1.edges.len();
+        for e in &p1.edges {
+            spanner_edges.push(witness[&level_edge_key(i, e.u, e.v)]);
+        }
+        phase1_by_level.insert(i, p1);
+    }
+    LevelSpans {
+        edges: spanner_edges,
+        phase1: phase1_by_level,
+        witness,
+        phase1_edges,
+    }
+}
+
+/// Per-edge removal-candidate step (Algorithm 6 lines 21–29): vertex `x`
+/// removed at level `t`, neighbor cluster `c` at level `t−1` reached
+/// through `y` — the owners keep the smallest `y` per `(level, x, c)`.
+/// Own-cluster candidates are skipped (the in-cluster path already
+/// certifies the stretch, as in classic Baswana–Sen).
+pub fn removal_candidates_for(
+    level: usize,
+    a: VertexId,
+    b: VertexId,
+    ha: &[u32],
+    hb: &[u32],
+    orig: Edge,
+) -> Vec<((u64, u64), (u32, Edge))> {
+    let mut out = Vec::new();
+    for ((x, hx), (y, hy)) in [((a, ha), (b, hb)), ((b, hb), (a, ha))] {
+        let t = hx.len();
+        // x was removed at level t; y must still be clustered at t−1.
+        if t >= 1 && hy.len() >= t {
+            let c = hy[t - 1];
+            if hx[t - 1] != c {
+                out.push(((((level as u64) << 32) | x as u64, c as u64), (y, orig)));
+            }
+        }
+    }
+    out
+}
+
 /// Computes a `(6k−1)`-spanner of an **unweighted** graph in `O(1)` rounds.
 ///
 /// `edges` is the sharded input (weights are ignored — the spanner of a
@@ -88,13 +208,7 @@ pub fn heterogeneous_spanner(
     };
 
     // Step 2: per-level sampling probabilities.
-    let p_of = |i: usize| -> f64 {
-        if i == 0 {
-            return 1.0;
-        }
-        let k_f = k as f64;
-        (2.0 * k_f * (i as f64).powf(1.0 + 1.0 / k_f) / (1u64 << i) as f64).min(1.0)
-    };
+    let p_of = |i: usize| sampling_probability(k, i);
     for i in 0..cg.levels {
         if p_of(i) >= 1.0 {
             stats.full_levels.push(i);
@@ -125,61 +239,13 @@ pub fn heterogeneous_spanner(
     let received = gather_to(cluster, "spanner.samples", &payload, large)?;
     cluster.account("spanner.large.samples", large, received.len() * 5)?;
 
-    // Large machine: span each level locally.
-    // Witness map: (level, σ_u, σ_v) → original edge.
-    let mut witness: HashMap<LevelEdgeKey, Edge> = HashMap::new();
-    let mut full_edges: HashMap<usize, Vec<Edge>> = HashMap::new();
-    let mut sampled_edges: HashMap<usize, Vec<Vec<Edge>>> = HashMap::new();
-    for (tag, key, orig) in &received {
-        let (i, a, b) = unpack_level_edge(key);
-        witness.insert(*key, *orig);
-        let j = (tag & 0xFF) as usize;
-        if j == 0 {
-            full_edges
-                .entry(i)
-                .or_default()
-                .push(Edge::unweighted(a, b));
-        } else {
-            let slot = sampled_edges
-                .entry(i)
-                .or_insert_with(|| vec![Vec::new(); k]);
-            slot[j - 1].push(Edge::unweighted(a, b));
-        }
-    }
-    let mut spanner_edges: Vec<Edge> = Vec::new();
-    // Full levels: exact (2k−1)-spanner via original Baswana–Sen.
-    let mut full_levels: Vec<usize> = full_edges.keys().copied().collect();
-    full_levels.sort_unstable();
-    for i in full_levels {
-        let level_edges = &full_edges[&i];
-        let a_i = Graph::new(n, level_edges.iter().copied());
-        let n_i = distinct_endpoints(level_edges).max(2);
-        let levels: Vec<Vec<Edge>> = (0..k).map(|_| a_i.edges().to_vec()).collect();
-        let p1 = baswana_sen::phase1(n, &levels, k, 0xF011 + i as u64, n_i);
-        let mut h_i = p1.edges.clone();
-        h_i.extend(baswana_sen::phase2(&a_i, &p1));
-        stats.phase1_edges += h_i.len();
-        for e in h_i {
-            spanner_edges.push(witness[&level_edge_key(i, e.u, e.v)]);
-        }
-    }
-    // Sampled levels: phase 1 only; remember histories for dissemination.
-    let mut phase1_by_level: HashMap<usize, baswana_sen::BsPhase1> = HashMap::new();
-    let mut sampled_levels: Vec<usize> = sampled_edges.keys().copied().collect();
-    sampled_levels.sort_unstable();
-    for i in sampled_levels {
-        let subs = &sampled_edges[&i];
-        let n_i = distinct_endpoints(&subs.concat()).max(2);
-        // BS levels 1..k−1 use subsample j = 1..k−1; level k is unused.
-        let mut levels: Vec<Vec<Edge>> = subs[..k - 1].to_vec();
-        levels.push(Vec::new());
-        let p1 = baswana_sen::phase1(n, &levels, k, 0x5AAD + i as u64, n_i);
-        stats.phase1_edges += p1.edges.len();
-        for e in &p1.edges {
-            spanner_edges.push(witness[&level_edge_key(i, e.u, e.v)]);
-        }
-        phase1_by_level.insert(i, p1);
-    }
+    // Large machine: span each level locally (shared step; the engine's
+    // `SpannerProgram` calls the same function on the same gather order).
+    let spans = span_levels(n, k, &received);
+    let witness = spans.witness;
+    let phase1_by_level = spans.phase1;
+    let mut spanner_edges = spans.edges;
+    stats.phase1_edges += spans.phase1_edges;
 
     // Step 3: disseminate center histories; the small machines add removal
     // edges (Algorithm 6 lines 21–29) via candidate aggregation. Histories
@@ -249,16 +315,7 @@ pub fn heterogeneous_spanner(
             ) else {
                 continue;
             };
-            for ((x, hx), (y, hy)) in [((a, ha), (b, hb)), ((b, hb), (a, ha))] {
-                let t = hx.len();
-                // x was removed at level t; y must still be clustered at t−1.
-                if t >= 1 && hy.len() >= t {
-                    let c = hy[t - 1];
-                    if hx[t - 1] != c {
-                        shard.push(((((i as u64) << 32) | x as u64, c as u64), (y, *orig)));
-                    }
-                }
-            }
+            shard.extend(removal_candidates_for(i, a, b, ha, hb, *orig));
         }
     }
     let removal = aggregate_by_key(cluster, "spanner.cands", &cand_items, &owners, |a, b| {
@@ -305,6 +362,24 @@ pub fn heterogeneous_spanner_weighted(
     edges: &ShardedVec<Edge>,
     k: usize,
 ) -> Result<SpannerResult, ModelViolation> {
+    weighted_by_classes(n, edges, |class_edges| {
+        heterogeneous_spanner(cluster, n, class_edges, k)
+    })
+}
+
+/// The \[22\] weight-class reduction, shared by the legacy call-style
+/// weighted spanner and the engine adapter: split the edges into factor-2
+/// weight classes, run `run_class` on every non-empty class, restore the
+/// true weights on each class's witness edges, and merge the statistics.
+///
+/// # Errors
+///
+/// Propagates whatever `run_class` surfaces.
+pub fn weighted_by_classes<E>(
+    n: usize,
+    edges: &ShardedVec<Edge>,
+    mut run_class: impl FnMut(&ShardedVec<Edge>) -> Result<SpannerResult, E>,
+) -> Result<SpannerResult, E> {
     let max_w = edges.iter().map(|(_, e)| e.w).max().unwrap_or(1).max(1);
     let classes = (max_w as f64).log2().floor() as usize + 1;
     let mut all_edges: Vec<Edge> = Vec::new();
@@ -329,7 +404,7 @@ pub fn heterogeneous_spanner_weighted(
         if class_edges.total_len() == 0 {
             continue;
         }
-        let r = heterogeneous_spanner(cluster, n, &class_edges, k)?;
+        let r = run_class(&class_edges)?;
         stats.levels = stats.levels.max(r.stats.levels);
         stats.star_edges += r.stats.star_edges;
         stats.phase1_edges += r.stats.phase1_edges;

@@ -7,9 +7,15 @@
 //! requested [`ExecMode`], and extracts the result from the large
 //! machine's final state.
 
+use crate::combinators::Driven;
 use crate::driver::{ExecError, ExecMode, Executor};
-use crate::programs::{BoruvkaProgram, ConnectivityProgram};
+use crate::programs::{
+    BoruvkaProgram, ConnectivityProgram, MatchingProgram, MstProgram, SpannerProgram,
+};
+use mpc_core::matching::MatchingResult;
+use mpc_core::mst::{MstConfig, MstResult};
 use mpc_core::ported::connectivity::ConnectivityConfig;
+use mpc_core::spanner::SpannerResult;
 use mpc_graph::mst::Forest;
 use mpc_graph::traversal::Components;
 use mpc_graph::Edge;
@@ -61,4 +67,131 @@ pub fn boruvka_msf(
         .forest
         .take()
         .expect("large machine halts with a forest"))
+}
+
+/// Engine-backed twin of [`mpc_core::mst::heterogeneous_mst`]: the full
+/// doubly-exponential-Borůvka + KKT pipeline on the execution engine, with
+/// results, statistics, and RNG stream positions bit-identical to the
+/// legacy call-style path.
+///
+/// # Errors
+///
+/// Propagates capacity violations; KKT sampling failure surfaces as
+/// [`ExecError::Algorithm`].
+pub fn heterogeneous_mst(
+    cluster: &mut Cluster,
+    n: usize,
+    edges: &ShardedVec<Edge>,
+    mode: ExecMode,
+) -> Result<MstResult, ExecError> {
+    heterogeneous_mst_with(cluster, n, edges, &MstConfig::default(), mode)
+}
+
+/// [`heterogeneous_mst`] with explicit configuration.
+///
+/// # Errors
+///
+/// See [`heterogeneous_mst`].
+pub fn heterogeneous_mst_with(
+    cluster: &mut Cluster,
+    n: usize,
+    edges: &ShardedVec<Edge>,
+    config: &MstConfig,
+    mode: ExecMode,
+) -> Result<MstResult, ExecError> {
+    let programs: Vec<_> = MstProgram::for_cluster_with(cluster, n, edges, config)
+        .into_iter()
+        .map(Driven)
+        .collect();
+    let large = cluster.large().expect("MST requires a large machine");
+    let mut outcome = Executor::new("mst", mode).run(cluster, programs)?;
+    outcome.programs[large]
+        .0
+        .result
+        .take()
+        .expect("large machine halts with a result")
+        .map_err(|e| ExecError::Algorithm {
+            message: e.to_string(),
+        })
+}
+
+/// Engine-backed twin of
+/// [`mpc_core::matching::heterogeneous_matching`]: the three-phase maximal
+/// matching on the execution engine, with the matching, statistics, and
+/// RNG stream positions bit-identical to the legacy call-style path.
+///
+/// # Errors
+///
+/// Propagates capacity violations; a Phase-3 residual overflow surfaces as
+/// [`ExecError::Algorithm`].
+pub fn heterogeneous_matching(
+    cluster: &mut Cluster,
+    n: usize,
+    edges: &ShardedVec<Edge>,
+    mode: ExecMode,
+) -> Result<MatchingResult, ExecError> {
+    let programs: Vec<_> = MatchingProgram::for_cluster(cluster, n, edges)
+        .into_iter()
+        .map(Driven)
+        .collect();
+    let large = cluster.large().expect("matching requires a large machine");
+    let mut outcome = Executor::new("match", mode).run(cluster, programs)?;
+    outcome.programs[large]
+        .0
+        .result
+        .take()
+        .expect("large machine halts with a result")
+        .map_err(|e| ExecError::Algorithm {
+            message: e.to_string(),
+        })
+}
+
+/// Engine-backed twin of
+/// [`mpc_core::spanner::heterogeneous_spanner`]: the `(6k−1)`-spanner on
+/// the execution engine, with the spanner, statistics, and RNG stream
+/// positions bit-identical to the legacy call-style path.
+///
+/// # Errors
+///
+/// Propagates capacity violations; see [`ExecError`].
+pub fn heterogeneous_spanner(
+    cluster: &mut Cluster,
+    n: usize,
+    edges: &ShardedVec<Edge>,
+    k: usize,
+    mode: ExecMode,
+) -> Result<SpannerResult, ExecError> {
+    let programs: Vec<_> = SpannerProgram::for_cluster(cluster, n, edges, k)
+        .into_iter()
+        .map(Driven)
+        .collect();
+    let large = cluster.large().expect("spanner requires a large machine");
+    let mut outcome = Executor::new("spanner", mode).run(cluster, programs)?;
+    Ok(outcome.programs[large]
+        .0
+        .result
+        .take()
+        .expect("large machine halts with a result"))
+}
+
+/// Engine-backed twin of
+/// [`mpc_core::spanner::heterogeneous_spanner_weighted`]: one unweighted
+/// engine run per factor-2 weight class (the \[22\] reduction), with true
+/// weights restored on the witness edges — the same sequential class loop
+/// as the legacy path, so the per-machine RNG streams stay aligned class
+/// by class.
+///
+/// # Errors
+///
+/// Propagates capacity violations; see [`ExecError`].
+pub fn heterogeneous_spanner_weighted(
+    cluster: &mut Cluster,
+    n: usize,
+    edges: &ShardedVec<Edge>,
+    k: usize,
+    mode: ExecMode,
+) -> Result<SpannerResult, ExecError> {
+    mpc_core::spanner::weighted_by_classes(n, edges, |class_edges| {
+        heterogeneous_spanner(cluster, n, class_edges, k, mode)
+    })
 }

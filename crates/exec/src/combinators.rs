@@ -1,0 +1,283 @@
+//! The program-driver combinator layer: the phase-sequencing boilerplate
+//! every ported algorithm shares, factored out of the individual programs.
+//!
+//! The three flagship ports ([`MstProgram`](crate::programs::MstProgram),
+//! [`MatchingProgram`](crate::programs::MatchingProgram),
+//! [`SpannerProgram`](crate::programs::SpannerProgram)) all follow the same
+//! coordinator shape:
+//!
+//! * the **large machine** drives the phase sequence (it is the only
+//!   machine with the global view the legacy orchestrator had);
+//! * the **small machines** double as workers and hash-**owners** of keys
+//!   (vertices, edge pairs), exactly like the legacy primitives'
+//!   owner-partitioning;
+//! * owners remember who *announced* a key so replies flow back only to the
+//!   machines that asked — the paper's owner-directed exchange.
+//!
+//! The pieces here — [`Owners`], [`Outbox`], [`Announcers`], [`fold_best`],
+//! [`truncate_top`], and the [`RoleProgram`]/[`Driven`] dispatch wrapper —
+//! are that shape as reusable data. A program implements `large_step` /
+//! `small_step` and the driver wrapper turns it into a
+//! [`MachineProgram`] the [`Executor`](crate::Executor) can run.
+
+use crate::machine::{MachineCtx, MachineProgram, StepOutcome};
+use mpc_runtime::primitives::{owner_of, HashKey};
+use mpc_runtime::{Cluster, MachineId, Payload};
+use std::collections::BTreeMap;
+
+/// The hash-owner table: all small machines, with deterministic
+/// [`HashKey`]-based key placement (identical to the legacy primitives'
+/// `owner_of`, so owner shards match the legacy paths bit-for-bit).
+#[derive(Clone, Debug)]
+pub struct Owners {
+    ids: Vec<MachineId>,
+}
+
+impl Owners {
+    /// The owner table of a cluster (all non-large machines).
+    pub fn of_cluster(cluster: &Cluster) -> Self {
+        Owners {
+            ids: cluster.small_ids(),
+        }
+    }
+
+    /// The owner machine of `key`.
+    pub fn of<K: HashKey>(&self, key: &K) -> MachineId {
+        owner_of(key, &self.ids)
+    }
+
+    /// The *group collector* of `key` for a sender in `group`: the
+    /// intermediate machine of the legacy primitives' two-stage
+    /// aggregation (Claims 2 and 4). A key stored on many machines
+    /// converges on `≤ ⌈K/√K⌉` collectors before its owner sees it, so no
+    /// single machine ever receives a hot key's full multiplicity — the
+    /// same `(key, sender-group)` mixing formula as
+    /// [`aggregate_by_key`](mpc_runtime::primitives::aggregate_by_key).
+    pub fn collector_of<K: HashKey>(&self, key: &K, group: u64) -> MachineId {
+        let idx = (key
+            .hash64()
+            .wrapping_add(group.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            % self.ids.len() as u64) as usize;
+        self.ids[idx]
+    }
+
+    /// All owner machine ids, ascending.
+    pub fn ids(&self) -> &[MachineId] {
+        &self.ids
+    }
+}
+
+/// The sender group of machine `mid` in a `machines`-machine cluster:
+/// `⌈√K⌉` consecutive machines share a collector group (the legacy
+/// primitives' grouping).
+pub fn sender_group(mid: MachineId, machines: usize) -> u64 {
+    let group = (machines as f64).sqrt().ceil() as usize;
+    (mid / group.max(1)) as u64
+}
+
+/// An outbox under construction: the `Vec<(destination, message)>` every
+/// step builds, with the common routing patterns as methods.
+#[derive(Clone, Debug)]
+pub struct Outbox<M> {
+    msgs: Vec<(MachineId, M)>,
+}
+
+impl<M> Default for Outbox<M> {
+    fn default() -> Self {
+        Outbox::new()
+    }
+}
+
+impl<M> Outbox<M> {
+    /// An empty outbox.
+    pub fn new() -> Self {
+        Outbox { msgs: Vec::new() }
+    }
+
+    /// Queues one message.
+    pub fn send(&mut self, to: MachineId, msg: M) {
+        self.msgs.push((to, msg));
+    }
+
+    /// Queues `msg` to every machine in `to` (the large machine's command
+    /// broadcast).
+    pub fn broadcast(&mut self, to: impl IntoIterator<Item = MachineId>, msg: M)
+    where
+        M: Clone,
+    {
+        for mid in to {
+            self.msgs.push((mid, msg.clone()));
+        }
+    }
+
+    /// Whether nothing was queued.
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+
+    /// Finishes the step, staying active.
+    pub fn into_step(self) -> StepOutcome<M> {
+        StepOutcome::Send(self.msgs)
+    }
+}
+
+/// Key → announcing machines, in ascending machine order: the routing
+/// table an owner builds while aggregating announcements, so later replies
+/// (renames, minima, flags) reach exactly the machines that hold the key.
+#[derive(Clone, Debug)]
+pub struct Announcers<K: Ord> {
+    map: BTreeMap<K, Vec<MachineId>>,
+}
+
+impl<K: Ord> Default for Announcers<K> {
+    fn default() -> Self {
+        Announcers {
+            map: BTreeMap::new(),
+        }
+    }
+}
+
+impl<K: Ord> Announcers<K> {
+    /// Records that `src` announced `key`. Inbox order is ascending by
+    /// source, so adjacent deduplication keeps each machine once.
+    pub fn note(&mut self, key: K, src: MachineId) {
+        let v = self.map.entry(key).or_default();
+        if v.last() != Some(&src) {
+            v.push(src);
+        }
+    }
+
+    /// The machines that announced `key`.
+    pub fn get(&self, key: &K) -> Option<&[MachineId]> {
+        self.map.get(key).map(Vec::as_slice)
+    }
+
+    /// Drains the table (typically once per wave).
+    pub fn take(&mut self) -> BTreeMap<K, Vec<MachineId>> {
+        std::mem::take(&mut self.map)
+    }
+
+    /// Whether no announcements are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Folds `(key, value)` into an accumulator keeping the better value under
+/// `better` (a strict "is left better than right" predicate) — the
+/// owner-side aggregation step (per-vertex minimum rank, lightest parallel
+/// edge, ...). Associative and commutative whenever `better` is a total
+/// order without ties, which is what makes owner aggregation
+/// schedule-independent.
+pub fn fold_best<K: Ord, V>(
+    map: &mut BTreeMap<K, V>,
+    key: K,
+    value: V,
+    better: impl Fn(&V, &V) -> bool,
+) {
+    match map.get_mut(&key) {
+        Some(cur) => {
+            if better(&value, cur) {
+                *cur = value;
+            }
+        }
+        None => {
+            map.insert(key, value);
+        }
+    }
+}
+
+/// Sorts every group ascending by `rank` and truncates it to `t` items —
+/// the local/owner/destination truncation stage of the paper's Claim-4
+/// top-`t` selection. Truncating at every stage preserves the global
+/// top-`t` because a globally-top item is locally-top wherever it appears.
+pub fn truncate_top<K, T, R: Ord>(
+    groups: &mut BTreeMap<K, Vec<T>>,
+    t: usize,
+    rank: impl Fn(&T) -> R,
+) {
+    for vs in groups.values_mut() {
+        vs.sort_by_key(&rank);
+        vs.truncate(t.max(1));
+    }
+}
+
+/// A program written as two role-specific step functions — the coordinator
+/// pattern all flagship ports share. [`Driven`] lifts it to a
+/// [`MachineProgram`].
+pub trait RoleProgram: Send {
+    /// The message type this program exchanges.
+    type Message: Payload + Send;
+
+    /// One round on the large machine (the coordinator).
+    fn large_step(
+        &mut self,
+        ctx: &MachineCtx<'_>,
+        inbox: Vec<(MachineId, Self::Message)>,
+    ) -> StepOutcome<Self::Message>;
+
+    /// One round on a small machine (worker + owner).
+    fn small_step(
+        &mut self,
+        ctx: &MachineCtx<'_>,
+        inbox: Vec<(MachineId, Self::Message)>,
+    ) -> StepOutcome<Self::Message>;
+}
+
+/// The driver wrapper: dispatches each step to the machine's role. This is
+/// the shared "ProgramDriver" — halt/reactivate and outcome packing live in
+/// the [`Executor`](crate::Executor); role dispatch and the combinator
+/// vocabulary live here; the program itself is pure algorithm state.
+pub struct Driven<P>(pub P);
+
+impl<P: RoleProgram> MachineProgram for Driven<P> {
+    type Message = P::Message;
+
+    fn step(
+        &mut self,
+        ctx: &MachineCtx<'_>,
+        inbox: Vec<(MachineId, Self::Message)>,
+    ) -> StepOutcome<Self::Message> {
+        if ctx.is_large() {
+            self.0.large_step(ctx, inbox)
+        } else {
+            self.0.small_step(ctx, inbox)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn announcers_dedup_adjacent_sources() {
+        let mut a: Announcers<u32> = Announcers::default();
+        a.note(7, 1);
+        a.note(7, 1);
+        a.note(7, 3);
+        a.note(9, 2);
+        assert_eq!(a.get(&7), Some(&[1usize, 3][..]));
+        assert_eq!(a.get(&9), Some(&[2usize][..]));
+        let taken = a.take();
+        assert_eq!(taken.len(), 2);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn fold_best_keeps_minimum() {
+        let mut m: BTreeMap<u32, u64> = BTreeMap::new();
+        fold_best(&mut m, 1, 10, |a, b| a < b);
+        fold_best(&mut m, 1, 5, |a, b| a < b);
+        fold_best(&mut m, 1, 7, |a, b| a < b);
+        assert_eq!(m[&1], 5);
+    }
+
+    #[test]
+    fn truncate_top_is_sorted_prefix() {
+        let mut g: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
+        g.insert(0, vec![9, 3, 7, 1]);
+        truncate_top(&mut g, 2, |x| *x);
+        assert_eq!(g[&0], vec![1, 3]);
+    }
+}

@@ -57,6 +57,13 @@ pub enum ExecError {
         /// The limit that was hit.
         limit: u64,
     },
+    /// An algorithm-level failure reported by a program (e.g. KKT sampling
+    /// exceeded its volume bound, or a residual overflow in matching) — the
+    /// engine twins of the legacy `MstError`/`MatchingError` variants.
+    Algorithm {
+        /// Human-readable failure description.
+        message: String,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -66,6 +73,7 @@ impl fmt::Display for ExecError {
             ExecError::RoundLimit { limit } => {
                 write!(f, "program exceeded the round limit of {limit}")
             }
+            ExecError::Algorithm { message } => write!(f, "algorithm failure: {message}"),
         }
     }
 }

@@ -45,11 +45,17 @@
 #![warn(missing_docs)]
 
 pub mod adapters;
+pub mod combinators;
 pub mod driver;
 pub mod machine;
 pub mod pool;
 pub mod programs;
+pub mod registry;
 
+pub use combinators::{Driven, Outbox, Owners, RoleProgram};
 pub use driver::{ExecError, ExecMode, ExecOutcome, Executor};
 pub use machine::{MachineCtx, MachineProgram, StepOutcome};
-pub use programs::{BoruvkaProgram, ConnectivityProgram};
+pub use programs::{
+    BoruvkaProgram, ConnectivityProgram, MatchingProgram, MstProgram, SpannerProgram,
+};
+pub use registry::{AlgoInput, AlgoOutput, Algorithm};

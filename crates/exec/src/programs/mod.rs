@@ -9,6 +9,12 @@
 
 pub mod boruvka;
 pub mod connectivity;
+pub mod matching;
+pub mod mst;
+pub mod spanner;
 
 pub use boruvka::{BoruvkaProgram, MstMsg};
 pub use connectivity::{ConnMsg, ConnectivityProgram};
+pub use matching::{MatchCmd, MatchNetMsg, MatchingProgram};
+pub use mst::{MstCmd, MstNetMsg, MstProgram};
+pub use spanner::{SpannerNetMsg, SpannerProgram};

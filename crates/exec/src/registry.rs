@@ -1,0 +1,314 @@
+//! The [`Algorithm`] registry: every engine-ported algorithm behind one
+//! named entry point.
+//!
+//! `registry::run("mst", &mut cluster, &input, ExecMode::Parallel)` is the
+//! single way the facade crate, the examples, the benches, and the CI
+//! smoke tests execute a workload: a registered algorithm is guaranteed to
+//! run on the [`Executor`](crate::Executor) under both [`ExecMode::Serial`]
+//! and [`ExecMode::Parallel`] with bit-identical results, and anything
+//! *not* registered here is by definition not fast-path-capable — the
+//! `registry` bench experiment fails if a registered program stops
+//! producing legacy-identical results.
+//!
+//! | name | paper result | program |
+//! |------|--------------|---------|
+//! | `connectivity` | Thm C.1 | [`ConnectivityProgram`](crate::programs::ConnectivityProgram) |
+//! | `boruvka-msf`  | §3 building block | [`BoruvkaProgram`](crate::programs::BoruvkaProgram) |
+//! | `mst`          | Thm 3.1 | [`MstProgram`](crate::programs::MstProgram) |
+//! | `matching`     | Thm 5.1 | [`MatchingProgram`](crate::programs::MatchingProgram) |
+//! | `spanner`      | Thm 4.1 | [`SpannerProgram`](crate::programs::SpannerProgram) |
+//! | `spanner-weighted` | Thm 4.1 + \[22\] reduction | per-class [`SpannerProgram`](crate::programs::SpannerProgram) |
+
+use crate::adapters;
+use crate::driver::{ExecError, ExecMode};
+use mpc_core::matching::MatchingResult;
+use mpc_core::mst::{MstConfig, MstResult};
+use mpc_core::ported::connectivity::ConnectivityConfig;
+use mpc_core::spanner::SpannerResult;
+use mpc_graph::mst::Forest;
+use mpc_graph::traversal::Components;
+use mpc_graph::Edge;
+use mpc_runtime::{Cluster, ShardedVec};
+
+/// The input every registered algorithm consumes: a vertex universe and
+/// the edge list sharded over the small machines (see
+/// [`mpc_core::common::distribute_edges`]), plus tuning parameters.
+pub struct AlgoInput<'a> {
+    /// Number of vertices.
+    pub n: usize,
+    /// Sharded input edges.
+    pub edges: &'a ShardedVec<Edge>,
+    /// Spanner stretch parameter `k` (ignored by non-spanner algorithms).
+    pub spanner_k: usize,
+    /// MST tuning knobs.
+    pub mst: MstConfig,
+    /// Connectivity configuration (defaults to
+    /// [`ConnectivityConfig::for_n`]).
+    pub connectivity: Option<ConnectivityConfig>,
+}
+
+impl<'a> AlgoInput<'a> {
+    /// Input with default parameters (`k = 3` for spanners).
+    pub fn new(n: usize, edges: &'a ShardedVec<Edge>) -> Self {
+        AlgoInput {
+            n,
+            edges,
+            spanner_k: 3,
+            mst: MstConfig::default(),
+            connectivity: None,
+        }
+    }
+
+    /// Overrides the spanner stretch parameter.
+    pub fn spanner_k(mut self, k: usize) -> Self {
+        self.spanner_k = k;
+        self
+    }
+}
+
+/// What a registered algorithm returns.
+#[derive(Debug)]
+pub enum AlgoOutput {
+    /// Connected components (`connectivity`).
+    Components(Components),
+    /// A minimum spanning forest without statistics (`boruvka-msf`).
+    Forest(Forest),
+    /// The full MST result (`mst`).
+    Mst(MstResult),
+    /// The maximal-matching result (`matching`).
+    Matching(MatchingResult),
+    /// The spanner result (`spanner`, `spanner-weighted`).
+    Spanner(SpannerResult),
+}
+
+impl AlgoOutput {
+    /// The components, if this output carries them.
+    pub fn into_components(self) -> Option<Components> {
+        match self {
+            AlgoOutput::Components(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The plain forest, if this output carries one.
+    pub fn into_forest(self) -> Option<Forest> {
+        match self {
+            AlgoOutput::Forest(f) => Some(f),
+            AlgoOutput::Mst(r) => Some(r.forest),
+            _ => None,
+        }
+    }
+
+    /// The full MST result, if this output carries one.
+    pub fn into_mst(self) -> Option<MstResult> {
+        match self {
+            AlgoOutput::Mst(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The matching result, if this output carries one.
+    pub fn into_matching(self) -> Option<MatchingResult> {
+        match self {
+            AlgoOutput::Matching(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The spanner result, if this output carries one.
+    pub fn into_spanner(self) -> Option<SpannerResult> {
+        match self {
+            AlgoOutput::Spanner(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// A deterministic digest of the result — what the benches and smoke
+    /// tests compare across execution modes. Covers the actual content
+    /// (edge sets are order-normalized and hashed), not just cardinalities,
+    /// so a drift that preserves result size still changes the digest.
+    pub fn digest(&self) -> u128 {
+        fn fold_edges<'a>(edges: impl Iterator<Item = &'a Edge>) -> u128 {
+            let mut keys: Vec<_> = edges.map(Edge::weight_key).collect();
+            keys.sort_unstable();
+            let mut acc: u128 = 0xcbf2_9ce4_8422_2325;
+            for key in keys {
+                for word in [key.w, key.u as u64, key.v as u64] {
+                    acc = (acc ^ word as u128).wrapping_mul(0x0100_0000_01b3);
+                }
+            }
+            acc
+        }
+        match self {
+            AlgoOutput::Components(c) => c.count as u128,
+            AlgoOutput::Forest(f) => f.total_weight ^ fold_edges(f.edges.iter()),
+            AlgoOutput::Mst(r) => r.forest.total_weight ^ fold_edges(r.forest.edges.iter()),
+            AlgoOutput::Matching(r) => {
+                r.matching.len() as u128 ^ fold_edges(r.matching.edges.iter())
+            }
+            AlgoOutput::Spanner(r) => r.spanner.m() as u128 ^ fold_edges(r.spanner.edges().iter()),
+        }
+    }
+}
+
+/// A registered algorithm: a name, its paper anchor, and an engine-backed
+/// runner.
+pub struct Algorithm {
+    /// Registry name (the `run` lookup key).
+    pub name: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+    /// Where in the paper this algorithm lives.
+    pub paper: &'static str,
+    runner: fn(&mut Cluster, &AlgoInput<'_>, ExecMode) -> Result<AlgoOutput, ExecError>,
+}
+
+impl Algorithm {
+    /// Runs this algorithm on `cluster` in the given mode.
+    ///
+    /// # Errors
+    ///
+    /// See [`ExecError`].
+    pub fn run(
+        &self,
+        cluster: &mut Cluster,
+        input: &AlgoInput<'_>,
+        mode: ExecMode,
+    ) -> Result<AlgoOutput, ExecError> {
+        (self.runner)(cluster, input, mode)
+    }
+}
+
+static ALGORITHMS: &[Algorithm] = &[
+    Algorithm {
+        name: "connectivity",
+        summary: "O(1)-round connected components via linear sketches",
+        paper: "Theorem C.1",
+        runner: |cluster, input, mode| {
+            let config = input
+                .connectivity
+                .clone()
+                .unwrap_or_else(|| ConnectivityConfig::for_n(input.n));
+            adapters::heterogeneous_connectivity(cluster, input.n, input.edges, &config, mode)
+                .map(AlgoOutput::Components)
+        },
+    },
+    Algorithm {
+        name: "boruvka-msf",
+        summary: "plain Borůvka minimum spanning forest in 4-round waves",
+        paper: "§3 building block",
+        runner: |cluster, input, mode| {
+            adapters::boruvka_msf(cluster, input.edges, mode).map(AlgoOutput::Forest)
+        },
+    },
+    Algorithm {
+        name: "mst",
+        summary: "exact MST: doubly-exponential Borůvka + KKT sampling finish",
+        paper: "Theorem 3.1",
+        runner: |cluster, input, mode| {
+            adapters::heterogeneous_mst_with(cluster, input.n, input.edges, &input.mst, mode)
+                .map(AlgoOutput::Mst)
+        },
+    },
+    Algorithm {
+        name: "matching",
+        summary: "maximal matching in rounds depending only on the average degree",
+        paper: "Theorem 5.1",
+        runner: |cluster, input, mode| {
+            adapters::heterogeneous_matching(cluster, input.n, input.edges, mode)
+                .map(AlgoOutput::Matching)
+        },
+    },
+    Algorithm {
+        name: "spanner",
+        summary: "(6k−1)-spanner of size O(n^(1+1/k)) in O(1) rounds (unweighted)",
+        paper: "Theorem 4.1",
+        runner: |cluster, input, mode| {
+            adapters::heterogeneous_spanner(cluster, input.n, input.edges, input.spanner_k, mode)
+                .map(AlgoOutput::Spanner)
+        },
+    },
+    Algorithm {
+        name: "spanner-weighted",
+        summary: "(12k−1)-spanner of a weighted graph via factor-2 weight classes",
+        paper: "Theorem 4.1 + [22]",
+        runner: |cluster, input, mode| {
+            adapters::heterogeneous_spanner_weighted(
+                cluster,
+                input.n,
+                input.edges,
+                input.spanner_k,
+                mode,
+            )
+            .map(AlgoOutput::Spanner)
+        },
+    },
+];
+
+/// All registered algorithms, in presentation order.
+pub fn algorithms() -> &'static [Algorithm] {
+    ALGORITHMS
+}
+
+/// All registry names, in presentation order.
+pub fn names() -> Vec<&'static str> {
+    ALGORITHMS.iter().map(|a| a.name).collect()
+}
+
+/// Looks up an algorithm by name.
+pub fn get(name: &str) -> Option<&'static Algorithm> {
+    ALGORITHMS.iter().find(|a| a.name == name)
+}
+
+/// Runs the named algorithm on `cluster` in the given [`ExecMode`] — the
+/// registry entry point everything routes through.
+///
+/// # Errors
+///
+/// [`ExecError::Algorithm`] for unknown names; otherwise whatever the
+/// algorithm surfaces (see [`ExecError`]).
+pub fn run(
+    name: &str,
+    cluster: &mut Cluster,
+    input: &AlgoInput<'_>,
+    mode: ExecMode,
+) -> Result<AlgoOutput, ExecError> {
+    let algo = get(name).ok_or_else(|| ExecError::Algorithm {
+        message: format!(
+            "unknown algorithm '{name}'; registered: {}",
+            names().join(", ")
+        ),
+    })?;
+    algo.run(cluster, input, mode)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_the_flagship_algorithms() {
+        for name in [
+            "connectivity",
+            "boruvka-msf",
+            "mst",
+            "matching",
+            "spanner",
+            "spanner-weighted",
+        ] {
+            assert!(get(name).is_some(), "'{name}' not registered");
+        }
+        assert_eq!(names().len(), ALGORITHMS.len());
+    }
+
+    #[test]
+    fn unknown_names_error_with_the_catalog() {
+        let g = mpc_graph::generators::gnm(16, 32, 1);
+        let mut cluster = Cluster::new(mpc_runtime::ClusterConfig::new(g.n(), g.m()));
+        let edges = mpc_core::common::distribute_edges(&cluster, &g);
+        let input = AlgoInput::new(g.n(), &edges);
+        let err = run("nope", &mut cluster, &input, ExecMode::Serial).unwrap_err();
+        assert!(err.to_string().contains("unknown algorithm"));
+        assert!(err.to_string().contains("mst"));
+    }
+}

@@ -1,0 +1,368 @@
+//! The registry contract: every engine-ported flagship algorithm is
+//! **bit-identical** to its legacy call-style twin — same results, same
+//! statistics, same per-machine RNG stream positions — and the engine
+//! itself is schedule-independent: serial and pooled execution at any
+//! thread count produce identical results, round logs (labels, traffic,
+//! makespans), and round counts.
+//!
+//! Legacy round counts differ from engine round counts by design (the
+//! engine trades the legacy primitives' fused collector waves for explicit
+//! per-phase exchanges); what must *not* differ is everything the paper's
+//! theorems speak about: outputs, trajectories (MST contraction traces,
+//! peeling iteration counts), and randomness consumption.
+
+use mpc_core::common;
+use mpc_exec::{registry, AlgoInput, ExecMode};
+use mpc_graph::{generators, Edge, Graph};
+use mpc_runtime::{Cluster, ClusterConfig, Topology};
+use rand::RngCore;
+
+/// Draws one value from every machine's RNG — equal vectors mean equal
+/// stream positions (SmallRng has no public position accessor).
+fn rng_positions(cluster: &mut Cluster) -> Vec<u64> {
+    (0..cluster.machines())
+        .map(|mid| cluster.rng(mid).next_u64())
+        .collect()
+}
+
+fn cluster_for(g: &Graph, seed: u64) -> Cluster {
+    Cluster::new(ClusterConfig::new(g.n(), g.m().max(1)).seed(seed))
+}
+
+/// A denser topology that forces MST contraction waves before KKT.
+fn dense_cluster_for(g: &Graph, seed: u64) -> Cluster {
+    Cluster::new(
+        ClusterConfig::new(g.n(), g.m().max(1))
+            .topology(Topology::Heterogeneous {
+                gamma: 0.5,
+                large_exponent: 1.0,
+            })
+            .seed(seed),
+    )
+}
+
+// ---------------------------------------------------------------- MST --
+
+fn mst_graph(seed: u64) -> Graph {
+    generators::gnm(200, 2400, seed).with_random_weights(1 << 20, seed)
+}
+
+#[test]
+fn mst_program_is_bit_identical_to_legacy() {
+    for seed in [3u64, 11] {
+        for dense in [false, true] {
+            let g = if dense {
+                generators::gnm(256, 8000, seed).with_random_weights(1 << 20, seed)
+            } else {
+                mst_graph(seed)
+            };
+            let make = |s| {
+                if dense {
+                    dense_cluster_for(&g, s)
+                } else {
+                    cluster_for(&g, s)
+                }
+            };
+
+            let mut legacy_cluster = make(seed);
+            let legacy_input = common::distribute_edges(&legacy_cluster, &g);
+            let legacy =
+                mpc_core::mst::heterogeneous_mst(&mut legacy_cluster, g.n(), legacy_input).unwrap();
+            let legacy_rng = rng_positions(&mut legacy_cluster);
+
+            for mode in [ExecMode::Serial, ExecMode::Parallel] {
+                let mut engine_cluster = make(seed);
+                let engine_input = common::distribute_edges(&engine_cluster, &g);
+                let engine = registry::run(
+                    "mst",
+                    &mut engine_cluster,
+                    &AlgoInput::new(g.n(), &engine_input),
+                    mode,
+                )
+                .unwrap()
+                .into_mst()
+                .unwrap();
+                let engine_rng = rng_positions(&mut engine_cluster);
+
+                assert_eq!(
+                    engine.forest, legacy.forest,
+                    "seed {seed} dense {dense} {mode:?}: forests differ"
+                );
+                assert_eq!(
+                    engine.stats.boruvka_steps, legacy.stats.boruvka_steps,
+                    "seed {seed} dense {dense} {mode:?}: wave counts differ"
+                );
+                assert_eq!(
+                    engine.stats.contraction_trace, legacy.stats.contraction_trace,
+                    "seed {seed} dense {dense} {mode:?}: contraction traces differ"
+                );
+                assert_eq!(
+                    engine.stats.finished_by_direct_gather, legacy.stats.finished_by_direct_gather,
+                    "seed {seed} dense {dense} {mode:?}: finish paths differ"
+                );
+                assert_eq!(
+                    engine.stats.kkt_rep_used, legacy.stats.kkt_rep_used,
+                    "seed {seed} dense {dense} {mode:?}: KKT repetitions differ"
+                );
+                assert_eq!(
+                    engine.stats.f_light_edges, legacy.stats.f_light_edges,
+                    "seed {seed} dense {dense} {mode:?}: F-light counts differ"
+                );
+                assert_eq!(
+                    engine_rng, legacy_rng,
+                    "seed {seed} dense {dense} {mode:?}: RNG positions differ"
+                );
+                assert!(mpc_core::mst::is_minimum_spanning_forest(
+                    &g,
+                    &engine.forest
+                ));
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------- matching --
+
+#[test]
+fn matching_program_is_bit_identical_to_legacy() {
+    for (g, seed) in [
+        (generators::gnm(120, 700, 4), 4u64),
+        (generators::chung_lu(300, 1800, 2.3, 5), 5u64),
+        (generators::star(200), 2u64),
+    ] {
+        let mut legacy_cluster = cluster_for(&g, seed);
+        let legacy_input = common::distribute_edges(&legacy_cluster, &g);
+        let legacy =
+            mpc_core::matching::heterogeneous_matching(&mut legacy_cluster, g.n(), &legacy_input)
+                .unwrap();
+        let legacy_rng = rng_positions(&mut legacy_cluster);
+
+        for mode in [ExecMode::Serial, ExecMode::Parallel] {
+            let mut engine_cluster = cluster_for(&g, seed);
+            let engine_input = common::distribute_edges(&engine_cluster, &g);
+            let engine = registry::run(
+                "matching",
+                &mut engine_cluster,
+                &AlgoInput::new(g.n(), &engine_input),
+                mode,
+            )
+            .unwrap()
+            .into_matching()
+            .unwrap();
+            let engine_rng = rng_positions(&mut engine_cluster);
+
+            assert_eq!(
+                engine.matching.edges, legacy.matching.edges,
+                "seed {seed} {mode:?}: matchings differ"
+            );
+            assert_eq!(
+                (
+                    engine.stats.phase1_iterations,
+                    engine.stats.m1,
+                    engine.stats.m2,
+                    engine.stats.m3,
+                    engine.stats.high_vertices,
+                    engine.stats.residual_edges,
+                ),
+                (
+                    legacy.stats.phase1_iterations,
+                    legacy.stats.m1,
+                    legacy.stats.m2,
+                    legacy.stats.m3,
+                    legacy.stats.high_vertices,
+                    legacy.stats.residual_edges,
+                ),
+                "seed {seed} {mode:?}: stats differ"
+            );
+            assert_eq!(
+                engine_rng, legacy_rng,
+                "seed {seed} {mode:?}: RNG positions differ"
+            );
+            assert!(mpc_graph::matching::is_maximal_matching(
+                &g,
+                &engine.matching
+            ));
+        }
+    }
+}
+
+// ------------------------------------------------------------ spanner --
+
+fn sorted_edges(g: &Graph) -> Vec<Edge> {
+    let mut v: Vec<Edge> = g.edges().to_vec();
+    v.sort_by_key(Edge::weight_key);
+    v
+}
+
+#[test]
+fn spanner_program_is_bit_identical_to_legacy() {
+    for (k, seed) in [(2usize, 1u64), (3, 7)] {
+        let g = generators::gnm(150, 1600, seed);
+        let make = |s| {
+            Cluster::new(
+                ClusterConfig::new(g.n(), g.m())
+                    .seed(s)
+                    .polylog_exponent(1.6),
+            )
+        };
+
+        let mut legacy_cluster = make(seed);
+        let legacy_input = common::distribute_edges(&legacy_cluster, &g);
+        let legacy =
+            mpc_core::spanner::heterogeneous_spanner(&mut legacy_cluster, g.n(), &legacy_input, k)
+                .unwrap();
+        let legacy_rng = rng_positions(&mut legacy_cluster);
+
+        for mode in [ExecMode::Serial, ExecMode::Parallel] {
+            let mut engine_cluster = make(seed);
+            let engine_input = common::distribute_edges(&engine_cluster, &g);
+            let engine = registry::run(
+                "spanner",
+                &mut engine_cluster,
+                &AlgoInput::new(g.n(), &engine_input).spanner_k(k),
+                mode,
+            )
+            .unwrap()
+            .into_spanner()
+            .unwrap();
+            let engine_rng = rng_positions(&mut engine_cluster);
+
+            assert_eq!(
+                sorted_edges(&engine.spanner),
+                sorted_edges(&legacy.spanner),
+                "k {k} seed {seed} {mode:?}: spanner edges differ"
+            );
+            assert_eq!(
+                (
+                    engine.stats.levels,
+                    engine.stats.full_levels.clone(),
+                    engine.stats.star_edges,
+                    engine.stats.phase1_edges,
+                    engine.stats.removal_edges,
+                    engine.stats.level_edge_counts.clone(),
+                ),
+                (
+                    legacy.stats.levels,
+                    legacy.stats.full_levels.clone(),
+                    legacy.stats.star_edges,
+                    legacy.stats.phase1_edges,
+                    legacy.stats.removal_edges,
+                    legacy.stats.level_edge_counts.clone(),
+                ),
+                "k {k} seed {seed} {mode:?}: stats differ"
+            );
+            assert_eq!(
+                engine_rng, legacy_rng,
+                "k {k} seed {seed} {mode:?}: RNG positions differ"
+            );
+            let rep = mpc_graph::verify_spanner(&g, &engine.spanner, None, 0);
+            assert!(rep.within((6 * k - 1) as f64));
+        }
+    }
+}
+
+#[test]
+fn weighted_spanner_matches_legacy() {
+    let g = generators::gnm(100, 800, 6).with_random_weights(64, 6);
+    let k = 2;
+    let make = || {
+        Cluster::new(
+            ClusterConfig::new(g.n(), g.m())
+                .seed(6)
+                .polylog_exponent(1.6),
+        )
+    };
+    let mut legacy_cluster = make();
+    let legacy_input = common::distribute_edges(&legacy_cluster, &g);
+    let legacy = mpc_core::spanner::heterogeneous_spanner_weighted(
+        &mut legacy_cluster,
+        g.n(),
+        &legacy_input,
+        k,
+    )
+    .unwrap();
+    let legacy_rng = rng_positions(&mut legacy_cluster);
+
+    let mut engine_cluster = make();
+    let engine_input = common::distribute_edges(&engine_cluster, &g);
+    let engine = registry::run(
+        "spanner-weighted",
+        &mut engine_cluster,
+        &AlgoInput::new(g.n(), &engine_input).spanner_k(k),
+        ExecMode::Parallel,
+    )
+    .unwrap()
+    .into_spanner()
+    .unwrap();
+    let engine_rng = rng_positions(&mut engine_cluster);
+
+    assert_eq!(sorted_edges(&engine.spanner), sorted_edges(&legacy.spanner));
+    assert_eq!(engine.stats.weight_classes, legacy.stats.weight_classes);
+    assert_eq!(engine_rng, legacy_rng);
+}
+
+// --------------------------------------- schedule independence (pool) --
+
+/// Engine runs must be bit-identical across Serial / Parallel at worker
+/// counts {1, 3, 16}: result digests, round counts, full round logs
+/// (labels, traffic, work, makespans), and RNG positions. Thread counts
+/// live on the [`Executor`], so this drives the programs directly, the way
+/// the adapters do.
+#[test]
+fn engine_algorithms_are_schedule_independent_at_threads_1_3_16() {
+    use mpc_exec::{Driven, Executor, MatchingProgram, MstProgram, SpannerProgram};
+
+    let g = generators::gnm(140, 1100, 9).with_random_weights(1 << 16, 9);
+    for name in ["mst", "matching", "spanner"] {
+        let run = |mode: ExecMode, threads: usize| {
+            let mut cluster = Cluster::new(
+                ClusterConfig::new(g.n(), g.m())
+                    .seed(9)
+                    .polylog_exponent(1.6),
+            );
+            let edges = common::distribute_edges(&cluster, &g);
+            let large = cluster.large().unwrap();
+            let exec = Executor::new(name, mode).threads(threads);
+            let digest: u64 = match name {
+                "mst" => {
+                    let programs: Vec<_> = MstProgram::for_cluster(&cluster, g.n(), &edges)
+                        .into_iter()
+                        .map(Driven)
+                        .collect();
+                    let mut out = exec.run(&mut cluster, programs).unwrap();
+                    let r = out.programs[large].0.result.take().unwrap().unwrap();
+                    r.forest.len() as u64 * 31 + r.forest.total_weight as u64
+                }
+                "matching" => {
+                    let programs: Vec<_> = MatchingProgram::for_cluster(&cluster, g.n(), &edges)
+                        .into_iter()
+                        .map(Driven)
+                        .collect();
+                    let mut out = exec.run(&mut cluster, programs).unwrap();
+                    let r = out.programs[large].0.result.take().unwrap().unwrap();
+                    r.matching.len() as u64
+                }
+                _ => {
+                    let programs: Vec<_> = SpannerProgram::for_cluster(&cluster, g.n(), &edges, 3)
+                        .into_iter()
+                        .map(Driven)
+                        .collect();
+                    let mut out = exec.run(&mut cluster, programs).unwrap();
+                    let r = out.programs[large].0.result.take().unwrap();
+                    r.spanner.m() as u64
+                }
+            };
+            let log = cluster.round_log().to_vec();
+            let rng = rng_positions(&mut cluster);
+            (digest, cluster.rounds(), log, rng)
+        };
+        let reference = run(ExecMode::Serial, 1);
+        for threads in [1usize, 3, 16] {
+            let got = run(ExecMode::Parallel, threads);
+            assert_eq!(
+                got, reference,
+                "{name}: parallel (threads={threads}) diverged from serial"
+            );
+        }
+    }
+}

@@ -1,89 +1,84 @@
-//! The execution engine from a consumer's seat: a custom
-//! [`MachineProgram`] (not one of the built-in ports) driven serially and
-//! in parallel, on a cluster with a straggler cost model.
+//! The execution engine from a consumer's seat: every registered
+//! algorithm, driven through `registry::run` on the parallel worker pool,
+//! on a cluster with a straggler cost model.
 //!
-//! The program is a two-round census: every small machine reports its
-//! shard size to the large machine, which totals them. Run with:
+//! For each algorithm the demo prints the exchange rounds consumed, the
+//! simulated critical path (sum of per-round makespans under the cost
+//! model — the quantity the round-counting model cannot see), and where
+//! the makespan went, grouped by exchange label.
 //!
 //! ```text
 //! cargo run --release --example engine_demo
 //! ```
 
 use het_mpc::prelude::*;
-use het_mpc::runtime::MachineId;
-
-/// Per-machine state: my shard size, and (on the large machine) the total.
-struct CensusProgram {
-    local_items: u64,
-    total: Option<u64>,
-}
-
-impl MachineProgram for CensusProgram {
-    type Message = u64;
-
-    fn step(
-        &mut self,
-        ctx: &het_mpc::exec::MachineCtx<'_>,
-        inbox: Vec<(MachineId, u64)>,
-    ) -> StepOutcome<u64> {
-        match ctx.round {
-            0 => {
-                if ctx.is_large() {
-                    return StepOutcome::idle();
-                }
-                let large = ctx.large.expect("census needs a large machine");
-                StepOutcome::Send(vec![(large, self.local_items)])
-            }
-            _ => {
-                if ctx.is_large() {
-                    self.total = Some(inbox.iter().map(|(_, c)| c).sum());
-                }
-                StepOutcome::Halt
-            }
-        }
-    }
-}
 
 fn main() {
-    let g = generators::gnm(256, 2048, 42);
-    for mode in [ExecMode::Serial, ExecMode::Parallel] {
-        let mut cluster = Cluster::new(ClusterConfig::new(g.n(), g.m()).seed(42));
+    let g = generators::gnm(256, 2048, 42).with_random_weights(1 << 16, 42);
+    println!(
+        "input: n = {}, m = {}; running every registered algorithm in \
+         ExecMode::Parallel\n",
+        g.n(),
+        g.m()
+    );
+
+    for algo in registry::algorithms() {
+        // Connectivity moves Θ(polylog)-word sketches per vertex; its tests
+        // and benches give it the matching capacity headroom.
+        let config = if algo.name == "connectivity" {
+            het_mpc::core::ported::connectivity::sketch_friendly_config(g.n(), g.m(), 42)
+        } else {
+            ClusterConfig::new(g.n(), g.m()).seed(42)
+        };
+        let mut cluster = Cluster::new(config);
         // One small machine runs at 5% speed — watch the critical path.
         let straggler = cluster.small_ids()[0];
         let model =
             CostModel::uniform(cluster.machines(), 1.0, 1.0, 0.5).with_straggler(straggler, 0.05);
         cluster.set_cost_model(model);
 
-        let edges = het_mpc::core::common::distribute_edges(&cluster, &g);
-        let programs: Vec<CensusProgram> = (0..cluster.machines())
-            .map(|mid| CensusProgram {
-                local_items: edges.shard(mid).len() as u64,
-                total: None,
-            })
-            .collect();
+        let edges = common::distribute_edges(&cluster, &g);
+        let input = AlgoInput::new(g.n(), &edges);
+        let outcome = registry::run(algo.name, &mut cluster, &input, ExecMode::Parallel)
+            .expect("registered algorithm run");
 
-        let outcome = Executor::new("census", mode)
-            .run(&mut cluster, programs)
-            .expect("census run");
-        let large = cluster.large().unwrap();
-        let total = outcome.programs[large]
-            .total
-            .expect("large totals the census");
-        assert_eq!(total, g.m() as u64, "census must count every edge");
+        let result_line = match outcome {
+            AlgoOutput::Components(c) => format!("{} components", c.count),
+            AlgoOutput::Forest(f) => format!("MSF weight {}", f.total_weight),
+            AlgoOutput::Mst(r) => format!(
+                "MST weight {} ({} Borůvka waves)",
+                r.forest.total_weight, r.stats.boruvka_steps
+            ),
+            AlgoOutput::Matching(r) => format!(
+                "maximal matching of {} edges ({} peeling iterations)",
+                r.matching.len(),
+                r.stats.phase1_iterations
+            ),
+            AlgoOutput::Spanner(r) => format!(
+                "spanner with {} of {} edges ({} levels)",
+                r.spanner.m(),
+                g.m(),
+                r.stats.levels
+            ),
+        };
 
         println!(
-            "{mode:?}: counted {total} edges on {} machines in {} round(s), \
-             wall {:?}, simulated critical path {:.1}s (straggler machine {straggler})",
-            cluster.machines(),
-            outcome.rounds,
-            outcome.wall,
+            "## {} — {} ({})\n   {}\n   rounds: {}, simulated critical path: {:.1}s \
+             (straggler machine {} at 5% speed)",
+            algo.name,
+            algo.summary,
+            algo.paper,
+            result_line,
+            cluster.rounds(),
             cluster.critical_path_seconds(),
+            straggler,
         );
-        for rec in cluster.round_log() {
-            println!(
-                "  round {:<12} words={:<4} work={:<4} makespan={:.1}s",
-                rec.label, rec.total_words, rec.total_work, rec.makespan
-            );
+        // Where did the makespan go? Top exchange-label groups.
+        let mut summary = cluster.round_summary();
+        summary.sort_by(|a, b| b.3.partial_cmp(&a.3).unwrap());
+        for (label, rounds, words, seconds) in summary.iter().take(3) {
+            println!("   {label:<12} {rounds:>4} rounds {words:>8} words {seconds:>9.1}s makespan");
         }
+        println!();
     }
 }

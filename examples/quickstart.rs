@@ -1,4 +1,5 @@
-//! Quickstart: exact MST on a heterogeneous cluster, end to end.
+//! Quickstart: exact MST on a heterogeneous cluster, end to end, through
+//! the execution engine's Algorithm registry.
 //!
 //! ```text
 //! cargo run --example quickstart
@@ -6,8 +7,11 @@
 //!
 //! Builds a random weighted graph, spins up the paper's heterogeneous MPC
 //! model (one near-linear machine, many sublinear machines), runs the
-//! O(log log(m/n))-round MST algorithm of §3 under strict capacity
-//! enforcement, and verifies the answer against sequential Kruskal.
+//! O(log log(m/n))-round MST algorithm of §3 on the **parallel worker
+//! pool** (`ExecMode::Parallel`) under strict capacity enforcement, and
+//! verifies the answer against sequential Kruskal. The same
+//! `registry::run` call with `ExecMode::Serial` produces bit-identical
+//! results, round logs, and RNG streams.
 
 use het_mpc::prelude::*;
 use mpc_graph::mst::kruskal;
@@ -28,7 +32,15 @@ fn main() {
     );
 
     let input = common::distribute_edges(&cluster, &g);
-    let result = mst::heterogeneous_mst(&mut cluster, n, input).expect("strict-mode run");
+    let result = registry::run(
+        "mst",
+        &mut cluster,
+        &AlgoInput::new(n, &input),
+        ExecMode::Parallel,
+    )
+    .expect("strict-mode run")
+    .into_mst()
+    .expect("mst output");
 
     println!(
         "MST: {} edges, total weight {}",
@@ -42,9 +54,11 @@ fn main() {
         result.stats.contraction_trace
     );
     println!(
-        "peak traffic in any round: {} words; violations: {}",
+        "peak traffic in any round: {} words; violations: {}; \
+         simulated critical path {:.1}s",
         cluster.max_round_traffic(),
-        cluster.violations().len()
+        cluster.violations().len(),
+        cluster.critical_path_seconds(),
     );
 
     let reference = kruskal(&g);

@@ -23,8 +23,17 @@
 //! let mut cluster = Cluster::new(ClusterConfig::new(g.n(), g.m()).seed(42));
 //! let input = common::distribute_edges(&cluster, &g);
 //!
-//! // Exact MST in O(log log(m/n)) rounds — verified against Kruskal.
-//! let result = mst::heterogeneous_mst(&mut cluster, g.n(), input).unwrap();
+//! // Exact MST in O(log log(m/n)) rounds on the parallel execution
+//! // engine, through the Algorithm registry — verified against Kruskal.
+//! let result = registry::run(
+//!     "mst",
+//!     &mut cluster,
+//!     &AlgoInput::new(g.n(), &input),
+//!     ExecMode::Parallel,
+//! )
+//! .unwrap()
+//! .into_mst()
+//! .unwrap();
 //! assert!(mst::is_minimum_spanning_forest(&g, &result.forest));
 //! println!("MST of weight {} in {} rounds", result.forest.total_weight, cluster.rounds());
 //! ```
@@ -41,12 +50,22 @@ pub use mpc_runtime as runtime;
 pub use mpc_sketch as sketch;
 
 /// The most common imports, bundled.
+///
+/// The call-style entry points exported here (`heterogeneous_mst`,
+/// `heterogeneous_matching`, `heterogeneous_spanner`, ...) are the
+/// **engine-backed adapters**: the legacy cluster-owning loops in
+/// `mpc-core` survive as reference implementations (and as the oracle the
+/// equivalence tests compare against), but everything routed through this
+/// facade runs on the [`registry`](mpc_exec::registry) and the parallel
+/// [`Executor`](mpc_exec::Executor).
 pub mod prelude {
     pub use mpc_core::common;
-    pub use mpc_core::matching::{self, heterogeneous_matching};
-    pub use mpc_core::mst::{self, heterogeneous_mst};
-    pub use mpc_core::ported;
-    pub use mpc_core::spanner::{self, heterogeneous_spanner};
+    pub use mpc_core::{matching, mst, ported, spanner};
+    pub use mpc_exec::adapters::{
+        heterogeneous_connectivity, heterogeneous_matching, heterogeneous_mst,
+        heterogeneous_spanner, heterogeneous_spanner_weighted,
+    };
+    pub use mpc_exec::registry::{self, AlgoInput, AlgoOutput};
     pub use mpc_exec::{ExecMode, Executor, MachineProgram, StepOutcome};
     pub use mpc_graph::{generators, Edge, Graph, VertexId};
     pub use mpc_runtime::{Cluster, ClusterConfig, CostModel, Enforcement, ShardedVec, Topology};
