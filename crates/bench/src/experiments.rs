@@ -853,19 +853,13 @@ pub fn registry_smoke() {
     use mpc_exec::{registry, AlgoInput, ExecMode};
 
     println!("\n## E13 — registry smoke (every algorithm, serial vs parallel)\n");
-    let expected = [
-        "connectivity",
-        "boruvka-msf",
-        "mst",
-        "matching",
-        "spanner",
-        "spanner-weighted",
-    ];
-    for name in expected {
-        assert!(
-            registry::get(name).is_some(),
-            "algorithm '{name}' missing from the registry"
-        );
+    assert_eq!(
+        registry::names(),
+        registry::CANONICAL_NAMES.to_vec(),
+        "registry names drifted from the canonical set"
+    );
+    if let Ok(threads) = std::env::var("MPC_POOL_THREADS") {
+        println!("(pool worker threads pinned to {threads} via MPC_POOL_THREADS)\n");
     }
 
     let g = generators::gnm(128, 768, 5).with_random_weights(1 << 12, 5);
@@ -878,12 +872,14 @@ pub fn registry_smoke() {
     ]);
     for algo in registry::algorithms() {
         let run = |mode: ExecMode| {
-            let config = if algo.name == "connectivity" {
-                sketch_friendly_config(g.n(), g.m(), 5)
-            } else {
-                ClusterConfig::new(g.n(), g.m()).seed(5)
-            };
-            let mut c = Cluster::new(config);
+            // Each algorithm declares the polylog capacity headroom its
+            // traffic honestly needs, so new registrations are picked up
+            // here without per-name edits.
+            let mut c = Cluster::new(
+                ClusterConfig::new(g.n(), g.m())
+                    .seed(5)
+                    .polylog_exponent(algo.polylog_exponent),
+            );
             let input = common::distribute_edges(&c, &g);
             let out = registry::run(algo.name, &mut c, &AlgoInput::new(g.n(), &input), mode)
                 .expect("registered algorithm run");
@@ -906,4 +902,83 @@ pub fn registry_smoke() {
         ]);
     }
     t.print();
+}
+
+/// E14: registry round budgets — the CI gate asserting every registered
+/// algorithm's round count stays in its theorem's class on the standard
+/// budgets workload (`m = 6n`, weights `< 2¹²`): a fixed constant for the
+/// `O(1)` results, an explicit `a·⌈log log n⌉ + b` cap for the
+/// doubly-logarithmic ones (each algorithm declares its own cap, see
+/// [`mpc_exec::Algorithm::round_budget`]). The sequentialized-parallel
+/// estimators (`mst-approx`, `mincut-approx`) additionally claim an `O(1)`
+/// **parallel** figure per instance, asserted against a hard constant.
+///
+/// A round-class regression — an extra wave per iteration, a lost early
+/// stop, an accidental `O(log n)` loop — fails this experiment and with it
+/// the build, not just result-drift checks.
+pub fn budgets() {
+    use mpc_exec::{registry, AlgoInput, AlgoOutput, ExecMode};
+
+    /// The `O(1)`-per-instance cap on the engine's parallel-round figure.
+    const PARALLEL_CAP: u64 = 6;
+
+    println!("\n## E14 — registry round budgets (per-theorem round-class caps)\n");
+    let mut t = Table::new(&[
+        "algorithm",
+        "paper",
+        "n",
+        "rounds",
+        "cap",
+        "parallel rounds",
+        "within budget",
+    ]);
+    let mut failures: Vec<String> = Vec::new();
+    for &n in &[128usize, 512] {
+        let g = generators::gnm(n, n * 6, 5).with_random_weights(1 << 12, 5);
+        for algo in registry::algorithms() {
+            let mut c = Cluster::new(
+                ClusterConfig::new(g.n(), g.m())
+                    .seed(5)
+                    .polylog_exponent(algo.polylog_exponent),
+            );
+            let input = common::distribute_edges(&c, &g);
+            let out = registry::run(
+                algo.name,
+                &mut c,
+                &AlgoInput::new(g.n(), &input),
+                ExecMode::Serial,
+            )
+            .expect("registered algorithm run");
+            let rounds = c.rounds();
+            let cap = (algo.round_budget)(g.n());
+            let parallel = match &out {
+                AlgoOutput::MstApprox(r) => Some(r.parallel_rounds),
+                AlgoOutput::MinCutApprox(r) => Some(r.parallel_rounds),
+                _ => None,
+            };
+            let ok = rounds <= cap && parallel.is_none_or(|p| p <= PARALLEL_CAP);
+            if !ok {
+                failures.push(format!(
+                    "{} at n={n}: {rounds} rounds (cap {cap}), parallel {parallel:?} (cap {PARALLEL_CAP})",
+                    algo.name
+                ));
+            }
+            t.row(&[
+                algo.name.to_string(),
+                algo.paper.to_string(),
+                n.to_string(),
+                rounds.to_string(),
+                cap.to_string(),
+                parallel.map_or_else(|| "-".to_string(), |p| p.to_string()),
+                if ok { "yes" } else { "NO" }.to_string(),
+            ]);
+        }
+    }
+    t.print();
+    assert!(
+        failures.is_empty(),
+        "round-budget violations:\n  {}",
+        failures.join("\n  ")
+    );
+    println!("\n(each cap is the theorem's round class on this workload; a violation fails CI.)");
 }

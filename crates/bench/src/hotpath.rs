@@ -151,7 +151,14 @@ fn time_registry(
     g: &mpc_graph::Graph,
     seed: u64,
 ) -> (Duration, u64, u64) {
-    let mut cluster = Cluster::new(ClusterConfig::new(g.n(), g.m()).seed(seed));
+    let polylog = mpc_exec::registry::get(name)
+        .expect("registered algorithm")
+        .polylog_exponent;
+    let mut cluster = Cluster::new(
+        ClusterConfig::new(g.n(), g.m())
+            .seed(seed)
+            .polylog_exponent(polylog),
+    );
     let edges = common::distribute_edges(&cluster, g);
     let started = std::time::Instant::now();
     let out = mpc_exec::registry::run(
@@ -202,11 +209,16 @@ pub fn run(quick: bool) {
          bit-identical before results are reported.\n"
     );
 
+    // Quick mode takes best-of-10 on the millisecond-scale cases: the
+    // regression guard gates on ratios against the committed baseline, and
+    // fewer reps are too noisy to gate on. The one ~half-second case
+    // (connectivity) stays at best-of-3 to keep the CI smoke fast.
     let (ks, rounds, small_work, reps): (&[usize], u64, u64, usize) = if quick {
-        (&[8, 64], 50, 600, 1)
+        (&[8, 64], 50, 600, 10)
     } else {
         (&[8, 64, 256], 250, 1500, 3)
     };
+    let conn_reps = 3.min(reps);
 
     let mut cases: Vec<Case> = Vec::new();
     for &k in ks {
@@ -247,12 +259,13 @@ pub fn run(quick: bool) {
     let (n, density, seed) = if quick { (1200, 6, 7) } else { (4000, 6, 7) };
     let g = generators::gnm(n, n * density, seed);
     let (serial_ms, d_serial, r_serial) =
-        best_of(reps, || time_connectivity(ExecMode::Serial, &g, seed));
-    let (spawn_ms, d_spawn, r_spawn) = best_of(reps, || {
+        best_of(conn_reps, || time_connectivity(ExecMode::Serial, &g, seed));
+    let (spawn_ms, d_spawn, r_spawn) = best_of(conn_reps, || {
         time_connectivity(ExecMode::SpawnPerRound, &g, seed)
     });
-    let (pool_ms, d_pool, r_pool) =
-        best_of(reps, || time_connectivity(ExecMode::Parallel, &g, seed));
+    let (pool_ms, d_pool, r_pool) = best_of(conn_reps, || {
+        time_connectivity(ExecMode::Parallel, &g, seed)
+    });
     assert_eq!(
         (d_serial, r_serial),
         (d_spawn, r_spawn),
@@ -273,11 +286,17 @@ pub fn run(quick: bool) {
         pool_ms,
     });
 
-    // The newly ported end-to-end programs, through the Algorithm registry:
-    // the full MST pipeline (contraction waves + KKT) and the three-phase
-    // matching — many short rounds, the regime the pool is built for.
+    // The ported end-to-end programs, through the Algorithm registry: the
+    // full MST pipeline (contraction waves + KKT), the three-phase
+    // matching, the prefix-batched MIS, and the palette-sampling coloring
+    // — many short rounds, the regime the pool is built for.
     let g_mst = g.clone().with_random_weights(1 << 20, seed);
-    for (algo, graph) in [("mst", &g_mst), ("matching", &g)] {
+    for (algo, graph) in [
+        ("mst", &g_mst),
+        ("matching", &g),
+        ("mis", &g),
+        ("coloring", &g),
+    ] {
         let (serial_ms, d_serial, r_serial) =
             best_of(reps, || time_registry(algo, ExecMode::Serial, graph, seed));
         let (spawn_ms, d_spawn, r_spawn) = best_of(reps, || {
@@ -296,7 +315,15 @@ pub fn run(quick: bool) {
             (d_pool, r_pool),
             "{algo}: pool diverged from serial"
         );
-        let machines = Cluster::new(ClusterConfig::new(graph.n(), graph.m()).seed(seed)).machines();
+        let polylog = mpc_exec::registry::get(algo)
+            .expect("registered algorithm")
+            .polylog_exponent;
+        let machines = Cluster::new(
+            ClusterConfig::new(graph.n(), graph.m())
+                .seed(seed)
+                .polylog_exponent(polylog),
+        )
+        .machines();
         cases.push(Case {
             workload: format!("{algo}(n={n},m={})", graph.m()),
             machines,
@@ -330,8 +357,181 @@ pub fn run(quick: bool) {
     t.print();
 
     let path = bench_json_path();
-    write_json(&path, quick, cores, &cases);
+    let pool_threads = pool_threads_setting();
+    guard_against_baseline(&path, quick, pool_threads, &cases);
+    write_json(&path, quick, cores, pool_threads, &cases);
     println!("\n[hotpath: wrote {}]", path.display());
+}
+
+/// The `MPC_POOL_THREADS` pin in effect, 0 when unset (host-derived). The
+/// registry-driven rows run their executors at this worker count, so the
+/// regression guard only compares baselines recorded under the same pin —
+/// CI enforces on its `MPC_POOL_THREADS=2` leg and the committed baseline
+/// is generated the same way.
+fn pool_threads_setting() -> usize {
+    std::env::var("MPC_POOL_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Allowed relative growth of a row's pool-vs-serial ratio before the
+/// guard fails the run: 25%.
+const GUARD_TOLERANCE: f64 = 0.25;
+
+/// Rows whose serial wall time (committed or fresh) is below this are
+/// reported but not enforced — at sub-5ms scale the ratio is dominated by
+/// scheduler jitter, not by the engine.
+const GUARD_MIN_SERIAL_MS: f64 = 5.0;
+
+/// One committed row of `BENCH_exec.json`.
+struct Baseline {
+    workload: String,
+    machines: usize,
+    serial_ms: f64,
+    pool_ms: f64,
+}
+
+/// Extracts `"key": value` from one JSON line (the file is written
+/// line-per-case by [`write_json`], so no full JSON parser is needed —
+/// the vendored offline deps include none).
+fn parse_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        return Some(stripped[..stripped.find('"')?].to_string());
+    }
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().to_string())
+}
+
+/// Reads the committed `BENCH_exec.json`: `(mode, pool_threads, rows)`.
+/// `pool_threads` defaults to 0 (host-derived) for baselines written
+/// before the field existed.
+fn read_baseline(path: &std::path::Path) -> Option<(String, usize, Vec<Baseline>)> {
+    let body = std::fs::read_to_string(path).ok()?;
+    let mut mode = String::new();
+    let mut pool_threads = 0usize;
+    let mut rows = Vec::new();
+    for line in body.lines() {
+        if line.trim_start().starts_with("\"mode\"") {
+            mode = parse_field(line, "mode")?;
+        }
+        if line.trim_start().starts_with("\"pool_threads\"") {
+            pool_threads = parse_field(line, "pool_threads")?.parse().ok()?;
+        }
+        if line.contains("\"workload\"") {
+            rows.push(Baseline {
+                workload: parse_field(line, "workload")?,
+                machines: parse_field(line, "machines")?.parse().ok()?,
+                serial_ms: parse_field(line, "serial_ms")?.parse().ok()?,
+                pool_ms: parse_field(line, "pool_ms")?.parse().ok()?,
+            });
+        }
+    }
+    Some((mode, pool_threads, rows))
+}
+
+/// The CI perf gate: diffs the fresh cases against the **committed**
+/// `BENCH_exec.json` row by row (matched on workload + machine count) and
+/// fails the run if any row's pool-vs-serial ratio regressed by more than
+/// [`GUARD_TOLERANCE`], printing the full delta table either way. Rows
+/// without a committed twin (new workloads), rows under
+/// [`GUARD_MIN_SERIAL_MS`] (jitter-dominated), and runs whose mode
+/// (`quick` vs `full`) differs from the committed baseline are reported
+/// but never enforced — CI commits the quick baseline, full sweeps run
+/// locally.
+fn guard_against_baseline(
+    path: &std::path::Path,
+    quick: bool,
+    pool_threads: usize,
+    cases: &[Case],
+) {
+    println!("\n### pool-vs-serial regression guard (vs committed BENCH_exec.json)\n");
+    let Some((mode, base_threads, baseline)) = read_baseline(path) else {
+        println!("no committed baseline at {} — skipping", path.display());
+        return;
+    };
+    let current_mode = if quick { "quick" } else { "full" };
+    if mode != current_mode {
+        println!(
+            "committed baseline is `{mode}` mode, this run is `{current_mode}` — \
+             rows are not comparable, skipping enforcement"
+        );
+        return;
+    }
+    if base_threads != pool_threads {
+        println!(
+            "committed baseline was recorded with MPC_POOL_THREADS={base_threads}, \
+             this run uses {pool_threads} — pool ratios are not comparable, \
+             skipping enforcement"
+        );
+        return;
+    }
+    let mut t = Table::new(&[
+        "workload",
+        "machines",
+        "committed pool/serial",
+        "new pool/serial",
+        "delta",
+        "verdict",
+    ]);
+    let mut failures: Vec<String> = Vec::new();
+    for c in cases {
+        let Some(b) = baseline
+            .iter()
+            .find(|b| b.workload == c.workload && b.machines == c.machines)
+        else {
+            t.row(&[
+                c.workload.clone(),
+                c.machines.to_string(),
+                "-".into(),
+                format!("{:.3}", c.pool_ms / c.serial_ms.max(1e-9)),
+                "-".into(),
+                "new row".into(),
+            ]);
+            continue;
+        };
+        let old_ratio = b.pool_ms / b.serial_ms.max(1e-9);
+        let new_ratio = c.pool_ms / c.serial_ms.max(1e-9);
+        let delta = new_ratio / old_ratio.max(1e-9) - 1.0;
+        let enforced = b.serial_ms >= GUARD_MIN_SERIAL_MS && c.serial_ms >= GUARD_MIN_SERIAL_MS;
+        let ok = !enforced || delta <= GUARD_TOLERANCE;
+        if !ok {
+            failures.push(format!(
+                "{} (machines {}): pool/serial {:.3} -> {:.3} (+{:.0}% > {:.0}%)",
+                c.workload,
+                c.machines,
+                old_ratio,
+                new_ratio,
+                delta * 100.0,
+                GUARD_TOLERANCE * 100.0
+            ));
+        }
+        t.row(&[
+            c.workload.clone(),
+            c.machines.to_string(),
+            format!("{old_ratio:.3}"),
+            format!("{new_ratio:.3}"),
+            format!("{:+.1}%", delta * 100.0),
+            if !enforced {
+                "too small to enforce"
+            } else if ok {
+                "ok"
+            } else {
+                "REGRESSED"
+            }
+            .to_string(),
+        ]);
+    }
+    t.print();
+    assert!(
+        failures.is_empty(),
+        "pool-vs-serial regressions beyond {:.0}%:\n  {}",
+        GUARD_TOLERANCE * 100.0,
+        failures.join("\n  ")
+    );
 }
 
 /// `BENCH_exec.json` lives at the repo root so the perf trajectory is one
@@ -340,7 +540,13 @@ fn bench_json_path() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_exec.json")
 }
 
-fn write_json(path: &std::path::Path, quick: bool, cores: usize, cases: &[Case]) {
+fn write_json(
+    path: &std::path::Path,
+    quick: bool,
+    cores: usize,
+    pool_threads: usize,
+    cases: &[Case],
+) {
     let mut body = String::new();
     body.push_str("{\n");
     body.push_str("  \"bench\": \"exec_hotpath\",\n");
@@ -349,6 +555,7 @@ fn write_json(path: &std::path::Path, quick: bool, cores: usize, cases: &[Case])
         if quick { "quick" } else { "full" }
     ));
     body.push_str(&format!("  \"host_cores\": {cores},\n"));
+    body.push_str(&format!("  \"pool_threads\": {pool_threads},\n"));
     body.push_str("  \"cases\": [\n");
     for (i, c) in cases.iter().enumerate() {
         body.push_str(&format!(
@@ -372,6 +579,43 @@ fn write_json(path: &std::path::Path, quick: bool, cores: usize, cases: &[Case])
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn baseline_parser_round_trips_write_json() {
+        let dir = std::env::temp_dir().join("hotpath_guard_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_exec.json");
+        let cases = vec![
+            Case {
+                workload: "ripple(r=50,w=600)".into(),
+                machines: 9,
+                rounds: 49,
+                serial_ms: 1.5,
+                spawn_ms: 3.0,
+                pool_ms: 2.0,
+            },
+            Case {
+                workload: "mst(n=1200,m=7200)".into(),
+                machines: 42,
+                rounds: 11,
+                serial_ms: 10.0,
+                spawn_ms: 12.0,
+                pool_ms: 9.0,
+            },
+        ];
+        write_json(&path, true, 8, 2, &cases);
+        let (mode, pool_threads, rows) = read_baseline(&path).expect("parse what we wrote");
+        assert_eq!(mode, "quick");
+        assert_eq!(pool_threads, 2);
+        assert_eq!(rows.len(), 2);
+        // The workload value itself contains commas — the parser must not
+        // split on them.
+        assert_eq!(rows[0].workload, "ripple(r=50,w=600)");
+        assert_eq!(rows[0].machines, 9);
+        assert!((rows[0].serial_ms - 1.5).abs() < 1e-9);
+        assert!((rows[1].pool_ms - 9.0).abs() < 1e-9);
+        std::fs::remove_file(&path).ok();
+    }
 
     #[test]
     fn ripple_is_deterministic_across_modes() {

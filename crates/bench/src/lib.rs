@@ -43,6 +43,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "exec",
     "hotpath",
     "registry",
+    "budgets",
 ];
 
 /// Runs one experiment by name, printing its tables to stdout.
@@ -81,6 +82,7 @@ pub fn run_experiment_opts(name: &str, quick: bool) {
         "exec" => experiments::exec_engine(),
         "hotpath" => hotpath::run(quick),
         "registry" => experiments::registry_smoke(),
+        "budgets" => experiments::budgets(),
         other => panic!("unknown experiment '{other}'; see --list"),
     }
 }

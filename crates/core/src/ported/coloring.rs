@@ -28,7 +28,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 /// Result of the coloring port.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ColoringResult {
     /// A proper coloring with colors in `{0, …, Δ}`.
     pub colors: Vec<Color>,
@@ -38,8 +38,9 @@ pub struct ColoringResult {
     pub restarts: usize,
 }
 
-/// Palette of vertex `v` under `seed`: `size` colors from `{0, …, Δ}`.
-fn palette(seed: u64, v: VertexId, delta: u32, size: usize) -> Vec<Color> {
+/// Palette of vertex `v` under `seed`: `size` colors from `{0, …, Δ}` —
+/// the deterministic per-vertex PRF every machine evaluates locally.
+pub fn palette(seed: u64, v: VertexId, delta: u32, size: usize) -> Vec<Color> {
     let mut rng = SmallRng::seed_from_u64(
         seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (v as u64).wrapping_mul(0xff51_afd7_ed55_8ccd),
     );
@@ -48,6 +49,40 @@ fn palette(seed: u64, v: VertexId, delta: u32, size: usize) -> Vec<Color> {
     p.dedup();
     p
 }
+
+/// The `Θ(log n)` palette size the sampling lemma (Lemma C.8) needs.
+pub fn palette_size_for(n: usize) -> usize {
+    (2.0 * (n.max(2) as f64).ln()).ceil() as usize + 2
+}
+
+/// Whether `e` is a *conflict edge* under `seed`: its endpoints' palettes
+/// intersect, so it could be monochromatic. Shared by both paths.
+pub fn edge_conflicts(seed: u64, e: &Edge, delta: u32, palette_size: usize) -> bool {
+    let pu = palette(seed, e.u, delta, palette_size);
+    let pv = palette(seed, e.v, delta, palette_size);
+    intersects(&pu, &pv)
+}
+
+/// One constructive list-coloring attempt on the conflict graph, in the
+/// given vertex order. `None` means the sampled palettes admitted no greedy
+/// completion and the caller should restart with a fresh seed.
+pub fn attempt_coloring(
+    n: usize,
+    conflict_edges: &[Edge],
+    seed: u64,
+    delta: u32,
+    palette_size: usize,
+    order: &[VertexId],
+) -> Option<Vec<Color>> {
+    let conflict_graph = mpc_graph::Graph::new(n, conflict_edges.iter().copied());
+    let palettes: Vec<Vec<Color>> = (0..n as VertexId)
+        .map(|v| palette(seed, v, delta, palette_size))
+        .collect();
+    mpc_graph::coloring::greedy_list_coloring(&conflict_graph, order, &palettes)
+}
+
+/// Restarts before the whole-graph gather fallback kicks in.
+pub const MAX_RESTARTS: usize = 16;
 
 /// Runs the ported (Δ+1)-coloring.
 ///
@@ -83,7 +118,7 @@ pub fn heterogeneous_coloring(
             restarts: 0,
         });
     }
-    let palette_size = (2.0 * (n.max(2) as f64).ln()).ceil() as usize + 2;
+    let palette_size = palette_size_for(n);
 
     let mut restarts = 0usize;
     loop {
@@ -96,9 +131,7 @@ pub fn heterogeneous_coloring(
         for mid in 0..edges.machines() {
             let shard = conflicts.shard_mut(mid);
             for e in edges.shard(mid) {
-                let pu = palette(seed, e.u, delta, palette_size);
-                let pv = palette(seed, e.v, delta, palette_size);
-                if intersects(&pu, &pv) {
+                if edge_conflicts(seed, e, delta, palette_size) {
                     shard.push(*e);
                 }
             }
@@ -107,14 +140,10 @@ pub fn heterogeneous_coloring(
         cluster.account("color.large", large, conflict_edges.len() * 2)?;
 
         // Local: randomized-greedy list coloring of the conflict graph.
-        let conflict_graph = mpc_graph::Graph::new(n, conflict_edges.iter().copied());
-        let palettes: Vec<Vec<Color>> = (0..n as VertexId)
-            .map(|v| palette(seed, v, delta, palette_size))
-            .collect();
         let mut order: Vec<VertexId> = (0..n as VertexId).collect();
         order.shuffle(cluster.rng(large));
         if let Some(colors) =
-            mpc_graph::coloring::greedy_list_coloring(&conflict_graph, &order, &palettes)
+            attempt_coloring(n, &conflict_edges, seed, delta, palette_size, &order)
         {
             cluster.release("color.large");
             return Ok(ColoringResult {
@@ -125,7 +154,7 @@ pub fn heterogeneous_coloring(
         }
         cluster.release("color.large");
         restarts += 1;
-        if restarts > 16 {
+        if restarts > MAX_RESTARTS {
             // Degenerate instance (e.g. tiny Δ with adversarial palettes):
             // fall back to gathering the whole graph, which must then fit.
             let all = gather_to(cluster, "color.fallback", edges, large)?;

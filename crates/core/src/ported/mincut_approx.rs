@@ -19,7 +19,7 @@ use rand::Rng;
 use std::collections::HashMap;
 
 /// Result of the approximate min-cut.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ApproxMinCut {
     /// The (1±ε) estimate of the minimum cut weight.
     pub estimate: f64,
@@ -29,6 +29,74 @@ pub struct ApproxMinCut {
     pub skeleton_edges: usize,
     /// Rounds a parallel execution would need (max over guesses).
     pub parallel_rounds: u64,
+}
+
+/// The sampling constant `c = 3·ln n / ε²` (`p = c/λ̂` per guess).
+pub fn c_sample_for(n: usize, epsilon: f64) -> f64 {
+    (n.max(2) as f64).ln() * 3.0 / (epsilon * epsilon)
+}
+
+/// Geometric guesses for `λ`, largest first (sparsest skeleton first).
+pub fn lambda_guesses(total_weight: u64) -> Vec<u64> {
+    let mut guesses: Vec<u64> = Vec::new();
+    let mut g = total_weight.max(1);
+    while g >= 1 {
+        guesses.push(g);
+        if g == 1 {
+            break;
+        }
+        g /= 2;
+    }
+    guesses
+}
+
+/// The large machine's skeleton budget: a sixth of its capacity.
+pub fn skeleton_budget(large_capacity: usize) -> u64 {
+    (large_capacity / 6) as u64
+}
+
+/// What one guess's gathered skeleton implies.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SkeletonVerdict {
+    /// Isolated vertices or a disconnected skeleton: `λ̂` too large.
+    Disconnected,
+    /// Connected, but too little sampled weight crosses the min cut for
+    /// the concentration bound to apply: try a finer guess.
+    NotConcentrated,
+    /// A usable `(1±ε)` estimate: `min-cut(skeleton)/p`.
+    Estimate(f64),
+}
+
+/// The local computation on a gathered skeleton, shared by the legacy loop
+/// body and the engine program: connectivity check, Stoer–Wagner, and the
+/// concentration threshold.
+pub fn evaluate_skeleton(n: usize, sk: &[(Edge, u32)], c_sample: f64, p: f64) -> SkeletonVerdict {
+    let mut ids: Vec<VertexId> = Vec::new();
+    let mut index: HashMap<VertexId, u32> = HashMap::new();
+    for (e, _) in sk {
+        for v in [e.u, e.v] {
+            index.entry(v).or_insert_with(|| {
+                ids.push(v);
+                (ids.len() - 1) as u32
+            });
+        }
+    }
+    if ids.len() < n {
+        // Isolated vertices ⇒ skeleton disconnected at this guess.
+        return SkeletonVerdict::Disconnected;
+    }
+    let sw_edges: Vec<(u32, u32, u64)> = sk
+        .iter()
+        .map(|(e, c)| (index[&e.u], index[&e.v], u64::from(*c)))
+        .collect();
+    let Some(mc) = mpc_graph::mincut::stoer_wagner(ids.len(), &sw_edges) else {
+        return SkeletonVerdict::Disconnected; // λ̂ too large, try finer
+    };
+    // Require enough sampled weight across the cut for concentration.
+    if (mc.weight as f64) < c_sample / 4.0 {
+        return SkeletonVerdict::NotConcentrated;
+    }
+    SkeletonVerdict::Estimate(mc.weight as f64 / p)
 }
 
 /// Estimates the weighted minimum cut within `(1±ε)` w.h.p.
@@ -49,18 +117,8 @@ pub fn approximate_min_cut(
     );
     let large = cluster.large().expect("min cut requires a large machine");
     let total_weight: u64 = edges.iter().map(|(_, e)| e.w).sum();
-    let c_sample = (n.max(2) as f64).ln() * 3.0 / (epsilon * epsilon);
-
-    // Geometric guesses for λ, largest first (sparsest skeleton first).
-    let mut guesses: Vec<u64> = Vec::new();
-    let mut g = total_weight.max(1);
-    while g >= 1 {
-        guesses.push(g);
-        if g == 1 {
-            break;
-        }
-        g /= 2;
-    }
+    let c_sample = c_sample_for(n, epsilon);
+    let guesses = lambda_guesses(total_weight);
 
     let participants: Vec<usize> = (0..cluster.machines()).collect();
     let mut parallel_rounds = 0u64;
@@ -84,7 +142,7 @@ pub fn approximate_min_cut(
             .map(|mid| skeleton.shard(mid).len() as u64)
             .collect();
         let total = sum_to(cluster, "xcut.count", &participants, counts, large)?;
-        let budget = (cluster.capacity(large) / 6) as u64;
+        let budget = skeleton_budget(cluster.capacity(large));
         if total > budget {
             // Finer guesses only get denser; the current estimate stands.
             parallel_rounds = parallel_rounds.max(cluster.rounds() - before);
@@ -92,43 +150,21 @@ pub fn approximate_min_cut(
         }
         let sk = gather_to(cluster, "xcut.gather", &skeleton, large)?;
         cluster.account("xcut.large", large, sk.len() * 3)?;
+        parallel_rounds = parallel_rounds.max(cluster.rounds() - before);
         // Local: connectivity + Stoer–Wagner on the skeleton multigraph.
-        let mut ids: Vec<VertexId> = Vec::new();
-        let mut index: HashMap<VertexId, u32> = HashMap::new();
-        for (e, _) in &sk {
-            for v in [e.u, e.v] {
-                index.entry(v).or_insert_with(|| {
-                    ids.push(v);
-                    (ids.len() - 1) as u32
+        let verdict = evaluate_skeleton(n, &sk, c_sample, p);
+        cluster.release("xcut.large");
+        match verdict {
+            SkeletonVerdict::Disconnected | SkeletonVerdict::NotConcentrated => continue,
+            SkeletonVerdict::Estimate(estimate) => {
+                return Ok(ApproxMinCut {
+                    estimate,
+                    lambda_guess: guess,
+                    skeleton_edges: sk.len(),
+                    parallel_rounds,
                 });
             }
         }
-        parallel_rounds = parallel_rounds.max(cluster.rounds() - before);
-        if ids.len() < n {
-            // Isolated vertices ⇒ skeleton disconnected at this guess.
-            cluster.release("xcut.large");
-            continue;
-        }
-        let sw_edges: Vec<(u32, u32, u64)> = sk
-            .iter()
-            .map(|(e, c)| (index[&e.u], index[&e.v], *c as u64))
-            .collect();
-        let Some(mc) = mpc_graph::mincut::stoer_wagner(ids.len(), &sw_edges) else {
-            cluster.release("xcut.large");
-            continue; // disconnected skeleton: λ̂ too large, try finer
-        };
-        // Require enough sampled weight across the cut for concentration.
-        if (mc.weight as f64) < c_sample / 4.0 {
-            cluster.release("xcut.large");
-            continue;
-        }
-        cluster.release("xcut.large");
-        return Ok(ApproxMinCut {
-            estimate: mc.weight as f64 / p,
-            lambda_guess: guess,
-            skeleton_edges: sk.len(),
-            parallel_rounds,
-        });
     }
     // All guesses failed to produce a connected, concentrated skeleton:
     // either the graph is disconnected (estimate 0) or tiny — fall back to
@@ -145,8 +181,9 @@ pub fn approximate_min_cut(
 }
 
 /// Samples Binomial(w, p) with the per-machine RNG (w is small in practice;
-/// the loop is local computation and therefore free in the model).
-fn sample_binomial(rng: &mut rand::rngs::SmallRng, w: u64, p: f64) -> u32 {
+/// the loop is local computation and therefore free in the model). Public
+/// so the engine program draws the identical per-edge sequence.
+pub fn sample_binomial(rng: &mut rand::rngs::SmallRng, w: u64, p: f64) -> u32 {
     if p >= 1.0 {
         return w.min(u32::MAX as u64) as u32;
     }

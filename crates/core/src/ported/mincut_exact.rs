@@ -24,7 +24,7 @@ use rand::Rng;
 use std::collections::HashMap;
 
 /// Result of the exact min-cut port.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MinCutResult {
     /// The minimum cut value found.
     pub value: u128,
@@ -32,6 +32,59 @@ pub struct MinCutResult {
     pub singleton: bool,
     /// Per-trial contracted sizes `(vertices, distinct edge pairs)`.
     pub trial_sizes: Vec<(usize, usize)>,
+}
+
+/// The random-sampling contraction probability of step 2: `1/(2δ)`.
+pub fn step2_probability(delta: u32) -> f64 {
+    1.0 / (2.0 * f64::from(delta))
+}
+
+/// What one trial's contracted multigraph implies.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TrialOutcome {
+    /// Fewer than 2 contracted vertices: nothing left to cut.
+    TooSmall,
+    /// The contracted multigraph's minimum cut value (Stoer–Wagner).
+    Cut(u128),
+    /// The contracted graph is disconnected ⇒ the input is disconnected.
+    Disconnected,
+}
+
+/// Step 3's local computation, shared by the legacy loop body and the
+/// engine program: index the contracted multigraph `(pair → multiplicity)`
+/// and run Stoer–Wagner. `components` is the contracted vertex count (the
+/// component count after both contraction steps) — a contracted vertex
+/// with no incident crossing edge is an isolated component, so
+/// `ids < components` certifies the *input* graph disconnected (cut 0),
+/// which the pair list alone cannot see. Returns the
+/// `(vertices, distinct pairs)` size statistic and the trial's outcome.
+pub fn evaluate_contraction(
+    components: usize,
+    pairs: &[((VertexId, VertexId), u64)],
+) -> ((usize, usize), TrialOutcome) {
+    let sizes = (components, pairs.len());
+    if components < 2 {
+        return (sizes, TrialOutcome::TooSmall);
+    }
+    let mut ids: Vec<VertexId> = pairs.iter().flat_map(|((a, b), _)| [*a, *b]).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    if ids.len() < components {
+        return (sizes, TrialOutcome::Disconnected);
+    }
+    let index: HashMap<VertexId, u32> = ids
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i as u32))
+        .collect();
+    let sw_edges: Vec<(u32, u32, u64)> = pairs
+        .iter()
+        .map(|((a, b), c)| (index[a], index[b], *c))
+        .collect();
+    match mpc_graph::mincut::stoer_wagner(ids.len(), &sw_edges) {
+        Some(mc) => (sizes, TrialOutcome::Cut(mc.weight)),
+        None => (sizes, TrialOutcome::Disconnected),
+    }
 }
 
 /// Runs `trials` independent contraction trials and returns the best cut.
@@ -85,7 +138,7 @@ pub fn heterogeneous_min_cut(
         }
 
         // Step 2: disseminate labels; sample surviving edges w.p. 1/(2δ).
-        let p = 1.0 / (2.0 * delta as f64);
+        let p = step2_probability(delta);
         let labels = mpc_graph::traversal::components_from_dsu(&mut dsu);
         let label_pairs: Vec<(VertexId, VertexId)> = (0..n as VertexId)
             .map(|v| (v, labels.label[v as usize]))
@@ -143,26 +196,17 @@ pub fn heterogeneous_min_cut(
         cluster.account("cut.large", large, pairs.len() * 3)?;
 
         // Local Stoer–Wagner on the contracted multigraph.
-        let mut ids: Vec<VertexId> = pairs.iter().flat_map(|((a, b), _)| [*a, *b]).collect();
-        ids.sort_unstable();
-        ids.dedup();
-        let index: HashMap<VertexId, u32> = ids
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| (v, i as u32))
-            .collect();
-        let sw_edges: Vec<(u32, u32, u64)> = pairs
-            .iter()
-            .map(|((a, b), c)| (index[a], index[b], *c))
-            .collect();
-        trial_sizes.push((ids.len(), pairs.len()));
-        if ids.len() >= 2 {
-            if let Some(mc) = mpc_graph::mincut::stoer_wagner(ids.len(), &sw_edges) {
-                if mc.weight < best {
-                    best = mc.weight;
+        let (sizes, outcome) = evaluate_contraction(labels.count, &pairs);
+        trial_sizes.push(sizes);
+        match outcome {
+            TrialOutcome::TooSmall => {}
+            TrialOutcome::Cut(w) => {
+                if w < best {
+                    best = w;
                     singleton = false;
                 }
-            } else {
+            }
+            TrialOutcome::Disconnected => {
                 // Contracted graph disconnected ⇒ the input is disconnected.
                 best = 0;
                 singleton = false;

@@ -21,7 +21,7 @@ use mpc_runtime::{Cluster, ModelViolation, ShardedVec};
 use rand::seq::SliceRandom;
 
 /// Result of the MIS port.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MisResult {
     /// The maximal independent set.
     pub mis: Vec<VertexId>,
@@ -29,6 +29,118 @@ pub struct MisResult {
     pub iterations: usize,
     /// Residual edge count before each iteration's gather.
     pub batch_edges: Vec<usize>,
+}
+
+/// Draws the uniform permutation `π` and its rank array — the algorithm's
+/// single random draw, shared by the legacy path and the engine port so
+/// both consume the large machine's RNG stream identically.
+pub fn permutation_ranks(rng: &mut rand::rngs::SmallRng, n: usize) -> (Vec<VertexId>, Vec<u32>) {
+    let mut perm: Vec<VertexId> = (0..n as VertexId).collect();
+    perm.shuffle(rng);
+    let mut rank: Vec<u32> = vec![0; n];
+    for (r, &v) in perm.iter().enumerate() {
+        rank[v as usize] = r as u32;
+    }
+    (perm, rank)
+}
+
+/// Prefix thresholds `t_i = n / Δ^(αⁱ)` (α = 3/4), capped at `n`.
+pub fn prefix_thresholds(n: usize, delta: u32) -> Vec<u32> {
+    let alpha = 0.75f64;
+    let mut thresholds: Vec<u32> = Vec::new();
+    let mut exp = 1.0f64;
+    loop {
+        let t = (n as f64 / (delta as f64).powf(exp)).ceil() as u32;
+        thresholds.push(t.min(n as u32));
+        if t as usize >= n {
+            break;
+        }
+        exp *= alpha;
+        if thresholds.len() > 64 {
+            thresholds.push(n as u32);
+            break;
+        }
+    }
+    thresholds
+}
+
+/// The large machine's residual-edge budget: an eighth of its capacity.
+pub fn mis_budget(large_capacity: usize) -> usize {
+    large_capacity / 8
+}
+
+/// The undirected adjacency of an edge slice — both greedy sweeps walk it
+/// the same way, so they must build it the same way.
+fn adjacency(edges: &[Edge]) -> std::collections::HashMap<VertexId, Vec<VertexId>> {
+    let mut adj: std::collections::HashMap<VertexId, Vec<VertexId>> =
+        std::collections::HashMap::new();
+    for e in edges {
+        adj.entry(e.u).or_default().push(e.v);
+        adj.entry(e.v).or_default().push(e.u);
+    }
+    adj
+}
+
+/// Extends the greedy-by-`π` MIS over the prefix of ranks `< t`, given the
+/// batch of surviving conflicts among the prefix. Returns the vertices that
+/// joined. Shared by the legacy loop body and the engine program.
+pub fn greedy_extend_prefix(
+    perm: &[VertexId],
+    rank: &[u32],
+    t: u32,
+    decided_upto: u32,
+    dominated_flag: &[bool],
+    in_mis: &mut [bool],
+    batch: &[Edge],
+) -> Vec<VertexId> {
+    let adj = adjacency(batch);
+    let mut newly: Vec<VertexId> = Vec::new();
+    for &v in perm {
+        if rank[v as usize] >= t {
+            break;
+        }
+        if rank[v as usize] < decided_upto {
+            continue; // decided in an earlier batch
+        }
+        if dominated_flag[v as usize] {
+            continue; // covered by an earlier batch's choice
+        }
+        // v joins iff no already-chosen neighbor (batch edges cover all
+        // surviving conflicts among the prefix).
+        let blocked = adj
+            .get(&v)
+            .is_some_and(|ns| ns.iter().any(|&u| in_mis[u as usize]));
+        if !blocked {
+            in_mis[v as usize] = true;
+            newly.push(v);
+        }
+    }
+    newly
+}
+
+/// The final sweep: the greedy over all still-undecided, non-dominated
+/// vertices, with `rest` being the surviving live edges. Sequentially
+/// consistent with the batched greedy. Shared by both paths.
+pub fn final_sweep(
+    perm: &[VertexId],
+    rank: &[u32],
+    decided_upto: u32,
+    dominated_flag: &[bool],
+    in_mis: &mut [bool],
+    rest: &[Edge],
+) {
+    let adj = adjacency(rest);
+    for &v in perm {
+        if in_mis[v as usize] || dominated_flag[v as usize] || rank[v as usize] < decided_upto {
+            continue;
+        }
+        let blocked = adj
+            .get(&v)
+            .is_some_and(|ns| ns.iter().any(|&u| in_mis[u as usize]));
+        if !blocked {
+            in_mis[v as usize] = true;
+        }
+    }
 }
 
 /// Runs the ported MIS algorithm.
@@ -46,12 +158,7 @@ pub fn heterogeneous_mis(
     let participants: Vec<usize> = (0..cluster.machines()).collect();
 
     // Permutation ranks, drawn by the large machine and disseminated.
-    let mut perm: Vec<VertexId> = (0..n as VertexId).collect();
-    perm.shuffle(cluster.rng(large));
-    let mut rank: Vec<u32> = vec![0; n];
-    for (r, &v) in perm.iter().enumerate() {
-        rank[v as usize] = r as u32;
-    }
+    let (perm, rank) = permutation_ranks(cluster.rng(large), n);
     let rank_pairs: Vec<(VertexId, u32)> =
         (0..n as VertexId).map(|v| (v, rank[v as usize])).collect();
     let requests = common::endpoint_requests(cluster, edges, |e| (e.u, e.v));
@@ -90,28 +197,14 @@ pub fn heterogeneous_mis(
     };
 
     // Prefix thresholds: t_i = n / Δ^(α^i), α = 3/4, until the prefix is V.
-    let alpha = 0.75f64;
-    let mut thresholds: Vec<u32> = Vec::new();
-    let mut exp = 1.0f64;
-    loop {
-        let t = (n as f64 / (delta as f64).powf(exp)).ceil() as u32;
-        thresholds.push(t.min(n as u32));
-        if t as usize >= n {
-            break;
-        }
-        exp *= alpha;
-        if thresholds.len() > 64 {
-            thresholds.push(n as u32);
-            break;
-        }
-    }
+    let thresholds = prefix_thresholds(n, delta);
 
     let mut in_mis: Vec<bool> = vec![false; n];
     let mut dominated_flag: Vec<bool> = vec![false; n];
     let mut decided_upto = 0u32; // ranks below this are fully decided
     let mut iterations = 0usize;
     let mut batch_edges = Vec::new();
-    let budget = cluster.capacity(large) / 8;
+    let budget = mis_budget(cluster.capacity(large));
 
     for &t in &thresholds {
         if decided_upto >= n as u32 {
@@ -142,33 +235,15 @@ pub fn heterogeneous_mis(
         cluster.account("mis.large", large, batch_edges_at_large.len() * 2)?;
 
         // Local greedy by π over ranks [0, t), consistent with prior batches.
-        let mut adj: std::collections::HashMap<VertexId, Vec<VertexId>> =
-            std::collections::HashMap::new();
-        for e in &batch_edges_at_large {
-            adj.entry(e.u).or_default().push(e.v);
-            adj.entry(e.v).or_default().push(e.u);
-        }
-        let mut newly: Vec<VertexId> = Vec::new();
-        for &v in perm.iter() {
-            if rank[v as usize] >= t {
-                break;
-            }
-            if rank[v as usize] < decided_upto {
-                continue; // decided in an earlier batch
-            }
-            if dominated_flag[v as usize] {
-                continue; // covered by an earlier batch's choice
-            }
-            // v joins iff no already-chosen neighbor (batch edges cover all
-            // surviving conflicts among the prefix).
-            let blocked = adj
-                .get(&v)
-                .is_some_and(|ns| ns.iter().any(|&u| in_mis[u as usize]));
-            if !blocked {
-                in_mis[v as usize] = true;
-                newly.push(v);
-            }
-        }
+        let newly = greedy_extend_prefix(
+            &perm,
+            &rank,
+            t,
+            decided_upto,
+            &dominated_flag,
+            &mut in_mis,
+            &batch_edges_at_large,
+        );
         decided_upto = t;
 
         // Prune: machines learn which vertices joined the MIS and drop every
@@ -247,23 +322,14 @@ pub fn heterogeneous_mis(
     // between two such vertices are exactly the surviving live edges, so
     // this is sequentially consistent with the batched greedy.
     let rest = gather_to(cluster, "mis.final", &live, large)?;
-    let mut adj: std::collections::HashMap<VertexId, Vec<VertexId>> =
-        std::collections::HashMap::new();
-    for e in &rest {
-        adj.entry(e.u).or_default().push(e.v);
-        adj.entry(e.v).or_default().push(e.u);
-    }
-    for &v in &perm {
-        if in_mis[v as usize] || dominated_flag[v as usize] || rank[v as usize] < decided_upto {
-            continue;
-        }
-        let blocked = adj
-            .get(&v)
-            .is_some_and(|ns| ns.iter().any(|&u| in_mis[u as usize]));
-        if !blocked {
-            in_mis[v as usize] = true;
-        }
-    }
+    final_sweep(
+        &perm,
+        &rank,
+        decided_upto,
+        &dominated_flag,
+        &mut in_mis,
+        &rest,
+    );
     let mis: Vec<VertexId> = (0..n as VertexId).filter(|&v| in_mis[v as usize]).collect();
     Ok(MisResult {
         mis,

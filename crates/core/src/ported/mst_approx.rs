@@ -22,7 +22,7 @@ use mpc_graph::Edge;
 use mpc_runtime::{Cluster, ModelViolation, ShardedVec};
 
 /// Result of the MST-weight estimator.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct MstApprox {
     /// The weight estimate.
     pub estimate: f64,
@@ -32,6 +32,46 @@ pub struct MstApprox {
     pub component_counts: Vec<usize>,
     /// Rounds a parallel execution would need (max over instances).
     pub parallel_rounds: u64,
+}
+
+/// Geometric thresholds `1 = τ_0 < τ_1 < … ≥ W` on the `(1+ε)` grid —
+/// shared by the legacy path and the engine program.
+pub fn geometric_thresholds(w_max: u64, epsilon: f64) -> Vec<u64> {
+    let mut thresholds: Vec<u64> = vec![1];
+    loop {
+        let last = *thresholds.last().unwrap();
+        if last >= w_max {
+            break;
+        }
+        let next = (((last as f64) * (1.0 + epsilon)).ceil() as u64).max(last + 1);
+        thresholds.push(next.min(w_max));
+    }
+    thresholds
+}
+
+/// The estimator formula on the geometric grid: each interval
+/// `[τ_j, τ_{j+1})` contributes `(τ_{j+1} − τ_j) · c_{τ_j}`, and the whole
+/// estimate is `n − W·c_W + Σ intervals`. Shared by both paths.
+pub fn estimate_from_counts(
+    n: usize,
+    w_max: u64,
+    thresholds: &[u64],
+    component_counts: &[usize],
+) -> f64 {
+    let c_last = *component_counts.last().expect("at least one threshold");
+    let mut sum = 0f64;
+    for j in 0..thresholds.len() {
+        let lo = thresholds[j];
+        let hi = if j + 1 < thresholds.len() {
+            thresholds[j + 1]
+        } else {
+            w_max
+        };
+        if hi > lo {
+            sum += (hi - lo) as f64 * component_counts[j] as f64;
+        }
+    }
+    n as f64 - (w_max as f64) * c_last as f64 + sum
 }
 
 /// Estimates the MSF weight within `(1+ε)` w.h.p.
@@ -47,16 +87,7 @@ pub fn approximate_mst_weight(
 ) -> Result<MstApprox, ModelViolation> {
     assert!(epsilon > 0.0, "epsilon must be positive");
     let w_max = edges.iter().map(|(_, e)| e.w).max().unwrap_or(1).max(1);
-    // Geometric thresholds 1 = τ_0 < τ_1 < … ≥ W.
-    let mut thresholds: Vec<u64> = vec![1];
-    loop {
-        let last = *thresholds.last().unwrap();
-        if last >= w_max {
-            break;
-        }
-        let next = (((last as f64) * (1.0 + epsilon)).ceil() as u64).max(last + 1);
-        thresholds.push(next.min(w_max));
-    }
+    let thresholds = geometric_thresholds(w_max, epsilon);
     let config = ConnectivityConfig::for_n(n);
     let mut component_counts = Vec::with_capacity(thresholds.len());
     let mut parallel_rounds = 0u64;
@@ -66,23 +97,7 @@ pub fn approximate_mst_weight(
         parallel_rounds = parallel_rounds.max(cluster.rounds() - before);
         component_counts.push(c);
     }
-    // estimate = n − W·c_W + Σ over unit steps, approximated on the
-    // geometric grid: each interval [τ_j, τ_{j+1}) contributes
-    // (τ_{j+1} − τ_j) · c_{τ_j}.
-    let c_last = *component_counts.last().unwrap();
-    let mut sum = 0f64;
-    for j in 0..thresholds.len() {
-        let lo = thresholds[j];
-        let hi = if j + 1 < thresholds.len() {
-            thresholds[j + 1]
-        } else {
-            w_max
-        };
-        if hi > lo {
-            sum += (hi - lo) as f64 * component_counts[j] as f64;
-        }
-    }
-    let estimate = n as f64 - (w_max as f64) * c_last as f64 + sum;
+    let estimate = estimate_from_counts(n, w_max, &thresholds, &component_counts);
     Ok(MstApprox {
         estimate,
         thresholds,

@@ -10,11 +10,17 @@
 use crate::combinators::Driven;
 use crate::driver::{ExecError, ExecMode, Executor};
 use crate::programs::{
-    BoruvkaProgram, ConnectivityProgram, MatchingProgram, MstProgram, SpannerProgram,
+    BoruvkaProgram, ColoringProgram, ConnectivityProgram, MatchingProgram, MinCutApproxProgram,
+    MinCutProgram, MisProgram, MstApproxProgram, MstProgram, SpannerProgram,
 };
 use mpc_core::matching::MatchingResult;
 use mpc_core::mst::{MstConfig, MstResult};
+use mpc_core::ported::coloring::ColoringResult;
 use mpc_core::ported::connectivity::ConnectivityConfig;
+use mpc_core::ported::mincut_approx::ApproxMinCut;
+use mpc_core::ported::mincut_exact::MinCutResult;
+use mpc_core::ported::mis::MisResult;
+use mpc_core::ported::mst_approx::MstApprox;
 use mpc_core::spanner::SpannerResult;
 use mpc_graph::mst::Forest;
 use mpc_graph::traversal::Components;
@@ -194,4 +200,147 @@ pub fn heterogeneous_spanner_weighted(
     mpc_core::spanner::weighted_by_classes(n, edges, |class_edges| {
         heterogeneous_spanner(cluster, n, class_edges, k, mode)
     })
+}
+
+/// Engine-backed twin of [`mpc_core::ported::heterogeneous_mis`]: the
+/// `O(log log Δ)`-round maximal independent set on the execution engine,
+/// with the MIS, statistics, and RNG stream positions bit-identical to the
+/// legacy call-style path.
+///
+/// # Errors
+///
+/// Propagates capacity violations in strict mode; see [`ExecError`].
+pub fn heterogeneous_mis(
+    cluster: &mut Cluster,
+    n: usize,
+    edges: &ShardedVec<Edge>,
+    mode: ExecMode,
+) -> Result<MisResult, ExecError> {
+    let programs: Vec<_> = MisProgram::for_cluster(cluster, n, edges)
+        .into_iter()
+        .map(Driven)
+        .collect();
+    let large = cluster.large().expect("MIS requires a large machine");
+    let mut outcome = Executor::new("mis", mode).run(cluster, programs)?;
+    Ok(outcome.programs[large]
+        .0
+        .result
+        .take()
+        .expect("large machine halts with a result"))
+}
+
+/// Engine-backed twin of [`mpc_core::ported::heterogeneous_coloring`]: the
+/// `O(1)`-round (Δ+1)-coloring on the execution engine, with the coloring,
+/// statistics, and RNG stream positions bit-identical to the legacy
+/// call-style path.
+///
+/// # Errors
+///
+/// Propagates capacity violations in strict mode; see [`ExecError`].
+pub fn heterogeneous_coloring(
+    cluster: &mut Cluster,
+    n: usize,
+    edges: &ShardedVec<Edge>,
+    mode: ExecMode,
+) -> Result<ColoringResult, ExecError> {
+    let programs: Vec<_> = ColoringProgram::for_cluster(cluster, n, edges)
+        .into_iter()
+        .map(Driven)
+        .collect();
+    let large = cluster.large().expect("coloring requires a large machine");
+    let mut outcome = Executor::new("color", mode).run(cluster, programs)?;
+    Ok(outcome.programs[large]
+        .0
+        .result
+        .take()
+        .expect("large machine halts with a result"))
+}
+
+/// Engine-backed twin of [`mpc_core::ported::heterogeneous_min_cut`]: the
+/// `O(1)`-round exact unweighted minimum cut on the execution engine, with
+/// the cut value, statistics, and RNG stream positions bit-identical to
+/// the legacy call-style path.
+///
+/// # Errors
+///
+/// Propagates capacity violations in strict mode; see [`ExecError`].
+pub fn heterogeneous_min_cut(
+    cluster: &mut Cluster,
+    n: usize,
+    edges: &ShardedVec<Edge>,
+    trials: usize,
+    mode: ExecMode,
+) -> Result<MinCutResult, ExecError> {
+    let programs: Vec<_> = MinCutProgram::for_cluster(cluster, n, edges, trials)
+        .into_iter()
+        .map(Driven)
+        .collect();
+    let large = cluster.large().expect("min cut requires a large machine");
+    let mut outcome = Executor::new("cut", mode).run(cluster, programs)?;
+    Ok(outcome.programs[large]
+        .0
+        .result
+        .take()
+        .expect("large machine halts with a result"))
+}
+
+/// Engine-backed twin of [`mpc_core::ported::approximate_min_cut`]: the
+/// `O(1)`-round (1±ε)-approximate weighted minimum cut on the execution
+/// engine. Estimate, λ̂ guess, skeleton size, and RNG stream positions are
+/// bit-identical to the legacy path; the `parallel_rounds` figure counts
+/// *engine* rounds per guess (engine round geometry differs from the
+/// legacy primitives' by design).
+///
+/// # Errors
+///
+/// Propagates capacity violations in strict mode; see [`ExecError`].
+pub fn approximate_min_cut(
+    cluster: &mut Cluster,
+    n: usize,
+    edges: &ShardedVec<Edge>,
+    epsilon: f64,
+    mode: ExecMode,
+) -> Result<ApproxMinCut, ExecError> {
+    let programs: Vec<_> = MinCutApproxProgram::for_cluster(cluster, n, edges, epsilon)
+        .into_iter()
+        .map(Driven)
+        .collect();
+    let large = cluster.large().expect("min cut requires a large machine");
+    let mut outcome = Executor::new("xcut", mode).run(cluster, programs)?;
+    Ok(outcome.programs[large]
+        .0
+        .result
+        .take()
+        .expect("large machine halts with a result"))
+}
+
+/// Engine-backed twin of [`mpc_core::ported::approximate_mst_weight`]: the
+/// `O(1)`-round (1+ε)-approximate MST weight on the execution engine.
+/// Estimate, thresholds, component counts, and RNG stream positions are
+/// bit-identical to the legacy path; the `parallel_rounds` figure counts
+/// *engine* rounds per threshold wave.
+///
+/// # Errors
+///
+/// Propagates capacity violations in strict mode; see [`ExecError`].
+pub fn approximate_mst_weight(
+    cluster: &mut Cluster,
+    n: usize,
+    edges: &ShardedVec<Edge>,
+    epsilon: f64,
+    mode: ExecMode,
+) -> Result<MstApprox, ExecError> {
+    let programs: Vec<_> = MstApproxProgram::for_cluster(cluster, n, edges, epsilon)
+        .into_iter()
+        .map(Driven)
+        .collect();
+    let large = cluster
+        .large()
+        .expect("MST estimation requires a large machine");
+    let mut outcome = Executor::new("xmst", mode).run(cluster, programs)?;
+    Ok(outcome.programs[large]
+        .0
+        .result
+        .take()
+        .expect("large machine halts with a result"))
 }

@@ -1,10 +1,16 @@
 //! The program-driver combinator layer: the phase-sequencing boilerplate
 //! every ported algorithm shares, factored out of the individual programs.
 //!
-//! The three flagship ports ([`MstProgram`](crate::programs::MstProgram),
+//! The coordinator-style ports — the flagships
+//! ([`MstProgram`](crate::programs::MstProgram),
 //! [`MatchingProgram`](crate::programs::MatchingProgram),
-//! [`SpannerProgram`](crate::programs::SpannerProgram)) all follow the same
-//! coordinator shape:
+//! [`SpannerProgram`](crate::programs::SpannerProgram)) and the Appendix-C
+//! algorithms ([`MisProgram`](crate::programs::MisProgram),
+//! [`ColoringProgram`](crate::programs::ColoringProgram),
+//! [`MinCutProgram`](crate::programs::MinCutProgram),
+//! [`MinCutApproxProgram`](crate::programs::MinCutApproxProgram),
+//! [`MstApproxProgram`](crate::programs::MstApproxProgram)) — all follow
+//! the same shape:
 //!
 //! * the **large machine** drives the phase sequence (it is the only
 //!   machine with the global view the legacy orchestrator had);
@@ -21,6 +27,7 @@
 //! [`MachineProgram`] the [`Executor`](crate::Executor) can run.
 
 use crate::machine::{MachineCtx, MachineProgram, StepOutcome};
+use mpc_graph::{Edge, VertexId};
 use mpc_runtime::primitives::{owner_of, HashKey};
 use mpc_runtime::{Cluster, MachineId, Payload};
 use std::collections::BTreeMap;
@@ -161,6 +168,28 @@ impl<K: Ord> Announcers<K> {
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
     }
+}
+
+/// The round-0 degree kickoff every Appendix-C port shares: counts this
+/// shard's partial degree per endpoint and queues one `make(v, count)`
+/// message to each endpoint's hash-owner. Returns the partial-count map so
+/// callers can piggyback further per-endpoint announcements (rank
+/// requests, owner registrations) on the same keys.
+pub fn announce_degrees<M>(
+    out: &mut Outbox<M>,
+    owners: &Owners,
+    edges: &[Edge],
+    make: impl Fn(VertexId, u32) -> M,
+) -> BTreeMap<VertexId, u32> {
+    let mut partial: BTreeMap<VertexId, u32> = BTreeMap::new();
+    for e in edges {
+        *partial.entry(e.u).or_default() += 1;
+        *partial.entry(e.v).or_default() += 1;
+    }
+    for (&v, &c) in &partial {
+        out.send(owners.of(&v), make(v, c));
+    }
+    partial
 }
 
 /// Folds `(key, value)` into an accumulator keeping the better value under

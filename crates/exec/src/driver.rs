@@ -172,7 +172,9 @@ impl Executor {
         self
     }
 
-    /// Caps worker threads in parallel mode (0 = one per available core).
+    /// Caps worker threads in parallel mode (0 = one per available core,
+    /// overridable via the `MPC_POOL_THREADS` environment variable — the
+    /// knob CI's pool-thread matrix turns without touching call sites).
     pub fn threads(mut self, n: usize) -> Self {
         self.threads = n;
         self
@@ -181,6 +183,13 @@ impl Executor {
     fn worker_threads(&self) -> usize {
         if self.threads > 0 {
             return self.threads;
+        }
+        if let Some(n) = std::env::var("MPC_POOL_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            return n;
         }
         std::thread::available_parallelism().map_or(4, |n| n.get())
     }

@@ -56,6 +56,7 @@ pub use combinators::{Driven, Outbox, Owners, RoleProgram};
 pub use driver::{ExecError, ExecMode, ExecOutcome, Executor};
 pub use machine::{MachineCtx, MachineProgram, StepOutcome};
 pub use programs::{
-    BoruvkaProgram, ConnectivityProgram, MatchingProgram, MstProgram, SpannerProgram,
+    BoruvkaProgram, ColoringProgram, ConnectivityProgram, MatchingProgram, MinCutApproxProgram,
+    MinCutProgram, MisProgram, MstApproxProgram, MstProgram, SpannerProgram,
 };
 pub use registry::{AlgoInput, AlgoOutput, Algorithm};

@@ -8,13 +8,23 @@
 //! concurrently, instead of a loop that owns the whole cluster.
 
 pub mod boruvka;
+pub mod coloring;
 pub mod connectivity;
 pub mod matching;
+pub mod mincut;
+pub mod mincut_approx;
+pub mod mis;
 pub mod mst;
+pub mod mst_approx;
 pub mod spanner;
 
 pub use boruvka::{BoruvkaProgram, MstMsg};
+pub use coloring::{ColorCmd, ColorNetMsg, ColoringProgram};
 pub use connectivity::{ConnMsg, ConnectivityProgram};
 pub use matching::{MatchCmd, MatchNetMsg, MatchingProgram};
+pub use mincut::{MinCutCmd, MinCutNetMsg, MinCutProgram};
+pub use mincut_approx::{MinCutApproxProgram, XCutCmd, XCutNetMsg};
+pub use mis::{MisCmd, MisNetMsg, MisProgram};
 pub use mst::{MstCmd, MstNetMsg, MstProgram};
+pub use mst_approx::{MstApproxNetMsg, MstApproxProgram};
 pub use spanner::{SpannerNetMsg, SpannerProgram};

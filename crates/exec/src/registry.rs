@@ -18,12 +18,22 @@
 //! | `matching`     | Thm 5.1 | [`MatchingProgram`](crate::programs::MatchingProgram) |
 //! | `spanner`      | Thm 4.1 | [`SpannerProgram`](crate::programs::SpannerProgram) |
 //! | `spanner-weighted` | Thm 4.1 + \[22\] reduction | per-class [`SpannerProgram`](crate::programs::SpannerProgram) |
+//! | `mst-approx`   | Thm C.2 | [`MstApproxProgram`](crate::programs::MstApproxProgram) |
+//! | `mincut`       | Thm C.3 | [`MinCutProgram`](crate::programs::MinCutProgram) |
+//! | `mincut-approx` | Thm C.4 | [`MinCutApproxProgram`](crate::programs::MinCutApproxProgram) |
+//! | `mis`          | Thm C.6 | [`MisProgram`](crate::programs::MisProgram) |
+//! | `coloring`     | Thm C.7 | [`ColoringProgram`](crate::programs::ColoringProgram) |
 
 use crate::adapters;
 use crate::driver::{ExecError, ExecMode};
 use mpc_core::matching::MatchingResult;
 use mpc_core::mst::{MstConfig, MstResult};
+use mpc_core::ported::coloring::ColoringResult;
 use mpc_core::ported::connectivity::ConnectivityConfig;
+use mpc_core::ported::mincut_approx::ApproxMinCut;
+use mpc_core::ported::mincut_exact::MinCutResult;
+use mpc_core::ported::mis::MisResult;
+use mpc_core::ported::mst_approx::MstApprox;
 use mpc_core::spanner::SpannerResult;
 use mpc_graph::mst::Forest;
 use mpc_graph::traversal::Components;
@@ -45,10 +55,21 @@ pub struct AlgoInput<'a> {
     /// Connectivity configuration (defaults to
     /// [`ConnectivityConfig::for_n`]).
     pub connectivity: Option<ConnectivityConfig>,
+    /// Contraction trials for `mincut` (Theorem C.3 amplification).
+    pub mincut_trials: usize,
+    /// Approximation parameter ε for `mincut-approx` and `mst-approx`.
+    pub epsilon: f64,
 }
 
+/// Default `mincut` contraction trials — shared by [`AlgoInput::new`] and
+/// the `mincut` round budget, which assumes the default input knobs (a
+/// caller overriding `mincut_trials` changes the total round count by
+/// `12` engine rounds per trial).
+pub const DEFAULT_MINCUT_TRIALS: usize = 8;
+
 impl<'a> AlgoInput<'a> {
-    /// Input with default parameters (`k = 3` for spanners).
+    /// Input with default parameters (`k = 3` for spanners,
+    /// [`DEFAULT_MINCUT_TRIALS`] min-cut trials, ε = 0.3).
     pub fn new(n: usize, edges: &'a ShardedVec<Edge>) -> Self {
         AlgoInput {
             n,
@@ -56,12 +77,26 @@ impl<'a> AlgoInput<'a> {
             spanner_k: 3,
             mst: MstConfig::default(),
             connectivity: None,
+            mincut_trials: DEFAULT_MINCUT_TRIALS,
+            epsilon: 0.3,
         }
     }
 
     /// Overrides the spanner stretch parameter.
     pub fn spanner_k(mut self, k: usize) -> Self {
         self.spanner_k = k;
+        self
+    }
+
+    /// Overrides the `mincut` trial count.
+    pub fn mincut_trials(mut self, trials: usize) -> Self {
+        self.mincut_trials = trials;
+        self
+    }
+
+    /// Overrides the approximation parameter ε.
+    pub fn epsilon(mut self, eps: f64) -> Self {
+        self.epsilon = eps;
         self
     }
 }
@@ -79,6 +114,16 @@ pub enum AlgoOutput {
     Matching(MatchingResult),
     /// The spanner result (`spanner`, `spanner-weighted`).
     Spanner(SpannerResult),
+    /// The (1+ε)-approximate MST weight (`mst-approx`).
+    MstApprox(MstApprox),
+    /// The exact unweighted min-cut result (`mincut`).
+    MinCut(MinCutResult),
+    /// The (1±ε)-approximate weighted min cut (`mincut-approx`).
+    MinCutApprox(ApproxMinCut),
+    /// The maximal-independent-set result (`mis`).
+    Mis(MisResult),
+    /// The (Δ+1)-coloring result (`coloring`).
+    Coloring(ColoringResult),
 }
 
 impl AlgoOutput {
@@ -123,6 +168,46 @@ impl AlgoOutput {
         }
     }
 
+    /// The MST-weight estimate, if this output carries one.
+    pub fn into_mst_approx(self) -> Option<MstApprox> {
+        match self {
+            AlgoOutput::MstApprox(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The exact min-cut result, if this output carries one.
+    pub fn into_mincut(self) -> Option<MinCutResult> {
+        match self {
+            AlgoOutput::MinCut(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The approximate min-cut result, if this output carries one.
+    pub fn into_mincut_approx(self) -> Option<ApproxMinCut> {
+        match self {
+            AlgoOutput::MinCutApprox(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The MIS result, if this output carries one.
+    pub fn into_mis(self) -> Option<MisResult> {
+        match self {
+            AlgoOutput::Mis(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The coloring result, if this output carries one.
+    pub fn into_coloring(self) -> Option<ColoringResult> {
+        match self {
+            AlgoOutput::Coloring(r) => Some(r),
+            _ => None,
+        }
+    }
+
     /// A deterministic digest of the result — what the benches and smoke
     /// tests compare across execution modes. Covers the actual content
     /// (edge sets are order-normalized and hashed), not just cardinalities,
@@ -139,6 +224,13 @@ impl AlgoOutput {
             }
             acc
         }
+        fn fold_words(words: impl Iterator<Item = u64>) -> u128 {
+            let mut acc: u128 = 0xcbf2_9ce4_8422_2325;
+            for word in words {
+                acc = (acc ^ word as u128).wrapping_mul(0x0100_0000_01b3);
+            }
+            acc
+        }
         match self {
             AlgoOutput::Components(c) => c.count as u128,
             AlgoOutput::Forest(f) => f.total_weight ^ fold_edges(f.edges.iter()),
@@ -147,6 +239,26 @@ impl AlgoOutput {
                 r.matching.len() as u128 ^ fold_edges(r.matching.edges.iter())
             }
             AlgoOutput::Spanner(r) => r.spanner.m() as u128 ^ fold_edges(r.spanner.edges().iter()),
+            AlgoOutput::MstApprox(r) => {
+                (r.estimate.to_bits() as u128)
+                    ^ fold_words(r.component_counts.iter().map(|&c| c as u64))
+            }
+            AlgoOutput::MinCut(r) => {
+                r.value
+                    ^ fold_words(
+                        r.trial_sizes
+                            .iter()
+                            .map(|&(v, e)| (v as u64) << 32 | e as u64),
+                    )
+            }
+            AlgoOutput::MinCutApprox(r) => {
+                (r.estimate.to_bits() as u128)
+                    ^ fold_words([r.lambda_guess, r.skeleton_edges as u64].into_iter())
+            }
+            AlgoOutput::Mis(r) => r.mis.len() as u128 ^ fold_words(r.mis.iter().map(|&v| v as u64)),
+            AlgoOutput::Coloring(r) => {
+                r.colors.len() as u128 ^ fold_words(r.colors.iter().map(|&c| c as u64))
+            }
         }
     }
 }
@@ -160,6 +272,18 @@ pub struct Algorithm {
     pub summary: &'static str,
     /// Where in the paper this algorithm lives.
     pub paper: &'static str,
+    /// The polylog capacity exponent this algorithm's traffic honestly
+    /// needs under strict enforcement (its `Õ(·)` factor) — generic
+    /// consumers (the registry smoke, `engine_demo`) build their clusters
+    /// with `ClusterConfig::polylog_exponent(algo.polylog_exponent)` so a
+    /// new registration picks a suitable cluster without per-name edits.
+    pub polylog_exponent: f64,
+    /// Round budget: the theorem's round class stated as a hard cap for a
+    /// run on a cluster of `n` vertices — `O(1)` algorithms get a fixed
+    /// constant, `O(log log n)`-class algorithms an explicit
+    /// `a·⌈log₂log₂n⌉ + b` cap. The `budgets` bench experiment (a CI gate)
+    /// fails the build when a run exceeds it.
+    pub round_budget: fn(n: usize) -> u64,
     runner: fn(&mut Cluster, &AlgoInput<'_>, ExecMode) -> Result<AlgoOutput, ExecError>,
 }
 
@@ -179,11 +303,42 @@ impl Algorithm {
     }
 }
 
+/// `⌈log₂log₂ n⌉`, floored at 1 — the `O(log log n)` budget scale.
+fn loglog(n: usize) -> u64 {
+    let l = (n.max(4) as f64).log2().log2().ceil() as u64;
+    l.max(1)
+}
+
+// The `budgets` gate's standard workload is `m = 6n` with integer weights
+// below `2^BUDGET_WEIGHT_BITS` (see `experiments::budgets`). Three
+// algorithms run their paper-parallel instances sequentially, so their
+// *total* round budgets scale with the instance count, which these
+// constants derive from the workload's weight range — change the budgets
+// workload and these must move in the same commit.
+
+/// Weight bits of the budgets workload (weights `< 2^12`).
+const BUDGET_WEIGHT_BITS: u64 = 12;
+/// Factor-2 weight classes of `spanner-weighted`: one per weight bit.
+const BUDGET_WEIGHT_CLASSES: u64 = BUDGET_WEIGHT_BITS + 1;
+/// `(1+ε)` thresholds of `mst-approx` at the default ε = 0.3:
+/// `log_{1.3}(2^12) ≈ 32`, plus grid slack.
+const BUDGET_MST_THRESHOLDS: u64 = 34;
+/// λ̂ guesses of `mincut-approx`: `log₂(ΣW) + 2`, with total weight under
+/// `2^25` on the budgets workload (`6n · 2^12` at `n = 512`).
+const BUDGET_LAMBDA_GUESSES: u64 = 27;
+
+/// `⌈log₂ n⌉`, floored at 1.
+fn log2(n: usize) -> u64 {
+    ((n.max(2) as f64).log2().ceil() as u64).max(1)
+}
+
 static ALGORITHMS: &[Algorithm] = &[
     Algorithm {
         name: "connectivity",
         summary: "O(1)-round connected components via linear sketches",
         paper: "Theorem C.1",
+        polylog_exponent: 2.6,
+        round_budget: |_n| 6,
         runner: |cluster, input, mode| {
             let config = input
                 .connectivity
@@ -197,6 +352,8 @@ static ALGORITHMS: &[Algorithm] = &[
         name: "boruvka-msf",
         summary: "plain Borůvka minimum spanning forest in 4-round waves",
         paper: "§3 building block",
+        polylog_exponent: 1.3,
+        round_budget: |n| 4 * log2(n) + 8,
         runner: |cluster, input, mode| {
             adapters::boruvka_msf(cluster, input.edges, mode).map(AlgoOutput::Forest)
         },
@@ -205,6 +362,8 @@ static ALGORITHMS: &[Algorithm] = &[
         name: "mst",
         summary: "exact MST: doubly-exponential Borůvka + KKT sampling finish",
         paper: "Theorem 3.1",
+        polylog_exponent: 1.3,
+        round_budget: |n| 6 * loglog(n) + 16,
         runner: |cluster, input, mode| {
             adapters::heterogeneous_mst_with(cluster, input.n, input.edges, &input.mst, mode)
                 .map(AlgoOutput::Mst)
@@ -214,6 +373,8 @@ static ALGORITHMS: &[Algorithm] = &[
         name: "matching",
         summary: "maximal matching in rounds depending only on the average degree",
         paper: "Theorem 5.1",
+        polylog_exponent: 1.3,
+        round_budget: |n| 10 * loglog(n) + 36,
         runner: |cluster, input, mode| {
             adapters::heterogeneous_matching(cluster, input.n, input.edges, mode)
                 .map(AlgoOutput::Matching)
@@ -223,6 +384,8 @@ static ALGORITHMS: &[Algorithm] = &[
         name: "spanner",
         summary: "(6k−1)-spanner of size O(n^(1+1/k)) in O(1) rounds (unweighted)",
         paper: "Theorem 4.1",
+        polylog_exponent: 1.6,
+        round_budget: |_n| 24,
         runner: |cluster, input, mode| {
             adapters::heterogeneous_spanner(cluster, input.n, input.edges, input.spanner_k, mode)
                 .map(AlgoOutput::Spanner)
@@ -232,6 +395,9 @@ static ALGORITHMS: &[Algorithm] = &[
         name: "spanner-weighted",
         summary: "(12k−1)-spanner of a weighted graph via factor-2 weight classes",
         paper: "Theorem 4.1 + [22]",
+        polylog_exponent: 1.6,
+        // O(1) per factor-2 weight class, sequential over the classes.
+        round_budget: |_n| 24 * BUDGET_WEIGHT_CLASSES,
         runner: |cluster, input, mode| {
             adapters::heterogeneous_spanner_weighted(
                 cluster,
@@ -243,6 +409,92 @@ static ALGORITHMS: &[Algorithm] = &[
             .map(AlgoOutput::Spanner)
         },
     },
+    Algorithm {
+        name: "mst-approx",
+        summary: "(1+ε)-approximate MST weight via thresholded connectivity",
+        paper: "Theorem C.2",
+        polylog_exponent: 2.6,
+        // O(1) per threshold wave (3 engine rounds, asserted separately via
+        // `parallel_rounds`); the waves run sequentially over the
+        // O(log_{1+ε} W) grid.
+        round_budget: |_n| 3 * BUDGET_MST_THRESHOLDS + 4,
+        runner: |cluster, input, mode| {
+            adapters::approximate_mst_weight(cluster, input.n, input.edges, input.epsilon, mode)
+                .map(AlgoOutput::MstApprox)
+        },
+    },
+    Algorithm {
+        name: "mincut",
+        summary: "exact unweighted min cut via 2-out + sampling contraction",
+        paper: "Theorem C.3",
+        polylog_exponent: 1.3,
+        // O(1) per trial (12 engine rounds), at the default trial count,
+        // plus the degree kickoff.
+        round_budget: |_n| 12 * DEFAULT_MINCUT_TRIALS as u64 + 8,
+        runner: |cluster, input, mode| {
+            adapters::heterogeneous_min_cut(
+                cluster,
+                input.n,
+                input.edges,
+                input.mincut_trials,
+                mode,
+            )
+            .map(AlgoOutput::MinCut)
+        },
+    },
+    Algorithm {
+        name: "mincut-approx",
+        summary: "(1±ε)-approximate weighted min cut via skeleton sampling",
+        paper: "Theorem C.4",
+        polylog_exponent: 1.6,
+        // O(1) per λ̂ guess (4 engine rounds, asserted separately via
+        // `parallel_rounds`), sequential over the geometric guesses.
+        round_budget: |_n| 4 * BUDGET_LAMBDA_GUESSES + 6,
+        runner: |cluster, input, mode| {
+            adapters::approximate_min_cut(cluster, input.n, input.edges, input.epsilon, mode)
+                .map(AlgoOutput::MinCutApprox)
+        },
+    },
+    Algorithm {
+        name: "mis",
+        summary: "maximal independent set over geometric rank prefixes",
+        paper: "Theorem C.6",
+        polylog_exponent: 1.6,
+        round_budget: |n| 10 * (loglog(n) + 1) + 10,
+        runner: |cluster, input, mode| {
+            adapters::heterogeneous_mis(cluster, input.n, input.edges, mode).map(AlgoOutput::Mis)
+        },
+    },
+    Algorithm {
+        name: "coloring",
+        summary: "(Δ+1)-coloring via palette sampling + conflict list-coloring",
+        paper: "Theorem C.7",
+        polylog_exponent: 2.0,
+        // O(1) plus at most MAX_RESTARTS + 1 attempt waves (2 rounds each).
+        round_budget: |_n| 6 + 2 * (mpc_core::ported::coloring::MAX_RESTARTS as u64 + 1),
+        runner: |cluster, input, mode| {
+            adapters::heterogeneous_coloring(cluster, input.n, input.edges, mode)
+                .map(AlgoOutput::Coloring)
+        },
+    },
+];
+
+/// The canonical registry contents: every paper result, exactly once, in
+/// presentation order. `names()` must equal this list (asserted by the
+/// registry unit tests *and* the `registry` smoke experiment in CI), so a
+/// dropped, duplicated, or misnamed registration fails the build.
+pub const CANONICAL_NAMES: [&str; 11] = [
+    "connectivity",
+    "boruvka-msf",
+    "mst",
+    "matching",
+    "spanner",
+    "spanner-weighted",
+    "mst-approx",
+    "mincut",
+    "mincut-approx",
+    "mis",
+    "coloring",
 ];
 
 /// All registered algorithms, in presentation order.
@@ -287,15 +539,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_covers_the_flagship_algorithms() {
-        for name in [
-            "connectivity",
-            "boruvka-msf",
-            "mst",
-            "matching",
-            "spanner",
-            "spanner-weighted",
-        ] {
+    fn registry_matches_the_canonical_name_set() {
+        assert_eq!(
+            names(),
+            CANONICAL_NAMES.to_vec(),
+            "registry names drifted from the canonical set"
+        );
+        for name in CANONICAL_NAMES {
             assert!(get(name).is_some(), "'{name}' not registered");
         }
         assert_eq!(names().len(), ALGORITHMS.len());

@@ -301,6 +301,337 @@ fn weighted_spanner_matches_legacy() {
     assert_eq!(engine_rng, legacy_rng);
 }
 
+// ---------------------------------------------------------------- MIS --
+
+#[test]
+fn mis_program_is_bit_identical_to_legacy() {
+    for (g, seed) in [
+        (generators::gnm(120, 900, 4), 4u64),
+        (generators::gnm(256, 8000, 3), 3u64),
+        (generators::star(300), 1u64),
+    ] {
+        let make = |s| {
+            Cluster::new(
+                ClusterConfig::new(g.n(), g.m().max(1))
+                    .seed(s)
+                    .polylog_exponent(1.6),
+            )
+        };
+        let mut legacy_cluster = make(seed);
+        let legacy_input = common::distribute_edges(&legacy_cluster, &g);
+        let legacy =
+            mpc_core::ported::heterogeneous_mis(&mut legacy_cluster, g.n(), &legacy_input).unwrap();
+        let legacy_rng = rng_positions(&mut legacy_cluster);
+
+        for mode in [ExecMode::Serial, ExecMode::Parallel] {
+            let mut engine_cluster = make(seed);
+            let engine_input = common::distribute_edges(&engine_cluster, &g);
+            let engine = registry::run(
+                "mis",
+                &mut engine_cluster,
+                &AlgoInput::new(g.n(), &engine_input),
+                mode,
+            )
+            .unwrap()
+            .into_mis()
+            .unwrap();
+            let engine_rng = rng_positions(&mut engine_cluster);
+
+            assert_eq!(engine, legacy, "seed {seed} {mode:?}: MIS results differ");
+            assert_eq!(
+                engine_rng, legacy_rng,
+                "seed {seed} {mode:?}: RNG positions differ"
+            );
+            assert!(mpc_graph::mis::is_maximal_independent_set(&g, &engine.mis));
+        }
+    }
+}
+
+// ----------------------------------------------------------- coloring --
+
+#[test]
+fn coloring_program_is_bit_identical_to_legacy() {
+    for (g, seed) in [
+        (generators::gnm(100, 900, 2), 2u64),
+        (generators::gnm(128, 4000, 7), 7u64),
+        (generators::star(64), 3u64),
+    ] {
+        let make = |s| {
+            Cluster::new(
+                ClusterConfig::new(g.n(), g.m().max(1))
+                    .seed(s)
+                    .polylog_exponent(2.0),
+            )
+        };
+        let mut legacy_cluster = make(seed);
+        let legacy_input = common::distribute_edges(&legacy_cluster, &g);
+        let legacy =
+            mpc_core::ported::heterogeneous_coloring(&mut legacy_cluster, g.n(), &legacy_input)
+                .unwrap();
+        let legacy_rng = rng_positions(&mut legacy_cluster);
+
+        for mode in [ExecMode::Serial, ExecMode::Parallel] {
+            let mut engine_cluster = make(seed);
+            let engine_input = common::distribute_edges(&engine_cluster, &g);
+            let engine = registry::run(
+                "coloring",
+                &mut engine_cluster,
+                &AlgoInput::new(g.n(), &engine_input),
+                mode,
+            )
+            .unwrap()
+            .into_coloring()
+            .unwrap();
+            let engine_rng = rng_positions(&mut engine_cluster);
+
+            assert_eq!(
+                engine, legacy,
+                "seed {seed} {mode:?}: coloring results differ"
+            );
+            assert_eq!(
+                engine_rng, legacy_rng,
+                "seed {seed} {mode:?}: RNG positions differ"
+            );
+            assert!(mpc_graph::coloring::is_proper_coloring(&g, &engine.colors));
+        }
+    }
+}
+
+// ----------------------------------------------------------- min cuts --
+
+#[test]
+fn mincut_program_is_bit_identical_to_legacy() {
+    for (bridge, seed) in [(2usize, 1u64), (4, 3)] {
+        let g = generators::planted_cut(24, 0.7, bridge, seed);
+        let trials = 8;
+
+        let mut legacy_cluster = cluster_for(&g, seed);
+        let legacy_input = common::distribute_edges(&legacy_cluster, &g);
+        let legacy = mpc_core::ported::heterogeneous_min_cut(
+            &mut legacy_cluster,
+            g.n(),
+            &legacy_input,
+            trials,
+        )
+        .unwrap();
+        let legacy_rng = rng_positions(&mut legacy_cluster);
+        let want = mpc_graph::mincut::min_cut(&g).unwrap().weight;
+        assert_eq!(legacy.value, want, "legacy must find the planted cut");
+
+        for mode in [ExecMode::Serial, ExecMode::Parallel] {
+            let mut engine_cluster = cluster_for(&g, seed);
+            let engine_input = common::distribute_edges(&engine_cluster, &g);
+            let engine = registry::run(
+                "mincut",
+                &mut engine_cluster,
+                &AlgoInput::new(g.n(), &engine_input).mincut_trials(trials),
+                mode,
+            )
+            .unwrap()
+            .into_mincut()
+            .unwrap();
+            let engine_rng = rng_positions(&mut engine_cluster);
+
+            assert_eq!(
+                engine, legacy,
+                "bridge {bridge} seed {seed} {mode:?}: min-cut results differ"
+            );
+            assert_eq!(
+                engine_rng, legacy_rng,
+                "bridge {bridge} seed {seed} {mode:?}: RNG positions differ"
+            );
+        }
+    }
+}
+
+#[test]
+fn mincut_approx_program_is_bit_identical_to_legacy() {
+    for (g, eps, seed) in [
+        (
+            generators::planted_cut(20, 0.8, 4, 1).with_random_weights(8, 1),
+            0.3f64,
+            1u64,
+        ),
+        (generators::gnm(48, 700, 3), 0.3, 3),
+    ] {
+        let make = |s| {
+            Cluster::new(
+                ClusterConfig::new(g.n(), g.m())
+                    .seed(s)
+                    .polylog_exponent(1.6),
+            )
+        };
+        let mut legacy_cluster = make(seed);
+        let legacy_input = common::distribute_edges(&legacy_cluster, &g);
+        let legacy =
+            mpc_core::ported::approximate_min_cut(&mut legacy_cluster, g.n(), &legacy_input, eps)
+                .unwrap();
+        let legacy_rng = rng_positions(&mut legacy_cluster);
+
+        for mode in [ExecMode::Serial, ExecMode::Parallel] {
+            let mut engine_cluster = make(seed);
+            let engine_input = common::distribute_edges(&engine_cluster, &g);
+            let engine = registry::run(
+                "mincut-approx",
+                &mut engine_cluster,
+                &AlgoInput::new(g.n(), &engine_input).epsilon(eps),
+                mode,
+            )
+            .unwrap()
+            .into_mincut_approx()
+            .unwrap();
+            let engine_rng = rng_positions(&mut engine_cluster);
+
+            // `parallel_rounds` counts rounds and so is engine-geometry by
+            // design (see the module header); everything the theorem
+            // speaks about must match bit-for-bit.
+            assert_eq!(
+                (engine.estimate, engine.lambda_guess, engine.skeleton_edges),
+                (legacy.estimate, legacy.lambda_guess, legacy.skeleton_edges),
+                "seed {seed} {mode:?}: approx min-cut results differ"
+            );
+            assert_eq!(
+                engine_rng, legacy_rng,
+                "seed {seed} {mode:?}: RNG positions differ"
+            );
+        }
+    }
+}
+
+// --------------------------------------------------------- mst-approx --
+
+#[test]
+fn mst_approx_program_is_bit_identical_to_legacy() {
+    for (eps, seed) in [(0.25f64, 2u64), (0.5, 3)] {
+        let g = generators::gnm(80, 400, seed).with_random_weights(32, seed);
+        let make = |s| {
+            Cluster::new(
+                ClusterConfig::new(g.n(), g.m())
+                    .seed(s)
+                    .polylog_exponent(2.6),
+            )
+        };
+        let mut legacy_cluster = make(seed);
+        let legacy_input = common::distribute_edges(&legacy_cluster, &g);
+        let legacy = mpc_core::ported::approximate_mst_weight(
+            &mut legacy_cluster,
+            g.n(),
+            &legacy_input,
+            eps,
+        )
+        .unwrap();
+        let legacy_rng = rng_positions(&mut legacy_cluster);
+
+        for mode in [ExecMode::Serial, ExecMode::Parallel] {
+            let mut engine_cluster = make(seed);
+            let engine_input = common::distribute_edges(&engine_cluster, &g);
+            let engine = registry::run(
+                "mst-approx",
+                &mut engine_cluster,
+                &AlgoInput::new(g.n(), &engine_input).epsilon(eps),
+                mode,
+            )
+            .unwrap()
+            .into_mst_approx()
+            .unwrap();
+            let engine_rng = rng_positions(&mut engine_cluster);
+
+            assert_eq!(
+                (
+                    engine.estimate,
+                    engine.thresholds.clone(),
+                    engine.component_counts.clone()
+                ),
+                (
+                    legacy.estimate,
+                    legacy.thresholds.clone(),
+                    legacy.component_counts.clone()
+                ),
+                "eps {eps} seed {seed} {mode:?}: MST estimates differ"
+            );
+            assert_eq!(
+                engine_rng, legacy_rng,
+                "eps {eps} seed {seed} {mode:?}: RNG positions differ"
+            );
+        }
+    }
+}
+
+// ------------------------------------------------- min-cut edge cases --
+
+/// Empty, disconnected, and single-edge graphs through *both* paths: the
+/// legacy loop and the engine program must agree (and be right).
+#[test]
+fn mincut_edge_cases_agree_across_paths() {
+    let two_cliques = {
+        let mut edges: Vec<Edge> = generators::complete(5).edges().to_vec();
+        for e in generators::complete(5).edges() {
+            edges.push(Edge::new(e.u + 5, e.v + 5, e.w));
+        }
+        Graph::new(10, edges)
+    };
+    let cases: Vec<(&str, Graph, u128)> = vec![
+        ("empty", Graph::empty(8), 0),
+        ("disconnected", two_cliques, 0),
+        (
+            "single-edge",
+            Graph::new(2, vec![Edge::unweighted(0, 1)]),
+            1,
+        ),
+    ];
+    for (name, g, want) in cases {
+        let make = || Cluster::new(ClusterConfig::new(g.n(), g.m().max(1)).seed(9));
+        let mut legacy_cluster = make();
+        let legacy_input = common::distribute_edges(&legacy_cluster, &g);
+        let legacy =
+            mpc_core::ported::heterogeneous_min_cut(&mut legacy_cluster, g.n(), &legacy_input, 4)
+                .unwrap();
+        assert_eq!(legacy.value, want, "{name}: legacy value");
+
+        let mut engine_cluster = make();
+        let engine_input = common::distribute_edges(&engine_cluster, &g);
+        let engine = registry::run(
+            "mincut",
+            &mut engine_cluster,
+            &AlgoInput::new(g.n(), &engine_input).mincut_trials(4),
+            ExecMode::Parallel,
+        )
+        .unwrap()
+        .into_mincut()
+        .unwrap();
+        assert_eq!(engine, legacy, "{name}: engine diverged from legacy");
+    }
+
+    // The approximate path on a disconnected input: estimate 0, again on
+    // both paths.
+    let forest = generators::random_forest(40, 2, 2);
+    let make = || {
+        Cluster::new(
+            ClusterConfig::new(forest.n(), forest.m())
+                .seed(2)
+                .polylog_exponent(1.6),
+        )
+    };
+    let mut legacy_cluster = make();
+    let legacy_input = common::distribute_edges(&legacy_cluster, &forest);
+    let legacy =
+        mpc_core::ported::approximate_min_cut(&mut legacy_cluster, forest.n(), &legacy_input, 0.4)
+            .unwrap();
+    assert_eq!(legacy.estimate, 0.0);
+    let mut engine_cluster = make();
+    let engine_input = common::distribute_edges(&engine_cluster, &forest);
+    let engine = registry::run(
+        "mincut-approx",
+        &mut engine_cluster,
+        &AlgoInput::new(forest.n(), &engine_input).epsilon(0.4),
+        ExecMode::Parallel,
+    )
+    .unwrap()
+    .into_mincut_approx()
+    .unwrap();
+    assert_eq!(engine.estimate, 0.0);
+}
+
 // --------------------------------------- schedule independence (pool) --
 
 /// Engine runs must be bit-identical across Serial / Parallel at worker
@@ -310,15 +641,28 @@ fn weighted_spanner_matches_legacy() {
 /// the adapters do.
 #[test]
 fn engine_algorithms_are_schedule_independent_at_threads_1_3_16() {
-    use mpc_exec::{Driven, Executor, MatchingProgram, MstProgram, SpannerProgram};
+    use mpc_exec::{
+        ColoringProgram, Driven, Executor, MatchingProgram, MinCutApproxProgram, MinCutProgram,
+        MisProgram, MstApproxProgram, MstProgram, SpannerProgram,
+    };
 
     let g = generators::gnm(140, 1100, 9).with_random_weights(1 << 16, 9);
-    for name in ["mst", "matching", "spanner"] {
+    for name in [
+        "mst",
+        "matching",
+        "spanner",
+        "mst-approx",
+        "mincut",
+        "mincut-approx",
+        "mis",
+        "coloring",
+    ] {
+        let polylog = registry::get(name).unwrap().polylog_exponent;
         let run = |mode: ExecMode, threads: usize| {
             let mut cluster = Cluster::new(
                 ClusterConfig::new(g.n(), g.m())
                     .seed(9)
-                    .polylog_exponent(1.6),
+                    .polylog_exponent(polylog),
             );
             let edges = common::distribute_edges(&cluster, &g);
             let large = cluster.large().unwrap();
@@ -342,7 +686,7 @@ fn engine_algorithms_are_schedule_independent_at_threads_1_3_16() {
                     let r = out.programs[large].0.result.take().unwrap().unwrap();
                     r.matching.len() as u64
                 }
-                _ => {
+                "spanner" => {
                     let programs: Vec<_> = SpannerProgram::for_cluster(&cluster, g.n(), &edges, 3)
                         .into_iter()
                         .map(Driven)
@@ -351,6 +695,58 @@ fn engine_algorithms_are_schedule_independent_at_threads_1_3_16() {
                     let r = out.programs[large].0.result.take().unwrap();
                     r.spanner.m() as u64
                 }
+                "mst-approx" => {
+                    let programs: Vec<_> =
+                        MstApproxProgram::for_cluster(&cluster, g.n(), &edges, 0.5)
+                            .into_iter()
+                            .map(Driven)
+                            .collect();
+                    let mut out = exec.run(&mut cluster, programs).unwrap();
+                    let r = out.programs[large].0.result.take().unwrap();
+                    r.estimate.to_bits() ^ r.component_counts.len() as u64
+                }
+                "mincut" => {
+                    let programs: Vec<_> = MinCutProgram::for_cluster(&cluster, g.n(), &edges, 4)
+                        .into_iter()
+                        .map(Driven)
+                        .collect();
+                    let mut out = exec.run(&mut cluster, programs).unwrap();
+                    let r = out.programs[large].0.result.take().unwrap();
+                    r.value as u64 * 31 + r.trial_sizes.len() as u64
+                }
+                "mincut-approx" => {
+                    let programs: Vec<_> =
+                        MinCutApproxProgram::for_cluster(&cluster, g.n(), &edges, 0.3)
+                            .into_iter()
+                            .map(Driven)
+                            .collect();
+                    let mut out = exec.run(&mut cluster, programs).unwrap();
+                    let r = out.programs[large].0.result.take().unwrap();
+                    r.estimate.to_bits() ^ r.lambda_guess
+                }
+                "mis" => {
+                    let programs: Vec<_> = MisProgram::for_cluster(&cluster, g.n(), &edges)
+                        .into_iter()
+                        .map(Driven)
+                        .collect();
+                    let mut out = exec.run(&mut cluster, programs).unwrap();
+                    let r = out.programs[large].0.result.take().unwrap();
+                    r.mis
+                        .iter()
+                        .fold(0u64, |a, &v| a.wrapping_mul(0x100_0000_01b3) ^ v as u64)
+                }
+                "coloring" => {
+                    let programs: Vec<_> = ColoringProgram::for_cluster(&cluster, g.n(), &edges)
+                        .into_iter()
+                        .map(Driven)
+                        .collect();
+                    let mut out = exec.run(&mut cluster, programs).unwrap();
+                    let r = out.programs[large].0.result.take().unwrap();
+                    r.colors
+                        .iter()
+                        .fold(0u64, |a, &c| a.wrapping_mul(0x100_0000_01b3) ^ c as u64)
+                }
+                other => unreachable!("no schedule-independence driver for '{other}'"),
             };
             let log = cluster.round_log().to_vec();
             let rng = rng_positions(&mut cluster);

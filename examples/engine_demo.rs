@@ -23,13 +23,12 @@ fn main() {
     );
 
     for algo in registry::algorithms() {
-        // Connectivity moves Θ(polylog)-word sketches per vertex; its tests
-        // and benches give it the matching capacity headroom.
-        let config = if algo.name == "connectivity" {
-            het_mpc::core::ported::connectivity::sketch_friendly_config(g.n(), g.m(), 42)
-        } else {
-            ClusterConfig::new(g.n(), g.m()).seed(42)
-        };
+        // Every algorithm declares the polylog capacity headroom its
+        // traffic honestly needs (sketches, conflict edges, ...), so new
+        // registrations get a suitable cluster without edits here.
+        let config = ClusterConfig::new(g.n(), g.m())
+            .seed(42)
+            .polylog_exponent(algo.polylog_exponent);
         let mut cluster = Cluster::new(config);
         // One small machine runs at 5% speed — watch the critical path.
         let straggler = cluster.small_ids()[0];
@@ -59,6 +58,35 @@ fn main() {
                 r.spanner.m(),
                 g.m(),
                 r.stats.levels
+            ),
+            AlgoOutput::MstApprox(r) => format!(
+                "MST weight ≈ {:.0} ({} thresholds, {} parallel rounds)",
+                r.estimate,
+                r.thresholds.len(),
+                r.parallel_rounds
+            ),
+            AlgoOutput::MinCut(r) => format!(
+                "min cut {} ({}, {} trials)",
+                r.value,
+                if r.singleton {
+                    "singleton"
+                } else {
+                    "contracted"
+                },
+                r.trial_sizes.len()
+            ),
+            AlgoOutput::MinCutApprox(r) => format!(
+                "min cut ≈ {:.1} (λ̂ = {}, {} skeleton edges)",
+                r.estimate, r.lambda_guess, r.skeleton_edges
+            ),
+            AlgoOutput::Mis(r) => format!(
+                "maximal independent set of {} vertices ({} iterations)",
+                r.mis.len(),
+                r.iterations
+            ),
+            AlgoOutput::Coloring(r) => format!(
+                "proper coloring with {} conflict edges ({} restarts)",
+                r.conflict_edges, r.restarts
             ),
         };
 

@@ -62,8 +62,10 @@ pub mod prelude {
     pub use mpc_core::common;
     pub use mpc_core::{matching, mst, ported, spanner};
     pub use mpc_exec::adapters::{
-        heterogeneous_connectivity, heterogeneous_matching, heterogeneous_mst,
-        heterogeneous_spanner, heterogeneous_spanner_weighted,
+        approximate_min_cut, approximate_mst_weight, heterogeneous_coloring,
+        heterogeneous_connectivity, heterogeneous_matching, heterogeneous_min_cut,
+        heterogeneous_mis, heterogeneous_mst, heterogeneous_spanner,
+        heterogeneous_spanner_weighted,
     };
     pub use mpc_exec::registry::{self, AlgoInput, AlgoOutput};
     pub use mpc_exec::{ExecMode, Executor, MachineProgram, StepOutcome};
