@@ -6,7 +6,10 @@
 //! `(1±ε)` of `p` times its true weight, so `min-cut(skeleton)/p` is a
 //! `(1±ε)` estimate. Since `λ` is unknown, all `O(log W·n)` geometric
 //! guesses run in parallel (here: sequentially, with the parallel round
-//! figure reported); the right guess is the sparsest skeleton that is still
+//! figure reported — this legacy loop survives as the equivalence oracle
+//! for the engine's batched path in `mpc_exec::multiplex`, which runs all
+//! guesses interleaved and achieves the parallel figure for real); the
+//! right guess is the sparsest skeleton that is still
 //! connected and has `Ω(log n/ε²)` min degree — coarser guesses
 //! under-sample and disconnect, finer ones only waste memory. As the paper
 //! notes, the whole procedure reduces to connectivity plus one local

@@ -13,8 +13,11 @@
 //! by at most a `(1+ε)` factor, giving a `(1+ε)`-approximation from
 //! `O(log_{1+ε} W)` connectivity instances — each the `O(1)`-round sketch
 //! connectivity of Theorem C.1, run **in parallel** in the paper. This
-//! implementation runs them sequentially and reports both the sum of rounds
-//! and the parallel figure (max over instances).
+//! legacy implementation runs them sequentially and reports both the sum
+//! of rounds and the parallel figure (max over instances); it survives as
+//! the equivalence oracle for the engine's batched path
+//! (`mpc_exec::multiplex`), which interleaves all instances into one
+//! engine run and achieves the parallel figure for real.
 
 use super::connectivity::{components_below_threshold, ConnectivityConfig};
 use crate::common;

@@ -380,14 +380,33 @@ pub fn weighted_by_classes<E>(
     edges: &ShardedVec<Edge>,
     mut run_class: impl FnMut(&ShardedVec<Edge>) -> Result<SpannerResult, E>,
 ) -> Result<SpannerResult, E> {
+    let classes = weight_class_shards(edges);
+    let mut results = Vec::with_capacity(classes.shards.len());
+    for (_c, class_edges) in &classes.shards {
+        results.push(run_class(class_edges)?);
+    }
+    Ok(merge_class_results(n, &classes, results))
+}
+
+/// The factor-2 weight classes of a sharded edge set: `total` is the class
+/// count of the weight range (`⌊log₂ W⌋ + 1`, including empty classes —
+/// the figure `SpannerStats::weight_classes` reports), `shards` the
+/// non-empty classes (with their class index) in ascending weight order —
+/// the order both the sequential loop and the batched scheduler's
+/// instance list use, so per-machine RNG draws line up across the paths.
+pub struct WeightClasses {
+    /// `⌊log₂ W⌋ + 1` — factor-2 classes covering the weight range.
+    pub total: usize,
+    /// `(class index, class-filtered shards)` for every non-empty class.
+    pub shards: Vec<(usize, ShardedVec<Edge>)>,
+}
+
+/// Splits `edges` into factor-2 weight classes (see [`WeightClasses`]).
+pub fn weight_class_shards(edges: &ShardedVec<Edge>) -> WeightClasses {
     let max_w = edges.iter().map(|(_, e)| e.w).max().unwrap_or(1).max(1);
-    let classes = (max_w as f64).log2().floor() as usize + 1;
-    let mut all_edges: Vec<Edge> = Vec::new();
-    let mut stats = SpannerStats {
-        weight_classes: classes,
-        ..Default::default()
-    };
-    for c in 0..classes {
+    let total = (max_w as f64).log2().floor() as usize + 1;
+    let mut shards = Vec::new();
+    for c in 0..total {
         let (lo, hi) = (1u64 << c, (1u64 << (c + 1)) - 1);
         let class_edges: ShardedVec<Edge> = ShardedVec::from_shards(
             (0..edges.machines())
@@ -401,16 +420,36 @@ pub fn weighted_by_classes<E>(
                 })
                 .collect(),
         );
-        if class_edges.total_len() == 0 {
-            continue;
+        if class_edges.total_len() > 0 {
+            shards.push((c, class_edges));
         }
-        let r = run_class(&class_edges)?;
+    }
+    WeightClasses { total, shards }
+}
+
+/// Merges the per-class spanners back into one weighted result: restores
+/// each class's true weights on its witness edges and folds the
+/// statistics — the tail of the \[22\] reduction, shared by the sequential
+/// loop and the batched multi-program run (`results[i]` belongs to
+/// `classes.shards[i]`).
+pub fn merge_class_results(
+    n: usize,
+    classes: &WeightClasses,
+    results: Vec<SpannerResult>,
+) -> SpannerResult {
+    assert_eq!(classes.shards.len(), results.len(), "one result per class");
+    let mut all_edges: Vec<Edge> = Vec::new();
+    let mut stats = SpannerStats {
+        weight_classes: classes.total,
+        ..Default::default()
+    };
+    for ((_c, class_edges), r) in classes.shards.iter().zip(results) {
         stats.levels = stats.levels.max(r.stats.levels);
         stats.star_edges += r.stats.star_edges;
         stats.phase1_edges += r.stats.phase1_edges;
         stats.removal_edges += r.stats.removal_edges;
         // Restore true weights on the witness edges of this class.
-        let class_graph = common::collect_graph(n, &class_edges);
+        let class_graph = common::collect_graph(n, class_edges);
         let weight_of: HashMap<(VertexId, VertexId), u64> = class_graph
             .edges()
             .iter()
@@ -421,10 +460,10 @@ pub fn weighted_by_classes<E>(
             all_edges.push(Edge::new(e.u, e.v, w));
         }
     }
-    Ok(SpannerResult {
+    SpannerResult {
         spanner: Graph::new(n, all_edges),
         stats,
-    })
+    }
 }
 
 fn distinct_endpoints(edges: &[Edge]) -> usize {

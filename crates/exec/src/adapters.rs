@@ -9,15 +9,18 @@
 
 use crate::combinators::Driven;
 use crate::driver::{ExecError, ExecMode, Executor};
+use crate::multiplex::{CapacityFactor, Multiplexed};
 use crate::programs::{
-    BoruvkaProgram, ColoringProgram, ConnectivityProgram, MatchingProgram, MinCutApproxProgram,
-    MinCutProgram, MisProgram, MstApproxProgram, MstProgram, SpannerProgram,
+    BoruvkaProgram, ColoringProgram, ConnectivityProgram, GuessOutcome, MatchingProgram,
+    MinCutApproxProgram, MinCutGuessWave, MinCutProgram, MisProgram, MstApproxProgram,
+    MstApproxWave, MstProgram, SpannerProgram, XCutFallback,
 };
 use mpc_core::matching::MatchingResult;
 use mpc_core::mst::{MstConfig, MstResult};
 use mpc_core::ported::coloring::ColoringResult;
 use mpc_core::ported::connectivity::ConnectivityConfig;
 use mpc_core::ported::mincut_approx::ApproxMinCut;
+use mpc_core::ported::mincut_approx::SkeletonVerdict;
 use mpc_core::ported::mincut_exact::MinCutResult;
 use mpc_core::ported::mis::MisResult;
 use mpc_core::ported::mst_approx::MstApprox;
@@ -25,7 +28,9 @@ use mpc_core::spanner::SpannerResult;
 use mpc_graph::mst::Forest;
 use mpc_graph::traversal::Components;
 use mpc_graph::Edge;
-use mpc_runtime::{Cluster, ShardedVec};
+use mpc_runtime::{Cluster, MachineId, ShardedVec};
+use rand::Rng;
+use std::sync::Arc;
 
 /// Engine-backed twin of
 /// [`mpc_core::ported::heterogeneous_connectivity`]: identical results,
@@ -181,16 +186,91 @@ pub fn heterogeneous_spanner(
 }
 
 /// Engine-backed twin of
-/// [`mpc_core::spanner::heterogeneous_spanner_weighted`]: one unweighted
-/// engine run per factor-2 weight class (the \[22\] reduction), with true
-/// weights restored on the witness edges — the same sequential class loop
-/// as the legacy path, so the per-machine RNG streams stay aligned class
-/// by class.
+/// [`mpc_core::spanner::heterogeneous_spanner_weighted`], **batched**: all
+/// factor-2 weight classes (the \[22\] reduction) run as interleaved
+/// instances of the [multi-program scheduler](crate::multiplex) in a
+/// single engine pass — one 17-round spanner clock for *every* class,
+/// instead of one per class. The spanner program's draws happen at fixed
+/// rounds and the scheduler steps instances in class order, so each
+/// machine consumes its RNG stream class-major — exactly the sequential
+/// loop's order — and the spanner, statistics, and RNG stream positions
+/// are bit-identical to the sequential (and legacy) paths.
 ///
 /// # Errors
 ///
 /// Propagates capacity violations; see [`ExecError`].
 pub fn heterogeneous_spanner_weighted(
+    cluster: &mut Cluster,
+    n: usize,
+    edges: &ShardedVec<Edge>,
+    k: usize,
+    mode: ExecMode,
+) -> Result<SpannerResult, ExecError> {
+    heterogeneous_spanner_weighted_opts(cluster, n, edges, k, mode, 0)
+}
+
+/// [`heterogeneous_spanner_weighted`] with an explicit worker-thread cap
+/// (0 = executor default) — the knob the schedule-independence tests turn.
+///
+/// # Errors
+///
+/// See [`heterogeneous_spanner_weighted`].
+pub fn heterogeneous_spanner_weighted_opts(
+    cluster: &mut Cluster,
+    n: usize,
+    edges: &ShardedVec<Edge>,
+    k: usize,
+    mode: ExecMode,
+    threads: usize,
+) -> Result<SpannerResult, ExecError> {
+    let classes = mpc_core::spanner::weight_class_shards(edges);
+    if classes.shards.is_empty() {
+        return Ok(mpc_core::spanner::merge_class_results(
+            n,
+            &classes,
+            Vec::new(),
+        ));
+    }
+    let per_instance: Vec<Vec<Driven<SpannerProgram>>> = classes
+        .shards
+        .iter()
+        .map(|(_c, class_edges)| {
+            SpannerProgram::for_cluster(cluster, n, class_edges, k)
+                .into_iter()
+                .map(Driven)
+                .collect()
+        })
+        .collect();
+    let muxed = Multiplexed::build(cluster, per_instance);
+    let large = cluster.large().expect("spanner requires a large machine");
+    let mut outcome = {
+        let mut scaled = CapacityFactor::scale(cluster, classes.shards.len());
+        Executor::new("wspan", mode)
+            .threads(threads)
+            .run(scaled.cluster(), muxed)
+    }?;
+    let coordinator = &mut outcome.programs[large];
+    let results: Vec<SpannerResult> = (0..coordinator.instances())
+        .map(|i| {
+            coordinator
+                .instance_mut(i)
+                .0
+                .result
+                .take()
+                .expect("large machine halts with a per-class result")
+        })
+        .collect();
+    Ok(mpc_core::spanner::merge_class_results(n, &classes, results))
+}
+
+/// The PR 4 sequential composition of the weighted spanner: one engine run
+/// per weight class, kept as the equivalence oracle for the batched path
+/// (identical results and RNG stream positions, `O(classes)`× the rounds).
+///
+/// # Errors
+///
+/// Propagates capacity violations; see [`ExecError`].
+pub fn heterogeneous_spanner_weighted_sequential(
     cluster: &mut Cluster,
     n: usize,
     edges: &ShardedVec<Edge>,
@@ -284,17 +364,161 @@ pub fn heterogeneous_min_cut(
         .expect("large machine halts with a result"))
 }
 
-/// Engine-backed twin of [`mpc_core::ported::approximate_min_cut`]: the
-/// `O(1)`-round (1±ε)-approximate weighted minimum cut on the execution
-/// engine. Estimate, λ̂ guess, skeleton size, and RNG stream positions are
-/// bit-identical to the legacy path; the `parallel_rounds` figure counts
-/// *engine* rounds per guess (engine round geometry differs from the
-/// legacy primitives' by design).
+/// Engine-backed twin of [`mpc_core::ported::approximate_min_cut`],
+/// **batched**: every geometric λ̂ guess runs as an interleaved instance of
+/// the [multi-program scheduler](crate::multiplex) — one 4-round wave for
+/// *all* guesses (the paper's parallel figure) instead of one wave per
+/// guess. Small machines sample the guesses in guess order within the
+/// first combined round (the legacy per-machine draw order, so every
+/// guess's skeleton is bit-identical to the sequential path's); the
+/// coordinator retires all guesses finer than the first to overflow its
+/// skeleton budget (the legacy abort), and the winner is chosen by the
+/// same largest-first scan. Estimate, λ̂ guess, and skeleton size match the
+/// sequential path per instance; RNG stream positions advance further than
+/// the sequential path's whenever its early exit skipped later guesses
+/// (the batched run samples them all up front, as the paper does).
 ///
 /// # Errors
 ///
 /// Propagates capacity violations in strict mode; see [`ExecError`].
 pub fn approximate_min_cut(
+    cluster: &mut Cluster,
+    n: usize,
+    edges: &ShardedVec<Edge>,
+    epsilon: f64,
+    mode: ExecMode,
+) -> Result<ApproxMinCut, ExecError> {
+    approximate_min_cut_opts(cluster, n, edges, epsilon, mode, 0)
+}
+
+/// [`approximate_min_cut`] with an explicit worker-thread cap (0 =
+/// executor default).
+///
+/// # Errors
+///
+/// See [`approximate_min_cut`].
+pub fn approximate_min_cut_opts(
+    cluster: &mut Cluster,
+    n: usize,
+    edges: &ShardedVec<Edge>,
+    epsilon: f64,
+    mode: ExecMode,
+    threads: usize,
+) -> Result<ApproxMinCut, ExecError> {
+    assert!(
+        (0.0..1.0).contains(&epsilon) && epsilon > 0.0,
+        "epsilon in (0,1)"
+    );
+    let large = cluster.large().expect("min cut requires a large machine");
+    assert!(
+        edges.shard(large).is_empty(),
+        "engine programs expect the input on the small machines only"
+    );
+    // Guess grid and sampling constant, host-side — the same derivation
+    // the legacy loop performs before its first round.
+    let total_weight: u64 = edges.iter().map(|(_, e)| e.w).sum();
+    let c_sample = mpc_core::ported::mincut_approx::c_sample_for(n, epsilon);
+    let guesses = mpc_core::ported::mincut_approx::lambda_guesses(total_weight);
+    let shards: Vec<Arc<[Edge]>> = (0..cluster.machines())
+        .map(|mid| Arc::from(edges.shard(mid)))
+        .collect();
+    let per_instance: Vec<Vec<Driven<MinCutGuessWave>>> = guesses
+        .iter()
+        .map(|&guess| {
+            shards
+                .iter()
+                .map(|shard| Driven(MinCutGuessWave::new(n, c_sample, guess, shard.clone())))
+                .collect()
+        })
+        .collect();
+    let mut muxed = Multiplexed::build(cluster, per_instance);
+    // Early-exit controller on the coordinator: the first guess to
+    // overflow its skeleton budget retires every finer guess — their
+    // staged `Ship` commands are discarded before they leave the machine,
+    // so retired guesses contribute zero traffic to later combined rounds.
+    let coordinator = muxed.remove(large).with_controller(Box::new(|_ctx, slots| {
+        if let Some(j) = slots
+            .iter()
+            .position(|s| matches!(s.program.0.outcome, Some(GuessOutcome::OverBudget)))
+        {
+            for slot in &mut slots[j + 1..] {
+                if !slot.is_retired() {
+                    slot.retire();
+                }
+            }
+        }
+    }));
+    muxed.insert(large, coordinator);
+    let outcome = {
+        let mut scaled = CapacityFactor::scale(cluster, guesses.len());
+        Executor::new("xcut", mode)
+            .threads(threads)
+            .run(scaled.cluster(), muxed)
+    }?;
+    let parallel_rounds = outcome.rounds;
+
+    // The legacy largest-first scan over the per-guess verdicts: the first
+    // over-budget guess aborts to the fallback, the first concentrated
+    // estimate wins, anything else keeps scanning.
+    let coordinator = &outcome.programs[large];
+    let mut winner: Option<ApproxMinCut> = None;
+    for (i, &guess) in guesses.iter().enumerate() {
+        match &coordinator.instance(i).0.outcome {
+            // Over budget, or retired behind an over-budget guess: the
+            // legacy loop would have broken to the fallback here.
+            None | Some(GuessOutcome::OverBudget) => break,
+            Some(GuessOutcome::Judged {
+                verdict,
+                skeleton_edges,
+            }) => match verdict {
+                SkeletonVerdict::Disconnected | SkeletonVerdict::NotConcentrated => continue,
+                SkeletonVerdict::Estimate(estimate) => {
+                    winner = Some(ApproxMinCut {
+                        estimate: *estimate,
+                        lambda_guess: guess,
+                        skeleton_edges: *skeleton_edges,
+                        parallel_rounds,
+                    });
+                    break;
+                }
+            },
+        }
+    }
+    if let Some(result) = winner {
+        return Ok(result);
+    }
+
+    // Every guess failed (or the budget was hit): gather the whole graph —
+    // the legacy fallback, as a short second engine pass.
+    let programs: Vec<_> = shards
+        .iter()
+        .map(|shard| Driven(XCutFallback::new(n, shard.clone())))
+        .collect();
+    let mut fb = Executor::new("xcut-fb", mode)
+        .threads(threads)
+        .run(cluster, programs)?;
+    let (estimate, m) = fb.programs[large]
+        .0
+        .result
+        .take()
+        .expect("large machine halts with the fallback result");
+    Ok(ApproxMinCut {
+        estimate,
+        lambda_guess: 1,
+        skeleton_edges: m,
+        parallel_rounds: parallel_rounds + fb.rounds,
+    })
+}
+
+/// The PR 4 sequential composition of the approximate min cut (guesses
+/// issued one at a time), kept as the equivalence oracle for the batched
+/// path — estimate, λ̂ guess, skeleton size, and RNG stream positions are
+/// bit-identical to the legacy call-style loop.
+///
+/// # Errors
+///
+/// Propagates capacity violations in strict mode; see [`ExecError`].
+pub fn approximate_min_cut_sequential(
     cluster: &mut Cluster,
     n: usize,
     edges: &ShardedVec<Edge>,
@@ -314,16 +538,125 @@ pub fn approximate_min_cut(
         .expect("large machine halts with a result"))
 }
 
-/// Engine-backed twin of [`mpc_core::ported::approximate_mst_weight`]: the
-/// `O(1)`-round (1+ε)-approximate MST weight on the execution engine.
-/// Estimate, thresholds, component counts, and RNG stream positions are
-/// bit-identical to the legacy path; the `parallel_rounds` figure counts
-/// *engine* rounds per threshold wave.
+/// Engine-backed twin of [`mpc_core::ported::approximate_mst_weight`],
+/// **batched**: every `(1+ε)^j` threshold wave runs as an interleaved
+/// instance of the [multi-program scheduler](crate::multiplex) — one
+/// 3-round sketch-connectivity wave for *all* thresholds (the paper's
+/// parallel figure) instead of one wave per threshold. The per-wave sketch
+/// seeds are pre-drawn from the large machine's stream in ascending
+/// threshold order — the legacy draw order — so estimate, thresholds,
+/// component counts, *and* RNG stream positions are bit-identical to the
+/// sequential composition and the legacy call-style path.
 ///
 /// # Errors
 ///
 /// Propagates capacity violations in strict mode; see [`ExecError`].
 pub fn approximate_mst_weight(
+    cluster: &mut Cluster,
+    n: usize,
+    edges: &ShardedVec<Edge>,
+    epsilon: f64,
+    mode: ExecMode,
+) -> Result<MstApprox, ExecError> {
+    approximate_mst_weight_opts(cluster, n, edges, epsilon, mode, 0)
+}
+
+/// [`approximate_mst_weight`] with an explicit worker-thread cap (0 =
+/// executor default).
+///
+/// # Errors
+///
+/// See [`approximate_mst_weight`].
+pub fn approximate_mst_weight_opts(
+    cluster: &mut Cluster,
+    n: usize,
+    edges: &ShardedVec<Edge>,
+    epsilon: f64,
+    mode: ExecMode,
+    threads: usize,
+) -> Result<MstApprox, ExecError> {
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    let large = cluster
+        .large()
+        .expect("MST estimation requires a large machine");
+    assert!(
+        edges.shard(large).is_empty(),
+        "engine programs expect the input on the small machines only"
+    );
+    let owners: Arc<[MachineId]> = cluster.small_ids().into();
+    assert!(!owners.is_empty(), "MST estimation requires small machines");
+    // Threshold grid host-side (the legacy derivation), then one sketch
+    // seed per threshold from the large machine's stream — the legacy
+    // per-wave draws, performed up front in the legacy order.
+    let w_max = edges.iter().map(|(_, e)| e.w).max().unwrap_or(1).max(1);
+    let thresholds = mpc_core::ported::mst_approx::geometric_thresholds(w_max, epsilon);
+    let phases = mpc_core::ported::connectivity::ConnectivityConfig::for_n(n).phases;
+    let seeds: Vec<u64> = thresholds
+        .iter()
+        .map(|_| cluster.rng(large).random())
+        .collect();
+    let shards: Vec<Arc<[Edge]>> = (0..cluster.machines())
+        .map(|mid| Arc::from(edges.shard(mid)))
+        .collect();
+    let per_instance: Vec<Vec<Driven<MstApproxWave>>> = thresholds
+        .iter()
+        .zip(&seeds)
+        .map(|(&t, &seed)| {
+            shards
+                .iter()
+                .map(|shard| {
+                    Driven(MstApproxWave::new(
+                        n,
+                        phases,
+                        t,
+                        seed,
+                        owners.clone(),
+                        shard.clone(),
+                    ))
+                })
+                .collect()
+        })
+        .collect();
+    let muxed = Multiplexed::build(cluster, per_instance);
+    let outcome = {
+        let mut scaled = CapacityFactor::scale(cluster, thresholds.len());
+        Executor::new("xmst", mode)
+            .threads(threads)
+            .run(scaled.cluster(), muxed)
+    }?;
+    let coordinator = &outcome.programs[large];
+    let component_counts: Vec<usize> = (0..thresholds.len())
+        .map(|i| {
+            coordinator
+                .instance(i)
+                .0
+                .count
+                .expect("large machine halts with a per-wave count")
+        })
+        .collect();
+    let estimate = mpc_core::ported::mst_approx::estimate_from_counts(
+        n,
+        w_max,
+        &thresholds,
+        &component_counts,
+    );
+    Ok(MstApprox {
+        estimate,
+        thresholds,
+        component_counts,
+        parallel_rounds: outcome.rounds,
+    })
+}
+
+/// The PR 4 sequential composition of the MST-weight estimator (one wave
+/// after another), kept as the equivalence oracle for the batched path —
+/// estimate, thresholds, component counts, and RNG stream positions are
+/// bit-identical to the legacy call-style loop.
+///
+/// # Errors
+///
+/// Propagates capacity violations in strict mode; see [`ExecError`].
+pub fn approximate_mst_weight_sequential(
     cluster: &mut Cluster,
     n: usize,
     edges: &ShardedVec<Edge>,

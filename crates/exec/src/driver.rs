@@ -252,7 +252,7 @@ impl Executor {
         let end = match self.mode {
             ExecMode::Serial => {
                 let slots = &slots;
-                self.drive(cluster, slots, &mut |round| {
+                self.drive(cluster, slots, &mut |_mid, _on| {}, &mut |round| {
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         for mid in 0..k {
                             step_slot(&slots[mid], mid, &ctx, round);
@@ -266,7 +266,7 @@ impl Executor {
                 let ids: Vec<usize> = (0..k).collect();
                 let slots = &slots;
                 let ctx = &ctx;
-                self.drive(cluster, slots, &mut |round| {
+                self.drive(cluster, slots, &mut |_mid, _on| {}, &mut |round| {
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         std::thread::scope(|scope| {
                             for chunk_ids in ids.chunks(chunk) {
@@ -287,7 +287,15 @@ impl Executor {
                 let job = move |mid: usize, round: u64| step_slot(&slots_ref[mid], mid, ctx, round);
                 std::thread::scope(|scope| {
                     pool.spawn_workers(scope, &job);
-                    let end = self.drive(cluster, slots_ref, &mut |round| pool.run_round(round));
+                    // Publish each round's activity flags to the pool, so
+                    // workers skip idle machines (halted, nothing in the
+                    // inbox) without a mutex claim cycle.
+                    let end = self.drive(
+                        cluster,
+                        slots_ref,
+                        &mut |mid, on| pool.set_active(mid, on),
+                        &mut |round| pool.run_round(round),
+                    );
                     // Every exit path must release the workers, or the
                     // scope's implicit join would hang.
                     pool.shutdown();
@@ -327,6 +335,7 @@ impl Executor {
         &self,
         cluster: &mut Cluster,
         slots: &[Mutex<MachineSlot<P>>],
+        mark_active: &mut dyn FnMut(MachineId, bool),
         step_all: &mut dyn FnMut(u64) -> Result<(), PanicPayload>,
     ) -> DriveEnd {
         let k = slots.len();
@@ -337,9 +346,10 @@ impl Executor {
 
         loop {
             let mut any_stepping = false;
-            for slot in slots {
+            for (mid, slot) in slots.iter().enumerate() {
                 let mut s = slot.lock().unwrap();
                 s.stepping = !s.halted || !s.inbox.is_empty();
+                mark_active(mid, s.stepping);
                 any_stepping |= s.stepping;
             }
             if !any_stepping {

@@ -48,6 +48,7 @@ pub mod adapters;
 pub mod combinators;
 pub mod driver;
 pub mod machine;
+pub mod multiplex;
 pub mod pool;
 pub mod programs;
 pub mod registry;
@@ -55,6 +56,7 @@ pub mod registry;
 pub use combinators::{Driven, Outbox, Owners, RoleProgram};
 pub use driver::{ExecError, ExecMode, ExecOutcome, Executor};
 pub use machine::{MachineCtx, MachineProgram, StepOutcome};
+pub use multiplex::{Multiplexed, Mux, MuxSlot};
 pub use programs::{
     BoruvkaProgram, ColoringProgram, ConnectivityProgram, MatchingProgram, MinCutApproxProgram,
     MinCutProgram, MisProgram, MstApproxProgram, MstProgram, SpannerProgram,

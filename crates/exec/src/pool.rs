@@ -24,7 +24,7 @@
 //! caller instead of deadlocking the barrier.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::thread::Scope;
 
@@ -50,6 +50,12 @@ pub struct PoolCore {
     workers: usize,
     /// Next unclaimed machine index of the current round.
     next: AtomicUsize,
+    /// Per-item activity mask: the driving thread clears entries for idle
+    /// items (halted machines with empty inboxes, e.g. every machine of a
+    /// retired multiplexed instance) before releasing a round, and workers
+    /// skip them without invoking the job — an idle item costs one relaxed
+    /// atomic load instead of a mutex claim cycle.
+    active: Vec<AtomicBool>,
     coord: Mutex<Coord>,
     /// Wakes workers at a round start (and for shutdown).
     start: Condvar,
@@ -68,6 +74,7 @@ impl PoolCore {
             items,
             workers,
             next: AtomicUsize::new(0),
+            active: (0..items).map(|_| AtomicBool::new(true)).collect(),
             coord: Mutex::new(Coord {
                 epoch: 0,
                 round: 0,
@@ -83,6 +90,14 @@ impl PoolCore {
     /// Number of worker threads the pool was sized for.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Marks item `i` active or idle for the next round. Must only be
+    /// called between rounds (by the driving thread, before
+    /// [`run_round`](PoolCore::run_round)); workers observe the flags via
+    /// the same epoch handshake that publishes the round number.
+    pub fn set_active(&self, i: usize, on: bool) {
+        self.active[i].store(on, Ordering::Relaxed);
     }
 
     /// Spawns the worker threads into `scope`. `job(index, round)` steps
@@ -120,6 +135,9 @@ impl PoolCore {
                 let i = self.next.fetch_add(1, Ordering::Relaxed);
                 if i >= self.items {
                     break;
+                }
+                if !self.active[i].load(Ordering::Relaxed) {
+                    continue;
                 }
                 // Catching inside the claim loop keeps the barrier sound:
                 // the worker still reports completion, and the driving
@@ -199,6 +217,34 @@ mod tests {
         });
         for (i, h) in hits.iter().enumerate() {
             assert_eq!(h.load(Ordering::Relaxed), 5, "item {i}");
+        }
+    }
+
+    #[test]
+    fn idle_items_are_skipped_without_invoking_the_job() {
+        let hits: Vec<AtomicU64> = (0..10).map(|_| AtomicU64::new(0)).collect();
+        let pool = PoolCore::new(hits.len(), 3);
+        let job = |i: usize, _round: u64| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        };
+        std::thread::scope(|scope| {
+            pool.spawn_workers(scope, &job);
+            pool.run_round(0).unwrap();
+            for idle in [2usize, 7] {
+                pool.set_active(idle, false);
+            }
+            pool.run_round(1).unwrap();
+            pool.set_active(2, true);
+            pool.run_round(2).unwrap();
+            pool.shutdown();
+        });
+        for (i, h) in hits.iter().enumerate() {
+            let want = match i {
+                2 => 2,
+                7 => 1,
+                _ => 3,
+            };
+            assert_eq!(h.load(Ordering::Relaxed), want, "item {i}");
         }
     }
 

@@ -7,10 +7,27 @@
 //! the [`combinators`](crate::combinators) layer. All randomness lives on
 //! the *small* machines (one `Binomial(w, p)` draw per local edge per
 //! guess, in shard order — the legacy per-machine order, via the shared
-//! [`sample_binomial`]); the large machine draws nothing. The guesses run
-//! sequentially largest-first exactly like the legacy loop: volume check
-//! before the gather, the same budget rule, the same fallback to a
-//! whole-graph gather when every guess fails.
+//! [`sample_binomial`]); the large machine draws nothing.
+//!
+//! Two execution shapes share the per-guess wave:
+//!
+//! * [`MinCutGuessWave`] — one λ̂ guess as a standalone instance for the
+//!   [multi-program scheduler](crate::multiplex): the **default** path
+//!   runs every guess interleaved in one engine run (`O(1)` combined
+//!   rounds, the paper's parallel figure). Small machines sample all
+//!   guesses in guess order inside the first combined round — the legacy
+//!   per-machine draw order, so each guess's skeleton is bit-identical to
+//!   the sequential path's — and the coordinator keeps the legacy early
+//!   exit by *retiring* every guess finer than the first one to overflow
+//!   its skeleton budget (finer guesses only get denser), so retired
+//!   guesses ship nothing. The winning verdict is chosen by the same
+//!   largest-first scan the sequential loop performs;
+//! * [`MinCutApproxProgram`] — the PR 4 sequential composition (guesses
+//!   issued one at a time, with the same budget rule and whole-graph
+//!   fallback), kept as the equivalence oracle. Its RNG consumption stops
+//!   at the successful guess, whereas the batched path necessarily samples
+//!   every guess up front — results agree per instance, RNG stream
+//!   positions agree only when no early exit fires.
 //!
 //! One guess (`Guess` broadcast at round `R`):
 //!
@@ -29,6 +46,7 @@ use mpc_core::ported::mincut_approx::{
 };
 use mpc_graph::Edge;
 use mpc_runtime::{Cluster, MachineId, Payload, ShardedVec};
+use std::sync::Arc;
 
 /// Phase commands broadcast by the large machine.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -176,6 +194,225 @@ impl MinCutApproxProgram {
         self.result = Some(result);
         self.phase = LPhase::Done;
         out.broadcast(ctx.small_ids_iter(), XCutNetMsg::Cmd(XCutCmd::Finish));
+    }
+}
+
+/// What one batched λ̂ guess concluded on the large machine.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GuessOutcome {
+    /// The sampled skeleton overflowed the (solo-capacity) budget before
+    /// shipping — the legacy abort: every finer guess is pointless.
+    OverBudget,
+    /// The skeleton was shipped and judged.
+    Judged {
+        /// The Stoer–Wagner / connectivity verdict on the skeleton.
+        verdict: SkeletonVerdict,
+        /// Skeleton edge count (the figure the result reports).
+        skeleton_edges: usize,
+    },
+}
+
+/// One λ̂ guess of the Theorem C.4 estimator as a standalone instance for
+/// the [multi-program scheduler](crate::multiplex).
+///
+/// Wave shape (combined-round clock): smalls sample + report counts at
+/// round 0, the large machine budget-checks at round 1 (over budget →
+/// [`GuessOutcome::OverBudget`], halt — the coordinator's controller then
+/// retires every finer guess), smalls ship at round 2, the large machine
+/// judges at round 3. Small machines halt whenever they have nothing in
+/// flight, so a guess that is never shipped costs zero traffic after its
+/// count report.
+pub struct MinCutGuessWave {
+    n: usize,
+    c_sample: f64,
+    /// This instance's λ̂ guess.
+    pub guess: u64,
+    input: Arc<[Edge]>,
+    skeleton: Vec<(Edge, u32)>,
+    /// Rounds tracked by the large machine: the round `Ship` was issued.
+    ship_issued: Option<u64>,
+    /// Set on the large machine when the guess resolves.
+    pub outcome: Option<GuessOutcome>,
+}
+
+impl MinCutGuessWave {
+    /// One machine's half of a single guess wave.
+    pub fn new(n: usize, c_sample: f64, guess: u64, input: Arc<[Edge]>) -> Self {
+        MinCutGuessWave {
+            n,
+            c_sample,
+            guess,
+            input,
+            skeleton: Vec::new(),
+            ship_issued: None,
+            outcome: None,
+        }
+    }
+
+    /// The sampling probability of this guess.
+    fn p(&self) -> f64 {
+        (self.c_sample / self.guess as f64).min(1.0)
+    }
+}
+
+impl RoleProgram for MinCutGuessWave {
+    type Message = XCutNetMsg;
+
+    fn large_step(
+        &mut self,
+        ctx: &MachineCtx<'_>,
+        inbox: Vec<(MachineId, XCutNetMsg)>,
+    ) -> StepOutcome<XCutNetMsg> {
+        if self.outcome.is_some() {
+            return StepOutcome::Halt;
+        }
+        match self.ship_issued {
+            None => {
+                if ctx.round == 0 {
+                    // Counts land next round.
+                    return StepOutcome::idle();
+                }
+                let total: u64 = inbox
+                    .iter()
+                    .filter_map(|(_, m)| match m {
+                        XCutNetMsg::Count(c) => Some(*c),
+                        _ => None,
+                    })
+                    .sum();
+                // `ctx.capacity` is the solo capacity (the multiplexer
+                // snapshots it before the combined-run factor is applied),
+                // so the budget rule is bit-identical to a solo run.
+                if total > skeleton_budget(ctx.capacity) {
+                    self.outcome = Some(GuessOutcome::OverBudget);
+                    return StepOutcome::Halt;
+                }
+                let mut out = Outbox::new();
+                out.broadcast(ctx.small_ids_iter(), XCutNetMsg::Cmd(XCutCmd::Ship));
+                self.ship_issued = Some(ctx.round);
+                out.into_step()
+            }
+            Some(issued) => {
+                if ctx.round < issued + 2 {
+                    // The skeleton is still in flight (possibly empty, so
+                    // stay on the clock rather than waiting for mail).
+                    return StepOutcome::idle();
+                }
+                let sk: Vec<(Edge, u32)> = inbox
+                    .into_iter()
+                    .filter_map(|(_, m)| match m {
+                        XCutNetMsg::Skel(e, c) => Some((e, c)),
+                        _ => None,
+                    })
+                    .collect();
+                ctx.charge(sk.len() as u64 * 3);
+                let verdict = evaluate_skeleton(self.n, &sk, self.c_sample, self.p());
+                self.outcome = Some(GuessOutcome::Judged {
+                    verdict,
+                    skeleton_edges: sk.len(),
+                });
+                StepOutcome::Halt
+            }
+        }
+    }
+
+    fn small_step(
+        &mut self,
+        ctx: &MachineCtx<'_>,
+        inbox: Vec<(MachineId, XCutNetMsg)>,
+    ) -> StepOutcome<XCutNetMsg> {
+        let large = ctx.large.expect("batched min cut requires a large machine");
+        let mut out = Outbox::new();
+        if ctx.round == 0 {
+            // One Binomial(w, p) draw per edge in shard order; the
+            // multiplexer steps instances in guess order, so the machine's
+            // stream is consumed guess-major — the legacy order.
+            let p = self.p();
+            for e in self.input.iter() {
+                let copies = sample_binomial(&mut ctx.rng(), e.w, p);
+                if copies > 0 {
+                    self.skeleton.push((*e, copies));
+                }
+            }
+            ctx.charge(self.input.len() as u64);
+            out.send(large, XCutNetMsg::Count(self.skeleton.len() as u64));
+            return out.into_step();
+        }
+        let ship = inbox
+            .iter()
+            .any(|(_, m)| matches!(m, XCutNetMsg::Cmd(XCutCmd::Ship)));
+        if ship {
+            for &(e, c) in &self.skeleton {
+                out.send(large, XCutNetMsg::Skel(e, c));
+            }
+            return out.into_step();
+        }
+        // Nothing in flight for this guess on this machine: sleep (a later
+        // `Ship` would reactivate, a retired guess never will).
+        StepOutcome::Halt
+    }
+}
+
+/// The whole-graph fallback of Theorem C.4 (every guess failed or the
+/// budget was hit): gather the input to the large machine and solve
+/// locally — the engine twin of the legacy `xcut.fallback` gather, run as
+/// a short second engine pass only when the batched guesses demand it.
+pub struct XCutFallback {
+    n: usize,
+    input: Arc<[Edge]>,
+    /// Set on the large machine: `(estimate, gathered edge count)`.
+    pub result: Option<(f64, usize)>,
+}
+
+impl XCutFallback {
+    /// One machine's half of the fallback gather.
+    pub fn new(n: usize, input: Arc<[Edge]>) -> Self {
+        XCutFallback {
+            n,
+            input,
+            result: None,
+        }
+    }
+}
+
+impl RoleProgram for XCutFallback {
+    type Message = XCutNetMsg;
+
+    fn large_step(
+        &mut self,
+        ctx: &MachineCtx<'_>,
+        inbox: Vec<(MachineId, XCutNetMsg)>,
+    ) -> StepOutcome<XCutNetMsg> {
+        if ctx.round == 0 {
+            return StepOutcome::idle();
+        }
+        let all: Vec<Edge> = inbox
+            .into_iter()
+            .filter_map(|(_, m)| match m {
+                XCutNetMsg::AllEdge(e) => Some(e),
+                _ => None,
+            })
+            .collect();
+        ctx.charge(all.len() as u64 * 2);
+        let g = mpc_graph::Graph::new(self.n, all);
+        let est = mpc_graph::mincut::min_cut(&g).map_or(0.0, |m| m.weight as f64);
+        self.result = Some((est, g.m()));
+        StepOutcome::Halt
+    }
+
+    fn small_step(
+        &mut self,
+        ctx: &MachineCtx<'_>,
+        _inbox: Vec<(MachineId, XCutNetMsg)>,
+    ) -> StepOutcome<XCutNetMsg> {
+        if ctx.round > 0 {
+            return StepOutcome::Halt;
+        }
+        let large = ctx.large.expect("batched min cut requires a large machine");
+        let mut out = Outbox::new();
+        for e in self.input.iter() {
+            out.send(large, XCutNetMsg::AllEdge(*e));
+        }
+        out.into_step()
     }
 }
 

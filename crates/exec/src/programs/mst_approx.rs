@@ -9,9 +9,19 @@
 //! re-keyed onto a per-wave clock — the large machine draws one sketch seed
 //! per threshold (the legacy draw order; small machines draw nothing), the
 //! smalls sketch their weight-filtered shards, hash-owners merge by
-//! linearity, and the large machine runs sketch-Borůvka locally. The paper
-//! runs the instances in parallel; like the legacy path this runs them
-//! sequentially and reports the parallel figure (max rounds over waves).
+//! linearity, and the large machine runs sketch-Borůvka locally.
+//!
+//! Two execution shapes share that wave:
+//!
+//! * [`MstApproxWave`] — one threshold as a standalone instance for the
+//!   [multi-program scheduler](crate::multiplex): the **default** path runs
+//!   all waves interleaved in one engine run (`O(1)` combined rounds, the
+//!   paper's parallel figure), with the per-wave seeds pre-drawn by the
+//!   batched adapter in the legacy threshold order so results *and* RNG
+//!   stream positions stay bit-identical to the sequential composition;
+//! * [`MstApproxProgram`] — the PR 4 sequential composition (one wave
+//!   after another inside a single program), kept as the equivalence
+//!   oracle the batched path is tested against.
 //!
 //! One wave (`Wave` broadcast at round `W`):
 //!
@@ -29,6 +39,7 @@ use mpc_runtime::{Cluster, MachineId, Payload, ShardedVec};
 use mpc_sketch::{sketch_connectivity, SketchFamily, SparseSketch, VertexSketch};
 use rand::Rng;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Messages of the MST-weight estimator program.
 #[derive(Clone, Debug)]
@@ -139,6 +150,140 @@ impl MstApproxProgram {
         self.seed = ctx.rng().random();
         out.broadcast(ctx.small_ids_iter(), MstApproxNetMsg::Wave(t, self.seed));
         self.phase = LPhase::Wave { issued: ctx.round };
+    }
+}
+
+/// One threshold wave of the Theorem C.2 estimator as a standalone
+/// instance for the [multi-program scheduler](crate::multiplex): sketch
+/// the weight-filtered shard, merge at owners, count components on the
+/// large machine — three combined rounds for *every* threshold at once.
+///
+/// The sketch seed is baked in at construction (pre-drawn by the batched
+/// adapter from the large machine's stream, one per threshold in ascending
+/// threshold order — exactly the legacy draw order), so the instance draws
+/// nothing at run time and the per-machine RNG positions after the batched
+/// run equal the sequential composition's.
+pub struct MstApproxWave {
+    n: usize,
+    phases: usize,
+    threshold: u64,
+    seed: u64,
+    owners: Arc<[MachineId]>,
+    /// This machine's input shard, shared across the instances multiplexed
+    /// onto the machine.
+    input: Arc<[Edge]>,
+    /// Set on the large machine when the wave completes: `c_τ`.
+    pub count: Option<usize>,
+}
+
+impl MstApproxWave {
+    /// One machine's half of a single threshold wave.
+    pub fn new(
+        n: usize,
+        phases: usize,
+        threshold: u64,
+        seed: u64,
+        owners: Arc<[MachineId]>,
+        input: Arc<[Edge]>,
+    ) -> Self {
+        MstApproxWave {
+            n,
+            phases,
+            threshold,
+            seed,
+            owners,
+            input,
+            count: None,
+        }
+    }
+
+    fn owner_of(&self, key: u64) -> MachineId {
+        self.owners[(key % self.owners.len() as u64) as usize]
+    }
+}
+
+impl RoleProgram for MstApproxWave {
+    type Message = MstApproxNetMsg;
+
+    fn large_step(
+        &mut self,
+        ctx: &MachineCtx<'_>,
+        inbox: Vec<(MachineId, MstApproxNetMsg)>,
+    ) -> StepOutcome<MstApproxNetMsg> {
+        // The wave runs a fixed clock (workers at round 0, owners at round
+        // 1, this machine at round 2), so wait for the clock rather than
+        // for mail — a threshold that filters out every edge still counts
+        // its (all-singleton) components, like the sequential wave does.
+        if ctx.round < 2 {
+            return StepOutcome::idle();
+        }
+        if self.count.is_some() {
+            return StepOutcome::Halt;
+        }
+        // Dense-ify the merged sketches and run sketch-Borůvka locally —
+        // identical to the sequential program's wave-final step.
+        let family = SketchFamily::new(self.n, self.phases, self.seed);
+        let mut rows: Vec<Vec<VertexSketch>> = (0..self.phases)
+            .map(|p| (0..self.n).map(|_| family.empty(p)).collect())
+            .collect();
+        for (_, msg) in inbox {
+            if let MstApproxNetMsg::Partial(key, sparse) = msg {
+                let phase = (key >> 32) as usize;
+                let v = (key & 0xFFFF_FFFF) as usize;
+                rows[phase][v] = family.to_dense(&sparse);
+            }
+        }
+        ctx.charge((self.n * self.phases) as u64);
+        self.count = Some(sketch_connectivity(&family, &rows, self.n).count);
+        StepOutcome::Halt
+    }
+
+    fn small_step(
+        &mut self,
+        ctx: &MachineCtx<'_>,
+        inbox: Vec<(MachineId, MstApproxNetMsg)>,
+    ) -> StepOutcome<MstApproxNetMsg> {
+        let mut out = Outbox::new();
+        let large = ctx
+            .large
+            .expect("batched estimator requires a large machine");
+
+        if ctx.round == 0 {
+            // Worker role: sketch the weight-filtered shard (no seed
+            // broadcast — the seed is baked in).
+            let family = SketchFamily::new(self.n, self.phases, self.seed);
+            let mut partials: BTreeMap<u64, SparseSketch> = BTreeMap::new();
+            let mut filtered = 0u64;
+            for e in self.input.iter().filter(|e| e.w <= self.threshold) {
+                filtered += 1;
+                for phase in 0..self.phases {
+                    let ku = ((phase as u64) << 32) | e.u as u64;
+                    let kv = ((phase as u64) << 32) | e.v as u64;
+                    family.add_edge_sparse(partials.entry(ku).or_default(), phase, e.u, e.v);
+                    family.add_edge_sparse(partials.entry(kv).or_default(), phase, e.v, e.u);
+                }
+            }
+            ctx.charge(filtered * self.phases as u64);
+            for (key, s) in partials {
+                out.send(self.owner_of(key), MstApproxNetMsg::Partial(key, s));
+            }
+            return out.into_step();
+        }
+
+        if inbox.is_empty() {
+            return StepOutcome::Halt;
+        }
+        // Owner role: sum partials per key (linearity), forward.
+        let mut merged: BTreeMap<u64, SparseSketch> = BTreeMap::new();
+        for (_src, msg) in inbox {
+            if let MstApproxNetMsg::Partial(key, s) = msg {
+                merged.entry(key).or_default().merge(&s);
+            }
+        }
+        for (key, s) in merged {
+            out.send(large, MstApproxNetMsg::Partial(key, s));
+        }
+        out.into_step()
     }
 }
 

@@ -17,10 +17,10 @@
 //! | `mst`          | Thm 3.1 | [`MstProgram`](crate::programs::MstProgram) |
 //! | `matching`     | Thm 5.1 | [`MatchingProgram`](crate::programs::MatchingProgram) |
 //! | `spanner`      | Thm 4.1 | [`SpannerProgram`](crate::programs::SpannerProgram) |
-//! | `spanner-weighted` | Thm 4.1 + \[22\] reduction | per-class [`SpannerProgram`](crate::programs::SpannerProgram) |
-//! | `mst-approx`   | Thm C.2 | [`MstApproxProgram`](crate::programs::MstApproxProgram) |
+//! | `spanner-weighted` | Thm 4.1 + \[22\] reduction | per-class [`SpannerProgram`](crate::programs::SpannerProgram), [multiplexed](crate::multiplex) |
+//! | `mst-approx`   | Thm C.2 | per-wave [`MstApproxWave`](crate::programs::MstApproxWave), [multiplexed](crate::multiplex) |
 //! | `mincut`       | Thm C.3 | [`MinCutProgram`](crate::programs::MinCutProgram) |
-//! | `mincut-approx` | Thm C.4 | [`MinCutApproxProgram`](crate::programs::MinCutApproxProgram) |
+//! | `mincut-approx` | Thm C.4 | per-guess [`MinCutGuessWave`](crate::programs::MinCutGuessWave), [multiplexed](crate::multiplex) |
 //! | `mis`          | Thm C.6 | [`MisProgram`](crate::programs::MisProgram) |
 //! | `coloring`     | Thm C.7 | [`ColoringProgram`](crate::programs::ColoringProgram) |
 
@@ -59,6 +59,12 @@ pub struct AlgoInput<'a> {
     pub mincut_trials: usize,
     /// Approximation parameter ε for `mincut-approx` and `mst-approx`.
     pub epsilon: f64,
+    /// Whether the sequentialized-parallel workloads (`spanner-weighted`,
+    /// `mst-approx`, `mincut-approx`) interleave their instances through
+    /// the [multi-program scheduler](crate::multiplex) (the default), or
+    /// run them one after another (the PR 4 composition, kept as the
+    /// equivalence oracle — see [`AlgoInput::sequential_instances`]).
+    pub batch_instances: bool,
 }
 
 /// Default `mincut` contraction trials — shared by [`AlgoInput::new`] and
@@ -79,7 +85,16 @@ impl<'a> AlgoInput<'a> {
             connectivity: None,
             mincut_trials: DEFAULT_MINCUT_TRIALS,
             epsilon: 0.3,
+            batch_instances: true,
         }
+    }
+
+    /// Runs the sequentialized-parallel workloads one instance at a time
+    /// (the PR 4 equivalence oracle) instead of batching them through the
+    /// multi-program scheduler.
+    pub fn sequential_instances(mut self) -> Self {
+        self.batch_instances = false;
+        self
     }
 
     /// Overrides the spanner stretch parameter.
@@ -309,23 +324,14 @@ fn loglog(n: usize) -> u64 {
     l.max(1)
 }
 
-// The `budgets` gate's standard workload is `m = 6n` with integer weights
-// below `2^BUDGET_WEIGHT_BITS` (see `experiments::budgets`). Three
-// algorithms run their paper-parallel instances sequentially, so their
-// *total* round budgets scale with the instance count, which these
-// constants derive from the workload's weight range — change the budgets
-// workload and these must move in the same commit.
-
-/// Weight bits of the budgets workload (weights `< 2^12`).
-const BUDGET_WEIGHT_BITS: u64 = 12;
-/// Factor-2 weight classes of `spanner-weighted`: one per weight bit.
-const BUDGET_WEIGHT_CLASSES: u64 = BUDGET_WEIGHT_BITS + 1;
-/// `(1+ε)` thresholds of `mst-approx` at the default ε = 0.3:
-/// `log_{1.3}(2^12) ≈ 32`, plus grid slack.
-const BUDGET_MST_THRESHOLDS: u64 = 34;
-/// λ̂ guesses of `mincut-approx`: `log₂(ΣW) + 2`, with total weight under
-/// `2^25` on the budgets workload (`6n · 2^12` at `n = 512`).
-const BUDGET_LAMBDA_GUESSES: u64 = 27;
+// The three sequentialized-parallel workloads (`spanner-weighted`,
+// `mst-approx`, `mincut-approx`) run their paper-parallel instances
+// interleaved through the multi-program scheduler by default, so their
+// round budgets are the theorems' *parallel* figures — flat constants,
+// independent of the instance count (weight classes, thresholds, λ̂
+// guesses). The PR 4 sequential compositions survive behind
+// [`AlgoInput::sequential_instances`] as equivalence oracles; the
+// `budgets` experiment measures both and gates the ≥5× collapse.
 
 /// `⌈log₂ n⌉`, floored at 1.
 fn log2(n: usize) -> u64 {
@@ -396,17 +402,16 @@ static ALGORITHMS: &[Algorithm] = &[
         summary: "(12k−1)-spanner of a weighted graph via factor-2 weight classes",
         paper: "Theorem 4.1 + [22]",
         polylog_exponent: 1.6,
-        // O(1) per factor-2 weight class, sequential over the classes.
-        round_budget: |_n| 24 * BUDGET_WEIGHT_CLASSES,
+        // All weight classes interleaved in one engine run: the solo
+        // spanner's O(1) clock, independent of the class count.
+        round_budget: |_n| 24,
         runner: |cluster, input, mode| {
-            adapters::heterogeneous_spanner_weighted(
-                cluster,
-                input.n,
-                input.edges,
-                input.spanner_k,
-                mode,
-            )
-            .map(AlgoOutput::Spanner)
+            let run = if input.batch_instances {
+                adapters::heterogeneous_spanner_weighted
+            } else {
+                adapters::heterogeneous_spanner_weighted_sequential
+            };
+            run(cluster, input.n, input.edges, input.spanner_k, mode).map(AlgoOutput::Spanner)
         },
     },
     Algorithm {
@@ -414,13 +419,17 @@ static ALGORITHMS: &[Algorithm] = &[
         summary: "(1+ε)-approximate MST weight via thresholded connectivity",
         paper: "Theorem C.2",
         polylog_exponent: 2.6,
-        // O(1) per threshold wave (3 engine rounds, asserted separately via
-        // `parallel_rounds`); the waves run sequentially over the
-        // O(log_{1+ε} W) grid.
-        round_budget: |_n| 3 * BUDGET_MST_THRESHOLDS + 4,
+        // All threshold waves interleaved in one engine run: a single
+        // 3-round connectivity wave plus slack, independent of the
+        // O(log_{1+ε} W) grid size — the theorem's parallel figure.
+        round_budget: |_n| 8,
         runner: |cluster, input, mode| {
-            adapters::approximate_mst_weight(cluster, input.n, input.edges, input.epsilon, mode)
-                .map(AlgoOutput::MstApprox)
+            let run = if input.batch_instances {
+                adapters::approximate_mst_weight
+            } else {
+                adapters::approximate_mst_weight_sequential
+            };
+            run(cluster, input.n, input.edges, input.epsilon, mode).map(AlgoOutput::MstApprox)
         },
     },
     Algorithm {
@@ -447,12 +456,17 @@ static ALGORITHMS: &[Algorithm] = &[
         summary: "(1±ε)-approximate weighted min cut via skeleton sampling",
         paper: "Theorem C.4",
         polylog_exponent: 1.6,
-        // O(1) per λ̂ guess (4 engine rounds, asserted separately via
-        // `parallel_rounds`), sequential over the geometric guesses.
-        round_budget: |_n| 4 * BUDGET_LAMBDA_GUESSES + 6,
+        // All λ̂ guesses interleaved in one engine run: one 4-round wave
+        // plus the conditional whole-graph fallback, independent of the
+        // geometric guess count — the theorem's parallel figure.
+        round_budget: |_n| 10,
         runner: |cluster, input, mode| {
-            adapters::approximate_min_cut(cluster, input.n, input.edges, input.epsilon, mode)
-                .map(AlgoOutput::MinCutApprox)
+            let run = if input.batch_instances {
+                adapters::approximate_min_cut
+            } else {
+                adapters::approximate_min_cut_sequential
+            };
+            run(cluster, input.n, input.edges, input.epsilon, mode).map(AlgoOutput::MinCutApprox)
         },
     },
     Algorithm {
@@ -478,6 +492,13 @@ static ALGORITHMS: &[Algorithm] = &[
         },
     },
 ];
+
+/// The registry names whose paper-parallel instances run interleaved
+/// through the [multi-program scheduler](crate::multiplex) by default
+/// (and sequentially under [`AlgoInput::sequential_instances`]) — the
+/// single source of truth for the `budgets` collapse gate and the
+/// `hotpath` batched bench rows.
+pub const BATCHED_NAMES: [&str; 3] = ["spanner-weighted", "mst-approx", "mincut-approx"];
 
 /// The canonical registry contents: every paper result, exactly once, in
 /// presentation order. `names()` must equal this list (asserted by the
@@ -549,6 +570,12 @@ mod tests {
             assert!(get(name).is_some(), "'{name}' not registered");
         }
         assert_eq!(names().len(), ALGORITHMS.len());
+        for name in BATCHED_NAMES {
+            assert!(
+                CANONICAL_NAMES.contains(&name),
+                "batched name '{name}' missing from the canonical set"
+            );
+        }
     }
 
     #[test]

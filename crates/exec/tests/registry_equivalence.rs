@@ -261,6 +261,11 @@ fn spanner_program_is_bit_identical_to_legacy() {
     }
 }
 
+/// The registry default is the *batched* weighted spanner (all weight
+/// classes interleaved by the multi-program scheduler); it must still be
+/// bit-identical to the legacy sequential class loop — including RNG
+/// stream positions, because the scheduler consumes each machine's stream
+/// in class order, exactly as the loop did.
 #[test]
 fn weighted_spanner_matches_legacy() {
     let g = generators::gnm(100, 800, 6).with_random_weights(64, 6);
@@ -471,10 +476,17 @@ fn mincut_approx_program_is_bit_identical_to_legacy() {
         for mode in [ExecMode::Serial, ExecMode::Parallel] {
             let mut engine_cluster = make(seed);
             let engine_input = common::distribute_edges(&engine_cluster, &g);
+            // The sequential oracle mode: its RNG consumption mirrors the
+            // legacy loop draw for draw (the batched default samples every
+            // guess up front, so its stream positions only match legacy
+            // when no early exit fires — batched-vs-sequential equality is
+            // asserted in crates/exec/tests/multiplex.rs).
             let engine = registry::run(
                 "mincut-approx",
                 &mut engine_cluster,
-                &AlgoInput::new(g.n(), &engine_input).epsilon(eps),
+                &AlgoInput::new(g.n(), &engine_input)
+                    .epsilon(eps)
+                    .sequential_instances(),
                 mode,
             )
             .unwrap()
@@ -500,6 +512,10 @@ fn mincut_approx_program_is_bit_identical_to_legacy() {
 
 // --------------------------------------------------------- mst-approx --
 
+/// The registry default is the *batched* estimator (all threshold waves
+/// interleaved by the multi-program scheduler, sketch seeds pre-drawn in
+/// the legacy threshold order); it must still be bit-identical to the
+/// legacy sequential loop — including RNG stream positions.
 #[test]
 fn mst_approx_program_is_bit_identical_to_legacy() {
     for (eps, seed) in [(0.25f64, 2u64), (0.5, 3)] {

@@ -43,6 +43,10 @@ pub struct RoundRecord {
 #[derive(Debug)]
 pub struct Cluster {
     caps: Vec<usize>,
+    /// Combined-round capacity multiplier (see
+    /// [`set_capacity_factor`](Cluster::set_capacity_factor)); 1 outside
+    /// multiplexed runs.
+    cap_factor: usize,
     large: Option<MachineId>,
     rngs: Vec<SmallRng>,
     rounds: u64,
@@ -89,6 +93,7 @@ impl Cluster {
             recv_scratch: vec![0; k],
             inbox_counts: vec![0; k],
             caps,
+            cap_factor: 1,
             large,
             rngs,
             rounds: 0,
@@ -125,15 +130,41 @@ impl Cluster {
         (0..self.machines()).filter(move |&i| Some(i) != large)
     }
 
-    /// Capacity of machine `mid` in words.
+    /// Capacity of machine `mid` in words, scaled by the current
+    /// [capacity factor](Cluster::set_capacity_factor).
     pub fn capacity(&self, mid: MachineId) -> usize {
-        self.caps[mid]
+        self.caps[mid].saturating_mul(self.cap_factor)
+    }
+
+    /// Scales every capacity check by `factor` — the multi-program
+    /// scheduler's combined-round budget. When `N` independent program
+    /// instances are interleaved into one bulk-synchronous run, a physical
+    /// round carries the union of the live instances' traffic, and each
+    /// instance legitimately commands its *own* per-round word budget (the
+    /// paper's parallel composition gives every parallel instance its own
+    /// `Õ(·)` memory; the instance count itself is a polylog quantity for
+    /// the Theorem C.2 / C.4 grids). Callers set the factor to the instance
+    /// count for the duration of a batched run and reset it to 1 afterward;
+    /// per-*instance* decisions must use the unscaled solo capacity,
+    /// snapshotted before the factor is applied.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero factor.
+    pub fn set_capacity_factor(&mut self, factor: usize) {
+        assert!(factor > 0, "capacity factor must be at least 1");
+        self.cap_factor = factor;
+    }
+
+    /// The current combined-round capacity multiplier.
+    pub fn capacity_factor(&self) -> usize {
+        self.cap_factor
     }
 
     /// The smallest capacity among non-large machines.
     pub fn min_small_capacity(&self) -> usize {
         self.small_ids_iter()
-            .map(|i| self.caps[i])
+            .map(|i| self.capacity(i))
             .min()
             .unwrap_or(0)
     }
@@ -311,7 +342,7 @@ impl Cluster {
             let (sent, recv, cap) = (
                 self.sent_scratch[mid],
                 self.recv_scratch[mid],
-                self.caps[mid],
+                self.capacity(mid),
             );
             if sent > cap {
                 self.report(ModelViolation::SendOverflow {
@@ -394,9 +425,9 @@ impl Cluster {
         }
         let total: usize = self.memory_slots.values().map(|v| v[mid]).sum();
         self.peak_resident[mid] = self.peak_resident[mid].max(total);
-        if total > self.caps[mid] {
+        if total > self.capacity(mid) {
             let round = self.rounds;
-            let cap = self.caps[mid];
+            let cap = self.capacity(mid);
             self.report(ModelViolation::MemoryOverflow {
                 machine: mid,
                 round,
@@ -558,6 +589,29 @@ mod tests {
         c.release("labels");
         c.release("more");
         assert_eq!(c.resident(1), 12);
+    }
+
+    #[test]
+    fn capacity_factor_scales_the_checks_and_resets() {
+        let mut c = tiny();
+        let mut out = c.empty_outboxes::<u64>();
+        for _ in 0..25 {
+            out[1].push((0, 7)); // 25 words > solo capacity 20 of machine 1
+        }
+        // Under a 2× combined-round budget the same volume is legal.
+        c.set_capacity_factor(2);
+        assert_eq!(c.capacity(1), 40);
+        c.exchange("mux", out).unwrap();
+        // Reset: the solo budget is enforced again.
+        c.set_capacity_factor(1);
+        let mut out = c.empty_outboxes::<u64>();
+        for _ in 0..25 {
+            out[1].push((0, 7));
+        }
+        assert!(matches!(
+            c.exchange("solo", out),
+            Err(ModelViolation::SendOverflow { machine: 1, .. })
+        ));
     }
 
     #[test]

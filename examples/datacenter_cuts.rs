@@ -11,7 +11,6 @@
 //! estimator prices in link capacities.
 
 use het_mpc::prelude::*;
-use mpc_core::ported;
 
 fn main() {
     // 2 zones of 48 racks, dense inside, 5 cross-zone links.
@@ -22,10 +21,19 @@ fn main() {
         g.m()
     );
 
-    // Exact unweighted min cut (Theorem C.3).
+    // Exact unweighted min cut (Theorem C.3), on the parallel engine
+    // through the Algorithm registry.
     let mut cluster = Cluster::new(ClusterConfig::new(g.n(), g.m()).seed(1));
     let input = common::distribute_edges(&cluster, &g);
-    let exact = ported::heterogeneous_min_cut(&mut cluster, g.n(), &input, 8).unwrap();
+    let exact = registry::run(
+        "mincut",
+        &mut cluster,
+        &AlgoInput::new(g.n(), &input).mincut_trials(8),
+        ExecMode::Parallel,
+    )
+    .unwrap()
+    .into_mincut()
+    .unwrap();
     let reference = mpc_graph::mincut::min_cut(&g).unwrap();
     println!(
         "exact min cut: {} link failures disconnect the zones ({} rounds, 8 trials)",
@@ -34,7 +42,10 @@ fn main() {
     );
     assert_eq!(exact.value, reference.weight, "must match Stoer–Wagner");
 
-    // Weighted capacities: cross-links get capacity 1..8.
+    // Weighted capacities: cross-links get capacity 1..8. Every λ̂ guess
+    // of the Theorem C.4 estimator runs interleaved through the
+    // multi-program scheduler, so the measured rounds are the paper's
+    // parallel figure.
     let gw = g.clone().with_random_weights(8, 7);
     let exact_w = mpc_graph::mincut::min_cut(&gw).unwrap().weight as f64;
     let mut cluster = Cluster::new(
@@ -43,10 +54,20 @@ fn main() {
             .polylog_exponent(1.6),
     );
     let input = common::distribute_edges(&cluster, &gw);
-    let approx = ported::approximate_min_cut(&mut cluster, gw.n(), &input, 0.3).unwrap();
+    let approx = registry::run(
+        "mincut-approx",
+        &mut cluster,
+        &AlgoInput::new(gw.n(), &input).epsilon(0.3),
+        ExecMode::Parallel,
+    )
+    .unwrap()
+    .into_mincut_approx()
+    .unwrap();
     println!(
-        "capacity min cut: ≈{:.1} (exact {exact_w:.0}), skeleton of {} edges, {} parallel rounds",
-        approx.estimate, approx.skeleton_edges, approx.parallel_rounds
+        "capacity min cut: ≈{:.1} (exact {exact_w:.0}), skeleton of {} edges, {} rounds (batched)",
+        approx.estimate,
+        approx.skeleton_edges,
+        cluster.rounds()
     );
 
     // Contraction diagnostics: how hard did the 2-out step shrink things?

@@ -13,7 +13,6 @@
 use het_mpc::prelude::*;
 use mpc_baselines::sublinear::{distribute_all, sublinear_config, two_vs_one_cycle_baseline};
 use mpc_core::ported::connectivity::sketch_friendly_config;
-use mpc_core::ported::one_vs_two_cycles;
 
 fn main() {
     println!(
@@ -29,10 +28,22 @@ fn main() {
             ("one", generators::cycle(n, exp as u64)),
             ("two", generators::two_cycles(n, exp as u64)),
         ] {
-            // Heterogeneous: O(1) rounds via linear sketches.
+            // Heterogeneous: O(1) rounds via linear sketches, on the
+            // parallel engine through the Algorithm registry — "one cycle"
+            // iff the component count is 1.
             let mut cluster = Cluster::new(sketch_friendly_config(n, n, 1));
             let input = common::distribute_edges(&cluster, &g);
-            let single = one_vs_two_cycles(&mut cluster, n, &input).unwrap();
+            let single = registry::run(
+                "connectivity",
+                &mut cluster,
+                &AlgoInput::new(n, &input),
+                ExecMode::Parallel,
+            )
+            .unwrap()
+            .into_components()
+            .unwrap()
+            .count
+                == 1;
             assert_eq!(
                 single,
                 label == "one",

@@ -1,14 +1,26 @@
 //! Edge-case sweep across the public API: degenerate graphs, extreme
-//! topologies, and boundary parameters that unit tests tend to miss.
+//! topologies, and boundary parameters that unit tests tend to miss. All
+//! runs go through the Algorithm registry on the parallel engine — the
+//! sole consumer-facing entry point.
 
 use het_mpc::prelude::*;
 use mpc_graph::matching::is_maximal_matching;
 use mpc_graph::mst::kruskal;
 
+fn registry_on(name: &str, g: &Graph, cluster: &mut Cluster) -> AlgoOutput {
+    let input = common::distribute_edges(cluster, g);
+    registry::run(
+        name,
+        cluster,
+        &AlgoInput::new(g.n(), &input),
+        ExecMode::Parallel,
+    )
+    .unwrap()
+}
+
 fn run_mst(g: &Graph, seed: u64) -> mpc_core::mst::MstResult {
     let mut cluster = Cluster::new(ClusterConfig::new(g.n(), g.m().max(1)).seed(seed));
-    let input = common::distribute_edges(&cluster, g);
-    mst::heterogeneous_mst(&mut cluster, g.n(), input).unwrap()
+    registry_on("mst", g, &mut cluster).into_mst().unwrap()
 }
 
 #[test]
@@ -44,8 +56,9 @@ fn star_graph_mst_and_matching() {
     assert_eq!(r.forest.total_weight, kruskal(&g).total_weight);
 
     let mut cluster = Cluster::new(ClusterConfig::new(g.n(), g.m()).seed(5));
-    let input = common::distribute_edges(&cluster, &g);
-    let m = matching::heterogeneous_matching(&mut cluster, g.n(), &input).unwrap();
+    let m = registry_on("matching", &g, &mut cluster)
+        .into_matching()
+        .unwrap();
     assert!(is_maximal_matching(&g, &m.matching));
 }
 
@@ -60,7 +73,15 @@ fn grid_graph_spanner() {
             .polylog_exponent(1.6),
     );
     let input = common::distribute_edges(&cluster, &g);
-    let r = spanner::heterogeneous_spanner(&mut cluster, g.n(), &input, 2).unwrap();
+    let r = registry::run(
+        "spanner",
+        &mut cluster,
+        &AlgoInput::new(g.n(), &input).spanner_k(2),
+        ExecMode::Parallel,
+    )
+    .unwrap()
+    .into_spanner()
+    .unwrap();
     let rep = mpc_graph::verify_spanner(&g, &r.spanner, Some(20), 0);
     assert!(rep.within(11.0), "stretch {} on grid", rep.max_stretch);
 }
@@ -75,8 +96,7 @@ fn two_machine_minimum_cluster() {
             large: Some(0),
         },
     ));
-    let input = common::distribute_edges(&cluster, &g);
-    let r = mst::heterogeneous_mst(&mut cluster, g.n(), input).unwrap();
+    let r = registry_on("mst", &g, &mut cluster).into_mst().unwrap();
     assert_eq!(r.forest.total_weight, kruskal(&g).total_weight);
 }
 
@@ -84,17 +104,28 @@ fn two_machine_minimum_cluster() {
 fn gamma_extremes() {
     let g = generators::gnm(128, 2048, 8).with_random_weights(1 << 12, 8);
     for gamma in [0.3f64, 0.9] {
+        // Extra polylog headroom: at γ = 0.3 the small machines are tiny,
+        // and the engine's explicit per-phase exchanges peak higher than
+        // the legacy primitives' fused collector waves.
         let mut cluster = Cluster::new(
             ClusterConfig::new(g.n(), g.m())
                 .topology(Topology::Heterogeneous {
                     gamma,
                     large_exponent: 1.0,
                 })
+                .polylog_exponent(2.6)
                 .seed(8),
         );
         let input = common::distribute_edges(&cluster, &g);
-        let r = mst::heterogeneous_mst(&mut cluster, g.n(), input)
-            .unwrap_or_else(|e| panic!("gamma {gamma}: {e}"));
+        let r = registry::run(
+            "mst",
+            &mut cluster,
+            &AlgoInput::new(g.n(), &input),
+            ExecMode::Parallel,
+        )
+        .unwrap_or_else(|e| panic!("gamma {gamma}: {e}"))
+        .into_mst()
+        .unwrap();
         assert_eq!(r.forest.total_weight, kruskal(&g).total_weight);
     }
 }
@@ -107,8 +138,9 @@ fn disconnected_many_components() {
 
     // Matching and spanner on disconnected inputs.
     let mut cluster = Cluster::new(ClusterConfig::new(g.n(), g.m()).seed(9));
-    let input = common::distribute_edges(&cluster, &g);
-    let m = matching::heterogeneous_matching(&mut cluster, g.n(), &input).unwrap();
+    let m = registry_on("matching", &g, &mut cluster)
+        .into_matching()
+        .unwrap();
     assert!(is_maximal_matching(&g, &m.matching));
 }
 
@@ -121,7 +153,15 @@ fn spanner_on_already_sparse_graph_keeps_connectivity() {
             .polylog_exponent(1.6),
     );
     let input = common::distribute_edges(&cluster, &g);
-    let r = spanner::heterogeneous_spanner(&mut cluster, g.n(), &input, 3).unwrap();
+    let r = registry::run(
+        "spanner",
+        &mut cluster,
+        &AlgoInput::new(g.n(), &input).spanner_k(3),
+        ExecMode::Parallel,
+    )
+    .unwrap()
+    .into_spanner()
+    .unwrap();
     // A spanner of a tree must be the tree.
     assert_eq!(r.spanner.m(), g.m());
 }
@@ -134,8 +174,7 @@ fn mis_on_complete_graph_is_a_single_vertex() {
             .seed(11)
             .polylog_exponent(1.6),
     );
-    let input = common::distribute_edges(&cluster, &g);
-    let r = mpc_core::ported::heterogeneous_mis(&mut cluster, g.n(), &input).unwrap();
+    let r = registry_on("mis", &g, &mut cluster).into_mis().unwrap();
     assert_eq!(r.mis.len(), 1);
 }
 
@@ -147,8 +186,9 @@ fn coloring_on_bipartite_graph_is_proper() {
             .seed(12)
             .polylog_exponent(2.0),
     );
-    let input = common::distribute_edges(&cluster, &g);
-    let r = mpc_core::ported::heterogeneous_coloring(&mut cluster, g.n(), &input).unwrap();
+    let r = registry_on("coloring", &g, &mut cluster)
+        .into_coloring()
+        .unwrap();
     assert!(mpc_graph::coloring::is_proper_coloring(&g, &r.colors));
     assert!(mpc_graph::coloring::color_count(&r.colors) <= g.max_degree() + 1);
 }

@@ -1,8 +1,9 @@
 //! Cross-crate integration: every algorithm of the paper on shared
-//! workload families, validated by the sequential oracles.
+//! workload families, validated by the sequential oracles. All runs go
+//! through the Algorithm registry on the parallel engine — the sole
+//! consumer-facing entry point.
 
 use het_mpc::prelude::*;
-use mpc_core::ported;
 use mpc_graph::coloring::is_proper_coloring;
 use mpc_graph::matching::is_maximal_matching;
 use mpc_graph::mis::is_maximal_independent_set;
@@ -20,7 +21,15 @@ fn mst_spanner_matching_on_the_same_graph() {
     // MST.
     let mut cluster = Cluster::new(ClusterConfig::new(g.n(), g.m()).seed(1));
     let input = common::distribute_edges(&cluster, &g);
-    let mst_result = mst::heterogeneous_mst(&mut cluster, g.n(), input).unwrap();
+    let mst_result = registry::run(
+        "mst",
+        &mut cluster,
+        &AlgoInput::new(g.n(), &input),
+        ExecMode::Parallel,
+    )
+    .unwrap()
+    .into_mst()
+    .unwrap();
     assert_eq!(mst_result.forest.total_weight, kruskal(&g).total_weight);
     let mst_rounds = cluster.rounds();
 
@@ -32,13 +41,29 @@ fn mst_spanner_matching_on_the_same_graph() {
             .polylog_exponent(1.6),
     );
     let input = common::distribute_edges(&cluster, &unweighted);
-    let sp = spanner::heterogeneous_spanner(&mut cluster, g.n(), &input, 3).unwrap();
+    let sp = registry::run(
+        "spanner",
+        &mut cluster,
+        &AlgoInput::new(g.n(), &input).spanner_k(3),
+        ExecMode::Parallel,
+    )
+    .unwrap()
+    .into_spanner()
+    .unwrap();
     assert!(verify_spanner(&unweighted, &sp.spanner, Some(24), 0).within(17.0));
 
     // Matching.
     let mut cluster = Cluster::new(ClusterConfig::new(g.n(), g.m()).seed(1));
     let input = common::distribute_edges(&cluster, &g);
-    let m = matching::heterogeneous_matching(&mut cluster, g.n(), &input).unwrap();
+    let m = registry::run(
+        "matching",
+        &mut cluster,
+        &AlgoInput::new(g.n(), &input),
+        ExecMode::Parallel,
+    )
+    .unwrap()
+    .into_matching()
+    .unwrap();
     assert!(is_maximal_matching(&g, &m.matching));
 
     assert!(
@@ -52,46 +77,72 @@ fn ported_algorithms_cover_appendix_c() {
     let g = generators::gnm(120, 1000, 2);
 
     // Connectivity (C.1).
-    let mut cluster = Cluster::new(ported::connectivity::sketch_friendly_config(
-        g.n(),
-        g.m(),
-        2,
-    ));
+    let mut cluster = Cluster::new(
+        ClusterConfig::new(g.n(), g.m())
+            .seed(2)
+            .polylog_exponent(2.6),
+    );
     let input = common::distribute_edges(&cluster, &g);
-    let comps = ported::heterogeneous_connectivity(
+    let comps = registry::run(
+        "connectivity",
         &mut cluster,
-        g.n(),
-        &input,
-        &ported::connectivity::ConnectivityConfig::for_n(g.n()),
+        &AlgoInput::new(g.n(), &input),
+        ExecMode::Parallel,
     )
+    .unwrap()
+    .into_components()
     .unwrap();
     assert_eq!(comps, mpc_graph::traversal::connected_components(&g));
 
-    // MIS (C.4).
+    // MIS (C.6).
     let mut cluster = Cluster::new(
         ClusterConfig::new(g.n(), g.m())
             .seed(2)
             .polylog_exponent(1.6),
     );
     let input = common::distribute_edges(&cluster, &g);
-    let mis = ported::heterogeneous_mis(&mut cluster, g.n(), &input).unwrap();
+    let mis = registry::run(
+        "mis",
+        &mut cluster,
+        &AlgoInput::new(g.n(), &input),
+        ExecMode::Parallel,
+    )
+    .unwrap()
+    .into_mis()
+    .unwrap();
     assert!(is_maximal_independent_set(&g, &mis.mis));
 
-    // Coloring (C.5).
+    // Coloring (C.7).
     let mut cluster = Cluster::new(
         ClusterConfig::new(g.n(), g.m())
             .seed(2)
             .polylog_exponent(2.0),
     );
     let input = common::distribute_edges(&cluster, &g);
-    let col = ported::heterogeneous_coloring(&mut cluster, g.n(), &input).unwrap();
+    let col = registry::run(
+        "coloring",
+        &mut cluster,
+        &AlgoInput::new(g.n(), &input),
+        ExecMode::Parallel,
+    )
+    .unwrap()
+    .into_coloring()
+    .unwrap();
     assert!(is_proper_coloring(&g, &col.colors));
 
-    // Exact min cut (C.2) on a planted instance.
+    // Exact min cut (C.3) on a planted instance.
     let pc = generators::planted_cut(30, 0.6, 3, 2);
     let mut cluster = Cluster::new(ClusterConfig::new(pc.n(), pc.m()).seed(2));
     let input = common::distribute_edges(&cluster, &pc);
-    let mc = ported::heterogeneous_min_cut(&mut cluster, pc.n(), &input, 8).unwrap();
+    let mc = registry::run(
+        "mincut",
+        &mut cluster,
+        &AlgoInput::new(pc.n(), &input).mincut_trials(8),
+        ExecMode::Parallel,
+    )
+    .unwrap()
+    .into_mincut()
+    .unwrap();
     assert_eq!(mc.value, mpc_graph::mincut::min_cut(&pc).unwrap().weight);
 }
 
@@ -129,6 +180,10 @@ fn general_mst_theorem_3_1_with_superlinear_machine() {
                 .seed(4),
         );
         let input = common::distribute_edges(&cluster, &g);
+        // Deliberately tight memory (mem_constant 3.0) to expose the
+        // Borůvka schedule — the regime of the legacy oracle loop, whose
+        // fused collector waves fit where the engine's explicit per-phase
+        // exchanges would overflow strict capacity.
         let r = mst::heterogeneous_mst(&mut cluster, g.n(), input).unwrap();
         assert!(mst::is_minimum_spanning_forest(&g, &r.forest));
         (r.stats.boruvka_steps, cluster.rounds())
