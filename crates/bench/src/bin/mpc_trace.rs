@@ -1,0 +1,185 @@
+//! CLI: run any registry algorithm with telemetry attached and print the
+//! straggler/imbalance report; optionally export a Perfetto trace.
+//!
+//! ```text
+//! cargo run -p mpc-bench --release --bin mpc-trace -- --list
+//! cargo run -p mpc-bench --release --bin mpc-trace -- mst --profile straggler
+//! cargo run -p mpc-bench --release --bin mpc-trace -- all --profile proportional --n 256
+//! cargo run -p mpc-bench --release --bin mpc-trace -- connectivity --trace out.json
+//! #   out.json loads in ui.perfetto.dev / chrome://tracing
+//! cargo run -p mpc-bench --release --bin mpc-trace -- mst --jsonl out.jsonl
+//! cargo run -p mpc-bench --release --bin mpc-trace -- --validate out.jsonl
+//! ```
+
+use mpc_core::common;
+use mpc_exec::{registry, AlgoInput, ExecMode};
+use mpc_graph::generators;
+use mpc_runtime::telemetry::{perfetto_export, validate_jsonl};
+use mpc_runtime::{Cluster, ClusterConfig, CostModel, JsonlSink, TraceSink};
+use std::sync::Arc;
+
+const USAGE: &str = "usage: mpc-trace [NAME|all] [--profile uniform|straggler|proportional] \
+                     [--n N] [--mode serial|pool] [--trace out.json] [--jsonl out.jsonl] \
+                     [--validate file.jsonl] [--list]";
+
+struct Opts {
+    names: Vec<&'static str>,
+    profile: String,
+    n: usize,
+    mode: ExecMode,
+    trace: Option<String>,
+    jsonl: Option<String>,
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("{message}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Opts {
+    let mut args = std::env::args().skip(1);
+    let mut name: Option<String> = None;
+    let mut profile = "straggler".to_string();
+    let mut n = 256usize;
+    let mut mode = ExecMode::Parallel;
+    let mut trace = None;
+    let mut jsonl = None;
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--list" => {
+                for name in registry::names() {
+                    println!("{name}");
+                }
+                std::process::exit(0);
+            }
+            "--validate" => {
+                let path = value("--validate");
+                let body = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+                match validate_jsonl(&body) {
+                    Ok(count) => {
+                        println!("{path}: {count} events, all schema-valid");
+                        std::process::exit(0);
+                    }
+                    Err(e) => {
+                        eprintln!("{path}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            "--profile" => profile = value("--profile"),
+            "--n" => {
+                n = value("--n")
+                    .parse()
+                    .unwrap_or_else(|e| fail(&format!("--n: {e}")));
+            }
+            "--mode" => {
+                mode = match value("--mode").as_str() {
+                    "serial" => ExecMode::Serial,
+                    "pool" => ExecMode::Parallel,
+                    other => fail(&format!("unknown mode '{other}' (serial|pool)")),
+                };
+            }
+            "--trace" => trace = Some(value("--trace")),
+            "--jsonl" => jsonl = Some(value("--jsonl")),
+            other if !other.starts_with('-') && name.is_none() => name = Some(arg),
+            other => fail(&format!("unknown argument '{other}'")),
+        }
+    }
+    if !matches!(profile.as_str(), "uniform" | "straggler" | "proportional") {
+        fail(&format!("unknown profile '{profile}'"));
+    }
+    let names = match name.as_deref() {
+        None | Some("all") => registry::names(),
+        Some(one) => match registry::get(one) {
+            Some(algo) => vec![algo.name],
+            None => fail(&format!(
+                "unknown algorithm '{one}'; registered: {}",
+                registry::names().join(", ")
+            )),
+        },
+    };
+    if trace.is_some() && names.len() > 1 {
+        fail("--trace needs a single algorithm NAME (tracks would overlap across runs)");
+    }
+    Opts {
+        names,
+        profile,
+        n,
+        mode,
+        trace,
+        jsonl,
+    }
+}
+
+fn cost_profile(profile: &str, cluster: &Cluster) -> CostModel {
+    let caps: Vec<usize> = (0..cluster.machines())
+        .map(|m| cluster.capacity(m))
+        .collect();
+    match profile {
+        "uniform" => CostModel::uniform(caps.len(), 1.0, 1.0, 0.0),
+        "proportional" => CostModel::proportional_to_capacity(&caps, 1.0),
+        // One small machine at 10% speed and bandwidth — the schedule the
+        // model calls "free" shows up as its bottleneck rounds.
+        _ => CostModel::uniform(caps.len(), 1.0, 1.0, 0.0)
+            .with_straggler(cluster.small_ids()[0], 0.1),
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let g = generators::gnm(opts.n, opts.n * 6, 5).with_random_weights(1 << 12, 5);
+    let jsonl_sink = opts.jsonl.as_ref().map(|path| {
+        Arc::new(
+            JsonlSink::create(path).unwrap_or_else(|e| fail(&format!("cannot create {path}: {e}"))),
+        )
+    });
+    println!(
+        "# mpc-trace — profile {}, n = {}, m = {}, mode {:?}",
+        opts.profile,
+        g.n(),
+        g.m(),
+        opts.mode
+    );
+    for name in &opts.names {
+        let algo = registry::get(name).expect("validated above");
+        let mut cluster = Cluster::new(
+            ClusterConfig::new(g.n(), g.m())
+                .seed(5)
+                .polylog_exponent(algo.polylog_exponent),
+        );
+        cluster.set_cost_model(cost_profile(&opts.profile, &cluster));
+        if let Some(sink) = &jsonl_sink {
+            cluster.set_trace_sink(Some(sink.clone() as Arc<dyn TraceSink>));
+        }
+        let input = common::distribute_edges(&cluster, &g);
+        let (_, report) = registry::run_with_report(
+            name,
+            &mut cluster,
+            &AlgoInput::new(g.n(), &input),
+            opts.mode,
+        )
+        .unwrap_or_else(|e| fail(&format!("{name}: {e}")));
+        println!("\n{}", report.render());
+        if let Some(path) = &opts.trace {
+            std::fs::write(path, perfetto_export(&report.events))
+                .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+            println!(
+                "perfetto trace ({} events) written to {path}",
+                report.events.len()
+            );
+        }
+    }
+    if let Some(sink) = &jsonl_sink {
+        sink.flush();
+        println!(
+            "\njsonl event log written to {}",
+            opts.jsonl.as_deref().unwrap()
+        );
+    }
+}

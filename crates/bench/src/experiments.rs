@@ -829,6 +829,8 @@ pub fn exec_engine() {
 /// registry, fails this experiment (and with it the build).
 pub fn registry_smoke() {
     use mpc_exec::{registry, AlgoInput, ExecMode};
+    use mpc_runtime::{JsonlSink, TraceSink};
+    use std::sync::Arc;
 
     println!("\n## E13 — registry smoke (every algorithm, serial vs parallel)\n");
     assert_eq!(
@@ -839,6 +841,13 @@ pub fn registry_smoke() {
     if let Ok(threads) = std::env::var("MPC_POOL_THREADS") {
         println!("(pool worker threads pinned to {threads} via MPC_POOL_THREADS)\n");
     }
+    // CI's trace-schema leg: `MPC_TRACE_JSONL=path` streams every telemetry
+    // event from every run (both modes, all algorithms) into one JSONL file,
+    // which the workflow then checks with `mpc-trace --validate`.
+    let jsonl: Option<Arc<JsonlSink>> = std::env::var("MPC_TRACE_JSONL").ok().map(|path| {
+        println!("(streaming telemetry events to {path} via MPC_TRACE_JSONL)\n");
+        Arc::new(JsonlSink::create(&path).expect("create MPC_TRACE_JSONL file"))
+    });
 
     let g = generators::gnm(128, 768, 5).with_random_weights(1 << 12, 5);
     let mut t = Table::new(&[
@@ -858,6 +867,9 @@ pub fn registry_smoke() {
                     .seed(5)
                     .polylog_exponent(algo.polylog_exponent),
             );
+            if let Some(sink) = &jsonl {
+                c.set_trace_sink(Some(sink.clone() as Arc<dyn TraceSink>));
+            }
             let input = common::distribute_edges(&c, &g);
             let out = registry::run(algo.name, &mut c, &AlgoInput::new(g.n(), &input), mode)
                 .expect("registered algorithm run");

@@ -23,9 +23,11 @@
 use crate::Table;
 use mpc_core::common;
 use mpc_core::ported::connectivity::{sketch_friendly_config, ConnectivityConfig};
+use mpc_exec::pool::PoolStats;
 use mpc_exec::{ConnectivityProgram, ExecMode, Executor, MachineCtx, MachineProgram, StepOutcome};
 use mpc_graph::generators;
-use mpc_runtime::{Cluster, ClusterConfig, MachineId, Topology};
+use mpc_runtime::{Cluster, ClusterConfig, MachineId, RingSink, Topology};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// A ring program stressing the round loop: every machine forwards one
@@ -172,6 +174,75 @@ fn time_registry(
     (wall, out.digest() as u64, cluster.rounds())
 }
 
+/// Attaches a small bounded ring sink (the driver instruments the pool iff
+/// the cluster is tracing; the events themselves are discarded) so a run
+/// yields [`PoolStats`]. The *timed* runs above stay sink-free — telemetry
+/// must never pollute the clocks the regression guard gates on.
+fn observe(cluster: &mut Cluster) {
+    cluster.set_trace_sink(Some(Arc::new(RingSink::with_capacity(16))));
+}
+
+/// `(barrier-wait ms, worker busy-time imbalance)` columns from one
+/// instrumented pool run's stats.
+fn stats_columns(stats: Option<PoolStats>) -> (f64, f64) {
+    stats.map_or((0.0, 0.0), |s| {
+        (s.total_wait_seconds() * 1e3, s.imbalance())
+    })
+}
+
+/// One instrumented (untimed) pooled ripple run for the barrier/imbalance
+/// columns.
+fn instrument_ripple(k: usize, rounds: u64, small_work: u64) -> (f64, f64) {
+    let mut cluster = ripple_cluster(k);
+    observe(&mut cluster);
+    let programs = ripple_programs(&cluster, rounds, small_work);
+    let out = Executor::new("ripple", ExecMode::Parallel)
+        .threads(WORKERS)
+        .run(&mut cluster, programs)
+        .expect("ripple run");
+    stats_columns(out.pool)
+}
+
+/// One instrumented (untimed) pooled connectivity run.
+fn instrument_connectivity(g: &mpc_graph::Graph, seed: u64) -> (f64, f64) {
+    let mut cluster = Cluster::new(sketch_friendly_config(g.n(), g.m(), seed));
+    observe(&mut cluster);
+    let edges = common::distribute_edges(&cluster, g);
+    let programs = ConnectivityProgram::for_cluster(
+        &cluster,
+        g.n(),
+        &edges,
+        &ConnectivityConfig::for_n(g.n()),
+    );
+    let out = Executor::new("conn", ExecMode::Parallel)
+        .threads(WORKERS)
+        .run(&mut cluster, programs)
+        .expect("connectivity run");
+    stats_columns(out.pool)
+}
+
+/// One instrumented (untimed) pooled registry run, via `run_with_report`
+/// (whose report reconstructs the pool stats from worker events).
+fn instrument_registry(name: &str, g: &mpc_graph::Graph, seed: u64) -> (f64, f64) {
+    let polylog = mpc_exec::registry::get(name)
+        .expect("registered algorithm")
+        .polylog_exponent;
+    let mut cluster = Cluster::new(
+        ClusterConfig::new(g.n(), g.m())
+            .seed(seed)
+            .polylog_exponent(polylog),
+    );
+    let edges = common::distribute_edges(&cluster, g);
+    let (_, report) = mpc_exec::registry::run_with_report(
+        name,
+        &mut cluster,
+        &mpc_exec::AlgoInput::new(g.n(), &edges),
+        ExecMode::Parallel,
+    )
+    .expect("registry run");
+    stats_columns(report.pool)
+}
+
 /// Best-of-`reps` wall time for `run`, asserting the digest never moves.
 fn best_of<F: FnMut() -> (Duration, u64, u64)>(reps: usize, mut run: F) -> (f64, u64, u64) {
     let (mut best, digest, rounds) = run();
@@ -190,6 +261,11 @@ struct Case {
     serial_ms: f64,
     spawn_ms: f64,
     pool_ms: f64,
+    /// Total pool barrier-wait (ms) from one extra instrumented run —
+    /// never from the timed runs.
+    barrier_ms: f64,
+    /// Max-over-mean worker busy-time ratio from the same instrumented run.
+    imbalance: f64,
 }
 
 impl Case {
@@ -244,6 +320,7 @@ pub fn run(quick: bool) {
             (d_pool, r_pool),
             "K={k}: pool diverged from serial"
         );
+        let (barrier_ms, imbalance) = instrument_ripple(k, rounds, small_work);
         cases.push(Case {
             workload: format!("ripple(r={rounds},w={small_work})"),
             machines: k + 1,
@@ -251,6 +328,8 @@ pub fn run(quick: bool) {
             serial_ms,
             spawn_ms,
             pool_ms,
+            barrier_ms,
+            imbalance,
         });
     }
 
@@ -277,6 +356,7 @@ pub fn run(quick: bool) {
         "connectivity: pool diverged from serial"
     );
     let conn_machines = Cluster::new(sketch_friendly_config(g.n(), g.m(), seed)).machines();
+    let (barrier_ms, imbalance) = instrument_connectivity(&g, seed);
     cases.push(Case {
         workload: format!("connectivity(n={n},m={})", g.m()),
         machines: conn_machines,
@@ -284,6 +364,8 @@ pub fn run(quick: bool) {
         serial_ms,
         spawn_ms,
         pool_ms,
+        barrier_ms,
+        imbalance,
     });
 
     // The ported end-to-end programs, through the Algorithm registry: the
@@ -343,6 +425,7 @@ pub fn run(quick: bool) {
                 .polylog_exponent(polylog),
         )
         .machines();
+        let (barrier_ms, imbalance) = instrument_registry(algo, graph, seed);
         cases.push(Case {
             workload: format!("{algo}(n={},m={})", graph.n(), graph.m()),
             machines,
@@ -350,6 +433,8 @@ pub fn run(quick: bool) {
             serial_ms,
             spawn_ms,
             pool_ms,
+            barrier_ms,
+            imbalance,
         });
     }
 
@@ -361,6 +446,8 @@ pub fn run(quick: bool) {
         "spawn/round ms",
         "pool ms",
         "pool speedup vs spawn",
+        "pool barrier ms",
+        "pool imbalance",
     ]);
     for c in &cases {
         t.row(&[
@@ -371,9 +458,15 @@ pub fn run(quick: bool) {
             format!("{:.2}", c.spawn_ms),
             format!("{:.2}", c.pool_ms),
             format!("{:.2}x", c.speedup()),
+            format!("{:.2}", c.barrier_ms),
+            format!("{:.2}x", c.imbalance),
         ]);
     }
     t.print();
+    println!(
+        "\nbarrier/imbalance columns come from one extra *instrumented* pool run per\n\
+         case (telemetry attached); the timed columns above always run sink-free."
+    );
 
     let path = bench_json_path();
     let pool_threads = pool_threads_setting();
@@ -580,7 +673,8 @@ fn write_json(
         body.push_str(&format!(
             "    {{\"workload\": \"{}\", \"machines\": {}, \"rounds\": {}, \
              \"serial_ms\": {:.3}, \"spawn_per_round_ms\": {:.3}, \"pool_ms\": {:.3}, \
-             \"pool_speedup_vs_spawn\": {:.3}}}{}\n",
+             \"pool_speedup_vs_spawn\": {:.3}, \"pool_barrier_ms\": {:.3}, \
+             \"pool_imbalance\": {:.3}}}{}\n",
             c.workload,
             c.machines,
             c.rounds,
@@ -588,6 +682,8 @@ fn write_json(
             c.spawn_ms,
             c.pool_ms,
             c.speedup(),
+            c.barrier_ms,
+            c.imbalance,
             if i + 1 == cases.len() { "" } else { "," },
         ));
     }
@@ -612,6 +708,8 @@ mod tests {
                 serial_ms: 1.5,
                 spawn_ms: 3.0,
                 pool_ms: 2.0,
+                barrier_ms: 0.4,
+                imbalance: 1.2,
             },
             Case {
                 workload: "mst(n=1200,m=7200)".into(),
@@ -620,6 +718,8 @@ mod tests {
                 serial_ms: 10.0,
                 spawn_ms: 12.0,
                 pool_ms: 9.0,
+                barrier_ms: 1.1,
+                imbalance: 2.0,
             },
         ];
         write_json(&path, true, 8, 2, &cases);

@@ -21,7 +21,8 @@
 //! ([`pool`](crate::pool)) instead of once per round.
 
 use crate::machine::{MachineCtx, MachineProgram, StepOutcome};
-use crate::pool::{PanicPayload, PoolCore};
+use crate::pool::{PanicPayload, PoolCore, PoolStats};
+use mpc_runtime::telemetry::{TraceEvent, TraceSink};
 use mpc_runtime::{Cluster, MachineId, ModelViolation, RoundLabel};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -96,6 +97,11 @@ pub struct ExecOutcome<P> {
     /// Host wall-clock time of the run (the quantity the serial-vs-parallel
     /// bench compares; simulated time lives in the cluster's round log).
     pub wall: Duration,
+    /// Per-worker pool accounting (claims, steps, barrier waits). Populated
+    /// only for [`ExecMode::Parallel`] runs with a trace sink attached to
+    /// the cluster; `None` otherwise — the uninstrumented pool reads no
+    /// clocks.
+    pub pool: Option<PoolStats>,
 }
 
 /// Drives a [`MachineProgram`] over a cluster.
@@ -136,6 +142,9 @@ struct StepCtx {
     caps: Vec<usize>,
     large: Option<MachineId>,
     machines: usize,
+    /// The cluster's telemetry sink at run start, shared with every step's
+    /// [`MachineCtx`] (workers record concurrently; sinks are `Sync`).
+    sink: Option<Arc<dyn TraceSink>>,
 }
 
 /// How one `run` ended, before panic payloads are re-raised.
@@ -224,6 +233,7 @@ impl Executor {
             caps: (0..k).map(|m| cluster.capacity(m)).collect(),
             large: cluster.large(),
             machines: k,
+            sink: cluster.trace_sink(),
         };
 
         // Move each machine's program and private RNG into its slot for the
@@ -243,6 +253,9 @@ impl Executor {
                 })
             })
             .collect();
+
+        let tracing = ctx.sink.is_some();
+        let mut pool_stats: Option<PoolStats> = None;
 
         // Serial and spawn-per-round wrap their stepping in `catch_unwind`
         // for the same reason the pool catches on its workers: a step panic
@@ -281,10 +294,13 @@ impl Executor {
                 })
             }
             ExecMode::Parallel => {
-                let pool = PoolCore::new(k, self.worker_threads().min(k).max(1));
+                let pool =
+                    PoolCore::new(k, self.worker_threads().min(k).max(1)).with_stats(tracing);
+                let sink = ctx.sink.clone();
                 let slots_ref = &slots;
                 let ctx = &ctx;
                 let job = move |mid: usize, round: u64| step_slot(&slots_ref[mid], mid, ctx, round);
+                let stats = &mut pool_stats;
                 std::thread::scope(|scope| {
                     pool.spawn_workers(scope, &job);
                     // Publish each round's activity flags to the pool, so
@@ -294,7 +310,31 @@ impl Executor {
                         cluster,
                         slots_ref,
                         &mut |mid, on| pool.set_active(mid, on),
-                        &mut |round| pool.run_round(round),
+                        &mut |round| {
+                            let result = pool.run_round(round);
+                            if result.is_ok() && tracing {
+                                // Drain this round's per-worker counters into
+                                // the run totals and the event stream.
+                                let round_stats = pool.take_round_stats();
+                                if let Some(sink) = &sink {
+                                    for (worker, s) in round_stats.iter().enumerate() {
+                                        sink.record(&TraceEvent::WorkerRound {
+                                            round,
+                                            worker,
+                                            claimed: s.claimed as usize,
+                                            stepped: s.stepped as usize,
+                                            idle_skips: s.idle_skips as usize,
+                                            wait_ns: s.wait_ns,
+                                            busy_ns: s.busy_ns,
+                                        });
+                                    }
+                                }
+                                stats
+                                    .get_or_insert_with(PoolStats::default)
+                                    .add_round(&round_stats);
+                            }
+                            result
+                        },
                     );
                     // Every exit path must release the workers, or the
                     // scope's implicit join would hang.
@@ -322,6 +362,7 @@ impl Executor {
                 programs,
                 rounds,
                 wall: start.elapsed(),
+                pool: pool_stats,
             }),
             DriveEnd::Failed(e) => Err(e),
             DriveEnd::Panicked(payload) => std::panic::resume_unwind(payload),
@@ -340,24 +381,32 @@ impl Executor {
     ) -> DriveEnd {
         let k = slots.len();
         let prefix: Arc<str> = Arc::from(self.label.as_str());
+        let sink = cluster.trace_sink();
         let mut outgoing: Vec<Vec<(MachineId, P::Message)>> = (0..k).map(|_| Vec::new()).collect();
         let mut inboxes: Vec<Vec<(MachineId, P::Message)>> = Vec::new();
         let mut round: u64 = 0;
 
         loop {
-            let mut any_stepping = false;
+            let mut stepping_count = 0usize;
             for (mid, slot) in slots.iter().enumerate() {
                 let mut s = slot.lock().unwrap();
                 s.stepping = !s.halted || !s.inbox.is_empty();
                 mark_active(mid, s.stepping);
-                any_stepping |= s.stepping;
+                stepping_count += s.stepping as usize;
             }
-            if !any_stepping {
+            if stepping_count == 0 {
                 break;
             }
             if round >= self.max_rounds {
                 return DriveEnd::Failed(ExecError::RoundLimit {
                     limit: self.max_rounds,
+                });
+            }
+            if let Some(sink) = &sink {
+                sink.record(&TraceEvent::StepSchedule {
+                    round,
+                    stepping: stepping_count,
+                    machines: k,
                 });
             }
 
@@ -438,6 +487,7 @@ fn step_slot<P: MachineProgram>(
         ctx.caps[mid],
         round,
         &mut slot.rng,
+        ctx.sink.as_deref(),
     );
     let outcome = slot.program.step(&mctx, inbox);
     let extra = mctx.charged();

@@ -52,6 +52,7 @@ pub mod multiplex;
 pub mod pool;
 pub mod programs;
 pub mod registry;
+pub mod report;
 
 pub use combinators::{Driven, Outbox, Owners, RoleProgram};
 pub use driver::{ExecError, ExecMode, ExecOutcome, Executor};
@@ -62,3 +63,4 @@ pub use programs::{
     MinCutProgram, MisProgram, MstApproxProgram, MstProgram, SpannerProgram,
 };
 pub use registry::{AlgoInput, AlgoOutput, Algorithm};
+pub use report::{CriticalPath, MachineLoad, RunReport};

@@ -17,6 +17,7 @@
 //! * the program ends when every machine has halted and no messages are in
 //!   flight.
 
+use mpc_runtime::telemetry::{TraceEvent, TraceSink};
 use mpc_runtime::{MachineId, Payload};
 use rand::rngs::SmallRng;
 use std::cell::{Cell, RefCell, RefMut};
@@ -42,6 +43,10 @@ pub struct MachineCtx<'a> {
     pub round: u64,
     rng: RefCell<&'a mut SmallRng>,
     extra_work: Cell<u64>,
+    /// Telemetry sink, present only when the driving cluster has one
+    /// attached — lets scheduler layers (and programs, via
+    /// [`trace`](MachineCtx::trace)) emit events from inside a step.
+    sink: Option<&'a dyn TraceSink>,
 }
 
 impl<'a> MachineCtx<'a> {
@@ -52,6 +57,7 @@ impl<'a> MachineCtx<'a> {
         capacity: usize,
         round: u64,
         rng: &'a mut SmallRng,
+        sink: Option<&'a dyn TraceSink>,
     ) -> Self {
         MachineCtx {
             mid,
@@ -61,7 +67,28 @@ impl<'a> MachineCtx<'a> {
             round,
             rng: RefCell::new(rng),
             extra_work: Cell::new(0),
+            sink,
         }
+    }
+
+    /// Whether a telemetry sink is listening. Guard any event construction
+    /// that allocates on this, or use [`trace`](MachineCtx::trace), which
+    /// only builds the event when someone is listening.
+    pub fn tracing(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Records a telemetry event; the closure runs only when a sink is
+    /// attached, so a disabled run never pays for event construction.
+    pub fn trace(&self, event: impl FnOnce() -> TraceEvent) {
+        if let Some(sink) = self.sink {
+            sink.record(&event());
+        }
+    }
+
+    /// The raw sink handle, for schedulers building sub-contexts.
+    pub(crate) fn sink(&self) -> Option<&'a dyn TraceSink> {
+        self.sink
     }
 
     /// Whether this machine plays the large-machine role.

@@ -45,6 +45,7 @@
 //! `spanner-weighted` runs reproduce the legacy draws bit-for-bit.
 
 use crate::machine::{MachineCtx, MachineProgram, StepOutcome};
+use mpc_runtime::telemetry::TraceEvent;
 use mpc_runtime::{Cluster, MachineId, Payload};
 
 /// An instance-tagged message: `(instance id, inner message)`.
@@ -231,6 +232,7 @@ impl<P: MachineProgram> MachineProgram for Multiplexed<P> {
             self.inboxes[i].push((src, msg));
         }
 
+        let mut live = 0usize;
         for (i, slot) in self.slots.iter_mut().enumerate() {
             let mail = std::mem::take(&mut self.inboxes[i]);
             if slot.retired {
@@ -239,6 +241,7 @@ impl<P: MachineProgram> MachineProgram for Multiplexed<P> {
             if slot.halted && mail.is_empty() {
                 continue; // idle-instance skip: zero work, zero RNG draws
             }
+            live += 1;
             // The sub-context reborrows this machine's private RNG, so the
             // instances consume one stream in instance-major order, and
             // reports the solo capacity so per-instance decisions match a
@@ -252,6 +255,7 @@ impl<P: MachineProgram> MachineProgram for Multiplexed<P> {
                     self.solo_capacity,
                     ctx.round,
                     &mut rng,
+                    ctx.sink(),
                 );
                 let outcome = slot.program.step(&sub, mail);
                 (outcome, sub.charged())
@@ -267,9 +271,33 @@ impl<P: MachineProgram> MachineProgram for Multiplexed<P> {
         }
 
         if let Some(mut controller) = self.controller.take() {
+            // Snapshot retired flags (allocating only when a sink listens)
+            // so controller-driven retirements become discrete events.
+            let before: Vec<bool> = if ctx.tracing() {
+                self.slots.iter().map(|s| s.retired).collect()
+            } else {
+                Vec::new()
+            };
             controller(ctx, &mut self.slots);
+            if ctx.tracing() {
+                for (i, (slot, was)) in self.slots.iter().zip(&before).enumerate() {
+                    if slot.retired && !was {
+                        ctx.trace(|| TraceEvent::InstanceRetired {
+                            round: ctx.round,
+                            machine: ctx.mid,
+                            instance: i as u32,
+                        });
+                    }
+                }
+            }
             self.controller = Some(controller);
         }
+        ctx.trace(|| TraceEvent::MuxRound {
+            round: ctx.round,
+            machine: ctx.mid,
+            live,
+            retired: self.slots.iter().filter(|s| s.retired).count(),
+        });
 
         let mut all_halted = true;
         let mut out: Vec<(MachineId, Mux<P::Message>)> = Vec::new();

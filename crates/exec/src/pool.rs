@@ -24,12 +24,111 @@
 //! caller instead of deadlocking the barrier.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::thread::Scope;
+use std::time::Instant;
 
 /// A panic payload carried off a worker thread.
 pub type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+/// One worker's counters for one round (or, accumulated, for a whole run
+/// — see [`PoolStats`]). All times are host nanoseconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Machine indices claimed off the shared counter.
+    pub claimed: u64,
+    /// Claimed machines that were active and invoked the job.
+    pub stepped: u64,
+    /// Claimed machines skipped because their activity flag was off.
+    pub idle_skips: u64,
+    /// Nanoseconds blocked at the round-start barrier.
+    pub wait_ns: u64,
+    /// Nanoseconds in the claim loop (stepping + skipping).
+    pub busy_ns: u64,
+}
+
+/// Per-worker accounting accumulated over a whole pooled run — the
+/// evidence base for the load-imbalance and barrier-wait columns in the
+/// bench tables and [`RunReport`](crate::report::RunReport).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PoolStats {
+    /// Pool rounds executed.
+    pub rounds: u64,
+    /// Run totals per worker, indexed by worker id.
+    pub per_worker: Vec<WorkerStats>,
+}
+
+impl PoolStats {
+    /// Folds one round's drained per-worker counters into the run totals.
+    pub fn add_round(&mut self, round: &[WorkerStats]) {
+        if self.per_worker.len() < round.len() {
+            self.per_worker.resize(round.len(), WorkerStats::default());
+        }
+        for (total, r) in self.per_worker.iter_mut().zip(round) {
+            total.claimed += r.claimed;
+            total.stepped += r.stepped;
+            total.idle_skips += r.idle_skips;
+            total.wait_ns += r.wait_ns;
+            total.busy_ns += r.busy_ns;
+        }
+        self.rounds += 1;
+    }
+
+    /// Number of workers the stats cover.
+    pub fn workers(&self) -> usize {
+        self.per_worker.len()
+    }
+
+    /// Total barrier-wait across all workers, in seconds.
+    pub fn total_wait_seconds(&self) -> f64 {
+        self.per_worker.iter().map(|w| w.wait_ns).sum::<u64>() as f64 / 1e9
+    }
+
+    /// Total claim-loop time across all workers, in seconds.
+    pub fn total_busy_seconds(&self) -> f64 {
+        self.per_worker.iter().map(|w| w.busy_ns).sum::<u64>() as f64 / 1e9
+    }
+
+    /// Load-imbalance ratio: the busiest worker's claim-loop time divided
+    /// by the mean (1.0 = perfectly balanced; 0.0 when no work ran).
+    pub fn imbalance(&self) -> f64 {
+        if self.per_worker.is_empty() {
+            return 0.0;
+        }
+        let busy: Vec<u64> = self.per_worker.iter().map(|w| w.busy_ns).collect();
+        let total: u64 = busy.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let mean = total as f64 / busy.len() as f64;
+        *busy.iter().max().unwrap() as f64 / mean
+    }
+}
+
+/// A worker's live counter cells (relaxed atomics: the coord-lock barrier
+/// handshake orders every worker write before the driving thread's
+/// post-round drain).
+#[derive(Default)]
+struct WorkerCells {
+    claimed: AtomicU64,
+    stepped: AtomicU64,
+    idle_skips: AtomicU64,
+    wait_ns: AtomicU64,
+    busy_ns: AtomicU64,
+}
+
+impl WorkerCells {
+    fn drain(&self) -> WorkerStats {
+        WorkerStats {
+            claimed: self.claimed.swap(0, Ordering::Relaxed),
+            stepped: self.stepped.swap(0, Ordering::Relaxed),
+            idle_skips: self.idle_skips.swap(0, Ordering::Relaxed),
+            wait_ns: self.wait_ns.swap(0, Ordering::Relaxed),
+            busy_ns: self.busy_ns.swap(0, Ordering::Relaxed),
+        }
+    }
+}
 
 /// Round-barrier state shared by the driving thread and the workers.
 struct Coord {
@@ -63,6 +162,9 @@ pub struct PoolCore {
     done: Condvar,
     /// First panic caught in a job this round, if any.
     panic: Mutex<Option<PanicPayload>>,
+    /// Per-worker counters, present only when telemetry asked for them —
+    /// `None` keeps the claim loop free of clock reads and counter bumps.
+    stats: Option<Vec<WorkerCells>>,
 }
 
 impl PoolCore {
@@ -84,6 +186,28 @@ impl PoolCore {
             start: Condvar::new(),
             done: Condvar::new(),
             panic: Mutex::new(None),
+            stats: None,
+        }
+    }
+
+    /// Enables per-worker counters (claims, steps, idle skips, barrier-wait
+    /// and claim-loop time). Off by default: the instrumented claim loop
+    /// reads the clock twice per round per worker, which the zero-overhead
+    /// guarantee only permits when someone is listening.
+    pub fn with_stats(mut self, enabled: bool) -> Self {
+        self.stats = enabled.then(|| (0..self.workers).map(|_| WorkerCells::default()).collect());
+        self
+    }
+
+    /// Drains the per-worker counters accumulated since the previous drain
+    /// (typically: this round's). Returns one entry per worker, or an empty
+    /// vector if the pool was built without stats. Call between rounds, on
+    /// the driving thread — the barrier handshake makes every worker write
+    /// visible by the time [`run_round`](PoolCore::run_round) returns.
+    pub fn take_round_stats(&self) -> Vec<WorkerStats> {
+        match &self.stats {
+            Some(cells) => cells.iter().map(WorkerCells::drain).collect(),
+            None => Vec::new(),
         }
     }
 
@@ -110,14 +234,17 @@ impl PoolCore {
     ) where
         F: Fn(usize, u64) + Sync,
     {
-        for _ in 0..self.workers {
-            scope.spawn(move || self.worker(job));
+        for w in 0..self.workers {
+            scope.spawn(move || self.worker(w, job));
         }
     }
 
-    fn worker<F: Fn(usize, u64) + Sync>(&self, job: &F) {
+    fn worker<F: Fn(usize, u64) + Sync>(&self, w: usize, job: &F) {
         let mut seen_epoch = 0u64;
         loop {
+            // Clock reads happen only on the instrumented pool; the
+            // uninstrumented claim loop is identical to the original.
+            let wait_start = self.stats.as_ref().map(|_| Instant::now());
             let round = {
                 let mut c = self.coord.lock().unwrap();
                 while !c.shutdown && c.epoch == seen_epoch {
@@ -129,6 +256,14 @@ impl PoolCore {
                 seen_epoch = c.epoch;
                 c.round
             };
+            let cells = self.stats.as_ref().map(|cells| {
+                let cell = &cells[w];
+                if let Some(t0) = wait_start {
+                    cell.wait_ns
+                        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                }
+                (cell, Instant::now())
+            });
             // Dynamic claiming: one machine at a time off the shared
             // counter, so no worker ever queues behind a straggler.
             loop {
@@ -136,8 +271,17 @@ impl PoolCore {
                 if i >= self.items {
                     break;
                 }
+                if let Some((cell, _)) = &cells {
+                    cell.claimed.fetch_add(1, Ordering::Relaxed);
+                }
                 if !self.active[i].load(Ordering::Relaxed) {
+                    if let Some((cell, _)) = &cells {
+                        cell.idle_skips.fetch_add(1, Ordering::Relaxed);
+                    }
                     continue;
+                }
+                if let Some((cell, _)) = &cells {
+                    cell.stepped.fetch_add(1, Ordering::Relaxed);
                 }
                 // Catching inside the claim loop keeps the barrier sound:
                 // the worker still reports completion, and the driving
@@ -148,6 +292,10 @@ impl PoolCore {
                         *slot = Some(payload);
                     }
                 }
+            }
+            if let Some((cell, busy_start)) = &cells {
+                cell.busy_ns
+                    .fetch_add(busy_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
             }
             let mut c = self.coord.lock().unwrap();
             c.remaining -= 1;
@@ -246,6 +394,62 @@ mod tests {
             };
             assert_eq!(h.load(Ordering::Relaxed), want, "item {i}");
         }
+    }
+
+    #[test]
+    fn instrumented_pool_counts_claims_steps_and_skips() {
+        let pool = PoolCore::new(10, 3).with_stats(true);
+        let job = |_i: usize, _round: u64| {};
+        let mut totals = PoolStats::default();
+        std::thread::scope(|scope| {
+            pool.spawn_workers(scope, &job);
+            pool.run_round(0).unwrap();
+            totals.add_round(&pool.take_round_stats());
+            for idle in [2usize, 7] {
+                pool.set_active(idle, false);
+            }
+            pool.run_round(1).unwrap();
+            totals.add_round(&pool.take_round_stats());
+            pool.shutdown();
+        });
+        assert_eq!(totals.rounds, 2);
+        assert_eq!(totals.workers(), 3);
+        let claimed: u64 = totals.per_worker.iter().map(|w| w.claimed).sum();
+        let stepped: u64 = totals.per_worker.iter().map(|w| w.stepped).sum();
+        let skips: u64 = totals.per_worker.iter().map(|w| w.idle_skips).sum();
+        assert_eq!(claimed, 20, "10 items claimed per round");
+        assert_eq!(stepped, 18, "2 items idle in round 1");
+        assert_eq!(skips, 2);
+    }
+
+    #[test]
+    fn uninstrumented_pool_reports_no_stats() {
+        let pool = PoolCore::new(4, 2);
+        let job = |_i: usize, _round: u64| {};
+        std::thread::scope(|scope| {
+            pool.spawn_workers(scope, &job);
+            pool.run_round(0).unwrap();
+            assert!(pool.take_round_stats().is_empty());
+            pool.shutdown();
+        });
+    }
+
+    #[test]
+    fn pool_stats_imbalance_is_max_over_mean() {
+        let mut stats = PoolStats::default();
+        stats.add_round(&[
+            WorkerStats {
+                busy_ns: 300,
+                ..Default::default()
+            },
+            WorkerStats {
+                busy_ns: 100,
+                ..Default::default()
+            },
+        ]);
+        // mean = 200, max = 300 => 1.5
+        assert!((stats.imbalance() - 1.5).abs() < 1e-12);
+        assert_eq!(PoolStats::default().imbalance(), 0.0);
     }
 
     #[test]

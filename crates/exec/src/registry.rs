@@ -555,6 +555,41 @@ pub fn run(
     algo.run(cluster, input, mode)
 }
 
+/// Runs the named algorithm with telemetry recording attached and returns
+/// its output together with a [`RunReport`](crate::report::RunReport) —
+/// per-machine load, straggler ranking, critical-path breakdown, and (for
+/// pool runs) host-side worker accounting.
+///
+/// An unbounded ring sink is installed for the duration of the run. If the
+/// caller already attached a sink it keeps receiving every event (the two
+/// are fanned out), and it is restored afterwards either way.
+///
+/// # Errors
+///
+/// Same as [`run`]; the caller's sink is restored on the error path too.
+pub fn run_with_report(
+    name: &str,
+    cluster: &mut Cluster,
+    input: &AlgoInput<'_>,
+    mode: ExecMode,
+) -> Result<(AlgoOutput, crate::report::RunReport), ExecError> {
+    use mpc_runtime::{FanoutSink, RingSink, TraceSink};
+    use std::sync::Arc;
+
+    let ring = Arc::new(RingSink::unbounded());
+    let previous = cluster.set_trace_sink(Some(match cluster.trace_sink() {
+        Some(existing) => {
+            Arc::new(FanoutSink::new(vec![existing, ring.clone()])) as Arc<dyn TraceSink>
+        }
+        None => ring.clone() as Arc<dyn TraceSink>,
+    }));
+    let result = run(name, cluster, input, mode);
+    cluster.set_trace_sink(previous);
+    let output = result?;
+    let report = crate::report::RunReport::from_events(name, ring.take(), cluster.cost_model());
+    Ok((output, report))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

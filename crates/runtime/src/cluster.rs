@@ -5,9 +5,11 @@ use crate::cost::CostModel;
 use crate::error::ModelViolation;
 use crate::label::RoundLabel;
 use crate::payload::{MachineId, Payload};
+use crate::telemetry::{TraceEvent, TraceSink};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Per-round accounting record (one entry per [`Cluster::exchange`]).
 #[derive(Clone, Debug, PartialEq)]
@@ -29,6 +31,34 @@ pub struct RoundRecord {
     /// Simulated duration of the round under the cluster's
     /// [`CostModel`]: the barrier waits for the slowest machine.
     pub makespan: f64,
+}
+
+/// One row of [`Cluster::round_summary`]: rounds, traffic, and simulated
+/// time attributed to one exchange-label group (the label's first
+/// dot-separated component, e.g. every `mst.kkt.*` exchange under `mst`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RoundSummary {
+    /// The label group (first dot-separated component of the round label).
+    pub label: String,
+    /// Number of exchange rounds attributed to this group.
+    pub rounds: u64,
+    /// Total words moved by this group's rounds.
+    pub total_words: usize,
+    /// Summed simulated makespan of this group's rounds (seconds).
+    pub makespan: f64,
+}
+
+/// The cluster's trace-sink slot, newtype-wrapped so [`Cluster`] can keep
+/// its `Debug` derive without requiring `Debug` of every sink.
+struct SinkSlot(Option<Arc<dyn TraceSink>>);
+
+impl std::fmt::Debug for SinkSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            Some(_) => f.write_str("Some(<dyn TraceSink>)"),
+            None => f.write_str("None"),
+        }
+    }
 }
 
 /// A simulated MPC cluster (paper §2).
@@ -68,6 +98,12 @@ pub struct Cluster {
     /// Per-round scratch: message count per destination, used to pre-size
     /// inboxes before delivery.
     inbox_counts: Vec<usize>,
+    /// Telemetry sink; `None` keeps the exchange hot path allocation-free
+    /// (one branch per round is the whole cost of the feature when off).
+    sink: SinkSlot,
+    /// Label of the most recent exchange — attributes between-round memory
+    /// violations to the exchange that preceded them.
+    last_label: RoundLabel,
 }
 
 impl Cluster {
@@ -102,7 +138,36 @@ impl Cluster {
             violations: Vec::new(),
             memory_slots: BTreeMap::new(),
             config,
+            sink: SinkSlot(None),
+            last_label: RoundLabel::new("init"),
         }
+    }
+
+    /// Attaches (or, with `None`, detaches) a telemetry sink and returns
+    /// the previous one, so a scoped consumer (e.g. a report builder) can
+    /// restore whatever was installed before it.
+    ///
+    /// With a sink attached, every [`exchange`](Cluster::exchange) emits
+    /// [`TraceEvent::RoundBegin`], one [`TraceEvent::MachineRound`] per
+    /// machine, and [`TraceEvent::RoundEnd`]; violations emit
+    /// [`TraceEvent::Violation`] in every [`Enforcement`] mode that
+    /// reports them. With no sink the hot path pays exactly one branch
+    /// per exchange and allocates nothing extra.
+    pub fn set_trace_sink(
+        &mut self,
+        sink: Option<Arc<dyn TraceSink>>,
+    ) -> Option<Arc<dyn TraceSink>> {
+        std::mem::replace(&mut self.sink.0, sink)
+    }
+
+    /// The currently attached telemetry sink, if any (cloned handle).
+    pub fn trace_sink(&self) -> Option<Arc<dyn TraceSink>> {
+        self.sink.0.clone()
+    }
+
+    /// Whether a telemetry sink is attached (the branch the hot path takes).
+    pub fn tracing(&self) -> bool {
+        self.sink.0.is_some()
     }
 
     /// Number of machines (including the large machine, if any).
@@ -250,7 +315,20 @@ impl Cluster {
         (0..self.machines()).map(|_| Vec::new()).collect()
     }
 
+    /// Emits a [`TraceEvent::Violation`] for `v` if a sink is attached.
+    fn emit_violation(&self, v: &ModelViolation) {
+        if let Some(sink) = &self.sink.0 {
+            sink.record(&TraceEvent::Violation {
+                round: v.round(),
+                label: v.label().to_string(),
+                kind: v.kind(),
+                message: v.to_string(),
+            });
+        }
+    }
+
     fn report(&mut self, v: ModelViolation) -> Result<(), ModelViolation> {
+        self.emit_violation(&v);
         match self.enforcement {
             Enforcement::Strict => Err(v),
             Enforcement::Record => {
@@ -319,6 +397,16 @@ impl Cluster {
         let k = self.machines();
         self.rounds += 1;
         let round = self.rounds;
+        // A RoundLabel clone is an Arc refcount bump — cheap enough to pay
+        // unconditionally so Record-mode memory violations can name the
+        // exchange they follow even with no sink attached.
+        self.last_label = label.clone();
+        if let Some(sink) = &self.sink.0 {
+            sink.record(&TraceEvent::RoundBegin {
+                round,
+                label: label.to_string(),
+            });
+        }
         self.sent_scratch.fill(0);
         self.recv_scratch.fill(0);
         self.inbox_counts.fill(0);
@@ -326,10 +414,13 @@ impl Cluster {
         for (src, msgs) in outgoing.iter().enumerate() {
             for (dst, m) in msgs {
                 if *dst >= k {
-                    return Err(ModelViolation::UnknownMachine {
+                    let v = ModelViolation::UnknownMachine {
                         machine: *dst,
+                        round,
                         label: label.to_string(),
-                    });
+                    };
+                    self.emit_violation(&v);
+                    return Err(v);
                 }
                 let w = m.words();
                 self.sent_scratch[src] += w;
@@ -363,6 +454,34 @@ impl Cluster {
                 })?;
             }
         }
+        let makespan =
+            self.cost
+                .round_makespan(&self.sent_scratch, &self.recv_scratch, &self.pending_work);
+        if let Some(sink) = &self.sink.0 {
+            for mid in 0..k {
+                let (sent, recv, work) = (
+                    self.sent_scratch[mid],
+                    self.recv_scratch[mid],
+                    self.pending_work[mid],
+                );
+                sink.record(&TraceEvent::MachineRound {
+                    round,
+                    machine: mid,
+                    sent_words: sent,
+                    recv_words: recv,
+                    work,
+                    seconds: self.cost.machine_round_seconds(mid, sent, recv, work),
+                    capacity: self.capacity(mid),
+                });
+            }
+            sink.record(&TraceEvent::RoundEnd {
+                round,
+                label: label.to_string(),
+                total_words: self.sent_scratch.iter().sum(),
+                messages,
+                makespan,
+            });
+        }
         self.log.push(RoundRecord {
             label,
             max_sent: self.sent_scratch.iter().copied().max().unwrap_or(0),
@@ -370,11 +489,7 @@ impl Cluster {
             total_words: self.sent_scratch.iter().sum(),
             messages,
             total_work: self.pending_work.iter().sum(),
-            makespan: self.cost.round_makespan(
-                &self.sent_scratch,
-                &self.recv_scratch,
-                &self.pending_work,
-            ),
+            makespan,
         });
         self.pending_work.fill(0);
         // Deliver deterministically: ascending source, preserving send order.
@@ -431,6 +546,7 @@ impl Cluster {
             self.report(ModelViolation::MemoryOverflow {
                 machine: mid,
                 round,
+                label: self.last_label.to_string(),
                 slot: slot.to_string(),
                 words: total,
                 capacity: cap,
@@ -477,13 +593,12 @@ impl Cluster {
 
     /// Attributes rounds, traffic, and simulated time to algorithm steps:
     /// groups the round log by the label's first dot-separated component
-    /// (e.g. every `mst.kkt.*` exchange under `mst`), returning
-    /// `(prefix, rounds, total words, makespan seconds)` sorted by round
-    /// count, descending.
+    /// (e.g. every `mst.kkt.*` exchange under `mst`), returning one
+    /// [`RoundSummary`] per group, sorted by round count descending.
     ///
     /// Useful for answering "where did my rounds (and my wall-clock) go?"
     /// in experiments.
-    pub fn round_summary(&self) -> Vec<(String, u64, usize, f64)> {
+    pub fn round_summary(&self) -> Vec<RoundSummary> {
         let mut acc: std::collections::BTreeMap<String, (u64, usize, f64)> =
             std::collections::BTreeMap::new();
         for rec in &self.log {
@@ -492,9 +607,16 @@ impl Cluster {
             e.1 += rec.total_words;
             e.2 += rec.makespan;
         }
-        let mut v: Vec<(String, u64, usize, f64)> =
-            acc.into_iter().map(|(k, (r, w, s))| (k, r, w, s)).collect();
-        v.sort_by_key(|t| std::cmp::Reverse(t.1));
+        let mut v: Vec<RoundSummary> = acc
+            .into_iter()
+            .map(|(label, (rounds, total_words, makespan))| RoundSummary {
+                label,
+                rounds,
+                total_words,
+                makespan,
+            })
+            .collect();
+        v.sort_by_key(|s| std::cmp::Reverse(s.rounds));
         v
     }
 }
@@ -652,12 +774,98 @@ mod tests {
         }
         let summary = c.round_summary();
         assert_eq!(summary.len(), 2);
-        let mst = summary.iter().find(|(p, _, _, _)| p == "mst").unwrap();
-        assert_eq!(mst.1, 2);
-        assert_eq!(mst.2, 2);
+        let mst = summary.iter().find(|s| s.label == "mst").unwrap();
+        assert_eq!(mst.rounds, 2);
+        assert_eq!(mst.total_words, 2);
         // Unit-rate default cost model: each round's makespan equals its
         // bottleneck word count (1 word sent or received per round here).
-        assert!((mst.3 - 2.0).abs() < 1e-9);
+        assert!((mst.makespan - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_sink_sees_round_machine_and_violation_events() {
+        use crate::telemetry::{RingSink, TraceEvent};
+
+        let cfg = ClusterConfig::new(16, 64)
+            .topology(Topology::Custom {
+                capacities: vec![100, 20, 20],
+                large: Some(0),
+            })
+            .enforcement(Enforcement::Record);
+        let mut c = Cluster::new(cfg);
+        let ring = std::sync::Arc::new(RingSink::unbounded());
+        assert!(!c.tracing());
+        assert!(c.set_trace_sink(Some(ring.clone())).is_none());
+        assert!(c.tracing());
+
+        c.charge_work(1, 8);
+        let mut out = c.empty_outboxes::<u64>();
+        for _ in 0..25 {
+            out[1].push((0, 7)); // 25 > capacity 20: Record-mode violation
+        }
+        c.exchange("trace.r000", out).unwrap();
+
+        let events = ring.events();
+        // RoundBegin + one MachineRound per machine + Violation + RoundEnd.
+        assert!(matches!(
+            &events[0],
+            TraceEvent::RoundBegin { round: 1, label } if label == "trace.r000"
+        ));
+        let machine_rounds: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::MachineRound {
+                    machine,
+                    sent_words,
+                    work,
+                    capacity,
+                    ..
+                } => Some((*machine, *sent_words, *work, *capacity)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(machine_rounds.len(), 3);
+        assert_eq!(machine_rounds[1], (1, 25, 8, 20));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            TraceEvent::Violation {
+                kind: "send_overflow",
+                round: 1,
+                ..
+            }
+        )));
+        let rec = &c.round_log()[0];
+        assert!(events.iter().any(|e| matches!(
+            e,
+            TraceEvent::RoundEnd { round: 1, total_words, makespan, .. }
+                if *total_words == rec.total_words && *makespan == rec.makespan
+        )));
+
+        // Detaching returns the sink and stops emission.
+        let prev = c.set_trace_sink(None);
+        assert!(prev.is_some());
+        let n = ring.len();
+        let out = c.empty_outboxes::<u64>();
+        c.exchange("silent", out).unwrap();
+        assert_eq!(ring.len(), n);
+    }
+
+    #[test]
+    fn memory_violation_names_the_preceding_exchange() {
+        let cfg = ClusterConfig::new(16, 64)
+            .topology(Topology::Custom {
+                capacities: vec![100, 20, 20],
+                large: Some(0),
+            })
+            .enforcement(Enforcement::Record);
+        let mut c = Cluster::new(cfg);
+        let out = c.empty_outboxes::<u64>();
+        c.exchange("setup.shuffle", out).unwrap();
+        c.account("edges", 1, 50).unwrap();
+        let v = &c.violations()[0];
+        assert_eq!(v.kind(), "memory_overflow");
+        assert_eq!(v.round(), 1);
+        assert_eq!(v.label(), "setup.shuffle");
     }
 
     #[test]

@@ -113,17 +113,29 @@ impl CostModel {
         self.round_latency
     }
 
+    /// Seconds machine `mid` itself spends in a round moving
+    /// `sent + recv` words and computing `work` words — the per-machine
+    /// term of [`round_makespan`](CostModel::round_makespan), *before*
+    /// latency and the barrier. This is the quantity telemetry attributes
+    /// per machine: the gap between a machine's own seconds and the
+    /// round's makespan is its barrier wait.
+    pub fn machine_round_seconds(
+        &self,
+        mid: MachineId,
+        sent: usize,
+        recv: usize,
+        work: u64,
+    ) -> f64 {
+        (sent + recv) as f64 / self.bandwidths[mid] + work as f64 / self.speeds[mid]
+    }
+
     /// Simulated duration of one synchronous round: the barrier waits for
     /// the slowest machine, so the round costs
     /// `latency + max_i(work_i/speed_i + (sent_i+recv_i)/bandwidth_i)`.
     pub fn round_makespan(&self, sent: &[usize], recv: &[usize], work: &[u64]) -> f64 {
         debug_assert_eq!(sent.len(), self.speeds.len());
         let worst = (0..self.speeds.len())
-            .map(|i| {
-                let wire = (sent[i] + recv[i]) as f64 / self.bandwidths[i];
-                let cpu = work[i] as f64 / self.speeds[i];
-                wire + cpu
-            })
+            .map(|i| self.machine_round_seconds(i, sent[i], recv[i], work[i]))
             .fold(0.0_f64, f64::max);
         self.round_latency + worst
     }

@@ -10,6 +10,11 @@ use std::fmt;
 /// machine sends, receives, or stores more words than its capacity in a
 /// single round. In `Record` mode violations are logged on the
 /// [`Cluster`](crate::Cluster) instead of returned.
+///
+/// Every variant carries the round index and the label of the exchange it
+/// is attributed to, so a `Record`-mode violation log identifies *which*
+/// exchange exceeded capacity, not just by how much (memory violations
+/// declared between rounds carry the most recent exchange's label).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ModelViolation {
     /// A machine attempted to send more words in one round than it can store.
@@ -44,6 +49,9 @@ pub enum ModelViolation {
         machine: MachineId,
         /// Round index at which the overflow was declared.
         round: u64,
+        /// Label of the most recent exchange when the overflow was
+        /// declared (memory is accounted between rounds).
+        label: String,
         /// Accounting slot that tipped the machine over its capacity.
         slot: String,
         /// Total resident words after the update.
@@ -55,9 +63,54 @@ pub enum ModelViolation {
     UnknownMachine {
         /// The invalid destination id.
         machine: MachineId,
+        /// Round index of the offending exchange.
+        round: u64,
         /// Human-readable label of the offending exchange.
         label: String,
     },
+}
+
+impl ModelViolation {
+    /// The round index the violation is attributed to.
+    pub fn round(&self) -> u64 {
+        match self {
+            ModelViolation::SendOverflow { round, .. }
+            | ModelViolation::RecvOverflow { round, .. }
+            | ModelViolation::MemoryOverflow { round, .. }
+            | ModelViolation::UnknownMachine { round, .. } => *round,
+        }
+    }
+
+    /// The label of the exchange the violation is attributed to.
+    pub fn label(&self) -> &str {
+        match self {
+            ModelViolation::SendOverflow { label, .. }
+            | ModelViolation::RecvOverflow { label, .. }
+            | ModelViolation::MemoryOverflow { label, .. }
+            | ModelViolation::UnknownMachine { label, .. } => label,
+        }
+    }
+
+    /// The offending machine.
+    pub fn machine(&self) -> MachineId {
+        match self {
+            ModelViolation::SendOverflow { machine, .. }
+            | ModelViolation::RecvOverflow { machine, .. }
+            | ModelViolation::MemoryOverflow { machine, .. }
+            | ModelViolation::UnknownMachine { machine, .. } => *machine,
+        }
+    }
+
+    /// A stable snake_case tag for the violation kind (the telemetry
+    /// stream's `kind` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ModelViolation::SendOverflow { .. } => "send_overflow",
+            ModelViolation::RecvOverflow { .. } => "recv_overflow",
+            ModelViolation::MemoryOverflow { .. } => "memory_overflow",
+            ModelViolation::UnknownMachine { .. } => "unknown_machine",
+        }
+    }
 }
 
 impl fmt::Display for ModelViolation {
@@ -71,12 +124,12 @@ impl fmt::Display for ModelViolation {
                 f,
                 "machine {machine} received {words} words in round {round} ({label}), capacity {capacity}"
             ),
-            ModelViolation::MemoryOverflow { machine, round, slot, words, capacity } => write!(
+            ModelViolation::MemoryOverflow { machine, round, label, slot, words, capacity } => write!(
                 f,
-                "machine {machine} resident memory reached {words} words after slot '{slot}' in round {round}, capacity {capacity}"
+                "machine {machine} resident memory reached {words} words after slot '{slot}' in round {round} (after {label}), capacity {capacity}"
             ),
-            ModelViolation::UnknownMachine { machine, label } => {
-                write!(f, "message addressed to unknown machine {machine} ({label})")
+            ModelViolation::UnknownMachine { machine, round, label } => {
+                write!(f, "message addressed to unknown machine {machine} in round {round} ({label})")
             }
         }
     }
@@ -101,5 +154,30 @@ mod tests {
         assert!(s.contains("machine 3"));
         assert!(s.contains("sort.route"));
         assert!(s.contains("100"));
+    }
+
+    #[test]
+    fn accessors_attribute_every_variant() {
+        let v = ModelViolation::MemoryOverflow {
+            machine: 2,
+            round: 4,
+            label: "mst.collect.r003".into(),
+            slot: "edges".into(),
+            words: 99,
+            capacity: 64,
+        };
+        assert_eq!(v.round(), 4);
+        assert_eq!(v.label(), "mst.collect.r003");
+        assert_eq!(v.machine(), 2);
+        assert_eq!(v.kind(), "memory_overflow");
+
+        let u = ModelViolation::UnknownMachine {
+            machine: 9,
+            round: 1,
+            label: "bad".into(),
+        };
+        assert_eq!(u.round(), 1);
+        assert_eq!(u.kind(), "unknown_machine");
+        assert!(u.to_string().contains("round 1"));
     }
 }

@@ -51,11 +51,13 @@ pub mod label;
 pub mod payload;
 pub mod primitives;
 pub mod sharded;
+pub mod telemetry;
 
-pub use cluster::{Cluster, RoundRecord};
+pub use cluster::{Cluster, RoundRecord, RoundSummary};
 pub use config::{ClusterConfig, Enforcement, Topology};
 pub use cost::CostModel;
 pub use error::ModelViolation;
 pub use label::RoundLabel;
 pub use payload::{MachineId, Payload};
 pub use sharded::ShardedVec;
+pub use telemetry::{FanoutSink, JsonlSink, RingSink, TraceEvent, TraceSink};

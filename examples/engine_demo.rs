@@ -103,9 +103,12 @@ fn main() {
         );
         // Where did the makespan go? Top exchange-label groups.
         let mut summary = cluster.round_summary();
-        summary.sort_by(|a, b| b.3.partial_cmp(&a.3).unwrap());
-        for (label, rounds, words, seconds) in summary.iter().take(3) {
-            println!("   {label:<12} {rounds:>4} rounds {words:>8} words {seconds:>9.1}s makespan");
+        summary.sort_by(|a, b| b.makespan.partial_cmp(&a.makespan).unwrap());
+        for group in summary.iter().take(3) {
+            println!(
+                "   {:<12} {:>4} rounds {:>8} words {:>9.1}s makespan",
+                group.label, group.rounds, group.total_words, group.makespan
+            );
         }
         println!();
     }
