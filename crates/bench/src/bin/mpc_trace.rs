@@ -15,18 +15,19 @@ use mpc_core::common;
 use mpc_exec::{registry, AlgoInput, ExecMode};
 use mpc_graph::generators;
 use mpc_runtime::telemetry::{perfetto_export, validate_jsonl};
-use mpc_runtime::{Cluster, ClusterConfig, CostModel, JsonlSink, TraceSink};
+use mpc_runtime::{Cluster, ClusterConfig, CostModel, FaultPlan, JsonlSink, TraceSink};
 use std::sync::Arc;
 
 const USAGE: &str = "usage: mpc-trace [NAME|all] [--profile uniform|straggler|proportional] \
-                     [--n N] [--mode serial|pool] [--trace out.json] [--jsonl out.jsonl] \
-                     [--validate file.jsonl] [--list]";
+                     [--n N] [--mode serial|pool] [--faults SEED] [--trace out.json] \
+                     [--jsonl out.jsonl] [--validate file.jsonl] [--list]";
 
 struct Opts {
     names: Vec<&'static str>,
     profile: String,
     n: usize,
     mode: ExecMode,
+    faults: Option<u64>,
     trace: Option<String>,
     jsonl: Option<String>,
 }
@@ -43,6 +44,7 @@ fn parse_args() -> Opts {
     let mut profile = "straggler".to_string();
     let mut n = 256usize;
     let mut mode = ExecMode::Parallel;
+    let mut faults = None;
     let mut trace = None;
     let mut jsonl = None;
     while let Some(arg) = args.next() {
@@ -85,6 +87,13 @@ fn parse_args() -> Opts {
                     other => fail(&format!("unknown mode '{other}' (serial|pool)")),
                 };
             }
+            "--faults" => {
+                faults = Some(
+                    value("--faults")
+                        .parse()
+                        .unwrap_or_else(|e| fail(&format!("--faults: {e}"))),
+                );
+            }
             "--trace" => trace = Some(value("--trace")),
             "--jsonl" => jsonl = Some(value("--jsonl")),
             other if !other.starts_with('-') && name.is_none() => name = Some(arg),
@@ -112,6 +121,7 @@ fn parse_args() -> Opts {
         profile,
         n,
         mode,
+        faults,
         trace,
         jsonl,
     }
@@ -148,17 +158,40 @@ fn main() {
     );
     for name in &opts.names {
         let algo = registry::get(name).expect("validated above");
-        let mut cluster = Cluster::new(
+        let config = || {
             ClusterConfig::new(g.n(), g.m())
                 .seed(5)
-                .polylog_exponent(algo.polylog_exponent),
-        );
+                .polylog_exponent(algo.polylog_exponent)
+        };
+        let mut cluster = Cluster::new(config());
         cluster.set_cost_model(cost_profile(&opts.profile, &cluster));
+        // --faults: a fault-free preflight learns the round count (to place
+        // the seeded crash mid-run) and the digest the recovery must
+        // reproduce; the traced run below then carries the plan.
+        let clean = opts.faults.map(|seed| {
+            let mut pre = Cluster::new(config());
+            let input = common::distribute_edges(&pre, &g);
+            let out = registry::run(
+                name,
+                &mut pre,
+                &AlgoInput::new(g.n(), &input),
+                ExecMode::Serial,
+            )
+            .unwrap_or_else(|e| fail(&format!("{name} (fault-free preflight): {e}")));
+            let plan = FaultPlan::seeded_single_crash(seed, &pre.small_ids(), pre.rounds());
+            (out.digest(), plan)
+        });
+        if let Some((_, plan)) = &clean {
+            for f in plan.faults() {
+                println!("\n{name}: injecting {} ({})", f.kind(), f.detail());
+            }
+            cluster.set_fault_plan(Some(plan.clone()));
+        }
         if let Some(sink) = &jsonl_sink {
             cluster.set_trace_sink(Some(sink.clone() as Arc<dyn TraceSink>));
         }
         let input = common::distribute_edges(&cluster, &g);
-        let (_, report) = registry::run_with_report(
+        let (out, report) = registry::run_with_report(
             name,
             &mut cluster,
             &AlgoInput::new(g.n(), &input),
@@ -166,6 +199,14 @@ fn main() {
         )
         .unwrap_or_else(|e| fail(&format!("{name}: {e}")));
         println!("\n{}", report.render());
+        if let Some((clean_digest, _)) = &clean {
+            if out.digest() == *clean_digest {
+                println!("recovered result is bit-identical to the fault-free run");
+            } else {
+                eprintln!("{name}: recovered digest DIVERGED from the fault-free run");
+                std::process::exit(1);
+            }
+        }
         if let Some(path) = &opts.trace {
             std::fs::write(path, perfetto_export(&report.events))
                 .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));

@@ -1046,3 +1046,83 @@ fn write_rounds_json(rows: &[RoundsRow]) -> std::path::PathBuf {
     std::fs::write(&path, body).expect("write BENCH_rounds.json");
     path
 }
+
+/// E15: chaos smoke — every registered algorithm survives a deterministic
+/// mid-run crash of one small machine (victim chosen per-name by the
+/// seeded fault matrix) with results **bit-identical** to the fault-free
+/// run, under both `ExecMode::Serial` and `ExecMode::Parallel` (CI runs
+/// the parallel leg at 2 and 16 pool threads via `MPC_POOL_THREADS`).
+///
+/// This is the recovery protocol's CI gate: a crash that changes a digest,
+/// leaves a machine quarantined, or fails to recover fails the build.
+pub fn chaos() {
+    use mpc_exec::{registry, AlgoInput, ExecMode};
+    use mpc_runtime::FaultPlan;
+
+    println!("\n## E15 — chaos smoke (seeded single crash, recovery must be exact)\n");
+    if let Ok(threads) = std::env::var("MPC_POOL_THREADS") {
+        println!("(pool worker threads pinned to {threads} via MPC_POOL_THREADS)\n");
+    }
+    let g = generators::gnm(128, 768, 5).with_random_weights(1 << 12, 5);
+    let mut t = Table::new(&[
+        "algorithm",
+        "victim",
+        "crash round",
+        "clean rounds",
+        "faulted rounds",
+        "recovered == clean",
+    ]);
+    for algo in registry::algorithms() {
+        let run = |plan: Option<FaultPlan>, mode: ExecMode| {
+            let mut c = Cluster::new(
+                ClusterConfig::new(g.n(), g.m())
+                    .seed(5)
+                    .polylog_exponent(algo.polylog_exponent),
+            );
+            let input = common::distribute_edges(&c, &g);
+            c.set_fault_plan(plan);
+            let out = registry::run(algo.name, &mut c, &AlgoInput::new(g.n(), &input), mode)
+                .expect("registered algorithm run under chaos");
+            let smalls = c.small_ids();
+            (out.digest(), c.rounds(), smalls)
+        };
+        let (clean_digest, clean_rounds, smalls) = run(None, ExecMode::Serial);
+        // One crash per run; the victim varies per algorithm name so the
+        // matrix covers different shards across the registry.
+        let name_seed = algo
+            .name
+            .bytes()
+            .fold(0u64, |acc, b| acc.wrapping_mul(131).wrapping_add(b as u64));
+        let plan = FaultPlan::seeded_single_crash(name_seed, &smalls, clean_rounds);
+        let (victim, crash_round) = match plan.faults()[0] {
+            mpc_runtime::Fault::Crash { machine, round } => (machine, round),
+            _ => unreachable!("seeded_single_crash schedules a crash"),
+        };
+        let mut faulted_rounds = 0;
+        for mode in [ExecMode::Serial, ExecMode::Parallel] {
+            let (digest, rounds, _) = run(Some(plan.clone()), mode);
+            assert_eq!(
+                digest, clean_digest,
+                "{} under {mode:?}: crash of machine {victim} changed the result",
+                algo.name
+            );
+            assert!(
+                rounds > clean_rounds,
+                "{} under {mode:?}: recovery must add checkpoint/recovery rounds",
+                algo.name
+            );
+            faulted_rounds = rounds;
+        }
+        t.row(&[
+            algo.name.to_string(),
+            victim.to_string(),
+            crash_round.to_string(),
+            clean_rounds.to_string(),
+            faulted_rounds.to_string(),
+            "yes".to_string(),
+        ]);
+    }
+    t.print();
+    println!("\nchaos matrix: one seeded small-machine crash per algorithm, serial + pool legs;");
+    println!("recovery replays from peer replicas and must reproduce the fault-free digest.");
+}

@@ -26,7 +26,7 @@ use mpc_core::ported::connectivity::{sketch_friendly_config, ConnectivityConfig}
 use mpc_exec::pool::PoolStats;
 use mpc_exec::{ConnectivityProgram, ExecMode, Executor, MachineCtx, MachineProgram, StepOutcome};
 use mpc_graph::generators;
-use mpc_runtime::{Cluster, ClusterConfig, MachineId, RingSink, Topology};
+use mpc_runtime::{Cluster, ClusterConfig, FaultPlan, MachineId, RingSink, Topology};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -98,6 +98,13 @@ pub fn ripple_programs(cluster: &Cluster, rounds: u64, small_work: u64) -> Vec<R
         })
         .collect()
 }
+
+/// The two representative registry rows that also report the simulated
+/// cost of fault tolerance (seeded single crash + recovery): one
+/// contraction-style pipeline (`mst`, few heavy rounds) and one
+/// many-round local algorithm (`mis`) — the two regimes where checkpoint
+/// cadence bites differently.
+const RECOVERY_ROWS: &[&str] = &["mst", "mis"];
 
 /// Worker threads for both parallel schedules: pinned (rather than
 /// host-derived) so the comparison measures the *schedulers* — the same
@@ -243,6 +250,61 @@ fn instrument_registry(name: &str, g: &mpc_graph::Graph, seed: u64) -> (f64, f64
     stats_columns(report.pool)
 }
 
+/// One faulted serial registry run: a seeded single crash under the
+/// default [`mpc_runtime::fault::RecoveryPolicy`] (k = 1 replica,
+/// checkpoint every round), reported through `run_with_report`. Returns
+/// the share of the *simulated* makespan spent on checkpoint + recovery
+/// rounds — the price of fault tolerance in model time, not host time.
+/// Asserts the recovered digest matches the fault-free run first, so the
+/// ratio is only ever reported for an exact recovery.
+fn recovery_overhead(name: &str, g: &mpc_graph::Graph, seed: u64) -> f64 {
+    let polylog = mpc_exec::registry::get(name)
+        .expect("registered algorithm")
+        .polylog_exponent;
+    let build = || {
+        Cluster::new(
+            ClusterConfig::new(g.n(), g.m())
+                .seed(seed)
+                .polylog_exponent(polylog),
+        )
+    };
+    // Fault-free preflight: learn the round count, the small-machine ids,
+    // and the digest the recovery must reproduce.
+    let mut clean = build();
+    let edges = common::distribute_edges(&clean, g);
+    let out = mpc_exec::registry::run(
+        name,
+        &mut clean,
+        &mpc_exec::AlgoInput::new(g.n(), &edges),
+        ExecMode::Serial,
+    )
+    .expect("fault-free preflight");
+    let clean_digest = out.digest();
+    let smalls: Vec<MachineId> = (0..clean.machines())
+        .filter(|&m| Some(m) != clean.large())
+        .collect();
+    let plan = FaultPlan::seeded_single_crash(seed, &smalls, clean.rounds());
+
+    let mut cluster = build();
+    let edges = common::distribute_edges(&cluster, g);
+    cluster.set_fault_plan(Some(plan));
+    let (out, report) = mpc_exec::registry::run_with_report(
+        name,
+        &mut cluster,
+        &mpc_exec::AlgoInput::new(g.n(), &edges),
+        ExecMode::Serial,
+    )
+    .expect("faulted run");
+    assert_eq!(
+        out.digest(),
+        clean_digest,
+        "{name}: recovery diverged from the fault-free run"
+    );
+    report
+        .recovery
+        .overhead_ratio(report.critical_path.total_seconds)
+}
+
 /// Best-of-`reps` wall time for `run`, asserting the digest never moves.
 fn best_of<F: FnMut() -> (Duration, u64, u64)>(reps: usize, mut run: F) -> (f64, u64, u64) {
     let (mut best, digest, rounds) = run();
@@ -266,6 +328,10 @@ struct Case {
     barrier_ms: f64,
     /// Max-over-mean worker busy-time ratio from the same instrumented run.
     imbalance: f64,
+    /// Simulated-time share spent on checkpoint + recovery rounds under a
+    /// seeded single crash, from one extra faulted run — only computed for
+    /// the representative registry rows ([`RECOVERY_ROWS`]).
+    recovery_ratio: Option<f64>,
 }
 
 impl Case {
@@ -330,6 +396,7 @@ pub fn run(quick: bool) {
             pool_ms,
             barrier_ms,
             imbalance,
+            recovery_ratio: None,
         });
     }
 
@@ -366,6 +433,7 @@ pub fn run(quick: bool) {
         pool_ms,
         barrier_ms,
         imbalance,
+        recovery_ratio: None,
     });
 
     // The ported end-to-end programs, through the Algorithm registry: the
@@ -426,6 +494,9 @@ pub fn run(quick: bool) {
         )
         .machines();
         let (barrier_ms, imbalance) = instrument_registry(algo, graph, seed);
+        let recovery_ratio = RECOVERY_ROWS
+            .contains(&algo)
+            .then(|| recovery_overhead(algo, graph, seed));
         cases.push(Case {
             workload: format!("{algo}(n={},m={})", graph.n(), graph.m()),
             machines,
@@ -435,6 +506,7 @@ pub fn run(quick: bool) {
             pool_ms,
             barrier_ms,
             imbalance,
+            recovery_ratio,
         });
     }
 
@@ -448,6 +520,7 @@ pub fn run(quick: bool) {
         "pool speedup vs spawn",
         "pool barrier ms",
         "pool imbalance",
+        "recovery overhead",
     ]);
     for c in &cases {
         t.row(&[
@@ -460,12 +533,17 @@ pub fn run(quick: bool) {
             format!("{:.2}x", c.speedup()),
             format!("{:.2}", c.barrier_ms),
             format!("{:.2}x", c.imbalance),
+            c.recovery_ratio
+                .map_or("-".into(), |r| format!("{:.1}%", r * 100.0)),
         ]);
     }
     t.print();
     println!(
         "\nbarrier/imbalance columns come from one extra *instrumented* pool run per\n\
-         case (telemetry attached); the timed columns above always run sink-free."
+         case (telemetry attached); the timed columns above always run sink-free.\n\
+         recovery overhead is the share of *simulated* makespan spent on checkpoint\n\
+         and recovery rounds under one seeded small-machine crash (exactness\n\
+         asserted), from one extra faulted serial run on the representative rows."
     );
 
     let path = bench_json_path();
@@ -670,11 +748,14 @@ fn write_json(
     body.push_str(&format!("  \"pool_threads\": {pool_threads},\n"));
     body.push_str("  \"cases\": [\n");
     for (i, c) in cases.iter().enumerate() {
+        let recovery = c
+            .recovery_ratio
+            .map_or(String::new(), |r| format!(", \"recovery_ratio\": {r:.4}"));
         body.push_str(&format!(
             "    {{\"workload\": \"{}\", \"machines\": {}, \"rounds\": {}, \
              \"serial_ms\": {:.3}, \"spawn_per_round_ms\": {:.3}, \"pool_ms\": {:.3}, \
              \"pool_speedup_vs_spawn\": {:.3}, \"pool_barrier_ms\": {:.3}, \
-             \"pool_imbalance\": {:.3}}}{}\n",
+             \"pool_imbalance\": {:.3}{}}}{}\n",
             c.workload,
             c.machines,
             c.rounds,
@@ -684,6 +765,7 @@ fn write_json(
             c.speedup(),
             c.barrier_ms,
             c.imbalance,
+            recovery,
             if i + 1 == cases.len() { "" } else { "," },
         ));
     }
@@ -710,6 +792,7 @@ mod tests {
                 pool_ms: 2.0,
                 barrier_ms: 0.4,
                 imbalance: 1.2,
+                recovery_ratio: None,
             },
             Case {
                 workload: "mst(n=1200,m=7200)".into(),
@@ -720,6 +803,7 @@ mod tests {
                 pool_ms: 9.0,
                 barrier_ms: 1.1,
                 imbalance: 2.0,
+                recovery_ratio: Some(0.05),
             },
         ];
         write_json(&path, true, 8, 2, &cases);

@@ -44,6 +44,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "hotpath",
     "registry",
     "budgets",
+    "chaos",
 ];
 
 /// Runs one experiment by name, printing its tables to stdout.
@@ -83,6 +84,7 @@ pub fn run_experiment_opts(name: &str, quick: bool) {
         "hotpath" => hotpath::run(quick),
         "registry" => experiments::registry_smoke(),
         "budgets" => experiments::budgets(),
+        "chaos" => experiments::chaos(),
         other => panic!("unknown experiment '{other}'; see --list"),
     }
 }

@@ -31,7 +31,7 @@ use std::error::Error;
 use std::fmt;
 
 /// Errors of the matching algorithms.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub enum MatchingError {
     /// Capacity violation under strict enforcement.
     Model(ModelViolation),

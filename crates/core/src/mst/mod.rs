@@ -39,7 +39,7 @@ use std::fmt;
 pub const TAGGED_WORDS: usize = 4;
 
 /// Errors of the MST algorithm.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub enum MstError {
     /// A capacity violation under strict enforcement.
     Model(ModelViolation),

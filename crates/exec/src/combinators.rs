@@ -251,6 +251,20 @@ pub trait RoleProgram: Send {
         ctx: &MachineCtx<'_>,
         inbox: Vec<(MachineId, Self::Message)>,
     ) -> StepOutcome<Self::Message>;
+
+    /// See [`MachineProgram::snapshot`]: a checkpointable deep copy, or
+    /// `None` (the default) for programs that opt out of recovery.
+    fn snapshot(&self) -> Option<Self>
+    where
+        Self: Sized,
+    {
+        None
+    }
+
+    /// See [`MachineProgram::state_words`].
+    fn state_words(&self) -> usize {
+        1
+    }
 }
 
 /// The driver wrapper: dispatches each step to the machine's role. This is
@@ -272,6 +286,14 @@ impl<P: RoleProgram> MachineProgram for Driven<P> {
         } else {
             self.0.small_step(ctx, inbox)
         }
+    }
+
+    fn snapshot(&self) -> Option<Self> {
+        self.0.snapshot().map(Driven)
+    }
+
+    fn state_words(&self) -> usize {
+        self.0.state_words()
     }
 }
 

@@ -22,10 +22,12 @@
 
 use crate::machine::{MachineCtx, MachineProgram, StepOutcome};
 use crate::pool::{PanicPayload, PoolCore, PoolStats};
+use mpc_runtime::fault::{Fault, FiredFault, RecoveryPolicy, ReplicaChunk};
 use mpc_runtime::telemetry::{TraceEvent, TraceSink};
 use mpc_runtime::{Cluster, MachineId, ModelViolation, RoundLabel};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::collections::{BTreeMap, BTreeSet};
 use std::error::Error;
 use std::fmt;
 use std::sync::{Arc, Mutex};
@@ -65,6 +67,18 @@ pub enum ExecError {
         /// Human-readable failure description.
         message: String,
     },
+    /// A crashed machine could not be brought back: no replica peer holds
+    /// its shard (the large machine, `replicas = 0`, a program without
+    /// snapshot support), or the recovery protocol itself kept getting
+    /// disrupted past the retry budget.
+    Unrecoverable {
+        /// The machine that stayed down.
+        machine: MachineId,
+        /// Driver round of the disrupted exchange.
+        round: u64,
+        /// Why recovery was impossible.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -75,6 +89,14 @@ impl fmt::Display for ExecError {
                 write!(f, "program exceeded the round limit of {limit}")
             }
             ExecError::Algorithm { message } => write!(f, "algorithm failure: {message}"),
+            ExecError::Unrecoverable {
+                machine,
+                round,
+                reason,
+            } => write!(
+                f,
+                "machine {machine} unrecoverable at driver round {round}: {reason}"
+            ),
         }
     }
 }
@@ -344,6 +366,11 @@ impl Executor {
             }
         };
 
+        // Replica shards live only as long as the run that placed them.
+        if cluster.fault_plan().is_some() {
+            cluster.release("replica");
+        }
+
         // Hand the programs and the advanced RNG streams back. A panicking
         // step poisons its slot's mutex; ignore the poison here so the
         // *original* payload (not a `PoisonError`) reaches the caller.
@@ -385,6 +412,12 @@ impl Executor {
         let mut outgoing: Vec<Vec<(MachineId, P::Message)>> = (0..k).map(|_| Vec::new()).collect();
         let mut inboxes: Vec<Vec<(MachineId, P::Message)>> = Vec::new();
         let mut round: u64 = 0;
+        // Fault tolerance engages only when a plan is attached; a plain run
+        // takes none of the branches below and stays bit-identical.
+        let mut recovery: Option<RecoveryState<P>> = cluster
+            .fault_plan()
+            .is_some()
+            .then(|| RecoveryState::new(cluster, &self.label));
 
         loop {
             let mut stepping_count = 0usize;
@@ -401,6 +434,16 @@ impl Executor {
                 return DriveEnd::Failed(ExecError::RoundLimit {
                     limit: self.max_rounds,
                 });
+            }
+            if let Some(rec) = &mut recovery {
+                // Checkpoint *before* stepping: a snapshot of the state the
+                // round starts from, so a crash at any later round replays
+                // forward from here.
+                if round.is_multiple_of(rec.policy.cadence.max(1)) {
+                    if let Err(e) = rec.checkpoint(cluster, slots, round) {
+                        return DriveEnd::Failed(e);
+                    }
+                }
             }
             if let Some(sink) = &sink {
                 sink.record(&TraceEvent::StepSchedule {
@@ -438,12 +481,46 @@ impl Executor {
                 // exchange, the round was pure local wind-down.
                 break;
             }
-            if let Err(v) = cluster.exchange_into(
+            // With a plan attached, peek the faults the armed exchange is
+            // about to fire and capture the mail they would destroy, then
+            // arm: crashes and drops may hit only algorithm exchanges.
+            let capture = match &recovery {
+                Some(_) => {
+                    let imminent = cluster.imminent_armed_faults();
+                    let cap =
+                        (!imminent.is_empty()).then(|| capture_for_faults(&outgoing, &imminent));
+                    cluster.arm_faults(true);
+                    cap
+                }
+                None => None,
+            };
+            let exchanged = cluster.exchange_into(
                 RoundLabel::with_seq(&prefix, round),
                 &mut outgoing,
                 &mut inboxes,
-            ) {
+            );
+            if recovery.is_some() {
+                cluster.arm_faults(false);
+            }
+            if let Err(v) = exchanged {
                 return DriveEnd::Failed(v.into());
+            }
+            if let Some(rec) = &mut recovery {
+                let disruptive: Vec<FiredFault> = cluster
+                    .take_fired_faults()
+                    .into_iter()
+                    .filter(|f| f.fault.needs_arming())
+                    .collect();
+                if !disruptive.is_empty() {
+                    let capture =
+                        capture.expect("armed faults were peeked before the exchange fired them");
+                    if let Err(e) =
+                        rec.recover(cluster, slots, capture, &disruptive, round, &mut inboxes)
+                    {
+                        return DriveEnd::Failed(e);
+                    }
+                }
+                rec.log_inboxes(&inboxes);
             }
             round += 1;
             for (mid, slot) in slots.iter().enumerate() {
@@ -504,4 +581,492 @@ fn step_slot<P: MachineProgram>(
         halt,
         work: inbox_words as u64 + outbox_words as u64 + extra,
     });
+}
+
+/// One small machine's checkpoint: everything replay needs to reconstruct
+/// the machine at the *top* of driver round `round` (before stepping).
+struct Checkpoint<P: MachineProgram> {
+    program: P,
+    rng: SmallRng,
+    halted: bool,
+    inbox: Vec<(MachineId, P::Message)>,
+    round: u64,
+}
+
+/// A crashed machine's state replayed forward to just *after* stepping the
+/// disrupted round.
+struct Replayed<P: MachineProgram> {
+    program: P,
+    rng: SmallRng,
+    halted: bool,
+    outbox: Vec<(MachineId, P::Message)>,
+    replayed: u64,
+}
+
+/// Pre-exchange capture of the mail an imminent armed fault would destroy.
+struct FaultCapture<M> {
+    /// Full inbox each imminent crash victim would have received, in
+    /// delivery order (ascending source, then send order).
+    mail_to: BTreeMap<MachineId, Vec<(MachineId, M)>>,
+    /// Round outbox of each imminent crash/drop victim.
+    outbox_of: BTreeMap<MachineId, Vec<(MachineId, M)>>,
+}
+
+/// Clones exactly the mail the `imminent` faults would lose out of the
+/// round's outboxes, before [`Cluster::exchange_into`] consumes them.
+fn capture_for_faults<M: Clone>(
+    outgoing: &[Vec<(MachineId, M)>],
+    imminent: &[Fault],
+) -> FaultCapture<M> {
+    let mut mail_to: BTreeMap<MachineId, Vec<(MachineId, M)>> = BTreeMap::new();
+    let mut outbox_of: BTreeMap<MachineId, Vec<(MachineId, M)>> = BTreeMap::new();
+    for f in imminent {
+        match f {
+            Fault::Crash { machine, .. } => {
+                mail_to.entry(*machine).or_default();
+                outbox_of
+                    .entry(*machine)
+                    .or_insert_with(|| outgoing[*machine].clone());
+            }
+            Fault::DropExchange { machine, .. } => {
+                outbox_of
+                    .entry(*machine)
+                    .or_insert_with(|| outgoing[*machine].clone());
+            }
+            _ => {}
+        }
+    }
+    // Outboxes are walked source-major, so each victim's captured mail is
+    // already in the exchange's delivery order.
+    for (src, msgs) in outgoing.iter().enumerate() {
+        for (dst, msg) in msgs {
+            if let Some(mail) = mail_to.get_mut(dst) {
+                mail.push((src, msg.clone()));
+            }
+        }
+    }
+    FaultCapture { mail_to, outbox_of }
+}
+
+/// Stable merge of recovery deliveries into a round inbox by ascending
+/// source id. The two lists never share a source *for the same
+/// destination* (a crashed destination's main inbox is empty; a healthy
+/// destination only receives recovery mail from disrupted sources, whose
+/// main-exchange messages were filtered), so the merge reconstructs
+/// exactly the fault-free delivery order.
+fn merge_by_src<M>(main: &mut Vec<(MachineId, M)>, extra: Vec<(MachineId, M)>) {
+    if extra.is_empty() {
+        return;
+    }
+    if main.is_empty() {
+        *main = extra;
+        return;
+    }
+    let old = std::mem::take(main);
+    main.reserve(old.len() + extra.len());
+    let mut a = old.into_iter().peekable();
+    let mut b = extra.into_iter().peekable();
+    loop {
+        let take_a = match (a.peek(), b.peek()) {
+            (Some((sa, _)), Some((sb, _))) => sa <= sb,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+        match take_a {
+            true => main.push(a.next().expect("peeked")),
+            false => main.push(b.next().expect("peeked")),
+        }
+    }
+}
+
+/// The driver-side half of fault tolerance (DESIGN.md §2.7): replicated
+/// checkpoints of every small machine's shard, an inbox log for replay,
+/// and the recovery protocol that reknits a disrupted round. Created only
+/// when a [`FaultPlan`](mpc_runtime::FaultPlan) is attached — fault-free
+/// runs never construct one.
+struct RecoveryState<P: MachineProgram> {
+    policy: RecoveryPolicy,
+    small_ids: Vec<MachineId>,
+    caps: Vec<usize>,
+    large: Option<MachineId>,
+    machines: usize,
+    /// Latest checkpoint per machine (`None` for the large machine and for
+    /// programs without snapshot support).
+    checkpoints: Vec<Option<Checkpoint<P>>>,
+    /// `inbox_log[m][i]`: machine `m`'s committed inbox for driver round
+    /// `checkpoint.round + 1 + i` — the message durability that lets replay
+    /// re-feed a crashed machine without re-running its peers.
+    inbox_log: Vec<Vec<Vec<(MachineId, P::Message)>>>,
+    ckpt_prefix: Arc<str>,
+    rec_prefix: Arc<str>,
+    ckpt_seq: u64,
+    rec_seq: u64,
+    /// Reusable outbox buffers for the replication exchange.
+    ckpt_out: Vec<Vec<(MachineId, ReplicaChunk)>>,
+    ckpt_in: Vec<Vec<(MachineId, ReplicaChunk)>>,
+}
+
+impl<P: MachineProgram> RecoveryState<P> {
+    fn new(cluster: &Cluster, label: &str) -> Self {
+        let k = cluster.machines();
+        RecoveryState {
+            policy: cluster
+                .fault_plan()
+                .expect("recovery requires an attached plan")
+                .policy()
+                .clone(),
+            small_ids: cluster.small_ids(),
+            caps: (0..k).map(|m| cluster.capacity(m)).collect(),
+            large: cluster.large(),
+            machines: k,
+            checkpoints: (0..k).map(|_| None).collect(),
+            inbox_log: (0..k).map(|_| Vec::new()).collect(),
+            ckpt_prefix: Arc::from(format!("{label}.ckpt").as_str()),
+            rec_prefix: Arc::from(format!("{label}.recover").as_str()),
+            ckpt_seq: 0,
+            rec_seq: 0,
+            ckpt_out: (0..k).map(|_| Vec::new()).collect(),
+            ckpt_in: Vec::new(),
+        }
+    }
+
+    /// Snapshots every small machine at the top of `round` and ships each
+    /// shard to its ring-successor replica owners through one disarmed,
+    /// capacity-checked exchange — replication is real traffic, charged
+    /// like any algorithm round, and the resident copies are charged to
+    /// their owners' memory until the run ends.
+    fn checkpoint(
+        &mut self,
+        cluster: &mut Cluster,
+        slots: &[Mutex<MachineSlot<P>>],
+        round: u64,
+    ) -> Result<(), ExecError> {
+        let n = self.small_ids.len();
+        let replicas = self.policy.replicas.min(n.saturating_sub(1));
+        let mut owned = vec![0usize; self.machines];
+        for idx in 0..n {
+            let m = self.small_ids[idx];
+            let (snapshot, words) = {
+                let s = slots[m].lock().unwrap_or_else(|p| p.into_inner());
+                let words = s.program.state_words();
+                let ck = s.program.snapshot().map(|program| Checkpoint {
+                    program,
+                    rng: s.rng.clone(),
+                    halted: s.halted,
+                    inbox: s.inbox.clone(),
+                    round,
+                });
+                (ck, words)
+            };
+            let have = snapshot.is_some();
+            self.checkpoints[m] = snapshot;
+            self.inbox_log[m].clear();
+            if have {
+                for r in 1..=replicas {
+                    let owner = self.small_ids[(idx + r) % n];
+                    self.ckpt_out[m].push((owner, ReplicaChunk(words)));
+                    owned[owner] += words;
+                }
+            }
+        }
+        cluster
+            .exchange_into(
+                RoundLabel::with_seq(&self.ckpt_prefix, self.ckpt_seq),
+                &mut self.ckpt_out,
+                &mut self.ckpt_in,
+            )
+            .map_err(ExecError::Model)?;
+        self.ckpt_seq += 1;
+        cluster
+            .account_all("replica", &owned)
+            .map_err(ExecError::Model)?;
+        Ok(())
+    }
+
+    /// Records the committed inboxes of round `checkpoint.round + 1 + len`
+    /// for every small machine.
+    fn log_inboxes(&mut self, inboxes: &[Vec<(MachineId, P::Message)>]) {
+        for &m in &self.small_ids {
+            self.inbox_log[m].push(inboxes[m].clone());
+        }
+    }
+
+    /// Rebuilds crashed machine `m` from its replica checkpoint and replays
+    /// it forward through driver round `upto`, re-feeding the logged
+    /// inboxes. Returns the replayed state plus the total work words the
+    /// replay performed (charged to the recovery exchange's makespan).
+    fn replay(&self, m: MachineId, upto: u64) -> Result<(Replayed<P>, u64), ExecError> {
+        let n = self.small_ids.len();
+        if self.policy.replicas.min(n.saturating_sub(1)) == 0 {
+            return Err(ExecError::Unrecoverable {
+                machine: m,
+                round: upto,
+                reason: "no replica peer (replicas = 0 or a lone small machine)".to_string(),
+            });
+        }
+        let ck = self
+            .checkpoints
+            .get(m)
+            .and_then(Option::as_ref)
+            .ok_or_else(|| ExecError::Unrecoverable {
+                machine: m,
+                round: upto,
+                reason: "no checkpoint snapshot (program opts out of recovery)".to_string(),
+            })?;
+        let mut program = ck
+            .program
+            .snapshot()
+            .ok_or_else(|| ExecError::Unrecoverable {
+                machine: m,
+                round: upto,
+                reason: "checkpoint cannot be re-instantiated".to_string(),
+            })?;
+        let mut rng = ck.rng.clone();
+        let mut halted = ck.halted;
+        let mut outbox: Vec<(MachineId, P::Message)> = Vec::new();
+        let mut replayed = 0u64;
+        let mut work = 0u64;
+        for j in ck.round..=upto {
+            let inbox: Vec<(MachineId, P::Message)> = if j == ck.round {
+                ck.inbox.clone()
+            } else {
+                let i = (j - ck.round - 1) as usize;
+                self.inbox_log[m]
+                    .get(i)
+                    .cloned()
+                    .ok_or_else(|| ExecError::Unrecoverable {
+                        machine: m,
+                        round: upto,
+                        reason: format!("replay log has no inbox for round {j}"),
+                    })?
+            };
+            outbox.clear();
+            if !halted || !inbox.is_empty() {
+                let inbox_words: usize = inbox
+                    .iter()
+                    .map(|(_, msg)| mpc_runtime::Payload::words(msg))
+                    .sum();
+                let mctx = MachineCtx::new(
+                    m,
+                    self.machines,
+                    self.large,
+                    self.caps[m],
+                    j,
+                    &mut rng,
+                    None,
+                );
+                let outcome = program.step(&mctx, inbox);
+                let extra = mctx.charged();
+                let (ob, halt) = match outcome {
+                    StepOutcome::Send(ob) => (ob, false),
+                    StepOutcome::Halt => (Vec::new(), true),
+                };
+                let outbox_words: usize = ob
+                    .iter()
+                    .map(|(_, msg)| mpc_runtime::Payload::words(msg))
+                    .sum();
+                work += inbox_words as u64 + outbox_words as u64 + extra;
+                outbox = ob;
+                halted = halt;
+                replayed += 1;
+            }
+        }
+        Ok((
+            Replayed {
+                program,
+                rng,
+                halted,
+                outbox,
+                replayed,
+            },
+            work,
+        ))
+    }
+
+    /// The recovery protocol for one disrupted algorithm exchange:
+    /// quarantine and replay every crash victim, then re-send exactly the
+    /// destroyed mail through an armed recovery exchange (retried with
+    /// backoff if the chaos plan disrupts the recovery itself), and merge
+    /// the deliveries into the round's inboxes so downstream rounds are
+    /// bit-identical to a fault-free run.
+    fn recover(
+        &mut self,
+        cluster: &mut Cluster,
+        slots: &[Mutex<MachineSlot<P>>],
+        capture: FaultCapture<P::Message>,
+        fired: &[FiredFault],
+        round: u64,
+        inboxes: &mut [Vec<(MachineId, P::Message)>],
+    ) -> Result<(), ExecError> {
+        let sink = cluster.trace_sink();
+        let crashes: BTreeSet<MachineId> = fired
+            .iter()
+            .filter_map(|f| match f.fault {
+                Fault::Crash { machine, .. } => Some(machine),
+                _ => None,
+            })
+            .collect();
+        let drops: BTreeSet<MachineId> = fired
+            .iter()
+            .filter_map(|f| match f.fault {
+                Fault::DropExchange { machine, .. } => Some(machine),
+                _ => None,
+            })
+            .collect();
+
+        // The large machine holds the lone O(n^{1+f})-word shard; no small
+        // peer can hold its replica, so its crash is terminal by design.
+        for &m in &crashes {
+            if Some(m) == self.large {
+                return Err(ExecError::Unrecoverable {
+                    machine: m,
+                    round,
+                    reason: "the large machine has no replica peer".to_string(),
+                });
+            }
+            if let Some(sink) = &sink {
+                sink.record(&TraceEvent::MachineQuarantined {
+                    round: cluster.rounds(),
+                    machine: m,
+                });
+            }
+        }
+
+        // Replay every crash victim from its replica checkpoint; the
+        // replayed compute lands in the recovery exchange's makespan.
+        let mut restored: BTreeMap<MachineId, Replayed<P>> = BTreeMap::new();
+        for &m in &crashes {
+            let (rp, work) = self.replay(m, round)?;
+            if work > 0 {
+                cluster.charge_work(m, work);
+            }
+            restored.insert(m, rp);
+        }
+
+        // The recovery exchange re-sends exactly the destroyed mail: each
+        // disrupted sender's round outbox to *healthy* recipients, plus
+        // each crash victim's full lost inbox (crashed recipients get
+        // their disrupted-sender mail through that second path — exactly
+        // one path carries every lost message). Rebuilt wholesale per
+        // attempt: a disrupted attempt's deliveries are discarded.
+        let mut rec_in: Vec<Vec<(MachineId, P::Message)>> = Vec::new();
+        let mut attempt = 0usize;
+        let committed_attempt = loop {
+            attempt += 1;
+            if attempt > self.policy.max_retries {
+                let machine = crashes.iter().next().copied().unwrap_or(0);
+                return Err(ExecError::Unrecoverable {
+                    machine,
+                    round,
+                    reason: format!(
+                        "recovery retries exhausted after {} attempts",
+                        self.policy.max_retries
+                    ),
+                });
+            }
+            if attempt > 1 {
+                cluster.add_pending_delay(self.policy.backoff_seconds * (attempt - 1) as f64);
+            }
+            for &m in restored.keys() {
+                cluster.restore_machine(m);
+            }
+            let mut rec_out: Vec<Vec<(MachineId, P::Message)>> =
+                (0..self.machines).map(|_| Vec::new()).collect();
+            for &d in crashes.iter().chain(drops.iter()) {
+                let outbox = capture
+                    .outbox_of
+                    .get(&d)
+                    .expect("every fired crash/drop was captured pre-exchange");
+                for (dst, msg) in outbox {
+                    if !crashes.contains(dst) {
+                        rec_out[d].push((*dst, msg.clone()));
+                    }
+                }
+            }
+            for &m in &crashes {
+                if let Some(mail) = capture.mail_to.get(&m) {
+                    for (src, msg) in mail {
+                        rec_out[*src].push((m, msg.clone()));
+                    }
+                }
+            }
+            // Armed: the plan may disrupt the recovery itself — that is
+            // what the retry loop and backoff are for.
+            cluster.arm_faults(true);
+            let res = cluster.exchange_into(
+                RoundLabel::with_seq(&self.rec_prefix, self.rec_seq),
+                &mut rec_out,
+                &mut rec_in,
+            );
+            cluster.arm_faults(false);
+            self.rec_seq += 1;
+            res.map_err(ExecError::Model)?;
+            let again = cluster.take_fired_faults();
+            let mut disrupted = false;
+            for ff in &again {
+                match ff.fault {
+                    Fault::Crash { machine: n, .. } => {
+                        disrupted = true;
+                        if Some(n) == self.large {
+                            return Err(ExecError::Unrecoverable {
+                                machine: n,
+                                round,
+                                reason: "the large machine has no replica peer".to_string(),
+                            });
+                        }
+                        if let Some(sink) = &sink {
+                            sink.record(&TraceEvent::MachineQuarantined {
+                                round: cluster.rounds(),
+                                machine: n,
+                            });
+                        }
+                        // A machine crashing *during* recovery loses its
+                        // post-round state again but none of its committed
+                        // round-`round` traffic: replay only, no resends.
+                        let (rp, work) = self.replay(n, round)?;
+                        if work > 0 {
+                            cluster.charge_work(n, work);
+                        }
+                        restored.insert(n, rp);
+                    }
+                    Fault::DropExchange { .. } => disrupted = true,
+                    _ => {}
+                }
+            }
+            if !disrupted {
+                break attempt;
+            }
+        };
+
+        // Commit: merge the recovery deliveries into the round's inboxes
+        // (reconstructing the fault-free delivery order) and install each
+        // recovered machine's replayed program, RNG position, and halt
+        // flag.
+        for (main, extra) in inboxes.iter_mut().zip(rec_in.drain(..)) {
+            merge_by_src(main, extra);
+        }
+        for (m, rp) in restored {
+            if let Some(captured) = capture.outbox_of.get(&m) {
+                debug_assert_eq!(
+                    rp.outbox.len(),
+                    captured.len(),
+                    "deterministic replay must regenerate the captured outbox"
+                );
+            }
+            let mut s = slots[m].lock().unwrap_or_else(|p| p.into_inner());
+            s.program = rp.program;
+            s.rng = rp.rng;
+            s.halted = rp.halted;
+            if let Some(sink) = &sink {
+                sink.record(&TraceEvent::RecoveryRound {
+                    round: cluster.rounds(),
+                    machine: m,
+                    replayed: rp.replayed,
+                    attempt: committed_attempt,
+                });
+            }
+        }
+        Ok(())
+    }
 }

@@ -63,4 +63,4 @@ pub use programs::{
     MinCutProgram, MisProgram, MstApproxProgram, MstProgram, SpannerProgram,
 };
 pub use registry::{AlgoInput, AlgoOutput, Algorithm};
-pub use report::{CriticalPath, MachineLoad, RunReport};
+pub use report::{CriticalPath, MachineLoad, RecoveryBreakdown, RunReport};

@@ -313,6 +313,41 @@ impl<P: MachineProgram> MachineProgram for Multiplexed<P> {
             StepOutcome::Send(out)
         }
     }
+
+    /// A multiplexed machine checkpoints iff every instance's sub-program
+    /// does *and* no controller is installed. Controllers are opaque
+    /// `FnMut` closures (not cloneable) and by convention live only on the
+    /// large machine — which has no replica peer and is outside the
+    /// recovery protocol anyway — so small-machine batched shards remain
+    /// recoverable.
+    fn snapshot(&self) -> Option<Self> {
+        if self.controller.is_some() {
+            return None;
+        }
+        let mut slots = Vec::with_capacity(self.slots.len());
+        for slot in &self.slots {
+            slots.push(MuxSlot {
+                program: slot.program.snapshot()?,
+                halted: slot.halted,
+                retired: slot.retired,
+                outbox: slot.outbox.clone(),
+            });
+        }
+        Some(Multiplexed {
+            slots,
+            solo_capacity: self.solo_capacity,
+            controller: None,
+            inboxes: self.inboxes.clone(),
+        })
+    }
+
+    fn state_words(&self) -> usize {
+        self.slots
+            .iter()
+            .map(|slot| slot.program.state_words())
+            .sum::<usize>()
+            .max(1)
+    }
 }
 
 #[cfg(test)]

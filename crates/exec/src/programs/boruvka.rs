@@ -49,6 +49,7 @@ impl Payload for MstMsg {
 }
 
 /// Per-machine state of the Borůvka MSF program.
+#[derive(Clone)]
 pub struct BoruvkaProgram {
     owners: Vec<MachineId>,
     /// Current contracted edges on this (small) machine.
@@ -145,6 +146,10 @@ impl BoruvkaProgram {
 
 impl MachineProgram for BoruvkaProgram {
     type Message = MstMsg;
+
+    fn snapshot(&self) -> Option<Self> {
+        Some(self.clone())
+    }
 
     fn step(
         &mut self,

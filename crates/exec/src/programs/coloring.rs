@@ -85,6 +85,7 @@ enum LPhase {
 }
 
 /// Per-machine state of the coloring program.
+#[derive(Clone)]
 pub struct ColoringProgram {
     n: usize,
     owners: Owners,
@@ -155,6 +156,10 @@ impl ColoringProgram {
 
 impl RoleProgram for ColoringProgram {
     type Message = ColorNetMsg;
+
+    fn snapshot(&self) -> Option<Self> {
+        Some(self.clone())
+    }
 
     fn large_step(
         &mut self,

@@ -45,6 +45,7 @@ impl Payload for ConnMsg {
 }
 
 /// Per-machine state of the connectivity port.
+#[derive(Clone)]
 pub struct ConnectivityProgram {
     n: usize,
     phases: usize,
@@ -91,6 +92,10 @@ impl ConnectivityProgram {
 
 impl MachineProgram for ConnectivityProgram {
     type Message = ConnMsg;
+
+    fn snapshot(&self) -> Option<Self> {
+        Some(self.clone())
+    }
 
     fn step(
         &mut self,

@@ -150,6 +150,7 @@ enum LPhase {
 }
 
 /// Per-machine state of the three-phase matching program.
+#[derive(Clone)]
 pub struct MatchingProgram {
     n: usize,
     owners: Owners,
@@ -237,6 +238,10 @@ impl MatchingProgram {
 
 impl RoleProgram for MatchingProgram {
     type Message = MatchNetMsg;
+
+    fn snapshot(&self) -> Option<Self> {
+        Some(self.clone())
+    }
 
     fn large_step(
         &mut self,

@@ -113,6 +113,7 @@ enum LPhase {
 }
 
 /// Per-machine state of the exact min-cut program.
+#[derive(Clone)]
 pub struct MinCutProgram {
     n: usize,
     trials: usize,
@@ -218,6 +219,10 @@ impl MinCutProgram {
 
 impl RoleProgram for MinCutProgram {
     type Message = MinCutNetMsg;
+
+    fn snapshot(&self) -> Option<Self> {
+        Some(self.clone())
+    }
 
     fn large_step(
         &mut self,

@@ -107,6 +107,7 @@ enum LPhase {
 }
 
 /// Per-machine state of the approximate min-cut program.
+#[derive(Clone)]
 pub struct MinCutApproxProgram {
     n: usize,
     /// `c = 3·ln n / ε²`, identical on every machine (same formula, same
@@ -222,6 +223,7 @@ pub enum GuessOutcome {
 /// judges at round 3. Small machines halt whenever they have nothing in
 /// flight, so a guess that is never shipped costs zero traffic after its
 /// count report.
+#[derive(Clone)]
 pub struct MinCutGuessWave {
     n: usize,
     c_sample: f64,
@@ -257,6 +259,10 @@ impl MinCutGuessWave {
 
 impl RoleProgram for MinCutGuessWave {
     type Message = XCutNetMsg;
+
+    fn snapshot(&self) -> Option<Self> {
+        Some(self.clone())
+    }
 
     fn large_step(
         &mut self,
@@ -356,6 +362,7 @@ impl RoleProgram for MinCutGuessWave {
 /// budget was hit): gather the input to the large machine and solve
 /// locally — the engine twin of the legacy `xcut.fallback` gather, run as
 /// a short second engine pass only when the batched guesses demand it.
+#[derive(Clone)]
 pub struct XCutFallback {
     n: usize,
     input: Arc<[Edge]>,
@@ -376,6 +383,10 @@ impl XCutFallback {
 
 impl RoleProgram for XCutFallback {
     type Message = XCutNetMsg;
+
+    fn snapshot(&self) -> Option<Self> {
+        Some(self.clone())
+    }
 
     fn large_step(
         &mut self,
@@ -418,6 +429,10 @@ impl RoleProgram for XCutFallback {
 
 impl RoleProgram for MinCutApproxProgram {
     type Message = XCutNetMsg;
+
+    fn snapshot(&self) -> Option<Self> {
+        Some(self.clone())
+    }
 
     fn large_step(
         &mut self,

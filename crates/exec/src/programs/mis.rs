@@ -135,6 +135,7 @@ enum LPhase {
 }
 
 /// Per-machine state of the MIS program.
+#[derive(Clone)]
 pub struct MisProgram {
     n: usize,
     owners: Owners,
@@ -243,6 +244,10 @@ impl MisProgram {
 
 impl RoleProgram for MisProgram {
     type Message = MisNetMsg;
+
+    fn snapshot(&self) -> Option<Self> {
+        Some(self.clone())
+    }
 
     fn large_step(
         &mut self,

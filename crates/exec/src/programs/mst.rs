@@ -155,6 +155,7 @@ enum LargePhase {
 }
 
 /// Per-machine state of the heterogeneous MST program.
+#[derive(Clone)]
 pub struct MstProgram {
     n: usize,
     config: MstConfig,
@@ -298,6 +299,10 @@ impl MstProgram {
 
 impl RoleProgram for MstProgram {
     type Message = MstNetMsg;
+
+    fn snapshot(&self) -> Option<Self> {
+        Some(self.clone())
+    }
 
     fn large_step(
         &mut self,

@@ -77,6 +77,7 @@ enum LPhase {
 }
 
 /// Per-machine state of the MST-weight estimator program.
+#[derive(Clone)]
 pub struct MstApproxProgram {
     n: usize,
     /// Sketch-Borůvka phases (`ConnectivityConfig::for_n`, both paths).
@@ -163,6 +164,7 @@ impl MstApproxProgram {
 /// threshold order — exactly the legacy draw order), so the instance draws
 /// nothing at run time and the per-machine RNG positions after the batched
 /// run equal the sequential composition's.
+#[derive(Clone)]
 pub struct MstApproxWave {
     n: usize,
     phases: usize,
@@ -204,6 +206,10 @@ impl MstApproxWave {
 
 impl RoleProgram for MstApproxWave {
     type Message = MstApproxNetMsg;
+
+    fn snapshot(&self) -> Option<Self> {
+        Some(self.clone())
+    }
 
     fn large_step(
         &mut self,
@@ -289,6 +295,10 @@ impl RoleProgram for MstApproxWave {
 
 impl RoleProgram for MstApproxProgram {
     type Message = MstApproxNetMsg;
+
+    fn snapshot(&self) -> Option<Self> {
+        Some(self.clone())
+    }
 
     fn large_step(
         &mut self,

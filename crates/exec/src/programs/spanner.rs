@@ -123,6 +123,7 @@ impl Payload for SpannerNetMsg {
 }
 
 /// Per-machine state of the spanner program.
+#[derive(Clone)]
 pub struct SpannerProgram {
     n: usize,
     k: usize,
@@ -208,6 +209,10 @@ impl SpannerProgram {
 
 impl RoleProgram for SpannerProgram {
     type Message = SpannerNetMsg;
+
+    fn snapshot(&self) -> Option<Self> {
+        Some(self.clone())
+    }
 
     fn large_step(
         &mut self,

@@ -53,6 +53,47 @@ pub struct CriticalPath {
     pub cpu_seconds: f64,
 }
 
+/// Fault-tolerance overhead attribution: how much of the run's simulated
+/// time went into checkpoints, replays, and recovery exchanges. All-zero
+/// (and unrendered) for runs without a fault plan.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RecoveryBreakdown {
+    /// `FaultInjected` events observed (crashes, drops, delays, slowdowns).
+    pub faults_injected: u64,
+    /// `MachineQuarantined` events (one per crash, including re-crashes
+    /// during recovery).
+    pub machines_quarantined: u64,
+    /// `RecoveryRound` events (one per machine successfully recovered).
+    pub recovery_rounds: u64,
+    /// Total driver rounds replayed from checkpoints across all
+    /// recoveries.
+    pub replay_rounds: u64,
+    /// Replication (checkpoint) exchanges the run performed.
+    pub checkpoint_rounds: u64,
+    /// Simulated seconds spent in recovery exchanges (resends, replayed
+    /// compute, retry backoff).
+    pub recovery_makespan: f64,
+    /// Simulated seconds spent shipping replica checkpoints.
+    pub checkpoint_makespan: f64,
+}
+
+impl RecoveryBreakdown {
+    /// Fault-tolerance overhead as a fraction of the run's total simulated
+    /// time: `(checkpoint + recovery seconds) / total`. 0.0 for fault-free
+    /// runs without a plan.
+    pub fn overhead_ratio(&self, total_seconds: f64) -> f64 {
+        if total_seconds <= 0.0 {
+            return 0.0;
+        }
+        (self.checkpoint_makespan + self.recovery_makespan) / total_seconds
+    }
+
+    /// Whether anything fault-tolerance-related happened at all.
+    pub fn is_empty(&self) -> bool {
+        *self == RecoveryBreakdown::default()
+    }
+}
+
 /// A straggler/imbalance report for one run, distilled from the telemetry
 /// stream (plus the cluster's [`CostModel`] for the wire/compute split).
 #[derive(Clone, Debug)]
@@ -73,6 +114,8 @@ pub struct RunReport {
     pub pool: Option<PoolStats>,
     /// Capacity violations observed during the run.
     pub violations: usize,
+    /// Fault-tolerance overhead attribution (all-zero without a plan).
+    pub recovery: RecoveryBreakdown,
     /// The raw event stream, for exporters
     /// ([`perfetto_export`](mpc_runtime::telemetry::perfetto_export)) and
     /// reconciliation tests.
@@ -100,6 +143,7 @@ impl RunReport {
         let mut rounds = 0u64;
         let mut violations = 0usize;
         let mut pool: Option<PoolStats> = None;
+        let mut recovery = RecoveryBreakdown::default();
         // Per-round bottleneck tracking: reset at RoundBegin, resolved at
         // RoundEnd (MachineRound events for one round sit between the two).
         let mut bottleneck: Option<(MachineId, f64, usize, u64)> = None; // (mid, secs, sent+recv, work)
@@ -131,8 +175,16 @@ impl RunReport {
                         bottleneck = Some((*machine, *seconds, sent_words + recv_words, *work));
                     }
                 }
-                TraceEvent::RoundEnd { makespan, .. } => {
+                TraceEvent::RoundEnd {
+                    makespan, label, ..
+                } => {
                     rounds += 1;
+                    if label.contains(".ckpt.") {
+                        recovery.checkpoint_rounds += 1;
+                        recovery.checkpoint_makespan += makespan;
+                    } else if label.contains(".recover.") {
+                        recovery.recovery_makespan += makespan;
+                    }
                     critical_path.total_seconds += makespan;
                     critical_path.latency_seconds += cost.round_latency();
                     if let Some((mid, _, traffic, work)) = bottleneck.take() {
@@ -144,6 +196,12 @@ impl RunReport {
                     }
                 }
                 TraceEvent::Violation { .. } => violations += 1,
+                TraceEvent::FaultInjected { .. } => recovery.faults_injected += 1,
+                TraceEvent::MachineQuarantined { .. } => recovery.machines_quarantined += 1,
+                TraceEvent::RecoveryRound { replayed, .. } => {
+                    recovery.recovery_rounds += 1;
+                    recovery.replay_rounds += replayed;
+                }
                 TraceEvent::WorkerRound {
                     worker,
                     claimed,
@@ -194,6 +252,7 @@ impl RunReport {
             imbalance,
             pool,
             violations,
+            recovery,
             events,
         }
     }
@@ -251,6 +310,23 @@ impl RunReport {
                 load.seconds,
                 load.bottleneck_rounds,
                 load.min_headroom
+            );
+        }
+        if !self.recovery.is_empty() {
+            let r = &self.recovery;
+            let _ = writeln!(
+                out,
+                "recovery: {} faults, {} quarantines, {} machines recovered ({} rounds replayed)",
+                r.faults_injected, r.machines_quarantined, r.recovery_rounds, r.replay_rounds
+            );
+            let _ = writeln!(
+                out,
+                "  overhead: {} checkpoint rounds {:.2}s + recovery {:.2}s = {:.1}% of {:.2}s total",
+                r.checkpoint_rounds,
+                r.checkpoint_makespan,
+                r.recovery_makespan,
+                r.overhead_ratio(self.critical_path.total_seconds) * 100.0,
+                self.critical_path.total_seconds
             );
         }
         if let Some(pool) = &self.pool {

@@ -1,0 +1,476 @@
+//! Fault tolerance end to end: a deterministic fault plan crashing,
+//! dropping, delaying, or slowing machines mid-run must leave every result
+//! bit-identical to the fault-free execution, replication must be charged
+//! as real traffic and resident memory, and unrecoverable situations must
+//! surface as typed errors — never as silent corruption.
+
+use mpc_core::common;
+use mpc_exec::{registry, AlgoInput, ExecError, ExecMode, Executor, MachineProgram, StepOutcome};
+use mpc_graph::generators;
+use mpc_runtime::fault::{Fault, FaultPlan, RecoveryPolicy};
+use mpc_runtime::telemetry::{RingSink, TraceEvent};
+use mpc_runtime::{Cluster, ClusterConfig, MachineId, ModelViolation, Topology};
+use rand::RngCore;
+use std::sync::Arc;
+
+/// Runs one registry algorithm with an optional fault plan and returns the
+/// result digest plus each machine's post-run RNG draw (the RNG-position
+/// fingerprint recovery must restore exactly).
+fn run_registry(
+    name: &str,
+    seed: u64,
+    plan: Option<FaultPlan>,
+    mode: ExecMode,
+) -> (u128, Vec<u64>, Cluster) {
+    let g = generators::gnm(220, 2600, seed).with_random_weights(1 << 16, seed);
+    let polylog = registry::get(name).expect("registered").polylog_exponent;
+    let mut c = Cluster::new(
+        ClusterConfig::new(g.n(), g.m())
+            .seed(seed)
+            .polylog_exponent(polylog),
+    );
+    let edges = common::distribute_edges(&c, &g);
+    c.set_fault_plan(plan);
+    let input = AlgoInput::new(g.n(), &edges);
+    let out = registry::run(name, &mut c, &input, mode).expect("registry run");
+    let digest = out.digest();
+    let draws: Vec<u64> = c.rngs_mut().iter_mut().map(RngCore::next_u64).collect();
+    (digest, draws, c)
+}
+
+#[test]
+fn mid_run_crash_of_any_small_machine_is_bit_identical_to_fault_free() {
+    let (clean_digest, clean_draws, clean) = run_registry("mst", 11, None, ExecMode::Serial);
+    let total = clean.rounds();
+    let victims = clean.small_ids();
+    for &victim in &victims {
+        let plan = FaultPlan::new().with_fault(Fault::Crash {
+            machine: victim,
+            round: (total / 2).max(1),
+        });
+        let (digest, draws, faulted) = run_registry("mst", 11, Some(plan), ExecMode::Serial);
+        assert_eq!(
+            digest, clean_digest,
+            "crashing machine {victim} changed the MST result"
+        );
+        assert_eq!(
+            draws, clean_draws,
+            "crashing machine {victim} left an RNG stream at the wrong position"
+        );
+        assert!(
+            faulted.rounds() > total,
+            "recovery must have added checkpoint/recovery exchanges"
+        );
+    }
+}
+
+#[test]
+fn crash_recovery_is_mode_independent() {
+    let (clean_digest, clean_draws, clean) = run_registry("mis", 5, None, ExecMode::Serial);
+    let plan = FaultPlan::seeded_single_crash(5, &clean.small_ids(), clean.rounds());
+    for mode in [
+        ExecMode::Serial,
+        ExecMode::SpawnPerRound,
+        ExecMode::Parallel,
+    ] {
+        let (digest, draws, _) = run_registry("mis", 5, Some(plan.clone()), mode);
+        assert_eq!(digest, clean_digest, "{mode:?} diverged under recovery");
+        assert_eq!(draws, clean_draws, "{mode:?} RNG positions diverged");
+    }
+}
+
+#[test]
+fn transient_drop_delay_and_slowdown_recover_bit_identical() {
+    let (clean_digest, clean_draws, clean) =
+        run_registry("connectivity", 3, None, ExecMode::Serial);
+    let mid = (clean.rounds() / 2).max(1);
+    let victim = clean.small_ids()[0];
+    let plan = FaultPlan::new()
+        .with_fault(Fault::DropExchange {
+            machine: victim,
+            round: mid,
+        })
+        .with_fault(Fault::DelayRound {
+            round: mid,
+            seconds: 4.0,
+        })
+        .with_fault(Fault::Slowdown {
+            machine: victim,
+            round: mid,
+            factor: 0.25,
+        });
+    let (digest, draws, faulted) = run_registry("connectivity", 3, Some(plan), ExecMode::Serial);
+    assert_eq!(digest, clean_digest);
+    assert_eq!(draws, clean_draws);
+    // A drop is transient: nobody is quarantined afterwards.
+    for m in 0..faulted.machines() {
+        assert!(!faulted.cost_model().is_quarantined(m));
+    }
+}
+
+#[test]
+fn fault_free_run_without_a_plan_has_zero_overhead() {
+    let (_, _, c) = run_registry("mst", 7, None, ExecMode::Serial);
+    assert!(
+        c.round_log().iter().all(|r| {
+            let label = r.label.to_string();
+            !label.contains(".ckpt.") && !label.contains(".recover.")
+        }),
+        "no plan attached must mean no recovery infrastructure rounds"
+    );
+}
+
+#[test]
+fn an_attached_plan_with_unfired_faults_changes_no_result() {
+    let (clean_digest, clean_draws, _) = run_registry("coloring", 9, None, ExecMode::Serial);
+    // Scheduled far beyond the run: the crash never fires, but checkpoints
+    // still happen — results and RNG positions must not move.
+    let plan = FaultPlan::new().with_fault(Fault::Crash {
+        machine: 1,
+        round: 1_000_000,
+    });
+    let (digest, draws, c) = run_registry("coloring", 9, Some(plan), ExecMode::Serial);
+    assert_eq!(digest, clean_digest);
+    assert_eq!(draws, clean_draws);
+    let ckpt_rounds: Vec<_> = c
+        .round_log()
+        .iter()
+        .filter(|r| r.label.to_string().contains(".ckpt."))
+        .collect();
+    assert!(
+        !ckpt_rounds.is_empty(),
+        "an attached plan must produce replication exchanges"
+    );
+    assert!(
+        ckpt_rounds.iter().all(|r| r.total_words > 0),
+        "replication traffic must be charged words"
+    );
+}
+
+// --- Direct-executor coverage with a program whose state size we control ---
+
+/// A ring-counting program: each machine draws from its RNG every step,
+/// mixes the draw and the inbox into `sum`, and passes `sum` to its ring
+/// successor for `rounds` driver rounds. Exercises state, RNG position,
+/// and message flow under recovery.
+#[derive(Clone, Debug)]
+struct RingSum {
+    rounds: u64,
+    sum: u64,
+    state_words: usize,
+}
+
+impl RingSum {
+    fn fleet(machines: usize, rounds: u64, state_words: usize) -> Vec<RingSum> {
+        (0..machines)
+            .map(|_| RingSum {
+                rounds,
+                sum: 0,
+                state_words,
+            })
+            .collect()
+    }
+}
+
+impl MachineProgram for RingSum {
+    type Message = u64;
+
+    fn step(
+        &mut self,
+        ctx: &mpc_exec::MachineCtx<'_>,
+        inbox: Vec<(MachineId, u64)>,
+    ) -> StepOutcome<u64> {
+        let draw = ctx.rng().next_u64() >> 32;
+        self.sum = self
+            .sum
+            .wrapping_add(draw)
+            .wrapping_add(inbox.iter().map(|(_, w)| *w).sum::<u64>());
+        if ctx.round >= self.rounds {
+            return StepOutcome::Halt;
+        }
+        let next = (ctx.mid + 1) % ctx.machines;
+        StepOutcome::Send(vec![(next, self.sum)])
+    }
+
+    fn snapshot(&self) -> Option<Self> {
+        Some(self.clone())
+    }
+
+    fn state_words(&self) -> usize {
+        self.state_words
+    }
+}
+
+fn ring_cluster(caps: Vec<usize>, large: Option<MachineId>) -> Cluster {
+    Cluster::new(
+        ClusterConfig::new(64, 64)
+            .topology(Topology::Custom {
+                capacities: caps,
+                large,
+            })
+            .seed(42),
+    )
+}
+
+/// Runs a RingSum fleet and returns the final sums plus post-run RNG draws.
+fn run_ring(cluster: &mut Cluster, rounds: u64, state_words: usize) -> (Vec<u64>, Vec<u64>) {
+    let k = cluster.machines();
+    let out = Executor::serial("ring")
+        .run(cluster, RingSum::fleet(k, rounds, state_words))
+        .expect("ring run");
+    let sums = out.programs.iter().map(|p| p.sum).collect();
+    let draws = cluster
+        .rngs_mut()
+        .iter_mut()
+        .map(RngCore::next_u64)
+        .collect();
+    (sums, draws)
+}
+
+#[test]
+fn replica_state_within_capacity_is_accounted_and_released() {
+    let mut c = ring_cluster(vec![4000, 200, 200, 200], Some(0));
+    c.set_fault_plan(Some(FaultPlan::new()));
+    let (_, _) = run_ring(&mut c, 6, 50);
+    // Each small machine held one 50-word peer replica during the run; the
+    // slot is released when the run ends but stays in the peak.
+    assert!(c.peak_resident()[1] >= 50);
+    assert!(c.account("probe", 1, 200).is_ok(), "replica slot released");
+}
+
+#[test]
+fn excess_redundancy_trips_memory_overflow() {
+    let mut c = ring_cluster(vec![4000, 200, 200, 200], Some(0));
+    c.set_fault_plan(Some(FaultPlan::new().with_policy(RecoveryPolicy {
+        replicas: 2,
+        ..RecoveryPolicy::default()
+    })));
+    // Each small machine already holds 150 resident words of its own; two
+    // peer replicas of 60 words each fit down the wire (120 ≤ 200) but
+    // push the resident total to 270 > 200.
+    for m in 1..4 {
+        c.account("app", m, 150).expect("within capacity");
+    }
+    let err = Executor::serial("ring")
+        .run(&mut c, RingSum::fleet(4, 6, 60))
+        .expect_err("replication must overflow the budget");
+    match err {
+        ExecError::Model(ModelViolation::MemoryOverflow { slot, .. }) => {
+            assert_eq!(slot, "replica");
+        }
+        other => panic!("expected a replica memory overflow, got {other}"),
+    }
+}
+
+#[test]
+fn oversized_replica_chunks_trip_the_wire_capacity() {
+    let mut c = ring_cluster(vec![4000, 200, 200, 200], Some(0));
+    c.set_fault_plan(Some(FaultPlan::new().with_policy(RecoveryPolicy {
+        replicas: 2,
+        ..RecoveryPolicy::default()
+    })));
+    // Two 150-word chunks = 300 words sent in the replication exchange,
+    // over the 200-word cap: replication is real, capacity-checked
+    // traffic, not free bookkeeping.
+    let err = Executor::serial("ring")
+        .run(&mut c, RingSum::fleet(4, 6, 150))
+        .expect_err("replication traffic must respect wire capacity");
+    match err {
+        ExecError::Model(ModelViolation::SendOverflow { .. }) => {}
+        other => panic!("expected a send overflow, got {other}"),
+    }
+}
+
+#[test]
+fn crash_of_the_large_machine_is_unrecoverable() {
+    let mut c = ring_cluster(vec![4000, 200, 200, 200], Some(0));
+    c.set_fault_plan(Some(FaultPlan::new().with_fault(Fault::Crash {
+        machine: 0,
+        round: 2,
+    })));
+    let err = Executor::serial("ring")
+        .run(&mut c, RingSum::fleet(4, 6, 2))
+        .expect_err("large-machine crash cannot be recovered");
+    assert!(
+        matches!(err, ExecError::Unrecoverable { machine: 0, .. }),
+        "got {err}"
+    );
+}
+
+#[test]
+fn a_lone_small_machine_has_no_replica_peer() {
+    let mut c = ring_cluster(vec![4000, 200], Some(0));
+    c.set_fault_plan(Some(FaultPlan::new().with_fault(Fault::Crash {
+        machine: 1,
+        round: 2,
+    })));
+    let err = Executor::serial("ring")
+        .run(&mut c, RingSum::fleet(2, 6, 2))
+        .expect_err("no peer small machine to hold the replica");
+    assert!(
+        matches!(err, ExecError::Unrecoverable { machine: 1, .. }),
+        "got {err}"
+    );
+}
+
+#[test]
+fn recovery_retries_with_backoff_when_the_recovery_exchange_is_disrupted() {
+    let (clean_sums, clean_draws) = {
+        let mut c = ring_cluster(vec![4000, 200, 200, 200], Some(0));
+        run_ring(&mut c, 8, 2)
+    };
+    // Checkpoint cadence 100: one checkpoint exchange (cluster round 1),
+    // main exchanges at cluster rounds 2.. — the crash fires at round 4,
+    // the first recovery attempt (round 5) is wiped by the drop, the
+    // retry (round 6) commits.
+    let policy = RecoveryPolicy {
+        cadence: 100,
+        backoff_seconds: 2.5,
+        ..RecoveryPolicy::default()
+    };
+    let plan = FaultPlan::new()
+        .with_fault(Fault::Crash {
+            machine: 2,
+            round: 4,
+        })
+        .with_fault(Fault::DropExchange {
+            machine: 1,
+            round: 5,
+        })
+        .with_policy(policy);
+    let mut c = ring_cluster(vec![4000, 200, 200, 200], Some(0));
+    c.set_fault_plan(Some(plan));
+    let ring = Arc::new(RingSink::unbounded());
+    c.set_trace_sink(Some(ring.clone()));
+    let (sums, draws) = run_ring(&mut c, 8, 2);
+    assert_eq!(sums, clean_sums);
+    assert_eq!(draws, clean_draws);
+    let recover_rounds: Vec<_> = c
+        .round_log()
+        .iter()
+        .filter(|r| r.label.to_string().contains(".recover."))
+        .collect();
+    assert_eq!(recover_rounds.len(), 2, "one wiped attempt + one commit");
+    assert!(
+        recover_rounds[1].makespan >= 2.5,
+        "the retry must carry the backoff delay, got {}",
+        recover_rounds[1].makespan
+    );
+    let attempts: Vec<usize> = ring
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::RecoveryRound { attempt, .. } => Some(*attempt),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(attempts, vec![2], "the commit happened on attempt 2");
+}
+
+#[test]
+fn exhausted_retries_surface_as_unrecoverable() {
+    let policy = RecoveryPolicy {
+        cadence: 100,
+        max_retries: 2,
+        ..RecoveryPolicy::default()
+    };
+    // The crash fires at round 4; drops wipe recovery attempts at rounds
+    // 5 and 6, exhausting max_retries = 2.
+    let plan = FaultPlan::new()
+        .with_fault(Fault::Crash {
+            machine: 2,
+            round: 4,
+        })
+        .with_fault(Fault::DropExchange {
+            machine: 1,
+            round: 5,
+        })
+        .with_fault(Fault::DropExchange {
+            machine: 3,
+            round: 6,
+        })
+        .with_policy(policy);
+    let mut c = ring_cluster(vec![4000, 200, 200, 200], Some(0));
+    c.set_fault_plan(Some(plan));
+    let err = Executor::serial("ring")
+        .run(&mut c, RingSum::fleet(4, 8, 2))
+        .expect_err("two wiped attempts must exhaust max_retries = 2");
+    match err {
+        ExecError::Unrecoverable { reason, .. } => {
+            assert!(reason.contains("retries exhausted"), "reason: {reason}");
+        }
+        other => panic!("expected retries-exhausted, got {other}"),
+    }
+}
+
+#[test]
+fn a_crash_during_recovery_is_replayed_on_the_retry() {
+    let (clean_sums, clean_draws) = {
+        let mut c = ring_cluster(vec![4000, 200, 200, 200], Some(0));
+        run_ring(&mut c, 8, 2)
+    };
+    // Machine 2 crashes in the main exchange (round 4); machine 3 crashes
+    // *during* the first recovery exchange (round 5). The retry replays
+    // both and commits.
+    let plan = FaultPlan::new()
+        .with_fault(Fault::Crash {
+            machine: 2,
+            round: 4,
+        })
+        .with_fault(Fault::Crash {
+            machine: 3,
+            round: 5,
+        })
+        .with_policy(RecoveryPolicy {
+            cadence: 100,
+            ..RecoveryPolicy::default()
+        });
+    let mut c = ring_cluster(vec![4000, 200, 200, 200], Some(0));
+    c.set_fault_plan(Some(plan));
+    let (sums, draws) = run_ring(&mut c, 8, 2);
+    assert_eq!(sums, clean_sums, "double crash must still recover exactly");
+    assert_eq!(draws, clean_draws);
+}
+
+#[test]
+fn run_report_breaks_out_recovery_overhead() {
+    let g = generators::gnm(220, 2600, 13).with_random_weights(1 << 16, 13);
+    let polylog = registry::get("mst").expect("registered").polylog_exponent;
+    let build = || {
+        Cluster::new(
+            ClusterConfig::new(g.n(), g.m())
+                .seed(13)
+                .polylog_exponent(polylog),
+        )
+    };
+    let mut clean = build();
+    let edges = common::distribute_edges(&clean, &g);
+    let input = AlgoInput::new(g.n(), &edges);
+    let (_, clean_report) =
+        registry::run_with_report("mst", &mut clean, &input, ExecMode::Serial).expect("clean");
+    assert!(clean_report.recovery.is_empty());
+    assert_eq!(clean_report.recovery.overhead_ratio(1.0), 0.0);
+
+    let mut faulted = build();
+    let edges = common::distribute_edges(&faulted, &g);
+    let input = AlgoInput::new(g.n(), &edges);
+    faulted.set_fault_plan(Some(FaultPlan::seeded_single_crash(
+        13,
+        &faulted.small_ids(),
+        clean.rounds(),
+    )));
+    let (_, report) =
+        registry::run_with_report("mst", &mut faulted, &input, ExecMode::Serial).expect("faulted");
+    let r = &report.recovery;
+    assert_eq!(r.faults_injected, 1);
+    assert_eq!(r.machines_quarantined, 1);
+    assert_eq!(r.recovery_rounds, 1);
+    assert!(r.replay_rounds >= 1);
+    assert!(r.checkpoint_rounds >= 1);
+    assert!(r.checkpoint_makespan > 0.0);
+    assert!(r.recovery_makespan > 0.0);
+    let ratio = r.overhead_ratio(report.critical_path.total_seconds);
+    assert!(ratio > 0.0 && ratio < 1.0, "overhead ratio {ratio}");
+    let text = report.render();
+    assert!(text.contains("recovery:"), "render: {text}");
+}

@@ -3,6 +3,7 @@
 use crate::config::{ClusterConfig, Enforcement};
 use crate::cost::CostModel;
 use crate::error::ModelViolation;
+use crate::fault::{Fault, FaultPlan, FiredFault};
 use crate::label::RoundLabel;
 use crate::payload::{MachineId, Payload};
 use crate::telemetry::{TraceEvent, TraceSink};
@@ -104,6 +105,19 @@ pub struct Cluster {
     /// Label of the most recent exchange — attributes between-round memory
     /// violations to the exchange that preceded them.
     last_label: RoundLabel,
+    /// Scheduled fault injection; `None` keeps the exchange hot path on
+    /// the zero-overhead fault-free branch (same contract as the sink).
+    fault_plan: Option<FaultPlan>,
+    /// Whether the *next* exchange is fault-eligible for crash/drop faults
+    /// (set by the driver around algorithm exchanges; recovery
+    /// infrastructure runs disarmed).
+    armed: bool,
+    /// Faults fired since the last [`take_fired_faults`]
+    /// (Cluster::take_fired_faults) — the driver's recovery work queue.
+    fired: Vec<FiredFault>,
+    /// Simulated seconds (retry backoff) charged to the next exchange's
+    /// makespan.
+    pending_delay: f64,
 }
 
 impl Cluster {
@@ -140,7 +154,73 @@ impl Cluster {
             config,
             sink: SinkSlot(None),
             last_label: RoundLabel::new("init"),
+            fault_plan: None,
+            armed: false,
+            fired: Vec::new(),
+            pending_delay: 0.0,
         }
+    }
+
+    /// Attaches (or, with `None`, detaches) a fault plan and returns the
+    /// previous one. With a plan attached, every exchange checks the
+    /// schedule and fires due faults; with no plan the hot path pays one
+    /// branch per exchange (the zero-overhead guarantee DESIGN.md §2.7
+    /// leans on).
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) -> Option<FaultPlan> {
+        std::mem::replace(&mut self.fault_plan, plan)
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// Marks the next exchange(s) fault-eligible (`true`) or protected
+    /// (`false`) for crash/drop faults. Protected exchanges defer those
+    /// faults instead of firing them — the driver protects setup and
+    /// recovery-infrastructure exchanges so a crash always lands on a
+    /// recoverable algorithm round. Delay/slowdown faults ignore arming.
+    pub fn arm_faults(&mut self, armed: bool) {
+        self.armed = armed;
+    }
+
+    /// Crash/drop faults that would fire on the next exchange *if it were
+    /// armed* — the driver peeks this before an algorithm exchange to
+    /// capture the mail it would lose.
+    pub fn imminent_armed_faults(&self) -> Vec<Fault> {
+        match &self.fault_plan {
+            Some(plan) => plan
+                .due(self.rounds + 1, true)
+                .into_iter()
+                .filter(Fault::needs_arming)
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Drains the faults fired since the last call (the driver's recovery
+    /// work queue).
+    pub fn take_fired_faults(&mut self) -> Vec<FiredFault> {
+        std::mem::take(&mut self.fired)
+    }
+
+    /// Charges `seconds` of simulated stall (retry backoff) to the next
+    /// exchange's makespan. Only takes effect while a fault plan is
+    /// attached.
+    pub fn add_pending_delay(&mut self, seconds: f64) {
+        assert!(seconds >= 0.0, "delay cannot be negative");
+        self.pending_delay += seconds;
+    }
+
+    /// Quarantines machine `mid` in the cost model (its seconds drop out
+    /// of the barrier max until [`restore_machine`](Cluster::restore_machine)).
+    pub fn quarantine_machine(&mut self, mid: MachineId) {
+        self.cost.quarantine(mid);
+    }
+
+    /// Lifts a cost-model quarantine after recovery.
+    pub fn restore_machine(&mut self, mid: MachineId) {
+        self.cost.restore(mid);
     }
 
     /// Attaches (or, with `None`, detaches) a telemetry sink and returns
@@ -454,9 +534,45 @@ impl Cluster {
                 })?;
             }
         }
-        let makespan =
+        // Fault injection (one branch per round when no plan is attached).
+        // Faults fire *after* the capacity checks — a crashing machine's
+        // attempted traffic still had to fit the model — and *before* the
+        // makespan, so a quarantined machine's seconds drop out of the
+        // barrier max for the very round it dies in.
+        let mut crashed: Vec<MachineId> = Vec::new();
+        let mut dropped: Vec<MachineId> = Vec::new();
+        let mut extra_delay = 0.0f64;
+        if let Some(plan) = &mut self.fault_plan {
+            extra_delay = std::mem::take(&mut self.pending_delay);
+            let fired = plan.fire_due(round, self.armed);
+            for ff in &fired {
+                match &ff.fault {
+                    Fault::Crash { machine, .. } => {
+                        self.cost.quarantine(*machine);
+                        crashed.push(*machine);
+                    }
+                    Fault::DropExchange { machine, .. } => dropped.push(*machine),
+                    Fault::DelayRound { seconds, .. } => extra_delay += seconds,
+                    Fault::Slowdown {
+                        machine, factor, ..
+                    } => self.cost.slow_down(*machine, *factor),
+                }
+                if let Some(sink) = &self.sink.0 {
+                    sink.record(&TraceEvent::FaultInjected {
+                        round,
+                        kind: ff.fault.kind(),
+                        detail: ff.fault.detail(),
+                    });
+                }
+            }
+            self.fired.extend(fired);
+        }
+        let mut makespan =
             self.cost
                 .round_makespan(&self.sent_scratch, &self.recv_scratch, &self.pending_work);
+        if self.fault_plan.is_some() {
+            makespan += extra_delay;
+        }
         if let Some(sink) = &self.sink.0 {
             for mid in 0..k {
                 let (sent, recv, work) = (
@@ -499,9 +615,23 @@ impl Cluster {
             inbox.clear();
             inbox.reserve(self.inbox_counts[dst]);
         }
-        for (src, msgs) in outgoing.iter_mut().enumerate() {
-            for (dst, m) in msgs.drain(..) {
-                inboxes[dst].push((src, m));
+        if crashed.is_empty() && dropped.is_empty() {
+            for (src, msgs) in outgoing.iter_mut().enumerate() {
+                for (dst, m) in msgs.drain(..) {
+                    inboxes[dst].push((src, m));
+                }
+            }
+        } else {
+            // A crash loses the machine's messages in both directions (its
+            // inbox stays empty); a drop loses only its outbound mail.
+            for (src, msgs) in outgoing.iter_mut().enumerate() {
+                let src_lost = crashed.contains(&src) || dropped.contains(&src);
+                for (dst, m) in msgs.drain(..) {
+                    if src_lost || crashed.contains(&dst) {
+                        continue;
+                    }
+                    inboxes[dst].push((src, m));
+                }
             }
         }
         Ok(())
@@ -955,6 +1085,163 @@ mod tests {
         assert_eq!(b.round_log()[0].max_sent, a.round_log()[0].max_sent);
         assert_eq!(b.round_log()[0].messages, a.round_log()[0].messages);
         assert!((b.round_log()[0].makespan - a.round_log()[0].makespan).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_free_runs_with_and_without_plan_slot_are_identical() {
+        // No plan attached: behavior is byte-for-byte today's. A plan with
+        // no due faults must also leave delivery and accounting untouched.
+        let run = |plan: Option<crate::fault::FaultPlan>| {
+            let mut c = tiny();
+            c.set_fault_plan(plan);
+            let mut out = c.empty_outboxes::<u64>();
+            out[1].push((0, 11));
+            out[2].push((1, 22));
+            let inboxes = c.exchange("t", out).unwrap();
+            (inboxes, c.round_log().to_vec())
+        };
+        let (base_in, base_log) = run(None);
+        let plan = crate::fault::FaultPlan::new().with_fault(Fault::Crash {
+            machine: 1,
+            round: 99,
+        });
+        let (plan_in, plan_log) = run(Some(plan));
+        assert_eq!(base_in, plan_in);
+        assert_eq!(base_log, plan_log);
+    }
+
+    #[test]
+    fn crash_fires_only_when_armed_and_empties_both_directions() {
+        use crate::fault::{Fault, FaultPlan};
+        let mut c = tiny();
+        c.set_fault_plan(Some(FaultPlan::new().with_fault(Fault::Crash {
+            machine: 1,
+            round: 1,
+        })));
+
+        // Disarmed (setup) exchange: the crash defers, mail flows.
+        let mut out = c.empty_outboxes::<u64>();
+        out[1].push((0, 11));
+        let inboxes = c.exchange("setup", out).unwrap();
+        assert_eq!(inboxes[0], vec![(1, 11)]);
+        assert!(c.take_fired_faults().is_empty());
+
+        // The driver peeks the imminent crash before arming.
+        let imminent = c.imminent_armed_faults();
+        assert_eq!(imminent.len(), 1);
+        assert!(matches!(imminent[0], Fault::Crash { machine: 1, .. }));
+
+        // Armed exchange: machine 1's outbound and inbound mail vanish.
+        c.arm_faults(true);
+        let mut out = c.empty_outboxes::<u64>();
+        out[1].push((0, 11)); // lost: src crashed
+        out[2].push((1, 22)); // lost: dst crashed
+        out[2].push((0, 33)); // survives
+        let inboxes = c.exchange("main", out).unwrap();
+        assert_eq!(inboxes[0], vec![(2, 33)]);
+        assert!(inboxes[1].is_empty());
+        let fired = c.take_fired_faults();
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].round, 2);
+        assert!(c.cost_model().is_quarantined(1));
+        // Once fired, the fault never re-fires.
+        c.restore_machine(1);
+        let mut out = c.empty_outboxes::<u64>();
+        out[1].push((0, 44));
+        let inboxes = c.exchange("later", out).unwrap();
+        assert_eq!(inboxes[0], vec![(1, 44)]);
+    }
+
+    #[test]
+    fn crashed_straggler_stops_stretching_its_death_round() {
+        use crate::fault::{Fault, FaultPlan};
+        let mut c = tiny();
+        c.set_cost_model(crate::cost::CostModel::uniform(3, 1.0, 1.0, 0.0).with_straggler(1, 0.1));
+        c.set_fault_plan(Some(FaultPlan::new().with_fault(Fault::Crash {
+            machine: 1,
+            round: 1,
+        })));
+        c.arm_faults(true);
+        let mut out = c.empty_outboxes::<u64>();
+        out[1].push((0, 1));
+        out[2].push((0, 2));
+        c.exchange("t", out).unwrap();
+        // Alive, machine 1's 1 word at bandwidth 0.1 would cost 10s; dead,
+        // machine 2's 1-word send + large's 2-word recv set the barrier.
+        let span = c.round_log()[0].makespan;
+        assert!((span - 2.0).abs() < 1e-9, "span = {span}");
+    }
+
+    #[test]
+    fn drop_slowdown_and_delay_faults_apply() {
+        use crate::fault::{Fault, FaultPlan};
+        let mut c = tiny();
+        c.set_fault_plan(Some(
+            FaultPlan::new()
+                .with_fault(Fault::DropExchange {
+                    machine: 2,
+                    round: 1,
+                })
+                .with_fault(Fault::DelayRound {
+                    round: 1,
+                    seconds: 7.0,
+                })
+                .with_fault(Fault::Slowdown {
+                    machine: 1,
+                    round: 1,
+                    factor: 0.5,
+                }),
+        ));
+        c.arm_faults(true);
+        let mut out = c.empty_outboxes::<u64>();
+        out[2].push((0, 22)); // dropped in transit
+        out[1].push((0, 11)); // delivered, at half bandwidth
+        let inboxes = c.exchange("t", out).unwrap();
+        assert_eq!(inboxes[0], vec![(1, 11)], "drop loses only src 2's mail");
+        // Makespan: machine 1 sends 1 word at slowed bandwidth 0.5 => 2s,
+        // large receives 2 attempted words => 2s; +7s delay.
+        let span = c.round_log()[0].makespan;
+        assert!((span - 9.0).abs() < 1e-9, "span = {span}");
+        assert_eq!(c.take_fired_faults().len(), 3);
+        assert!(!c.cost_model().is_quarantined(2), "drop is not a crash");
+    }
+
+    #[test]
+    fn pending_delay_charges_the_next_exchange_once() {
+        use crate::fault::FaultPlan;
+        let mut c = tiny();
+        c.set_fault_plan(Some(FaultPlan::new()));
+        c.add_pending_delay(3.5);
+        let out = c.empty_outboxes::<u64>();
+        c.exchange("a", out).unwrap();
+        assert!((c.round_log()[0].makespan - 3.5).abs() < 1e-9);
+        let out = c.empty_outboxes::<u64>();
+        c.exchange("b", out).unwrap();
+        assert_eq!(c.round_log()[1].makespan, 0.0);
+    }
+
+    #[test]
+    fn fault_events_reach_the_trace_sink() {
+        use crate::fault::{Fault, FaultPlan};
+        use crate::telemetry::RingSink;
+        let mut c = tiny();
+        let ring = std::sync::Arc::new(RingSink::unbounded());
+        c.set_trace_sink(Some(ring.clone()));
+        c.set_fault_plan(Some(FaultPlan::new().with_fault(Fault::Crash {
+            machine: 2,
+            round: 1,
+        })));
+        c.arm_faults(true);
+        let out = c.empty_outboxes::<u64>();
+        c.exchange("t", out).unwrap();
+        assert!(ring.events().iter().any(|e| matches!(
+            e,
+            TraceEvent::FaultInjected {
+                round: 1,
+                kind: "crash",
+                ..
+            }
+        )));
     }
 
     #[test]

@@ -23,6 +23,11 @@ pub struct CostModel {
     speeds: Vec<f64>,
     bandwidths: Vec<f64>,
     round_latency: f64,
+    /// Machines currently quarantined (crashed and not yet recovered): a
+    /// dead machine spends no seconds, so it drops out of the barrier max
+    /// instead of still counting toward the critical path. Empty until a
+    /// fault quarantines someone, so fault-free models compare equal.
+    quarantined: Vec<bool>,
 }
 
 impl CostModel {
@@ -37,6 +42,7 @@ impl CostModel {
             speeds: vec![speed; machines],
             bandwidths: vec![bandwidth; machines],
             round_latency,
+            quarantined: Vec::new(),
         }
     }
 
@@ -62,6 +68,7 @@ impl CostModel {
             speeds,
             bandwidths,
             round_latency,
+            quarantined: Vec::new(),
         }
     }
 
@@ -76,6 +83,7 @@ impl CostModel {
             speeds: rel.clone(),
             bandwidths: rel,
             round_latency,
+            quarantined: Vec::new(),
         }
     }
 
@@ -91,6 +99,44 @@ impl CostModel {
         self.speeds[mid] *= factor;
         self.bandwidths[mid] *= factor;
         self
+    }
+
+    /// Permanently slows machine `mid` to `factor` of its current speed
+    /// and bandwidth — the in-place form of
+    /// [`with_straggler`](CostModel::with_straggler), used by
+    /// [`Fault::Slowdown`](crate::fault::Fault::Slowdown) mid-run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mid` is out of range or `factor` is not positive.
+    pub fn slow_down(&mut self, mid: MachineId, factor: f64) {
+        assert!(mid < self.speeds.len(), "slow_down id out of range");
+        assert!(factor > 0.0, "slowdown factor must be positive");
+        self.speeds[mid] *= factor;
+        self.bandwidths[mid] *= factor;
+    }
+
+    /// Marks machine `mid` quarantined (crashed, awaiting recovery): its
+    /// per-round seconds become zero, so a dead straggler no longer
+    /// dominates [`round_makespan`](CostModel::round_makespan).
+    pub fn quarantine(&mut self, mid: MachineId) {
+        assert!(mid < self.speeds.len(), "quarantine id out of range");
+        if self.quarantined.is_empty() {
+            self.quarantined = vec![false; self.speeds.len()];
+        }
+        self.quarantined[mid] = true;
+    }
+
+    /// Lifts a quarantine (the machine's shard was restored).
+    pub fn restore(&mut self, mid: MachineId) {
+        if let Some(q) = self.quarantined.get_mut(mid) {
+            *q = false;
+        }
+    }
+
+    /// Whether machine `mid` is currently quarantined.
+    pub fn is_quarantined(&self, mid: MachineId) -> bool {
+        self.quarantined.get(mid).copied().unwrap_or(false)
     }
 
     /// Number of machines the model covers.
@@ -126,6 +172,11 @@ impl CostModel {
         recv: usize,
         work: u64,
     ) -> f64 {
+        if self.is_quarantined(mid) {
+            // A crashed machine does no work and waits at no barrier; its
+            // straggler profile must not stretch the round it is dead for.
+            return 0.0;
+        }
         (sent + recv) as f64 / self.bandwidths[mid] + work as f64 / self.speeds[mid]
     }
 
@@ -180,5 +231,42 @@ mod tests {
     #[should_panic]
     fn zero_rate_rejected() {
         CostModel::new(vec![0.0], vec![1.0], 0.0);
+    }
+
+    #[test]
+    fn quarantined_straggler_drops_out_of_makespan() {
+        let mut m = CostModel::uniform(3, 1.0, 1.0, 0.0).with_straggler(2, 0.1);
+        // Alive, the straggler dominates: 4 words at bandwidth 0.1 => 40s.
+        let span = m.round_makespan(&[0, 0, 4], &[4, 0, 0], &[0, 0, 0]);
+        assert!((span - 40.0).abs() < 1e-9, "span = {span}");
+        // Quarantined, its seconds vanish and the healthy machines set the
+        // barrier (machine 0 recv 4 words at bandwidth 1 => 4s).
+        m.quarantine(2);
+        assert!(m.is_quarantined(2));
+        assert_eq!(m.machine_round_seconds(2, 4, 0, 100), 0.0);
+        let span = m.round_makespan(&[0, 0, 4], &[4, 0, 0], &[0, 0, 0]);
+        assert!((span - 4.0).abs() < 1e-9, "span = {span}");
+        // Restored, the straggler profile composes again.
+        m.restore(2);
+        assert!(!m.is_quarantined(2));
+        let span = m.round_makespan(&[0, 0, 4], &[4, 0, 0], &[0, 0, 0]);
+        assert!((span - 40.0).abs() < 1e-9, "span = {span}");
+    }
+
+    #[test]
+    fn slow_down_composes_with_straggler_profile() {
+        let mut m = CostModel::uniform(2, 1.0, 1.0, 0.0).with_straggler(1, 0.5);
+        m.slow_down(1, 0.5);
+        assert!((m.speed(1) - 0.25).abs() < 1e-12);
+        assert!((m.bandwidth(1) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fresh_models_compare_equal_regardless_of_quarantine_history() {
+        let a = CostModel::uniform(2, 1.0, 1.0, 0.0);
+        let mut b = CostModel::uniform(2, 1.0, 1.0, 0.0);
+        assert_eq!(a, b);
+        b.quarantine(1);
+        assert_ne!(a, b);
     }
 }

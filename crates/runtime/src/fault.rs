@@ -1,0 +1,354 @@
+//! Deterministic, seeded fault injection for chaos testing.
+//!
+//! A [`FaultPlan`] is a list of scheduled [`Fault`]s attached to a
+//! [`Cluster`](crate::Cluster) with
+//! [`set_fault_plan`](crate::Cluster::set_fault_plan). Faults fire inside
+//! [`exchange_into`](crate::Cluster::exchange_into) — the single choke
+//! point every execution mode (serial and worker pool alike) funnels
+//! through — so a plan produces the *identical* fault sequence regardless
+//! of how the round loop is driven. With no plan attached the exchange hot
+//! path pays exactly one branch per round (same contract as tracing).
+//!
+//! Faults come in four flavors:
+//!
+//! * [`Fault::Crash`] — the machine loses its local state, its RNG
+//!   position, and every message of the crashing exchange (outbound *and*
+//!   inbound). Recovery is the execution engine's job (DESIGN.md §2.7):
+//!   the driver restores the shard from a replica and replays the lost
+//!   rounds.
+//! * [`Fault::DropExchange`] — transient network fault: the machine's
+//!   outbound messages for one exchange are lost, but its state survives.
+//! * [`Fault::DelayRound`] — one round's makespan is stretched by a fixed
+//!   number of simulated seconds (a transient stall).
+//! * [`Fault::Slowdown`] — the machine's speed and bandwidth drop
+//!   permanently from the fault round onward (a degrading host).
+//!
+//! Crash and drop faults are **armed**: they only fire on exchanges the
+//! driver has marked fault-eligible (see
+//! [`arm_faults`](crate::Cluster::arm_faults)), deferring past setup and
+//! recovery-infrastructure exchanges to the next armed round. Delay and
+//! slowdown faults fire on schedule regardless of arming — they model the
+//! environment, not the protocol.
+
+use crate::payload::{MachineId, Payload};
+
+/// One scheduled fault. Rounds are 1-based cluster exchange counts (the
+/// value [`Cluster::rounds`](crate::Cluster::rounds) reports *after* the
+/// exchange); a fault scheduled for a round that has already passed, or
+/// for a disarmed exchange (crash/drop only), defers to the next eligible
+/// exchange.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Fault {
+    /// Machine `machine` crashes during exchange `round`: local state, RNG
+    /// position, and all of its messages that round are lost.
+    Crash {
+        /// The crashing machine.
+        machine: MachineId,
+        /// Earliest exchange round the crash can fire on.
+        round: u64,
+    },
+    /// Machine `machine`'s outbound messages for exchange `round` are
+    /// lost in transit; its state and inbound mail survive.
+    DropExchange {
+        /// The machine whose outbox is dropped.
+        machine: MachineId,
+        /// Earliest exchange round the drop can fire on.
+        round: u64,
+    },
+    /// Exchange `round` stalls for `seconds` of extra simulated makespan.
+    DelayRound {
+        /// Earliest exchange round the delay can fire on.
+        round: u64,
+        /// Extra simulated seconds added to that round's makespan.
+        seconds: f64,
+    },
+    /// Machine `machine` permanently slows to `factor` of its configured
+    /// speed and bandwidth from exchange `round` onward.
+    Slowdown {
+        /// The degrading machine.
+        machine: MachineId,
+        /// Earliest exchange round the slowdown takes effect.
+        round: u64,
+        /// Multiplier in `(0, 1]` applied to speed and bandwidth.
+        factor: f64,
+    },
+}
+
+impl Fault {
+    /// The earliest exchange round this fault can fire on.
+    pub fn round(&self) -> u64 {
+        match self {
+            Fault::Crash { round, .. }
+            | Fault::DropExchange { round, .. }
+            | Fault::DelayRound { round, .. }
+            | Fault::Slowdown { round, .. } => *round,
+        }
+    }
+
+    /// Whether this fault only fires on armed (fault-eligible) exchanges.
+    pub fn needs_arming(&self) -> bool {
+        matches!(self, Fault::Crash { .. } | Fault::DropExchange { .. })
+    }
+
+    /// Short static name for telemetry (`kind` field of
+    /// [`TraceEvent::FaultInjected`](crate::TraceEvent::FaultInjected)).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Fault::Crash { .. } => "crash",
+            Fault::DropExchange { .. } => "drop_exchange",
+            Fault::DelayRound { .. } => "delay_round",
+            Fault::Slowdown { .. } => "slowdown",
+        }
+    }
+
+    /// Human-readable detail string for telemetry.
+    pub fn detail(&self) -> String {
+        match self {
+            Fault::Crash { machine, round } => {
+                format!("machine {machine} crashes (scheduled round {round})")
+            }
+            Fault::DropExchange { machine, round } => {
+                format!("machine {machine} outbox dropped (scheduled round {round})")
+            }
+            Fault::DelayRound { round, seconds } => {
+                format!("round stalled {seconds}s (scheduled round {round})")
+            }
+            Fault::Slowdown {
+                machine,
+                round,
+                factor,
+            } => {
+                format!("machine {machine} slowed to {factor}x (scheduled round {round})")
+            }
+        }
+    }
+}
+
+/// How the execution engine checkpoints and recovers (DESIGN.md §2.7).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Number of peer replicas each small machine's shard state is copied
+    /// to at every checkpoint (ring successors among the small machines).
+    pub replicas: usize,
+    /// Checkpoint every `cadence` driver rounds (1 = every round).
+    pub cadence: u64,
+    /// Recovery attempts per disrupted round before the driver surfaces
+    /// `ExecError::Unrecoverable`.
+    pub max_retries: usize,
+    /// Simulated seconds of backoff added per retry attempt (linear).
+    pub backoff_seconds: f64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            replicas: 1,
+            cadence: 1,
+            max_retries: 3,
+            backoff_seconds: 1.0,
+        }
+    }
+}
+
+/// A fault that actually fired, as reported by
+/// [`Cluster::take_fired_faults`](crate::Cluster::take_fired_faults).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FiredFault {
+    /// The fault as scheduled.
+    pub fault: Fault,
+    /// The exchange round it actually fired on (≥ the scheduled round when
+    /// deferred past disarmed exchanges).
+    pub round: u64,
+}
+
+/// A deterministic schedule of faults plus the recovery policy the
+/// execution engine should apply. Attach with
+/// [`Cluster::set_fault_plan`](crate::Cluster::set_fault_plan).
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+    fired: Vec<bool>,
+    policy: RecoveryPolicy,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults, default [`RecoveryPolicy`]).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a scheduled fault (builder style).
+    pub fn with_fault(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self.fired.push(false);
+        self
+    }
+
+    /// Replaces the recovery policy (builder style).
+    pub fn with_policy(mut self, policy: RecoveryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The canonical chaos-matrix plan: crash exactly one small machine
+    /// (chosen by `seed`) halfway through a run expected to take
+    /// `total_rounds` exchanges. Deterministic in `(seed, small_ids,
+    /// total_rounds)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `small_ids` is empty.
+    pub fn seeded_single_crash(seed: u64, small_ids: &[MachineId], total_rounds: u64) -> Self {
+        assert!(
+            !small_ids.is_empty(),
+            "seeded_single_crash needs at least one small machine"
+        );
+        let victim = small_ids[(seed % small_ids.len() as u64) as usize];
+        let round = (total_rounds / 2).max(1);
+        FaultPlan::new().with_fault(Fault::Crash {
+            machine: victim,
+            round,
+        })
+    }
+
+    /// The scheduled faults, in insertion order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// The plan's recovery policy.
+    pub fn policy(&self) -> &RecoveryPolicy {
+        &self.policy
+    }
+
+    /// Faults that would fire on exchange round `round` given the arming
+    /// state, without marking them fired. Crash/drop faults additionally
+    /// require `armed`; every fault defers past its scheduled round if
+    /// earlier exchanges were ineligible.
+    pub fn due(&self, round: u64, armed: bool) -> Vec<Fault> {
+        self.faults
+            .iter()
+            .zip(&self.fired)
+            .filter(|(f, &fired)| !fired && f.round() <= round && (armed || !f.needs_arming()))
+            .map(|(f, _)| f.clone())
+            .collect()
+    }
+
+    /// Like [`due`](FaultPlan::due), but marks the returned faults fired:
+    /// each fault fires at most once per run.
+    pub fn fire_due(&mut self, round: u64, armed: bool) -> Vec<FiredFault> {
+        let mut out = Vec::new();
+        for (f, fired) in self.faults.iter().zip(self.fired.iter_mut()) {
+            if !*fired && f.round() <= round && (armed || !f.needs_arming()) {
+                *fired = true;
+                out.push(FiredFault {
+                    fault: f.clone(),
+                    round,
+                });
+            }
+        }
+        out
+    }
+
+    /// Whether any fault is still pending (unfired).
+    pub fn pending(&self) -> bool {
+        self.fired.iter().any(|&f| !f)
+    }
+}
+
+/// Opaque replication payload: `words()` is the declared shard-state size
+/// being copied, so checkpoint traffic is charged to the cost model and
+/// the capacity checks exactly like algorithm traffic.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReplicaChunk(pub usize);
+
+impl Payload for ReplicaChunk {
+    fn words(&self) -> usize {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_single_crash_is_deterministic_and_picks_small_machines() {
+        let smalls = [1, 2, 3, 4];
+        let a = FaultPlan::seeded_single_crash(7, &smalls, 40);
+        let b = FaultPlan::seeded_single_crash(7, &smalls, 40);
+        assert_eq!(a.faults(), b.faults());
+        match a.faults()[0] {
+            Fault::Crash { machine, round } => {
+                assert_eq!(machine, smalls[(7 % 4) as usize]);
+                assert_eq!(round, 20);
+            }
+            ref other => panic!("expected a crash, got {other:?}"),
+        }
+        // Different seeds cycle through victims.
+        let victims: Vec<MachineId> = (0..4)
+            .map(
+                |s| match FaultPlan::seeded_single_crash(s, &smalls, 40).faults()[0] {
+                    Fault::Crash { machine, .. } => machine,
+                    _ => unreachable!(),
+                },
+            )
+            .collect();
+        assert_eq!(victims, smalls);
+    }
+
+    #[test]
+    fn crash_round_floors_at_one() {
+        let plan = FaultPlan::seeded_single_crash(0, &[1], 1);
+        assert_eq!(plan.faults()[0].round(), 1);
+    }
+
+    #[test]
+    fn crash_defers_until_armed_and_fires_once() {
+        let mut plan = FaultPlan::new().with_fault(Fault::Crash {
+            machine: 2,
+            round: 3,
+        });
+        assert!(plan.fire_due(2, true).is_empty(), "not yet due");
+        assert!(plan.fire_due(3, false).is_empty(), "due but disarmed");
+        assert!(plan.pending());
+        let fired = plan.fire_due(5, true);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].round, 5, "fires on the deferred round");
+        assert_eq!(fired[0].fault.round(), 3, "schedule preserved");
+        assert!(plan.fire_due(6, true).is_empty(), "at most once");
+        assert!(!plan.pending());
+    }
+
+    #[test]
+    fn delay_and_slowdown_ignore_arming() {
+        let mut plan = FaultPlan::new()
+            .with_fault(Fault::DelayRound {
+                round: 1,
+                seconds: 2.5,
+            })
+            .with_fault(Fault::Slowdown {
+                machine: 1,
+                round: 1,
+                factor: 0.5,
+            });
+        let fired = plan.fire_due(1, false);
+        assert_eq!(fired.len(), 2);
+    }
+
+    #[test]
+    fn due_peeks_without_firing() {
+        let plan = FaultPlan::new().with_fault(Fault::DropExchange {
+            machine: 1,
+            round: 1,
+        });
+        assert_eq!(plan.due(1, true).len(), 1);
+        assert_eq!(plan.due(1, true).len(), 1, "due does not consume");
+        assert!(plan.due(1, false).is_empty(), "drop respects arming");
+    }
+
+    #[test]
+    fn replica_chunk_words_are_the_declared_size() {
+        assert_eq!(ReplicaChunk(17).words(), 17);
+    }
+}

@@ -47,6 +47,7 @@ pub mod cluster;
 pub mod config;
 pub mod cost;
 pub mod error;
+pub mod fault;
 pub mod label;
 pub mod payload;
 pub mod primitives;
@@ -57,6 +58,7 @@ pub use cluster::{Cluster, RoundRecord, RoundSummary};
 pub use config::{ClusterConfig, Enforcement, Topology};
 pub use cost::CostModel;
 pub use error::ModelViolation;
+pub use fault::{Fault, FaultPlan, FiredFault, RecoveryPolicy, ReplicaChunk};
 pub use label::RoundLabel;
 pub use payload::{MachineId, Payload};
 pub use sharded::ShardedVec;

@@ -151,6 +151,37 @@ pub enum TraceEvent {
         /// The retired instance's id.
         instance: u32,
     },
+    /// A scheduled [`Fault`](crate::fault::Fault) fired during an exchange.
+    FaultInjected {
+        /// Cluster round index the fault fired on.
+        round: u64,
+        /// Fault kind (`crash`, `drop_exchange`, `delay_round`,
+        /// `slowdown`).
+        kind: &'static str,
+        /// Human-readable fault description.
+        detail: String,
+    },
+    /// A machine was quarantined after a crash: the driver has pulled it
+    /// from the schedule pending shard recovery.
+    MachineQuarantined {
+        /// Cluster round index of the crashing exchange.
+        round: u64,
+        /// The quarantined machine.
+        machine: MachineId,
+    },
+    /// One machine's shard was restored from a replica and its lost rounds
+    /// replayed.
+    RecoveryRound {
+        /// Cluster round index the recovery exchange committed on.
+        round: u64,
+        /// The recovered machine.
+        machine: MachineId,
+        /// Driver rounds replayed from the checkpoint.
+        replayed: u64,
+        /// Recovery attempt number (1-based; >1 means earlier attempts
+        /// were themselves disrupted).
+        attempt: usize,
+    },
 }
 
 impl TraceEvent {
@@ -165,6 +196,9 @@ impl TraceEvent {
             TraceEvent::WorkerRound { .. } => "worker_round",
             TraceEvent::MuxRound { .. } => "mux_round",
             TraceEvent::InstanceRetired { .. } => "instance_retired",
+            TraceEvent::FaultInjected { .. } => "fault_injected",
+            TraceEvent::MachineQuarantined { .. } => "machine_quarantined",
+            TraceEvent::RecoveryRound { .. } => "recovery_round",
         }
     }
 
@@ -252,6 +286,29 @@ impl TraceEvent {
             } => format!(
                 "{{\"type\":\"instance_retired\",\"round\":{round},\
                  \"machine\":{machine},\"instance\":{instance}}}"
+            ),
+            TraceEvent::FaultInjected {
+                round,
+                kind,
+                detail,
+            } => format!(
+                "{{\"type\":\"fault_injected\",\"round\":{round},\
+                 \"kind\":{},\"detail\":{}}}",
+                json_string(kind),
+                json_string(detail)
+            ),
+            TraceEvent::MachineQuarantined { round, machine } => format!(
+                "{{\"type\":\"machine_quarantined\",\"round\":{round},\
+                 \"machine\":{machine}}}"
+            ),
+            TraceEvent::RecoveryRound {
+                round,
+                machine,
+                replayed,
+                attempt,
+            } => format!(
+                "{{\"type\":\"recovery_round\",\"round\":{round},\
+                 \"machine\":{machine},\"replayed\":{replayed},\"attempt\":{attempt}}}"
             ),
         }
     }
@@ -761,6 +818,13 @@ const SCHEMA: &[(&str, &[&str], &[&str])] = &[
     ),
     ("mux_round", &["round", "machine", "live", "retired"], &[]),
     ("instance_retired", &["round", "machine", "instance"], &[]),
+    ("fault_injected", &["round"], &["kind", "detail"]),
+    ("machine_quarantined", &["round", "machine"], &[]),
+    (
+        "recovery_round",
+        &["round", "machine", "replayed", "attempt"],
+        &[],
+    ),
 ];
 
 /// Validates one JSONL trace line against the event schema: it must be a
@@ -1024,6 +1088,54 @@ pub fn perfetto_export(events: &[TraceEvent]) -> String {
                     &mut first,
                 );
             }
+            TraceEvent::FaultInjected {
+                round,
+                kind,
+                detail,
+            } => {
+                push(
+                    format!(
+                        "{{\"name\":{},\"ph\":\"i\",\"s\":\"p\",\"pid\":{PID_MACHINES},\
+                         \"tid\":{TID_ROUNDS},\"ts\":{},\"args\":{{\"round\":{round},\
+                         \"detail\":{}}}}}",
+                        json_string(&format!("fault:{kind}")),
+                        json_f64(sim_cursor_us),
+                        json_string(detail)
+                    ),
+                    &mut out,
+                    &mut first,
+                );
+            }
+            TraceEvent::MachineQuarantined { round, machine } => {
+                push(
+                    format!(
+                        "{{\"name\":\"quarantine machine {machine}\",\"ph\":\"i\",\"s\":\"p\",\
+                         \"pid\":{PID_MACHINES},\"tid\":{TID_ROUNDS},\"ts\":{},\
+                         \"args\":{{\"round\":{round}}}}}",
+                        json_f64(sim_cursor_us)
+                    ),
+                    &mut out,
+                    &mut first,
+                );
+            }
+            TraceEvent::RecoveryRound {
+                round,
+                machine,
+                replayed,
+                attempt,
+            } => {
+                push(
+                    format!(
+                        "{{\"name\":\"recover machine {machine}\",\"ph\":\"i\",\"s\":\"p\",\
+                         \"pid\":{PID_MACHINES},\"tid\":{TID_ROUNDS},\"ts\":{},\
+                         \"args\":{{\"round\":{round},\"replayed\":{replayed},\
+                         \"attempt\":{attempt}}}}}",
+                        json_f64(sim_cursor_us)
+                    ),
+                    &mut out,
+                    &mut first,
+                );
+            }
         }
     }
     out.push_str("\n]}\n");
@@ -1096,6 +1208,21 @@ mod tests {
                 round: 0,
                 machine: 0,
                 instance: 2,
+            },
+            TraceEvent::FaultInjected {
+                round: 3,
+                kind: "crash",
+                detail: "machine 1 crashes (scheduled round 3)".into(),
+            },
+            TraceEvent::MachineQuarantined {
+                round: 3,
+                machine: 1,
+            },
+            TraceEvent::RecoveryRound {
+                round: 5,
+                machine: 1,
+                replayed: 2,
+                attempt: 1,
             },
         ]
     }

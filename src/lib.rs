@@ -68,7 +68,10 @@ pub mod prelude {
         heterogeneous_spanner_weighted,
     };
     pub use mpc_exec::registry::{self, AlgoInput, AlgoOutput};
-    pub use mpc_exec::{ExecMode, Executor, MachineProgram, StepOutcome};
+    pub use mpc_exec::{ExecError, ExecMode, Executor, MachineProgram, StepOutcome};
     pub use mpc_graph::{generators, Edge, Graph, VertexId};
-    pub use mpc_runtime::{Cluster, ClusterConfig, CostModel, Enforcement, ShardedVec, Topology};
+    pub use mpc_runtime::{
+        Cluster, ClusterConfig, CostModel, Enforcement, Fault, FaultPlan, RecoveryPolicy,
+        ShardedVec, Topology,
+    };
 }

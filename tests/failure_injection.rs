@@ -1,9 +1,11 @@
 //! Failure injection: under-provisioned clusters must fail loudly (strict)
-//! or degrade observably (record) — never silently corrupt results.
+//! or degrade observably (record), and a chaos plan crashing machines
+//! mid-run must recover bit-identically — never silently corrupt results.
 
 use het_mpc::prelude::*;
 use mpc_graph::mst::kruskal;
 use mpc_runtime::ModelViolation;
+use rand::RngCore;
 
 /// A cluster whose small machines are far too small for the workload.
 fn starved_cluster(g: &Graph) -> ClusterConfig {
@@ -12,13 +14,35 @@ fn starved_cluster(g: &Graph) -> ClusterConfig {
         .seed(1)
 }
 
+/// Runs the registry `mst` on a default cluster, returning the result and
+/// the cluster for inspection.
+fn run_mst(g: &Graph, seed: u64, plan: Option<FaultPlan>, mode: ExecMode) -> (u128, Vec<u64>) {
+    let polylog = registry::get("mst").expect("registered").polylog_exponent;
+    let mut cluster = Cluster::new(
+        ClusterConfig::new(g.n(), g.m())
+            .seed(seed)
+            .polylog_exponent(polylog),
+    );
+    let edges = common::distribute_edges(&cluster, g);
+    cluster.set_fault_plan(plan);
+    let input = AlgoInput::new(g.n(), &edges);
+    let out = registry::run("mst", &mut cluster, &input, mode).expect("mst run");
+    let draws = cluster
+        .rngs_mut()
+        .iter_mut()
+        .map(RngCore::next_u64)
+        .collect();
+    (out.digest(), draws)
+}
+
 #[test]
 fn strict_mode_reports_the_offending_exchange() {
     let g = generators::gnm(256, 4096, 1).with_random_weights(1 << 16, 1);
     let mut cluster = Cluster::new(starved_cluster(&g).enforcement(Enforcement::Strict));
-    let input = common::distribute_edges(&cluster, &g);
-    match mst::heterogeneous_mst(&mut cluster, g.n(), input) {
-        Err(mst::MstError::Model(v)) => {
+    let edges = common::distribute_edges(&cluster, &g);
+    let input = AlgoInput::new(g.n(), &edges);
+    match registry::run("mst", &mut cluster, &input, ExecMode::Serial) {
+        Err(ExecError::Model(v)) => {
             // The violation names a machine, a round, and a labeled step.
             let s = v.to_string();
             assert!(s.contains("machine"), "uninformative violation: {s}");
@@ -33,8 +57,10 @@ fn strict_mode_reports_the_offending_exchange() {
 fn record_mode_still_computes_the_right_answer() {
     let g = generators::gnm(256, 4096, 1).with_random_weights(1 << 16, 1);
     let mut cluster = Cluster::new(starved_cluster(&g).enforcement(Enforcement::Record));
-    let input = common::distribute_edges(&cluster, &g);
-    let r = mst::heterogeneous_mst(&mut cluster, g.n(), input).unwrap();
+    let edges = common::distribute_edges(&cluster, &g);
+    let input = AlgoInput::new(g.n(), &edges);
+    let out = registry::run("mst", &mut cluster, &input, ExecMode::Serial).unwrap();
+    let r = out.into_mst().expect("mst output");
     assert_eq!(r.forest.total_weight, kruskal(&g).total_weight);
     assert!(
         !cluster.violations().is_empty(),
@@ -84,11 +110,57 @@ fn adversarial_layout_does_not_change_results() {
     let g = generators::gnm(200, 3000, 9).with_random_weights(1 << 16, 9);
     let mut results = Vec::new();
     for layout in [Layout::RoundRobin, Layout::Contiguous, Layout::Random(5)] {
-        let mut cluster = Cluster::new(ClusterConfig::new(g.n(), g.m()).seed(9));
-        let input = common::distribute_edges_with(&cluster, &g, layout);
-        let r = mst::heterogeneous_mst(&mut cluster, g.n(), input).unwrap();
+        let polylog = registry::get("mst").expect("registered").polylog_exponent;
+        let mut cluster = Cluster::new(
+            ClusterConfig::new(g.n(), g.m())
+                .seed(9)
+                .polylog_exponent(polylog),
+        );
+        let edges = common::distribute_edges_with(&cluster, &g, layout);
+        let input = AlgoInput::new(g.n(), &edges);
+        let out = registry::run("mst", &mut cluster, &input, ExecMode::Serial).unwrap();
+        let r = out.into_mst().expect("mst output");
         results.push(r.forest.total_weight);
     }
     assert_eq!(results[0], kruskal(&g).total_weight);
     assert!(results.windows(2).all(|w| w[0] == w[1]));
+}
+
+#[test]
+fn mid_run_crash_recovers_bit_identically_in_serial_mode() {
+    let g = generators::gnm(200, 2400, 4).with_random_weights(1 << 16, 4);
+    let (clean_digest, clean_draws) = run_mst(&g, 4, None, ExecMode::Serial);
+    for seed in 0..3 {
+        // Different seeds pick different crash victims among the smalls.
+        let plan = FaultPlan::seeded_single_crash(seed, &[1, 2, 3, 4, 5], 30);
+        let (digest, draws) = run_mst(&g, 4, Some(plan), ExecMode::Serial);
+        assert_eq!(digest, clean_digest, "crash seed {seed} changed the MST");
+        assert_eq!(draws, clean_draws, "crash seed {seed} moved RNG streams");
+    }
+}
+
+#[test]
+fn mid_run_crash_recovers_bit_identically_across_pool_sizes() {
+    let g = generators::gnm(200, 2400, 8).with_random_weights(1 << 16, 8);
+    let (clean_digest, clean_draws) = run_mst(&g, 8, None, ExecMode::Serial);
+    let plan = FaultPlan::seeded_single_crash(8, &[1, 2, 3, 4, 5], 30);
+
+    // The registry's parallel path sizes its pool from MPC_POOL_THREADS
+    // (the knob CI's thread matrix turns). Pool width must never affect
+    // results — with or without a fault plan — so pinning it here only
+    // perturbs scheduling for any concurrently running test, never
+    // outcomes.
+    for threads in [1usize, 3, 16] {
+        std::env::set_var("MPC_POOL_THREADS", threads.to_string());
+        let (digest, draws) = run_mst(&g, 8, Some(plan.clone()), ExecMode::Parallel);
+        assert_eq!(
+            digest, clean_digest,
+            "{threads}-thread pool diverged under recovery"
+        );
+        assert_eq!(
+            draws, clean_draws,
+            "{threads}-thread pool moved RNG streams"
+        );
+    }
+    std::env::remove_var("MPC_POOL_THREADS");
 }
