@@ -42,6 +42,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "two_vs_one",
     "exec",
     "hotpath",
+    "service",
     "registry",
     "budgets",
     "chaos",
@@ -82,6 +83,7 @@ pub fn run_experiment_opts(name: &str, quick: bool) {
         "two_vs_one" => experiments::two_vs_one(),
         "exec" => experiments::exec_engine(),
         "hotpath" => hotpath::run(quick),
+        "service" => experiments::service(),
         "registry" => experiments::registry_smoke(),
         "budgets" => experiments::budgets(),
         "chaos" => experiments::chaos(),

@@ -19,6 +19,25 @@ pub struct ApspOracle {
 }
 
 impl ApspOracle {
+    /// Wraps an already-computed spanner as a distance oracle (the engine
+    /// registry's `apsp` entry computes the spanner through the executor
+    /// and only needs the local indexing step done here;
+    /// [`build_apsp_oracle`] stays the call-style one-shot).
+    pub fn from_spanner(spanner: Graph, stretch_bound: usize) -> Self {
+        let adj = spanner.adjacency();
+        ApspOracle {
+            spanner,
+            adj,
+            stretch_bound,
+        }
+    }
+
+    /// The stretch parameter `k = ⌈log₂ n⌉` (floored at 2) Corollary 4.2
+    /// instantiates the spanner with, shared by every APSP entry point.
+    pub fn stretch_parameter(n: usize) -> usize {
+        ((n.max(4) as f64).log2().ceil() as usize).max(2)
+    }
+
     /// Approximate distance from `u` to `v` (`u64::MAX` if disconnected).
     ///
     /// One Dijkstra per call — batch with [`distances_from`](Self::distances_from)
@@ -50,7 +69,7 @@ pub fn build_apsp_oracle(
     n: usize,
     edges: &ShardedVec<Edge>,
 ) -> Result<ApspOracle, ModelViolation> {
-    let k = ((n.max(4) as f64).log2().ceil() as usize).max(2);
+    let k = ApspOracle::stretch_parameter(n);
     let weighted = edges.iter().any(|(_, e)| e.w != 1);
     let result = if weighted {
         super::heterogeneous_spanner_weighted(cluster, n, edges, k)?
@@ -58,12 +77,7 @@ pub fn build_apsp_oracle(
         super::heterogeneous_spanner(cluster, n, edges, k)?
     };
     let stretch_bound = if weighted { 12 * k - 1 } else { 6 * k - 1 };
-    let adj = result.spanner.adjacency();
-    Ok(ApspOracle {
-        spanner: result.spanner,
-        adj,
-        stretch_bound,
-    })
+    Ok(ApspOracle::from_spanner(result.spanner, stretch_bound))
 }
 
 /// Measures the worst observed stretch of `oracle` against exact distances

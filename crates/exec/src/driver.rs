@@ -27,6 +27,7 @@ use mpc_runtime::telemetry::{TraceEvent, TraceSink};
 use mpc_runtime::{Cluster, MachineId, ModelViolation, RoundLabel};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::error::Error;
 use std::fmt;
@@ -176,6 +177,68 @@ enum DriveEnd {
     Panicked(PanicPayload),
 }
 
+/// The between-rounds view a [`run_hooked`](Executor::run_hooked) hook
+/// gets: the machines' programs and pending inboxes at the top of a round,
+/// before any machine steps. The hook always runs on the driving thread —
+/// in every [`ExecMode`] — so whatever it does is bit-identical between
+/// serial and pool runs.
+///
+/// Mutating access ([`with`](WaveRound::with), [`wake`](WaveRound::wake))
+/// marks the round *dirty*; with a fault plan attached, a dirty round
+/// forces a checkpoint before stepping, because hook-time mutations happen
+/// outside [`MachineProgram::step`] and replay-from-checkpoint could not
+/// otherwise reproduce them.
+pub struct WaveRound<'a, P: MachineProgram> {
+    slots: &'a [Mutex<MachineSlot<P>>],
+    round: u64,
+    dirty: Cell<bool>,
+}
+
+impl<P: MachineProgram> WaveRound<'_, P> {
+    /// The driver round about to execute (0-based program clock).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Number of machines.
+    pub fn machines(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Read-only access to one machine's program and pending inbox (does
+    /// not mark the round dirty — completion scans stay checkpoint-free).
+    pub fn peek<R>(
+        &self,
+        mid: MachineId,
+        f: impl FnOnce(&P, &[(MachineId, P::Message)]) -> R,
+    ) -> R {
+        let s = self.slots[mid].lock().unwrap();
+        f(&s.program, &s.inbox)
+    }
+
+    /// Mutable access to one machine's program; marks the round dirty.
+    pub fn with<R>(&self, mid: MachineId, f: impl FnOnce(&mut P) -> R) -> R {
+        self.dirty.set(true);
+        let mut s = self.slots[mid].lock().unwrap();
+        f(&mut s.program)
+    }
+
+    /// Clears a machine's halt vote so it steps this round (admission into
+    /// an otherwise-idle wave); marks the round dirty.
+    pub fn wake(&self, mid: MachineId) {
+        self.dirty.set(true);
+        self.slots[mid].lock().unwrap().halted = false;
+    }
+}
+
+/// A [`run_hooked`](Executor::run_hooked) coordinator callback: runs at
+/// the top of every round, may mutate programs through the [`WaveRound`],
+/// and returns whether work is still *queued* beyond what is running (so
+/// the driver keeps the round loop alive across full drains instead of
+/// ending the run).
+pub type RoundHook<'h, P> =
+    &'h mut dyn FnMut(&mut Cluster, &WaveRound<'_, P>) -> Result<bool, ExecError>;
+
 impl Executor {
     /// An executor labeling its exchanges `{label}.r{round}`.
     pub fn new(label: &str, mode: ExecMode) -> Self {
@@ -248,6 +311,37 @@ impl Executor {
         cluster: &mut Cluster,
         programs: Vec<P>,
     ) -> Result<ExecOutcome<P>, ExecError> {
+        self.run_inner(cluster, programs, None)
+    }
+
+    /// [`run`](Executor::run) with a coordinator hook called at the top of
+    /// every round, before any machine steps — the service scheduler's
+    /// admission point. The hook runs on the driving thread in every mode
+    /// (so serial == pool bit-equality extends to hooked runs), may mutate
+    /// machine programs through the [`WaveRound`], and reports whether
+    /// more work is queued; while it does, the driver keeps the loop alive
+    /// through fully-drained rounds (empty exchanges) instead of ending
+    /// the run.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`run`](Executor::run) returns, plus any error the hook
+    /// itself raises (which aborts the run).
+    pub fn run_hooked<P: MachineProgram>(
+        &self,
+        cluster: &mut Cluster,
+        programs: Vec<P>,
+        hook: RoundHook<'_, P>,
+    ) -> Result<ExecOutcome<P>, ExecError> {
+        self.run_inner(cluster, programs, Some(hook))
+    }
+
+    fn run_inner<P: MachineProgram>(
+        &self,
+        cluster: &mut Cluster,
+        programs: Vec<P>,
+        hook: Option<RoundHook<'_, P>>,
+    ) -> Result<ExecOutcome<P>, ExecError> {
         let k = cluster.machines();
         assert_eq!(programs.len(), k, "need exactly one program per machine");
         let start = Instant::now();
@@ -287,7 +381,7 @@ impl Executor {
         let end = match self.mode {
             ExecMode::Serial => {
                 let slots = &slots;
-                self.drive(cluster, slots, &mut |_mid, _on| {}, &mut |round| {
+                self.drive(cluster, slots, hook, &mut |_mid, _on| {}, &mut |round| {
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         for mid in 0..k {
                             step_slot(&slots[mid], mid, &ctx, round);
@@ -301,7 +395,7 @@ impl Executor {
                 let ids: Vec<usize> = (0..k).collect();
                 let slots = &slots;
                 let ctx = &ctx;
-                self.drive(cluster, slots, &mut |_mid, _on| {}, &mut |round| {
+                self.drive(cluster, slots, hook, &mut |_mid, _on| {}, &mut |round| {
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         std::thread::scope(|scope| {
                             for chunk_ids in ids.chunks(chunk) {
@@ -331,6 +425,7 @@ impl Executor {
                     let end = self.drive(
                         cluster,
                         slots_ref,
+                        hook,
                         &mut |mid, on| pool.set_active(mid, on),
                         &mut |round| {
                             let result = pool.run_round(round);
@@ -403,6 +498,7 @@ impl Executor {
         &self,
         cluster: &mut Cluster,
         slots: &[Mutex<MachineSlot<P>>],
+        mut hook: Option<RoundHook<'_, P>>,
         mark_active: &mut dyn FnMut(MachineId, bool),
         step_all: &mut dyn FnMut(u64) -> Result<(), PanicPayload>,
     ) -> DriveEnd {
@@ -420,6 +516,25 @@ impl Executor {
             .then(|| RecoveryState::new(cluster, &self.label));
 
         loop {
+            // Coordinator hook first: admissions/retirements land before
+            // activation flags, the forced checkpoint, and any stepping,
+            // so every mode sees the identical post-hook state.
+            let mut hook_pending = false;
+            let mut hook_dirty = false;
+            if let Some(h) = hook.as_mut() {
+                let view = WaveRound {
+                    slots,
+                    round,
+                    dirty: Cell::new(false),
+                };
+                match h(cluster, &view) {
+                    Ok(pending) => {
+                        hook_pending = pending;
+                        hook_dirty = view.dirty.get();
+                    }
+                    Err(e) => return DriveEnd::Failed(e),
+                }
+            }
             let mut stepping_count = 0usize;
             for (mid, slot) in slots.iter().enumerate() {
                 let mut s = slot.lock().unwrap();
@@ -438,8 +553,10 @@ impl Executor {
             if let Some(rec) = &mut recovery {
                 // Checkpoint *before* stepping: a snapshot of the state the
                 // round starts from, so a crash at any later round replays
-                // forward from here.
-                if round.is_multiple_of(rec.policy.cadence.max(1)) {
+                // forward from here. A hook-dirtied round forces one — the
+                // hook's mutations happen outside `step`, so a replay from
+                // any earlier checkpoint could not reproduce them.
+                if hook_dirty || round.is_multiple_of(rec.policy.cadence.max(1)) {
                     if let Err(e) = rec.checkpoint(cluster, slots, round) {
                         return DriveEnd::Failed(e);
                     }
@@ -476,9 +593,12 @@ impl Executor {
                 all_halted &= s.halted;
             }
 
-            if !any_messages && all_halted {
+            if !any_messages && all_halted && !hook_pending {
                 // Everyone is done and nothing is in flight: no final
-                // exchange, the round was pure local wind-down.
+                // exchange, the round was pure local wind-down. With work
+                // still queued behind a hook, fall through instead — the
+                // (empty) exchange keeps the round clock monotone and the
+                // next iteration's hook admits from the queue.
                 break;
             }
             // With a plan attached, peek the faults the armed exchange is

@@ -48,19 +48,23 @@ pub mod adapters;
 pub mod combinators;
 pub mod driver;
 pub mod machine;
+pub mod mixed;
 pub mod multiplex;
 pub mod pool;
 pub mod programs;
 pub mod registry;
 pub mod report;
+pub mod service;
 
 pub use combinators::{Driven, Outbox, Owners, RoleProgram};
-pub use driver::{ExecError, ExecMode, ExecOutcome, Executor};
+pub use driver::{ExecError, ExecMode, ExecOutcome, Executor, WaveRound};
 pub use machine::{MachineCtx, MachineProgram, StepOutcome};
+pub use mixed::{ErasedMsg, ErasedProgram, MixedMsg, MixedWave};
 pub use multiplex::{Multiplexed, Mux, MuxSlot};
 pub use programs::{
     BoruvkaProgram, ColoringProgram, ConnectivityProgram, MatchingProgram, MinCutApproxProgram,
     MinCutProgram, MisProgram, MstApproxProgram, MstProgram, SpannerProgram,
 };
-pub use registry::{AlgoInput, AlgoOutput, Algorithm};
+pub use registry::{AlgoInput, AlgoOutput, Algorithm, JobParams, JobSpec};
 pub use report::{CriticalPath, MachineLoad, RecoveryBreakdown, RunReport};
+pub use service::{JobHandle, JobRecord, JobStatus, Service, ServiceRun};

@@ -430,9 +430,12 @@ mod tests {
             })
             .collect();
         let muxed = Multiplexed::build(&cluster, per_instance);
-        cluster.set_capacity_factor(budgets.len());
-        let out = Executor::serial("mux").run(&mut cluster, muxed).unwrap();
-        cluster.set_capacity_factor(1);
+        let out = {
+            let mut scaled = CapacityFactor::scale(&mut cluster, budgets.len());
+            Executor::serial("mux")
+                .run(scaled.cluster(), muxed)
+                .unwrap()
+        };
 
         // The combined run takes max(solo rounds) — budget b finishes in
         // b + 1 rounds (last echo lands at round b + 1) — not the sum.
@@ -474,9 +477,12 @@ mod tests {
             }
         }));
         muxed.insert(0, coordinator);
-        cluster.set_capacity_factor(2);
-        let out = Executor::serial("retire").run(&mut cluster, muxed).unwrap();
-        cluster.set_capacity_factor(1);
+        let out = {
+            let mut scaled = CapacityFactor::scale(&mut cluster, 2);
+            Executor::serial("retire")
+                .run(scaled.cluster(), muxed)
+                .unwrap()
+        };
 
         assert!(out.programs[0].retired(1));
         // Rounds 0–1 carry both instances; from round 2 on, only instance
@@ -527,9 +533,12 @@ mod tests {
             ],
         ];
         let muxed = Multiplexed::build(&cluster, per_instance);
-        cluster.set_capacity_factor(2);
-        let out = Executor::serial("late").run(&mut cluster, muxed).unwrap();
-        cluster.set_capacity_factor(1);
+        let out = {
+            let mut scaled = CapacityFactor::scale(&mut cluster, 2);
+            Executor::serial("late")
+                .run(scaled.cluster(), muxed)
+                .unwrap()
+        };
         // Instance 1 exchanged all 5 tokens even though instance 0's halves
         // halted rounds earlier.
         assert_eq!(

@@ -18,6 +18,7 @@
 //! | `matching`     | Thm 5.1 | [`MatchingProgram`](crate::programs::MatchingProgram) |
 //! | `spanner`      | Thm 4.1 | [`SpannerProgram`](crate::programs::SpannerProgram) |
 //! | `spanner-weighted` | Thm 4.1 + \[22\] reduction | per-class [`SpannerProgram`](crate::programs::SpannerProgram), [multiplexed](crate::multiplex) |
+//! | `apsp`         | Cor 4.2 | `k = ⌈log₂ n⌉` spanner run, oracle indexed on the large machine |
 //! | `mst-approx`   | Thm C.2 | per-wave [`MstApproxWave`](crate::programs::MstApproxWave), [multiplexed](crate::multiplex) |
 //! | `mincut`       | Thm C.3 | [`MinCutProgram`](crate::programs::MinCutProgram) |
 //! | `mincut-approx` | Thm C.4 | per-guess [`MinCutGuessWave`](crate::programs::MinCutGuessWave), [multiplexed](crate::multiplex) |
@@ -34,20 +35,20 @@ use mpc_core::ported::mincut_approx::ApproxMinCut;
 use mpc_core::ported::mincut_exact::MinCutResult;
 use mpc_core::ported::mis::MisResult;
 use mpc_core::ported::mst_approx::MstApprox;
+use mpc_core::spanner::apsp::ApspOracle;
 use mpc_core::spanner::SpannerResult;
 use mpc_graph::mst::Forest;
 use mpc_graph::traversal::Components;
-use mpc_graph::Edge;
+use mpc_graph::{Edge, Graph};
 use mpc_runtime::{Cluster, ShardedVec};
+use std::sync::Arc;
 
-/// The input every registered algorithm consumes: a vertex universe and
-/// the edge list sharded over the small machines (see
-/// [`mpc_core::common::distribute_edges`]), plus tuning parameters.
-pub struct AlgoInput<'a> {
-    /// Number of vertices.
-    pub n: usize,
-    /// Sharded input edges.
-    pub edges: &'a ShardedVec<Edge>,
+/// Every tuning knob a registered algorithm reads, gathered in one place
+/// so the two consumer-facing entry points — [`run`] with an [`AlgoInput`]
+/// and the [service](crate::service) with a [`JobSpec`] — share a single
+/// parameter surface and cannot drift.
+#[derive(Clone, Debug)]
+pub struct JobParams {
     /// Spanner stretch parameter `k` (ignored by non-spanner algorithms).
     pub spanner_k: usize,
     /// MST tuning knobs.
@@ -63,23 +64,16 @@ pub struct AlgoInput<'a> {
     /// `mst-approx`, `mincut-approx`) interleave their instances through
     /// the [multi-program scheduler](crate::multiplex) (the default), or
     /// run them one after another (the PR 4 composition, kept as the
-    /// equivalence oracle — see [`AlgoInput::sequential_instances`]).
+    /// equivalence oracle — see [`JobParams::sequential_instances`]).
     pub batch_instances: bool,
 }
 
-/// Default `mincut` contraction trials — shared by [`AlgoInput::new`] and
-/// the `mincut` round budget, which assumes the default input knobs (a
-/// caller overriding `mincut_trials` changes the total round count by
-/// `12` engine rounds per trial).
-pub const DEFAULT_MINCUT_TRIALS: usize = 8;
-
-impl<'a> AlgoInput<'a> {
-    /// Input with default parameters (`k = 3` for spanners,
-    /// [`DEFAULT_MINCUT_TRIALS`] min-cut trials, ε = 0.3).
-    pub fn new(n: usize, edges: &'a ShardedVec<Edge>) -> Self {
-        AlgoInput {
-            n,
-            edges,
+impl Default for JobParams {
+    /// Default parameters: `k = 3` for spanners,
+    /// [`DEFAULT_MINCUT_TRIALS`] min-cut trials, ε = 0.3, batched
+    /// instances.
+    fn default() -> Self {
+        JobParams {
             spanner_k: 3,
             mst: MstConfig::default(),
             connectivity: None,
@@ -88,7 +82,9 @@ impl<'a> AlgoInput<'a> {
             batch_instances: true,
         }
     }
+}
 
+impl JobParams {
     /// Runs the sequentialized-parallel workloads one instance at a time
     /// (the PR 4 equivalence oracle) instead of batching them through the
     /// multi-program scheduler.
@@ -114,6 +110,146 @@ impl<'a> AlgoInput<'a> {
         self.epsilon = eps;
         self
     }
+
+    /// Overrides the MST tuning knobs.
+    pub fn mst(mut self, config: MstConfig) -> Self {
+        self.mst = config;
+        self
+    }
+
+    /// Overrides the connectivity configuration.
+    pub fn connectivity(mut self, config: ConnectivityConfig) -> Self {
+        self.connectivity = Some(config);
+        self
+    }
+}
+
+/// The input every registered algorithm consumes: a vertex universe and
+/// the edge list sharded over the small machines (see
+/// [`mpc_core::common::distribute_edges`]), plus tuning parameters.
+pub struct AlgoInput<'a> {
+    /// Number of vertices.
+    pub n: usize,
+    /// Sharded input edges.
+    pub edges: &'a ShardedVec<Edge>,
+    /// Tuning parameters (shared with [`JobSpec`]).
+    pub params: JobParams,
+}
+
+/// Default `mincut` contraction trials — shared by [`JobParams::default`]
+/// and the `mincut` round budget, which assumes the default input knobs (a
+/// caller overriding `mincut_trials` changes the total round count by
+/// `12` engine rounds per trial).
+pub const DEFAULT_MINCUT_TRIALS: usize = 8;
+
+impl<'a> AlgoInput<'a> {
+    /// Input with [default parameters](JobParams::default).
+    pub fn new(n: usize, edges: &'a ShardedVec<Edge>) -> Self {
+        AlgoInput {
+            n,
+            edges,
+            params: JobParams::default(),
+        }
+    }
+
+    /// See [`JobParams::sequential_instances`].
+    pub fn sequential_instances(mut self) -> Self {
+        self.params = self.params.sequential_instances();
+        self
+    }
+
+    /// Overrides the spanner stretch parameter.
+    pub fn spanner_k(mut self, k: usize) -> Self {
+        self.params = self.params.spanner_k(k);
+        self
+    }
+
+    /// Overrides the `mincut` trial count.
+    pub fn mincut_trials(mut self, trials: usize) -> Self {
+        self.params = self.params.mincut_trials(trials);
+        self
+    }
+
+    /// Overrides the approximation parameter ε.
+    pub fn epsilon(mut self, eps: f64) -> Self {
+        self.params = self.params.epsilon(eps);
+        self
+    }
+}
+
+/// One job for the [service](crate::service): a registry name, the input
+/// graph, tuning [`JobParams`], a private seed, and the combined-round
+/// capacity shares the job holds while running.
+///
+/// The same description also runs solo: [`run_job`] distributes the graph
+/// and delegates to [`run`], so a service job and its solo twin consume
+/// byte-identical inputs — the bit-equality the service tests assert.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Registry name ([`CANONICAL_NAMES`]).
+    pub name: String,
+    /// The input graph (shared, so queued jobs don't duplicate edges).
+    pub graph: Arc<Graph>,
+    /// Tuning parameters.
+    pub params: JobParams,
+    /// The job's private seed: its per-machine RNG streams are
+    /// [`mpc_runtime::machine_rng`]`(seed, mid)`, exactly the streams a
+    /// fresh cluster seeded with `seed` would own — solo replays are
+    /// bit-identical.
+    pub seed: u64,
+    /// Combined-round capacity shares (0 = derive from the program shape:
+    /// 1 for single-instance jobs, the instance count for batched ones).
+    pub shares: usize,
+}
+
+impl JobSpec {
+    /// A job with [default parameters](JobParams::default), seed 0, and
+    /// derived capacity shares.
+    pub fn new(name: impl Into<String>, graph: impl Into<Arc<Graph>>) -> Self {
+        JobSpec {
+            name: name.into(),
+            graph: graph.into(),
+            params: JobParams::default(),
+            seed: 0,
+            shares: 0,
+        }
+    }
+
+    /// Overrides the job's private seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the capacity-share count.
+    pub fn shares(mut self, shares: usize) -> Self {
+        self.shares = shares;
+        self
+    }
+
+    /// Replaces the tuning parameters wholesale.
+    pub fn params(mut self, params: JobParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Overrides the spanner stretch parameter.
+    pub fn spanner_k(mut self, k: usize) -> Self {
+        self.params = self.params.spanner_k(k);
+        self
+    }
+
+    /// Overrides the `mincut` trial count.
+    pub fn mincut_trials(mut self, trials: usize) -> Self {
+        self.params = self.params.mincut_trials(trials);
+        self
+    }
+
+    /// Overrides the approximation parameter ε.
+    pub fn epsilon(mut self, eps: f64) -> Self {
+        self.params = self.params.epsilon(eps);
+        self
+    }
 }
 
 /// What a registered algorithm returns.
@@ -129,6 +265,15 @@ pub enum AlgoOutput {
     Matching(MatchingResult),
     /// The spanner result (`spanner`, `spanner-weighted`).
     Spanner(SpannerResult),
+    /// The APSP distance oracle with the spanner run that built it
+    /// (`apsp`) — the first multi-output entry: consumers query the
+    /// oracle, diagnostics read the spanner statistics.
+    Apsp {
+        /// The large-machine-resident distance oracle.
+        oracle: ApspOracle,
+        /// The spanner run the oracle indexes.
+        spanner: SpannerResult,
+    },
     /// The (1+ε)-approximate MST weight (`mst-approx`).
     MstApprox(MstApprox),
     /// The exact unweighted min-cut result (`mincut`).
@@ -175,10 +320,20 @@ impl AlgoOutput {
         }
     }
 
-    /// The spanner result, if this output carries one.
+    /// The spanner result, if this output carries one (the `apsp` entry
+    /// carries the spanner run behind its oracle).
     pub fn into_spanner(self) -> Option<SpannerResult> {
         match self {
             AlgoOutput::Spanner(r) => Some(r),
+            AlgoOutput::Apsp { spanner, .. } => Some(spanner),
+            _ => None,
+        }
+    }
+
+    /// The APSP oracle and its spanner run, if this output carries them.
+    pub fn into_apsp(self) -> Option<(ApspOracle, SpannerResult)> {
+        match self {
+            AlgoOutput::Apsp { oracle, spanner } => Some((oracle, spanner)),
             _ => None,
         }
     }
@@ -254,6 +409,11 @@ impl AlgoOutput {
                 r.matching.len() as u128 ^ fold_edges(r.matching.edges.iter())
             }
             AlgoOutput::Spanner(r) => r.spanner.m() as u128 ^ fold_edges(r.spanner.edges().iter()),
+            AlgoOutput::Apsp { oracle, spanner } => {
+                (oracle.stretch_bound as u128)
+                    ^ (spanner.spanner.m() as u128)
+                    ^ fold_edges(spanner.spanner.edges().iter())
+            }
             AlgoOutput::MstApprox(r) => {
                 (r.estimate.to_bits() as u128)
                     ^ fold_words(r.component_counts.iter().map(|&c| c as u64))
@@ -347,6 +507,7 @@ static ALGORITHMS: &[Algorithm] = &[
         round_budget: |_n| 6,
         runner: |cluster, input, mode| {
             let config = input
+                .params
                 .connectivity
                 .clone()
                 .unwrap_or_else(|| ConnectivityConfig::for_n(input.n));
@@ -371,7 +532,7 @@ static ALGORITHMS: &[Algorithm] = &[
         polylog_exponent: 1.3,
         round_budget: |n| 6 * loglog(n) + 16,
         runner: |cluster, input, mode| {
-            adapters::heterogeneous_mst_with(cluster, input.n, input.edges, &input.mst, mode)
+            adapters::heterogeneous_mst_with(cluster, input.n, input.edges, &input.params.mst, mode)
                 .map(AlgoOutput::Mst)
         },
     },
@@ -393,8 +554,14 @@ static ALGORITHMS: &[Algorithm] = &[
         polylog_exponent: 1.6,
         round_budget: |_n| 24,
         runner: |cluster, input, mode| {
-            adapters::heterogeneous_spanner(cluster, input.n, input.edges, input.spanner_k, mode)
-                .map(AlgoOutput::Spanner)
+            adapters::heterogeneous_spanner(
+                cluster,
+                input.n,
+                input.edges,
+                input.params.spanner_k,
+                mode,
+            )
+            .map(AlgoOutput::Spanner)
         },
     },
     Algorithm {
@@ -406,12 +573,40 @@ static ALGORITHMS: &[Algorithm] = &[
         // spanner's O(1) clock, independent of the class count.
         round_budget: |_n| 24,
         runner: |cluster, input, mode| {
-            let run = if input.batch_instances {
+            let run = if input.params.batch_instances {
                 adapters::heterogeneous_spanner_weighted
             } else {
                 adapters::heterogeneous_spanner_weighted_sequential
             };
-            run(cluster, input.n, input.edges, input.spanner_k, mode).map(AlgoOutput::Spanner)
+            run(cluster, input.n, input.edges, input.params.spanner_k, mode)
+                .map(AlgoOutput::Spanner)
+        },
+    },
+    Algorithm {
+        name: "apsp",
+        summary: "O(log n)-approximate APSP oracle from a k=⌈log₂ n⌉ spanner",
+        paper: "Corollary 4.2",
+        polylog_exponent: 1.6,
+        // One spanner run (the fixed 17-round clock, weight classes
+        // interleaved when the input is weighted) — oracle indexing is
+        // local to the large machine and costs no rounds.
+        round_budget: |_n| 24,
+        runner: |cluster, input, mode| {
+            let k = ApspOracle::stretch_parameter(input.n);
+            let weighted = input.edges.iter().any(|(_, e)| e.w != 1);
+            let spanner = if weighted {
+                let run = if input.params.batch_instances {
+                    adapters::heterogeneous_spanner_weighted
+                } else {
+                    adapters::heterogeneous_spanner_weighted_sequential
+                };
+                run(cluster, input.n, input.edges, k, mode)?
+            } else {
+                adapters::heterogeneous_spanner(cluster, input.n, input.edges, k, mode)?
+            };
+            let stretch_bound = if weighted { 12 * k - 1 } else { 6 * k - 1 };
+            let oracle = ApspOracle::from_spanner(spanner.spanner.clone(), stretch_bound);
+            Ok(AlgoOutput::Apsp { oracle, spanner })
         },
     },
     Algorithm {
@@ -424,12 +619,13 @@ static ALGORITHMS: &[Algorithm] = &[
         // O(log_{1+ε} W) grid size — the theorem's parallel figure.
         round_budget: |_n| 8,
         runner: |cluster, input, mode| {
-            let run = if input.batch_instances {
+            let run = if input.params.batch_instances {
                 adapters::approximate_mst_weight
             } else {
                 adapters::approximate_mst_weight_sequential
             };
-            run(cluster, input.n, input.edges, input.epsilon, mode).map(AlgoOutput::MstApprox)
+            run(cluster, input.n, input.edges, input.params.epsilon, mode)
+                .map(AlgoOutput::MstApprox)
         },
     },
     Algorithm {
@@ -445,7 +641,7 @@ static ALGORITHMS: &[Algorithm] = &[
                 cluster,
                 input.n,
                 input.edges,
-                input.mincut_trials,
+                input.params.mincut_trials,
                 mode,
             )
             .map(AlgoOutput::MinCut)
@@ -461,12 +657,13 @@ static ALGORITHMS: &[Algorithm] = &[
         // geometric guess count — the theorem's parallel figure.
         round_budget: |_n| 10,
         runner: |cluster, input, mode| {
-            let run = if input.batch_instances {
+            let run = if input.params.batch_instances {
                 adapters::approximate_min_cut
             } else {
                 adapters::approximate_min_cut_sequential
             };
-            run(cluster, input.n, input.edges, input.epsilon, mode).map(AlgoOutput::MinCutApprox)
+            run(cluster, input.n, input.edges, input.params.epsilon, mode)
+                .map(AlgoOutput::MinCutApprox)
         },
     },
     Algorithm {
@@ -504,13 +701,14 @@ pub const BATCHED_NAMES: [&str; 3] = ["spanner-weighted", "mst-approx", "mincut-
 /// presentation order. `names()` must equal this list (asserted by the
 /// registry unit tests *and* the `registry` smoke experiment in CI), so a
 /// dropped, duplicated, or misnamed registration fails the build.
-pub const CANONICAL_NAMES: [&str; 11] = [
+pub const CANONICAL_NAMES: [&str; 12] = [
     "connectivity",
     "boruvka-msf",
     "mst",
     "matching",
     "spanner",
     "spanner-weighted",
+    "apsp",
     "mst-approx",
     "mincut",
     "mincut-approx",
@@ -553,6 +751,30 @@ pub fn run(
         ),
     })?;
     algo.run(cluster, input, mode)
+}
+
+/// Runs one [`JobSpec`] solo on `cluster`: distributes the spec's graph
+/// and delegates to [`run`] with the spec's parameters — the single
+/// bridge between the job description the [service](crate::service)
+/// consumes and the [`AlgoInput`] entry point, so the two cannot drift.
+/// The caller seeds the cluster (typically with [`JobSpec::seed`]) to
+/// reproduce a service job bit-for-bit.
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_job(
+    spec: &JobSpec,
+    cluster: &mut Cluster,
+    mode: ExecMode,
+) -> Result<AlgoOutput, ExecError> {
+    let edges = mpc_core::common::distribute_edges(cluster, &spec.graph);
+    let input = AlgoInput {
+        n: spec.graph.n(),
+        edges: &edges,
+        params: spec.params.clone(),
+    };
+    run(&spec.name, cluster, &input, mode)
 }
 
 /// Runs the named algorithm with telemetry recording attached and returns

@@ -1,0 +1,795 @@
+//! The job-queue service: mixed-program multi-tenancy over one engine run.
+//!
+//! [`MixedWave`] (DESIGN.md §2.8) lets a spanner, a matching, and a min
+//! cut share one bulk-synchronous run; this module adds the front end that
+//! makes that a *serving* model. Callers [`submit`](Service::submit)
+//! [`JobSpec`]s and get [`JobHandle`]s; [`run`](Service::run) drives a
+//! single hooked engine run whose coordinator — a [`RoundHook`] executing
+//! on the driving thread at the top of every round — retires finished
+//! jobs, admits queued ones strictly FIFO while their capacity shares fit,
+//! and keeps the cluster's capacity factor equal to the running total, so
+//! strict enforcement always reflects the tenants actually on the wire.
+//!
+//! Determinism: admission decisions depend only on (round, queue order,
+//! lane halt votes, inbox tags) — all bit-identical between serial and
+//! pool execution — and each job's lanes draw from private
+//! [`machine_rng`](mpc_runtime::machine_rng) streams minted from the job's
+//! seed. The same submission sequence therefore yields the same admission
+//! rounds, round log, and results in every mode, and each job's output is
+//! bit-identical to a solo [`registry::run_job`] on a fresh cluster
+//! seeded with the job's seed (for `spanner-weighted`/`apsp` the batched
+//! solo path; for `mst-approx`/`mincut-approx` the
+//! [`sequential_instances`](crate::registry::JobParams::sequential_instances)
+//! solo path — their batched forms pre-draw host-side seeds, which has no
+//! mid-wave equivalent).
+//!
+//! [`RoundHook`]: crate::driver::RoundHook
+
+use crate::combinators::Driven;
+use crate::driver::{ExecError, ExecMode, Executor, WaveRound};
+use crate::mixed::{downcast_program, erase, ErasedProgram, MixedWave};
+use crate::multiplex::Multiplexed;
+use crate::programs::{
+    BoruvkaProgram, ColoringProgram, ConnectivityProgram, MatchingProgram, MinCutApproxProgram,
+    MinCutProgram, MisProgram, MstApproxProgram, MstProgram, SpannerProgram,
+};
+use crate::registry::{self, AlgoOutput, JobSpec};
+use mpc_core::ported::connectivity::ConnectivityConfig;
+use mpc_core::spanner::apsp::ApspOracle;
+use mpc_core::spanner::{merge_class_results, weight_class_shards};
+use mpc_runtime::telemetry::TraceEvent;
+use mpc_runtime::{machine_rng, Cluster, ClusterConfig, MachineId};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+// ---------------------------------------------------------------------------
+// Job lifecycle
+// ---------------------------------------------------------------------------
+
+/// Where a submitted job is in its lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Waiting in the FIFO queue for capacity shares.
+    Queued,
+    /// Admitted into the current mixed wave.
+    Running,
+    /// Finished; the result is waiting in the handle.
+    Completed,
+    /// Finished with an algorithm-level error (the run itself continued).
+    Failed,
+}
+
+/// Shared job state behind a [`JobHandle`].
+struct JobState {
+    status: JobStatus,
+    result: Option<Result<AlgoOutput, ExecError>>,
+}
+
+/// The caller's view of a submitted job: poll [`status`](JobHandle::status)
+/// during/after a run, then [`take_result`](JobHandle::take_result).
+pub struct JobHandle {
+    id: u64,
+    name: String,
+    state: Arc<Mutex<JobState>>,
+}
+
+impl JobHandle {
+    /// The service-assigned job id (dense, starting at 1 — also the tag on
+    /// every wave message and telemetry event this job produces).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The registry name this job runs.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current lifecycle state.
+    pub fn status(&self) -> JobStatus {
+        self.state.lock().unwrap().status
+    }
+
+    /// Takes the job's result out of the handle (`None` if the job has not
+    /// finished, or the result was already taken).
+    pub fn take_result(&self) -> Option<Result<AlgoOutput, ExecError>> {
+        self.state.lock().unwrap().result.take()
+    }
+}
+
+/// One completed job's scheduling record, as reported by [`ServiceRun`].
+#[derive(Clone, Debug)]
+pub struct JobRecord {
+    /// Service-assigned job id.
+    pub job: u64,
+    /// Registry name.
+    pub name: String,
+    /// Capacity shares the job held while running.
+    pub shares: usize,
+    /// Round the coordinator admitted the job.
+    pub admitted_round: u64,
+    /// Round the coordinator observed completion (for jobs still in the
+    /// final wave, the run's total round count).
+    pub completed_round: u64,
+    /// `completed_round - admitted_round`.
+    pub rounds: u64,
+    /// Whether the job finished with an algorithm-level error.
+    pub failed: bool,
+}
+
+/// What one [`Service::run`] drained: total engine rounds plus one record
+/// per job, in job-id (= submission) order.
+#[derive(Debug)]
+pub struct ServiceRun {
+    /// Engine rounds the whole mixed run consumed.
+    pub rounds: u64,
+    /// Per-job admission/completion records, sorted by job id.
+    pub records: Vec<JobRecord>,
+}
+
+// ---------------------------------------------------------------------------
+// Internals
+// ---------------------------------------------------------------------------
+
+struct QueuedJob {
+    id: u64,
+    spec: JobSpec,
+    state: Arc<Mutex<JobState>>,
+}
+
+/// Consumes the finished per-machine lanes (index = machine id) and turns
+/// them back into the algorithm's output.
+type Extractor = Box<dyn FnOnce(Vec<Box<dyn ErasedProgram>>) -> Result<AlgoOutput, ExecError>>;
+
+struct RunningJob {
+    id: u64,
+    name: String,
+    shares: usize,
+    admitted_round: u64,
+    state: Arc<Mutex<JobState>>,
+    extract: Extractor,
+}
+
+/// What building a job's per-machine programs produced.
+enum Built {
+    /// Lanes to admit plus the paired extractor.
+    Wave {
+        programs: Vec<Box<dyn ErasedProgram>>,
+        extract: Extractor,
+    },
+    /// Degenerate input (e.g. a weighted spanner with no edges): the
+    /// result exists without touching the wave.
+    Immediate(Result<AlgoOutput, ExecError>),
+}
+
+fn take_machine(boxes: Vec<Box<dyn ErasedProgram>>, mid: MachineId) -> Box<dyn ErasedProgram> {
+    boxes
+        .into_iter()
+        .nth(mid)
+        .expect("per-machine lane vector covers every machine")
+}
+
+/// The capacity shares a job occupies while running: its explicit
+/// [`JobSpec::shares`] if set, otherwise derived from the program shape —
+/// 1 for single-instance jobs, the non-empty weight-class count for the
+/// batched weighted-spanner family (each class is a full spanner instance
+/// on the wire).
+fn derived_shares(spec: &JobSpec) -> usize {
+    if spec.shares > 0 {
+        return spec.shares;
+    }
+    match spec.name.as_str() {
+        "spanner-weighted" | "apsp" => {
+            if spec.name == "apsp" && spec.graph.edges().iter().all(|e| e.w == 1) {
+                return 1; // unweighted apsp runs one plain spanner
+            }
+            let mut classes = std::collections::BTreeSet::new();
+            for e in spec.graph.edges() {
+                classes.insert(63 - e.w.max(1).leading_zeros());
+            }
+            classes.len().max(1)
+        }
+        _ => 1,
+    }
+}
+
+/// Builds a job's per-machine programs and extractor, mirroring the
+/// registry runners' construction (identical `for_cluster` calls, so the
+/// lanes are exactly what a solo run would drive). Must run with the
+/// cluster's capacity factor at 1 — the constructors snapshot solo
+/// capacities.
+fn build_job(spec: &JobSpec, cluster: &Cluster) -> Built {
+    debug_assert_eq!(cluster.capacity_factor(), 1, "build jobs at solo capacity");
+    let n = spec.graph.n();
+    let edges = mpc_core::common::distribute_edges(cluster, &spec.graph);
+    let large = cluster
+        .large()
+        .expect("the service requires a large machine");
+    let params = spec.params.clone();
+    match spec.name.as_str() {
+        "connectivity" => {
+            let config = params
+                .connectivity
+                .clone()
+                .unwrap_or_else(|| ConnectivityConfig::for_n(n));
+            Built::Wave {
+                programs: ConnectivityProgram::for_cluster(cluster, n, &edges, &config)
+                    .into_iter()
+                    .map(erase)
+                    .collect(),
+                extract: Box::new(move |boxes| {
+                    let p = downcast_program::<ConnectivityProgram>(take_machine(boxes, large));
+                    Ok(AlgoOutput::Components(
+                        p.result.expect("large machine halts with a result"),
+                    ))
+                }),
+            }
+        }
+        "boruvka-msf" => Built::Wave {
+            programs: BoruvkaProgram::for_cluster(cluster, &edges)
+                .into_iter()
+                .map(erase)
+                .collect(),
+            extract: Box::new(move |boxes| {
+                let p = downcast_program::<BoruvkaProgram>(take_machine(boxes, large));
+                Ok(AlgoOutput::Forest(
+                    p.forest.expect("large machine halts with a forest"),
+                ))
+            }),
+        },
+        "mst" => Built::Wave {
+            programs: MstProgram::for_cluster_with(cluster, n, &edges, &params.mst)
+                .into_iter()
+                .map(|p| erase(Driven(p)))
+                .collect(),
+            extract: Box::new(move |boxes| {
+                let p = downcast_program::<Driven<MstProgram>>(take_machine(boxes, large));
+                p.0.result
+                    .expect("large machine halts with a result")
+                    .map(AlgoOutput::Mst)
+                    .map_err(|e| ExecError::Algorithm {
+                        message: e.to_string(),
+                    })
+            }),
+        },
+        "matching" => Built::Wave {
+            programs: MatchingProgram::for_cluster(cluster, n, &edges)
+                .into_iter()
+                .map(|p| erase(Driven(p)))
+                .collect(),
+            extract: Box::new(move |boxes| {
+                let p = downcast_program::<Driven<MatchingProgram>>(take_machine(boxes, large));
+                p.0.result
+                    .expect("large machine halts with a result")
+                    .map(AlgoOutput::Matching)
+                    .map_err(|e| ExecError::Algorithm {
+                        message: e.to_string(),
+                    })
+            }),
+        },
+        "spanner" => Built::Wave {
+            programs: SpannerProgram::for_cluster(cluster, n, &edges, params.spanner_k)
+                .into_iter()
+                .map(|p| erase(Driven(p)))
+                .collect(),
+            extract: Box::new(move |boxes| {
+                let p = downcast_program::<Driven<SpannerProgram>>(take_machine(boxes, large));
+                Ok(AlgoOutput::Spanner(
+                    p.0.result.expect("large machine halts with a result"),
+                ))
+            }),
+        },
+        "spanner-weighted" => {
+            build_weighted_spanner(cluster, n, &edges, params.spanner_k, large, None)
+        }
+        "apsp" => {
+            let k = ApspOracle::stretch_parameter(n);
+            let weighted = edges.iter().any(|(_, e)| e.w != 1);
+            let stretch_bound = if weighted { 12 * k - 1 } else { 6 * k - 1 };
+            if weighted {
+                build_weighted_spanner(cluster, n, &edges, k, large, Some(stretch_bound))
+            } else {
+                Built::Wave {
+                    programs: SpannerProgram::for_cluster(cluster, n, &edges, k)
+                        .into_iter()
+                        .map(|p| erase(Driven(p)))
+                        .collect(),
+                    extract: Box::new(move |boxes| {
+                        let p =
+                            downcast_program::<Driven<SpannerProgram>>(take_machine(boxes, large));
+                        let spanner = p.0.result.expect("large machine halts with a result");
+                        let oracle =
+                            ApspOracle::from_spanner(spanner.spanner.clone(), stretch_bound);
+                        Ok(AlgoOutput::Apsp { oracle, spanner })
+                    }),
+                }
+            }
+        }
+        "mst-approx" => Built::Wave {
+            programs: MstApproxProgram::for_cluster(cluster, n, &edges, params.epsilon)
+                .into_iter()
+                .map(|p| erase(Driven(p)))
+                .collect(),
+            extract: Box::new(move |boxes| {
+                let p = downcast_program::<Driven<MstApproxProgram>>(take_machine(boxes, large));
+                Ok(AlgoOutput::MstApprox(
+                    p.0.result.expect("large machine halts with a result"),
+                ))
+            }),
+        },
+        "mincut" => Built::Wave {
+            programs: MinCutProgram::for_cluster(cluster, n, &edges, params.mincut_trials)
+                .into_iter()
+                .map(|p| erase(Driven(p)))
+                .collect(),
+            extract: Box::new(move |boxes| {
+                let p = downcast_program::<Driven<MinCutProgram>>(take_machine(boxes, large));
+                Ok(AlgoOutput::MinCut(
+                    p.0.result.expect("large machine halts with a result"),
+                ))
+            }),
+        },
+        "mincut-approx" => Built::Wave {
+            programs: MinCutApproxProgram::for_cluster(cluster, n, &edges, params.epsilon)
+                .into_iter()
+                .map(|p| erase(Driven(p)))
+                .collect(),
+            extract: Box::new(move |boxes| {
+                let p = downcast_program::<Driven<MinCutApproxProgram>>(take_machine(boxes, large));
+                Ok(AlgoOutput::MinCutApprox(
+                    p.0.result.expect("large machine halts with a result"),
+                ))
+            }),
+        },
+        "mis" => Built::Wave {
+            programs: MisProgram::for_cluster(cluster, n, &edges)
+                .into_iter()
+                .map(|p| erase(Driven(p)))
+                .collect(),
+            extract: Box::new(move |boxes| {
+                let p = downcast_program::<Driven<MisProgram>>(take_machine(boxes, large));
+                Ok(AlgoOutput::Mis(
+                    p.0.result.expect("large machine halts with a result"),
+                ))
+            }),
+        },
+        "coloring" => Built::Wave {
+            programs: ColoringProgram::for_cluster(cluster, n, &edges)
+                .into_iter()
+                .map(|p| erase(Driven(p)))
+                .collect(),
+            extract: Box::new(move |boxes| {
+                let p = downcast_program::<Driven<ColoringProgram>>(take_machine(boxes, large));
+                Ok(AlgoOutput::Coloring(
+                    p.0.result.expect("large machine halts with a result"),
+                ))
+            }),
+        },
+        other => Built::Immediate(Err(ExecError::Algorithm {
+            message: format!("no registered algorithm named {other:?}"),
+        })),
+    }
+}
+
+/// The batched weighted-spanner lane shared by `spanner-weighted` and
+/// weighted `apsp`: all factor-2 weight classes as a [`Multiplexed`]
+/// program (the same construction as the solo adapter), merged back into
+/// one spanner at extraction. `apsp_stretch` switches the output variant.
+fn build_weighted_spanner(
+    cluster: &Cluster,
+    n: usize,
+    edges: &mpc_runtime::ShardedVec<mpc_graph::Edge>,
+    k: usize,
+    large: MachineId,
+    apsp_stretch: Option<usize>,
+) -> Built {
+    let classes = weight_class_shards(edges);
+    if classes.shards.is_empty() {
+        let spanner = merge_class_results(n, &classes, Vec::new());
+        return Built::Immediate(Ok(match apsp_stretch {
+            Some(stretch_bound) => AlgoOutput::Apsp {
+                oracle: ApspOracle::from_spanner(spanner.spanner.clone(), stretch_bound),
+                spanner,
+            },
+            None => AlgoOutput::Spanner(spanner),
+        }));
+    }
+    let per_instance: Vec<Vec<Driven<SpannerProgram>>> = classes
+        .shards
+        .iter()
+        .map(|(_c, class_edges)| {
+            SpannerProgram::for_cluster(cluster, n, class_edges, k)
+                .into_iter()
+                .map(Driven)
+                .collect()
+        })
+        .collect();
+    let programs = Multiplexed::build(cluster, per_instance)
+        .into_iter()
+        .map(erase)
+        .collect();
+    Built::Wave {
+        programs,
+        extract: Box::new(move |boxes| {
+            let mut coordinator =
+                downcast_program::<Multiplexed<Driven<SpannerProgram>>>(take_machine(boxes, large));
+            let results: Vec<_> = (0..coordinator.instances())
+                .map(|i| {
+                    coordinator
+                        .instance_mut(i)
+                        .0
+                        .result
+                        .take()
+                        .expect("large machine halts with a per-class result")
+                })
+                .collect();
+            let spanner = merge_class_results(n, &classes, results);
+            Ok(match apsp_stretch {
+                Some(stretch_bound) => AlgoOutput::Apsp {
+                    oracle: ApspOracle::from_spanner(spanner.spanner.clone(), stretch_bound),
+                    spanner,
+                },
+                None => AlgoOutput::Spanner(spanner),
+            })
+        }),
+    }
+}
+
+/// Marks a job finished: flips its handle state, appends its record, and
+/// emits the [`TraceEvent::JobCompleted`] instant.
+#[allow(clippy::too_many_arguments)]
+fn finish_job(
+    cluster: &Cluster,
+    records: &mut Vec<JobRecord>,
+    id: u64,
+    name: String,
+    shares: usize,
+    admitted_round: u64,
+    state: &Arc<Mutex<JobState>>,
+    round: u64,
+    result: Result<AlgoOutput, ExecError>,
+) {
+    let failed = result.is_err();
+    {
+        let mut s = state.lock().unwrap();
+        s.status = if failed {
+            JobStatus::Failed
+        } else {
+            JobStatus::Completed
+        };
+        s.result = Some(result);
+    }
+    let rounds = round - admitted_round;
+    records.push(JobRecord {
+        job: id,
+        name,
+        shares,
+        admitted_round,
+        completed_round: round,
+        rounds,
+        failed,
+    });
+    if let Some(sink) = cluster.trace_sink() {
+        sink.record(&TraceEvent::JobCompleted {
+            round,
+            job: id,
+            rounds,
+            failed,
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The service
+// ---------------------------------------------------------------------------
+
+/// A multi-tenant job queue over one heterogeneous cluster.
+///
+/// ```
+/// use mpc_exec::{ExecMode, JobSpec, JobStatus, Service};
+/// use mpc_graph::generators;
+/// use std::sync::Arc;
+///
+/// let g = Arc::new(generators::gnm(96, 320, 7));
+/// let mut svc = Service::new(
+///     mpc_runtime::ClusterConfig::new(96, 320).seed(11).polylog_exponent(2.6),
+/// );
+/// let spanner = svc.submit(JobSpec::new("spanner", g.clone()).seed(1)).unwrap();
+/// let matching = svc.submit(JobSpec::new("matching", g.clone()).seed(2)).unwrap();
+/// let mis = svc.submit(JobSpec::new("mis", g).seed(3)).unwrap();
+/// let run = svc.run(ExecMode::Serial).unwrap();
+/// assert_eq!(run.records.len(), 3);
+/// assert_eq!(spanner.status(), JobStatus::Completed);
+/// assert!(matching.take_result().unwrap().is_ok());
+/// assert!(mis.take_result().unwrap().is_ok());
+/// ```
+pub struct Service {
+    config: ClusterConfig,
+    capacity_shares: usize,
+    max_rounds: u64,
+    threads: usize,
+    next_id: u64,
+    queue: VecDeque<QueuedJob>,
+}
+
+impl Service {
+    /// A service whose [`run`](Service::run) builds its cluster from
+    /// `config`. No share limit: every queued job is admitted immediately.
+    pub fn new(config: ClusterConfig) -> Self {
+        Service {
+            config,
+            capacity_shares: 0,
+            max_rounds: 0,
+            threads: 0,
+            next_id: 1,
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// Caps the total capacity shares running at once (0 = unlimited).
+    /// Admission is strictly FIFO: a job that does not fit blocks the jobs
+    /// behind it until retirement frees shares. A single job wider than
+    /// the whole limit is admitted alone rather than deadlocking.
+    pub fn capacity_shares(mut self, shares: usize) -> Self {
+        self.capacity_shares = shares;
+        self
+    }
+
+    /// Round-limit override for the underlying executor (0 = its default).
+    pub fn max_rounds(mut self, limit: u64) -> Self {
+        self.max_rounds = limit;
+        self
+    }
+
+    /// Worker-thread cap for [`ExecMode::Parallel`] runs (0 = default).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Jobs waiting for the next [`run`](Service::run).
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Enqueues a job, validating its registry name up front.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::Algorithm`] when `spec.name` is not a registered
+    /// algorithm — nothing is enqueued.
+    pub fn submit(&mut self, spec: JobSpec) -> Result<JobHandle, ExecError> {
+        if registry::get(&spec.name).is_none() {
+            return Err(ExecError::Algorithm {
+                message: format!("no registered algorithm named {:?}", spec.name),
+            });
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let state = Arc::new(Mutex::new(JobState {
+            status: JobStatus::Queued,
+            result: None,
+        }));
+        let handle = JobHandle {
+            id,
+            name: spec.name.clone(),
+            state: Arc::clone(&state),
+        };
+        self.queue.push_back(QueuedJob { id, spec, state });
+        Ok(handle)
+    }
+
+    /// Drains the queue in one engine run on a fresh cluster built from
+    /// this service's config.
+    ///
+    /// # Errors
+    ///
+    /// Engine-level failures (capacity violations in strict mode, the
+    /// round limit, unrecoverable crashes) abort the whole run; per-job
+    /// algorithm errors only fail that job. See [`run_on`](Service::run_on).
+    pub fn run(&mut self, mode: ExecMode) -> Result<ServiceRun, ExecError> {
+        let mut cluster = Cluster::new(self.config.clone());
+        self.run_on(&mut cluster, mode)
+    }
+
+    /// [`run`](Service::run) against a caller-owned cluster — the entry
+    /// point for attaching trace sinks or fault plans, and for reading the
+    /// round log afterwards. The cluster's capacity factor must be 1 on
+    /// entry; it is 1 again on return (success or failure).
+    ///
+    /// # Errors
+    ///
+    /// See [`run`](Service::run). On an engine-level error, jobs already
+    /// admitted are marked [`JobStatus::Failed`] (their lanes died with
+    /// the run); jobs still queued return to the service queue untouched.
+    pub fn run_on(
+        &mut self,
+        cluster: &mut Cluster,
+        mode: ExecMode,
+    ) -> Result<ServiceRun, ExecError> {
+        assert_eq!(
+            cluster.capacity_factor(),
+            1,
+            "the service manages the capacity factor; start a run at 1"
+        );
+        let machines = cluster.machines();
+        let waves = MixedWave::for_cluster(cluster);
+        let limit = if self.capacity_shares == 0 {
+            usize::MAX
+        } else {
+            self.capacity_shares
+        };
+        let mut queue = std::mem::take(&mut self.queue);
+        let mut running: Vec<RunningJob> = Vec::new();
+        let mut records: Vec<JobRecord> = Vec::new();
+
+        let mut exec = Executor::new("svc", mode);
+        if self.threads > 0 {
+            exec = exec.threads(self.threads);
+        }
+        if self.max_rounds > 0 {
+            exec = exec.max_rounds(self.max_rounds);
+        }
+
+        let result = {
+            let running = &mut running;
+            let records = &mut records;
+            let queue = &mut queue;
+            let mut hook = |cluster: &mut Cluster,
+                            view: &WaveRound<'_, MixedWave>|
+             -> Result<bool, ExecError> {
+                let round = view.round();
+
+                // 1. Retirement: a job is done when every one of its lanes
+                // has voted to halt and no mail tagged with it is pending.
+                // The peek-only scan leaves the round clean; removal marks
+                // it dirty, forcing a checkpoint under fault plans.
+                let mut i = 0;
+                while i < running.len() {
+                    let job = running[i].id;
+                    let done = (0..machines).all(|mid| {
+                        view.peek(mid, |wave, inbox| {
+                            wave.lane_idle(job) && !inbox.iter().any(|(_, m)| m.job == job)
+                        })
+                    });
+                    if !done {
+                        i += 1;
+                        continue;
+                    }
+                    let rj = running.remove(i);
+                    let boxes: Vec<_> = (0..machines)
+                        .map(|mid| {
+                            view.with(mid, |wave| {
+                                wave.remove(job)
+                                    .expect("a running job has a lane on every machine")
+                            })
+                        })
+                        .collect();
+                    let outcome = (rj.extract)(boxes);
+                    finish_job(
+                        cluster,
+                        records,
+                        rj.id,
+                        rj.name,
+                        rj.shares,
+                        rj.admitted_round,
+                        &rj.state,
+                        round,
+                        outcome,
+                    );
+                }
+
+                // 2. Admission: strict FIFO while shares fit, with lanes
+                // built at solo (factor-1) capacity — exactly the
+                // snapshots a solo run's constructors would take.
+                if !queue.is_empty() {
+                    cluster.set_capacity_factor(1);
+                }
+                while let Some(front) = queue.front() {
+                    let shares = derived_shares(&front.spec);
+                    let held: usize = running.iter().map(|r| r.shares).sum();
+                    if held + shares > limit && !(running.is_empty() && shares > limit) {
+                        break;
+                    }
+                    let qj = queue.pop_front().expect("front was just inspected");
+                    if let Some(sink) = cluster.trace_sink() {
+                        sink.record(&TraceEvent::JobAdmitted {
+                            round,
+                            job: qj.id,
+                            name: qj.spec.name.clone(),
+                            shares,
+                        });
+                    }
+                    match build_job(&qj.spec, cluster) {
+                        Built::Immediate(outcome) => {
+                            finish_job(
+                                cluster,
+                                records,
+                                qj.id,
+                                qj.spec.name.clone(),
+                                shares,
+                                round,
+                                &qj.state,
+                                round,
+                                outcome,
+                            );
+                        }
+                        Built::Wave { programs, extract } => {
+                            qj.state.lock().unwrap().status = JobStatus::Running;
+                            for (mid, program) in programs.into_iter().enumerate() {
+                                view.with(mid, |wave| {
+                                    wave.admit(
+                                        qj.id,
+                                        program,
+                                        machine_rng(qj.spec.seed, mid),
+                                        round,
+                                    );
+                                });
+                                view.wake(mid);
+                            }
+                            running.push(RunningJob {
+                                id: qj.id,
+                                name: qj.spec.name.clone(),
+                                shares,
+                                admitted_round: round,
+                                state: qj.state,
+                                extract,
+                            });
+                        }
+                    }
+                }
+
+                // 3. The live capacity factor tracks the running total, so
+                // strict enforcement scales with the tenants on the wire.
+                let held: usize = running.iter().map(|r| r.shares).sum();
+                cluster.set_capacity_factor(held.max(1));
+                Ok(!queue.is_empty())
+            };
+            exec.run_hooked(cluster, waves, &mut hook)
+        };
+        cluster.set_capacity_factor(1);
+
+        let outcome = match result {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                // Admitted lanes died with the run; queued jobs survive.
+                for rj in running.drain(..) {
+                    rj.state.lock().unwrap().status = JobStatus::Failed;
+                }
+                self.queue = queue;
+                return Err(e);
+            }
+        };
+
+        // Jobs that halted in the final round never saw another hook call;
+        // their lanes sit in the returned wave states.
+        let mut waves = outcome.programs;
+        for rj in running.drain(..) {
+            let boxes: Vec<_> = waves
+                .iter_mut()
+                .map(|wave| {
+                    wave.remove(rj.id)
+                        .expect("a running job has a lane on every machine")
+                })
+                .collect();
+            let job_outcome = (rj.extract)(boxes);
+            finish_job(
+                cluster,
+                &mut records,
+                rj.id,
+                rj.name,
+                rj.shares,
+                rj.admitted_round,
+                &rj.state,
+                outcome.rounds,
+                job_outcome,
+            );
+        }
+
+        records.sort_by_key(|r| r.job);
+        Ok(ServiceRun {
+            rounds: outcome.rounds,
+            records,
+        })
+    }
+}

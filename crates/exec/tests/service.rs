@@ -1,0 +1,363 @@
+//! The service contract (DESIGN.md §2.8): a mixed wave of *different*
+//! registry programs completes in one engine run with every job's result
+//! bit-identical to a solo run under the job's seed; a queue longer than
+//! the share limit drains strictly FIFO via admission-on-retirement; the
+//! whole schedule — results, admission rounds, round log, RNG stream
+//! positions — is identical between serial and pooled execution at any
+//! thread count; and a seeded mid-wave crash recovers every tenant.
+
+use mpc_exec::{registry, ExecMode, JobRecord, JobSpec, JobStatus, Service};
+use mpc_graph::{generators, Graph};
+use mpc_runtime::fault::FaultPlan;
+use mpc_runtime::{Cluster, ClusterConfig};
+use rand::RngCore;
+use std::sync::Arc;
+
+/// One cluster shape for every run in this file: capacities (and so the
+/// programs' batch sizes) must match between the service cluster and the
+/// per-job solo clusters; only the seed may differ.
+fn config(g: &Graph, seed: u64) -> ClusterConfig {
+    ClusterConfig::new(g.n(), g.m().max(1))
+        .seed(seed)
+        .polylog_exponent(2.6)
+}
+
+/// Runs `spec` alone on a fresh cluster seeded with the job's seed — the
+/// oracle the service must be bit-identical to.
+fn solo_digest(g: &Graph, spec: &JobSpec, mode: ExecMode) -> u128 {
+    let mut cluster = Cluster::new(config(g, spec.seed));
+    registry::run_job(spec, &mut cluster, mode)
+        .expect("solo run")
+        .digest()
+}
+
+/// Draws one value from every machine's RNG — equal vectors mean equal
+/// stream positions.
+fn rng_positions(cluster: &mut Cluster) -> Vec<u64> {
+    (0..cluster.machines())
+        .map(|mid| cluster.rng(mid).next_u64())
+        .collect()
+}
+
+/// The comparable core of a record (drops nothing — JobRecord has no
+/// non-deterministic fields, this just gives us Eq).
+fn record_key(r: &JobRecord) -> (u64, String, usize, u64, u64, u64, bool) {
+    (
+        r.job,
+        r.name.clone(),
+        r.shares,
+        r.admitted_round,
+        r.completed_round,
+        r.rounds,
+        r.failed,
+    )
+}
+
+fn weighted_graph() -> Graph {
+    generators::gnm(96, 360, 7).with_random_weights(1 << 10, 7)
+}
+
+/// spanner-weighted (a multi-share multiplexed lane), matching, and mincut
+/// — three different programs — sharing one engine run.
+fn mixed_specs(g: &Arc<Graph>) -> Vec<JobSpec> {
+    vec![
+        JobSpec::new("spanner-weighted", Arc::clone(g)).seed(21),
+        JobSpec::new("matching", Arc::clone(g)).seed(22),
+        JobSpec::new("mincut", Arc::clone(g)).seed(23),
+    ]
+}
+
+// ------------------------------------------------------- mixed wave --
+
+#[test]
+fn mixed_wave_results_are_bit_identical_to_solo_runs() {
+    let g = Arc::new(weighted_graph());
+    for mode in [ExecMode::Serial, ExecMode::Parallel] {
+        let mut svc = Service::new(config(&g, 99));
+        let handles: Vec<_> = mixed_specs(&g)
+            .into_iter()
+            .map(|spec| svc.submit(spec).expect("known name"))
+            .collect();
+        let run = svc.run(mode).expect("service run");
+
+        // One engine run, all three programs admitted into it up front.
+        assert_eq!(run.records.len(), 3);
+        assert!(run.records.iter().all(|r| r.admitted_round == 0));
+        assert!(run.records.iter().all(|r| !r.failed));
+
+        for (handle, spec) in handles.iter().zip(mixed_specs(&g)) {
+            assert_eq!(handle.status(), JobStatus::Completed);
+            let out = handle
+                .take_result()
+                .expect("finished")
+                .expect("no job error");
+            assert_eq!(
+                out.digest(),
+                solo_digest(&g, &spec, mode),
+                "job {} ({}) diverged from its solo run in {mode:?}",
+                handle.id(),
+                handle.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_registry_algorithm_runs_as_a_service_job() {
+    // All 12 registered names in one submission wave — multi-output apsp
+    // included — each bit-identical to its solo twin. mst-approx and
+    // mincut-approx run their sequential single-program forms inside a
+    // wave, so the solo oracle uses `sequential_instances` for them.
+    let g = Arc::new(weighted_graph());
+    let mut svc = Service::new(config(&g, 5));
+    let mut specs = Vec::new();
+    for (i, name) in registry::names().into_iter().enumerate() {
+        let mut spec = JobSpec::new(name, Arc::clone(&g)).seed(100 + i as u64);
+        if matches!(name, "mst-approx" | "mincut-approx") {
+            let sequential = spec.params.clone().sequential_instances();
+            spec = spec.params(sequential);
+        }
+        specs.push(spec);
+    }
+    let handles: Vec<_> = specs
+        .iter()
+        .map(|s| svc.submit(s.clone()).expect("known name"))
+        .collect();
+    let run = svc.run(ExecMode::Parallel).expect("service run");
+    assert_eq!(run.records.len(), registry::names().len());
+    for (handle, spec) in handles.iter().zip(&specs) {
+        let out = handle
+            .take_result()
+            .expect("finished")
+            .expect("no job error");
+        assert_eq!(
+            out.digest(),
+            solo_digest(&g, spec, ExecMode::Serial),
+            "{} diverged from its solo run",
+            spec.name
+        );
+    }
+}
+
+// -------------------------------------------- admission under load --
+
+#[test]
+fn queued_jobs_drain_via_admission_on_retirement() {
+    // Six single-share jobs on a three-share limit: exactly three admitted
+    // at round 0, the rest strictly FIFO as retirement frees shares.
+    let g = Arc::new(generators::gnm(72, 240, 3));
+    let names = [
+        "spanner",
+        "mis",
+        "coloring",
+        "connectivity",
+        "matching",
+        "mincut",
+    ];
+    let mut svc = Service::new(config(&g, 17)).capacity_shares(3);
+    for (i, name) in names.iter().enumerate() {
+        svc.submit(JobSpec::new(*name, Arc::clone(&g)).seed(200 + i as u64))
+            .expect("known name");
+    }
+    assert_eq!(svc.queued(), 6);
+    let run = svc.run(ExecMode::Parallel).expect("service run");
+    assert_eq!(svc.queued(), 0, "the run drains the queue");
+    assert_eq!(run.records.len(), 6);
+    assert!(run.records.iter().all(|r| !r.failed));
+
+    let admitted: Vec<u64> = run.records.iter().map(|r| r.admitted_round).collect();
+    assert_eq!(
+        admitted.iter().filter(|&&r| r == 0).count(),
+        3,
+        "exactly the first three jobs fit at round 0: {admitted:?}"
+    );
+    // FIFO: admission rounds are non-decreasing in submission order, and
+    // each latecomer enters no earlier than the first retirement.
+    assert!(admitted.windows(2).all(|w| w[0] <= w[1]), "{admitted:?}");
+    let first_retirement = run.records.iter().map(|r| r.completed_round).min().unwrap();
+    for r in &run.records[3..] {
+        assert!(
+            r.admitted_round >= first_retirement,
+            "job {} admitted at {} before any shares were freed (first \
+             retirement at {first_retirement})",
+            r.job,
+            r.admitted_round
+        );
+    }
+}
+
+#[test]
+fn oversized_job_is_admitted_alone_instead_of_deadlocking() {
+    // spanner-weighted on this graph occupies one share per weight class —
+    // more than the limit of 2 — so it must run alone, after the two
+    // single-share jobs ahead of it retire.
+    let g = Arc::new(weighted_graph());
+    let classes = {
+        let c = Cluster::new(config(&g, 0));
+        let edges = mpc_core::common::distribute_edges(&c, &g);
+        mpc_core::spanner::weight_class_shards(&edges).shards.len()
+    };
+    assert!(classes > 2, "graph must span more than 2 weight classes");
+
+    let mut svc = Service::new(config(&g, 31)).capacity_shares(2);
+    svc.submit(JobSpec::new("mis", Arc::clone(&g)).seed(1))
+        .unwrap();
+    svc.submit(JobSpec::new("coloring", Arc::clone(&g)).seed(2))
+        .unwrap();
+    let wide = svc
+        .submit(JobSpec::new("spanner-weighted", Arc::clone(&g)).seed(3))
+        .unwrap();
+    let run = svc.run(ExecMode::Serial).expect("service run");
+    assert_eq!(run.records.len(), 3);
+    assert!(run.records.iter().all(|r| !r.failed));
+    let wide_rec = run.records.iter().find(|r| r.job == wide.id()).unwrap();
+    assert_eq!(wide_rec.shares, classes);
+    assert!(
+        wide_rec.admitted_round > 0,
+        "the oversized job waits for the narrow jobs to finish"
+    );
+}
+
+// ------------------------------------------------ mode independence --
+
+/// Submits the 6-job over-subscribed workload and runs it on `cluster`.
+fn contended_run(
+    g: &Arc<Graph>,
+    cluster: &mut Cluster,
+    mode: ExecMode,
+    threads: usize,
+) -> (Vec<(u64, String, usize, u64, u64, u64, bool)>, Vec<u128>) {
+    let names = [
+        "spanner",
+        "mis",
+        "coloring",
+        "connectivity",
+        "matching",
+        "mincut",
+    ];
+    let mut svc = Service::new(config(g, 17))
+        .capacity_shares(3)
+        .threads(threads);
+    let handles: Vec<_> = names
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            svc.submit(JobSpec::new(*name, Arc::clone(g)).seed(300 + i as u64))
+                .expect("known name")
+        })
+        .collect();
+    let run = svc.run_on(cluster, mode).expect("service run");
+    let digests = handles
+        .iter()
+        .map(|h| {
+            h.take_result()
+                .expect("finished")
+                .expect("no job error")
+                .digest()
+        })
+        .collect();
+    (run.records.iter().map(record_key).collect(), digests)
+}
+
+#[test]
+fn serial_and_pool_schedules_are_bit_identical_at_any_thread_count() {
+    let g = Arc::new(generators::gnm(72, 240, 3));
+    let mut serial_cluster = Cluster::new(config(&g, 17));
+    let (serial_records, serial_digests) =
+        contended_run(&g, &mut serial_cluster, ExecMode::Serial, 0);
+    let serial_log = serial_cluster.round_log().to_vec();
+    let serial_rng = rng_positions(&mut serial_cluster);
+
+    for threads in [1usize, 3, 16] {
+        let mut cluster = Cluster::new(config(&g, 17));
+        let (records, digests) = contended_run(&g, &mut cluster, ExecMode::Parallel, threads);
+        assert_eq!(
+            records, serial_records,
+            "admission schedule diverged at {threads} threads"
+        );
+        assert_eq!(
+            digests, serial_digests,
+            "job results diverged at {threads} threads"
+        );
+        assert_eq!(
+            cluster.round_log(),
+            &serial_log[..],
+            "round log diverged at {threads} threads"
+        );
+        assert_eq!(
+            rng_positions(&mut cluster),
+            serial_rng,
+            "RNG stream positions diverged at {threads} threads"
+        );
+    }
+}
+
+// --------------------------------------------------------- chaos leg --
+
+#[test]
+fn seeded_crash_mid_wave_recovers_every_job() {
+    let g = Arc::new(weighted_graph());
+
+    let run_with = |plan: Option<FaultPlan>| {
+        let mut cluster = Cluster::new(config(&g, 99));
+        cluster.set_fault_plan(plan);
+        let mut svc = Service::new(config(&g, 99));
+        let handles: Vec<_> = mixed_specs(&g)
+            .into_iter()
+            .map(|spec| svc.submit(spec).expect("known name"))
+            .collect();
+        svc.run_on(&mut cluster, ExecMode::Parallel).expect("run");
+        let digests: Vec<u128> = handles
+            .iter()
+            .map(|h| {
+                h.take_result()
+                    .expect("finished")
+                    .expect("no job error")
+                    .digest()
+            })
+            .collect();
+        (digests, cluster)
+    };
+
+    let (clean_digests, clean_cluster) = run_with(None);
+    let clean_rounds = clean_cluster.rounds();
+    let plan = FaultPlan::seeded_single_crash(99, &clean_cluster.small_ids(), clean_rounds);
+    let (digests, faulted_cluster) = run_with(Some(plan));
+    assert_eq!(
+        digests, clean_digests,
+        "a mid-wave crash changed some tenant's result"
+    );
+    assert!(
+        faulted_cluster.rounds() > clean_rounds,
+        "recovery must add checkpoint/replay exchanges"
+    );
+}
+
+// ---------------------------------------------------------- edges --
+
+#[test]
+fn unknown_names_are_rejected_at_submit() {
+    let g = Arc::new(generators::gnm(16, 30, 1));
+    let mut svc = Service::new(config(&g, 1));
+    assert!(svc.submit(JobSpec::new("simplex", g)).is_err());
+    assert_eq!(svc.queued(), 0);
+}
+
+#[test]
+fn empty_weighted_spanner_completes_without_entering_the_wave() {
+    let g = Arc::new(Graph::new(8, Vec::new()));
+    let mut svc = Service::new(config(&g, 2));
+    let lone = svc
+        .submit(JobSpec::new("spanner-weighted", Arc::clone(&g)).seed(4))
+        .unwrap();
+    let busy = svc
+        .submit(JobSpec::new("connectivity", Arc::clone(&g)).seed(5))
+        .unwrap();
+    let run = svc.run(ExecMode::Serial).expect("service run");
+    assert_eq!(run.records.len(), 2);
+    let rec = run.records.iter().find(|r| r.job == lone.id()).unwrap();
+    assert_eq!(rec.rounds, 0, "degenerate job completes at admission");
+    let out = lone.take_result().unwrap().unwrap();
+    assert_eq!(out.into_spanner().unwrap().spanner.m(), 0);
+    assert!(busy.take_result().unwrap().is_ok());
+}

@@ -120,21 +120,26 @@ pub struct Cluster {
     pending_delay: f64,
 }
 
+/// The per-machine private RNG stream for machine `mid` under master seed
+/// `seed` — the exact derivation [`Cluster::new`] uses, exposed so a
+/// scheduler can mint a *detached* stream (e.g. one per admitted job) that
+/// is bit-identical to the stream a fresh cluster seeded with `seed` would
+/// hand that machine. Two jobs with different seeds get independent
+/// streams; a job replayed solo on a cluster seeded with its job seed
+/// draws the very same values.
+pub fn machine_rng(seed: u64, mid: MachineId) -> SmallRng {
+    SmallRng::seed_from_u64(
+        seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add((mid as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9)),
+    )
+}
+
 impl Cluster {
     /// Builds a cluster from a configuration.
     pub fn new(config: ClusterConfig) -> Self {
         let (caps, large) = config.resolve();
         let k = caps.len();
-        let rngs = (0..k)
-            .map(|i| {
-                SmallRng::seed_from_u64(
-                    config
-                        .seed
-                        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                        .wrapping_add((i as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9)),
-                )
-            })
-            .collect();
+        let rngs = (0..k).map(|i| machine_rng(config.seed, i)).collect();
         Cluster {
             peak_resident: vec![0; k],
             cost: CostModel::uniform(k, 1.0, 1.0, 0.0),

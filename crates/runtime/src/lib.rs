@@ -54,7 +54,7 @@ pub mod primitives;
 pub mod sharded;
 pub mod telemetry;
 
-pub use cluster::{Cluster, RoundRecord, RoundSummary};
+pub use cluster::{machine_rng, Cluster, RoundRecord, RoundSummary};
 pub use config::{ClusterConfig, Enforcement, Topology};
 pub use cost::CostModel;
 pub use error::ModelViolation;

@@ -151,6 +151,29 @@ pub enum TraceEvent {
         /// The retired instance's id.
         instance: u32,
     },
+    /// A queued job was admitted into the running mixed wave by the
+    /// service scheduler (its lanes installed on every machine).
+    JobAdmitted {
+        /// Driver round index at which the job's lanes start stepping.
+        round: u64,
+        /// Service-assigned job id (submission order).
+        job: u64,
+        /// Registry name of the admitted algorithm.
+        name: String,
+        /// Combined-round capacity shares this job holds while running.
+        shares: usize,
+    },
+    /// A job's lanes were retired from the wave and its result extracted.
+    JobCompleted {
+        /// Driver round index at which the job was observed complete.
+        round: u64,
+        /// Service-assigned job id.
+        job: u64,
+        /// Driver rounds between admission and completion.
+        rounds: u64,
+        /// Whether result extraction failed (job-level algorithm error).
+        failed: bool,
+    },
     /// A scheduled [`Fault`](crate::fault::Fault) fired during an exchange.
     FaultInjected {
         /// Cluster round index the fault fired on.
@@ -196,6 +219,8 @@ impl TraceEvent {
             TraceEvent::WorkerRound { .. } => "worker_round",
             TraceEvent::MuxRound { .. } => "mux_round",
             TraceEvent::InstanceRetired { .. } => "instance_retired",
+            TraceEvent::JobAdmitted { .. } => "job_admitted",
+            TraceEvent::JobCompleted { .. } => "job_completed",
             TraceEvent::FaultInjected { .. } => "fault_injected",
             TraceEvent::MachineQuarantined { .. } => "machine_quarantined",
             TraceEvent::RecoveryRound { .. } => "recovery_round",
@@ -286,6 +311,25 @@ impl TraceEvent {
             } => format!(
                 "{{\"type\":\"instance_retired\",\"round\":{round},\
                  \"machine\":{machine},\"instance\":{instance}}}"
+            ),
+            TraceEvent::JobAdmitted {
+                round,
+                job,
+                name,
+                shares,
+            } => format!(
+                "{{\"type\":\"job_admitted\",\"round\":{round},\"job\":{job},\
+                 \"name\":{},\"shares\":{shares}}}",
+                json_string(name)
+            ),
+            TraceEvent::JobCompleted {
+                round,
+                job,
+                rounds,
+                failed,
+            } => format!(
+                "{{\"type\":\"job_completed\",\"round\":{round},\"job\":{job},\
+                 \"rounds\":{rounds},\"failed\":{failed}}}"
             ),
             TraceEvent::FaultInjected {
                 round,
@@ -818,6 +862,10 @@ const SCHEMA: &[(&str, &[&str], &[&str])] = &[
     ),
     ("mux_round", &["round", "machine", "live", "retired"], &[]),
     ("instance_retired", &["round", "machine", "instance"], &[]),
+    ("job_admitted", &["round", "job", "shares"], &["name"]),
+    // `failed` is a JSON bool, which the validator's number/string floor
+    // does not cover — it rides along as an allowed extra field.
+    ("job_completed", &["round", "job", "rounds"], &[]),
     ("fault_injected", &["round"], &["kind", "detail"]),
     ("machine_quarantined", &["round", "machine"], &[]),
     (
@@ -1088,6 +1136,42 @@ pub fn perfetto_export(events: &[TraceEvent]) -> String {
                     &mut first,
                 );
             }
+            TraceEvent::JobAdmitted {
+                round,
+                job,
+                name,
+                shares,
+            } => {
+                push(
+                    format!(
+                        "{{\"name\":{},\"ph\":\"i\",\"s\":\"p\",\"pid\":{PID_MACHINES},\
+                         \"tid\":{TID_ROUNDS},\"ts\":{},\"args\":{{\"round\":{round},\
+                         \"job\":{job},\"shares\":{shares}}}}}",
+                        json_string(&format!("admit job {job} ({name})")),
+                        json_f64(sim_cursor_us)
+                    ),
+                    &mut out,
+                    &mut first,
+                );
+            }
+            TraceEvent::JobCompleted {
+                round,
+                job,
+                rounds,
+                failed,
+            } => {
+                push(
+                    format!(
+                        "{{\"name\":\"complete job {job}\",\"ph\":\"i\",\"s\":\"p\",\
+                         \"pid\":{PID_MACHINES},\"tid\":{TID_ROUNDS},\"ts\":{},\
+                         \"args\":{{\"round\":{round},\"rounds\":{rounds},\
+                         \"failed\":{failed}}}}}",
+                        json_f64(sim_cursor_us)
+                    ),
+                    &mut out,
+                    &mut first,
+                );
+            }
             TraceEvent::FaultInjected {
                 round,
                 kind,
@@ -1208,6 +1292,18 @@ mod tests {
                 round: 0,
                 machine: 0,
                 instance: 2,
+            },
+            TraceEvent::JobAdmitted {
+                round: 0,
+                job: 1,
+                name: "spanner".into(),
+                shares: 2,
+            },
+            TraceEvent::JobCompleted {
+                round: 4,
+                job: 1,
+                rounds: 4,
+                failed: false,
             },
             TraceEvent::FaultInjected {
                 round: 3,

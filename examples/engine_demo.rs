@@ -59,6 +59,12 @@ fn main() {
                 g.m(),
                 r.stats.levels
             ),
+            AlgoOutput::Apsp { oracle, spanner } => format!(
+                "APSP oracle with stretch ≤ {} over a {}-edge spanner (d(0,1) = {})",
+                oracle.stretch_bound,
+                spanner.spanner.m(),
+                oracle.distance(0, 1)
+            ),
             AlgoOutput::MstApprox(r) => format!(
                 "MST weight ≈ {:.0} ({} thresholds, {} parallel rounds)",
                 r.estimate,

@@ -37,6 +37,37 @@
 //! assert!(mst::is_minimum_spanning_forest(&g, &result.forest));
 //! println!("MST of weight {} in {} rounds", result.forest.total_weight, cluster.rounds());
 //! ```
+//!
+//! Or serve several tenants from one engine run — the job-queue
+//! [`Service`](mpc_exec::service) interleaves different registry programs
+//! in a single bulk-synchronous wave (DESIGN.md §2.8), each job's result
+//! bit-identical to a solo run seeded with its job seed:
+//!
+//! ```
+//! use het_mpc::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let g = Arc::new(generators::gnm(128, 768, 42).with_random_weights(1 << 12, 42));
+//! let mut service = Service::new(
+//!     ClusterConfig::new(g.n(), g.m()).seed(42).polylog_exponent(2.6),
+//! )
+//! .capacity_shares(3);
+//!
+//! // Three concurrent jobs — a spanner, a matching, and a min cut.
+//! let spanner = service.submit(JobSpec::new("spanner", g.clone()).seed(1).spanner_k(3)).unwrap();
+//! let matching = service.submit(JobSpec::new("matching", g.clone()).seed(2)).unwrap();
+//! let mincut = service.submit(JobSpec::new("mincut", g.clone()).seed(3).mincut_trials(4)).unwrap();
+//!
+//! let run = service.run(ExecMode::Serial).unwrap(); // or Parallel: bit-identical
+//! assert_eq!(run.records.len(), 3);
+//! let spanner = spanner.take_result().unwrap().unwrap().into_spanner().unwrap();
+//! let matching = matching.take_result().unwrap().unwrap().into_matching().unwrap();
+//! let mincut = mincut.take_result().unwrap().unwrap().into_mincut().unwrap();
+//! println!(
+//!     "{} spanner edges, {} matched, cut {} — in {} shared rounds",
+//!     spanner.spanner.m(), matching.matching.len(), mincut.value, run.rounds,
+//! );
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -68,7 +99,10 @@ pub mod prelude {
         heterogeneous_spanner_weighted,
     };
     pub use mpc_exec::registry::{self, AlgoInput, AlgoOutput};
-    pub use mpc_exec::{ExecError, ExecMode, Executor, MachineProgram, StepOutcome};
+    pub use mpc_exec::{
+        ExecError, ExecMode, Executor, JobHandle, JobParams, JobRecord, JobSpec, JobStatus,
+        MachineProgram, Service, ServiceRun, StepOutcome,
+    };
     pub use mpc_graph::{generators, Edge, Graph, VertexId};
     pub use mpc_runtime::{
         Cluster, ClusterConfig, CostModel, Enforcement, Fault, FaultPlan, RecoveryPolicy,
