@@ -18,11 +18,13 @@ use mpc_runtime::telemetry::{perfetto_export, validate_jsonl};
 use mpc_runtime::{Cluster, ClusterConfig, CostModel, FaultPlan, JsonlSink, TraceSink};
 use std::sync::Arc;
 
-const USAGE: &str = "usage: mpc-trace [NAME|all] [--profile uniform|straggler|proportional] \
+const USAGE: &str =
+    "usage: mpc-trace [NAME|all|service] [--profile uniform|straggler|proportional] \
                      [--n N] [--mode serial|pool] [--faults SEED] [--trace out.json] \
                      [--jsonl out.jsonl] [--validate file.jsonl] [--list]";
 
 struct Opts {
+    service: bool,
     names: Vec<&'static str>,
     profile: String,
     n: usize,
@@ -103,12 +105,14 @@ fn parse_args() -> Opts {
     if !matches!(profile.as_str(), "uniform" | "straggler" | "proportional") {
         fail(&format!("unknown profile '{profile}'"));
     }
+    let service = name.as_deref() == Some("service");
     let names = match name.as_deref() {
+        Some("service") => Vec::new(),
         None | Some("all") => registry::names(),
         Some(one) => match registry::get(one) {
             Some(algo) => vec![algo.name],
             None => fail(&format!(
-                "unknown algorithm '{one}'; registered: {}",
+                "unknown target '{one}'; registered: {} (or 'service')",
                 registry::names().join(", ")
             )),
         },
@@ -117,6 +121,7 @@ fn parse_args() -> Opts {
         fail("--trace needs a single algorithm NAME (tracks would overlap across runs)");
     }
     Opts {
+        service,
         names,
         profile,
         n,
@@ -141,9 +146,136 @@ fn cost_profile(profile: &str, cluster: &Cluster) -> CostModel {
     }
 }
 
+/// The `service` target: drains the standard six-tenant mixed queue
+/// ([`mpc_bench::experiments::SERVICE_JOBS`]) through one hooked engine
+/// run and prints the straggler report plus a per-job quarantine/retry
+/// breakdown. With `--faults SEED` a seeded small-machine crash is
+/// injected under a **zero-replica** recovery policy, making it job-fatal:
+/// the service must quarantine the culprit tenant, re-admit it on its
+/// two-admission retry budget, and keep every surviving tenant
+/// bit-identical to the fault-free drain — any divergence exits 1.
+fn run_service(opts: &Opts, g: &Arc<mpc_graph::Graph>, jsonl_sink: Option<Arc<JsonlSink>>) {
+    use mpc_bench::experiments::{service_polylog, SERVICE_JOBS, SERVICE_SHARES};
+    use mpc_exec::{JobRetryPolicy, JobSpec, JobStatus, RunReport, Service};
+    use mpc_runtime::{FanoutSink, RecoveryPolicy, RingSink};
+
+    let config = || {
+        ClusterConfig::new(g.n(), g.m())
+            .seed(5)
+            .polylog_exponent(service_polylog())
+    };
+    let drain = |plan: Option<FaultPlan>, sink: Option<Arc<dyn TraceSink>>| {
+        let mut service = Service::new(config()).capacity_shares(SERVICE_SHARES);
+        let handles: Vec<_> = SERVICE_JOBS
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                service
+                    .submit(JobSpec::new(*name, g.clone()).seed(100 + i as u64).retry(
+                        JobRetryPolicy {
+                            max_attempts: 2,
+                            backoff_rounds: 1,
+                        },
+                    ))
+                    .expect("canonical registry name")
+            })
+            .collect();
+        let mut cluster = Cluster::new(config());
+        cluster.set_cost_model(cost_profile(&opts.profile, &cluster));
+        cluster.set_fault_plan(plan);
+        cluster.set_trace_sink(sink);
+        let run = service
+            .run_on(&mut cluster, opts.mode)
+            .unwrap_or_else(|e| fail(&format!("service drain: {e}")));
+        let outcomes: Vec<(JobStatus, Option<u128>)> = handles
+            .iter()
+            .map(|h| {
+                let digest = h
+                    .take_result()
+                    .expect("job finished")
+                    .ok()
+                    .map(|out| out.digest());
+                (h.status(), digest)
+            })
+            .collect();
+        (cluster, run, outcomes)
+    };
+
+    // Fault-free preflight learns the round count (to scope the seeded
+    // crash) and the per-tenant digests recovery must reproduce.
+    let (pre, _, clean) = drain(None, None);
+    let plan = opts.faults.map(|seed| {
+        FaultPlan::seeded_single_crash(seed, &pre.small_ids(), pre.rounds()).with_policy(
+            RecoveryPolicy {
+                replicas: 0,
+                ..RecoveryPolicy::default()
+            },
+        )
+    });
+    if let Some(plan) = &plan {
+        for f in plan.faults() {
+            println!(
+                "\nservice: injecting {} ({}) with zero peer replicas — job-fatal",
+                f.kind(),
+                f.detail()
+            );
+        }
+    }
+    let ring = Arc::new(RingSink::unbounded());
+    let sink: Arc<dyn TraceSink> = match &jsonl_sink {
+        Some(j) => Arc::new(FanoutSink::new(vec![
+            j.clone() as Arc<dyn TraceSink>,
+            ring.clone(),
+        ])),
+        None => ring.clone(),
+    };
+    let (cluster, run, outcomes) = drain(plan.clone(), Some(sink));
+    let report = RunReport::from_events("service", ring.take(), cluster.cost_model());
+    println!("\n{}", report.render());
+
+    println!("### per-job breakdown\n");
+    println!("job  name              attempts  status             admitted  completed");
+    for (r, (status, _)) in run.records.iter().zip(&outcomes) {
+        println!(
+            "{:>3}  {:<16}  {:>8}  {:<17}  {:>8}  {:>9}",
+            r.job,
+            r.name,
+            r.attempts,
+            format!("{status:?}"),
+            r.admitted_round,
+            r.completed_round
+        );
+    }
+
+    let mut diverged = false;
+    for (i, (status, digest)) in outcomes.iter().enumerate() {
+        if *status == JobStatus::Completed && *digest != clean[i].1 {
+            eprintln!(
+                "service: surviving tenant {} DIVERGED from the fault-free drain",
+                SERVICE_JOBS[i]
+            );
+            diverged = true;
+        }
+    }
+    if diverged {
+        std::process::exit(1);
+    }
+    if plan.is_some() {
+        println!("\nall surviving tenants are bit-identical to the fault-free drain");
+    }
+    if let Some(path) = &opts.trace {
+        std::fs::write(path, perfetto_export(&report.events))
+            .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+        println!(
+            "perfetto trace ({} events) written to {path}",
+            report.events.len()
+        );
+    }
+}
+
 fn main() {
     let opts = parse_args();
-    let g = generators::gnm(opts.n, opts.n * 6, 5).with_random_weights(1 << 12, 5);
+    let g = Arc::new(generators::gnm(opts.n, opts.n * 6, 5).with_random_weights(1 << 12, 5));
     let jsonl_sink = opts.jsonl.as_ref().map(|path| {
         Arc::new(
             JsonlSink::create(path).unwrap_or_else(|e| fail(&format!("cannot create {path}: {e}"))),
@@ -156,6 +288,9 @@ fn main() {
         g.m(),
         opts.mode
     );
+    if opts.service {
+        run_service(&opts, &g, jsonl_sink.clone());
+    }
     for name in &opts.names {
         let algo = registry::get(name).expect("validated above");
         let config = || {

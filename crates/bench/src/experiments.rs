@@ -1131,7 +1131,7 @@ pub fn chaos() {
 /// one hooked engine run. `spanner-weighted` holds one share per weight
 /// class, so on the 3-share cluster half the queue waits for
 /// admission-on-retirement.
-const SERVICE_JOBS: &[&str] = &[
+pub const SERVICE_JOBS: &[&str] = &[
     "spanner-weighted",
     "matching",
     "mincut",
@@ -1141,32 +1141,49 @@ const SERVICE_JOBS: &[&str] = &[
 ];
 
 /// Capacity shares the service cluster holds open concurrently.
-const SERVICE_SHARES: usize = 3;
+pub const SERVICE_SHARES: usize = 3;
 
-/// One timed service drain: submits [`SERVICE_JOBS`] (seeds `100 + i`),
-/// runs the queue to completion under `mode`, and returns (wall ms,
-/// simulated makespan, exchange rounds, machines, scheduling records,
-/// per-job digests in submission order).
-fn service_drain(
-    g: &std::sync::Arc<Graph>,
-    straggler: bool,
-    mode: mpc_exec::ExecMode,
-) -> (f64, f64, u64, usize, Vec<mpc_exec::JobRecord>, Vec<u128>) {
-    use mpc_runtime::CostModel;
-
-    // The shared cluster must carry the largest capacity headroom any
-    // tenant declares — new workload entries are picked up automatically.
-    let polylog = SERVICE_JOBS
+/// The headroom exponent the shared service cluster must carry: the
+/// largest any [`SERVICE_JOBS`] tenant declares — new workload entries are
+/// picked up automatically.
+pub fn service_polylog() -> f64 {
+    SERVICE_JOBS
         .iter()
         .map(|name| {
             mpc_exec::registry::get(name)
                 .expect("registered algorithm")
                 .polylog_exponent
         })
-        .fold(1.0_f64, f64::max);
+        .fold(1.0_f64, f64::max)
+}
+
+/// One job's terminal outcome from a service drain: its final status and
+/// the output digest (`None` when the job failed or was cancelled).
+type JobOutcome = (mpc_exec::JobStatus, Option<u128>);
+
+/// One timed service drain: submits [`SERVICE_JOBS`] (seeds `100 + i`),
+/// runs the queue to completion under `mode` with an optional fault plan
+/// attached to the shared cluster, and returns (wall ms, simulated
+/// makespan, exchange rounds, machines, scheduling records, per-job
+/// outcomes in submission order).
+fn service_drain_with(
+    g: &std::sync::Arc<Graph>,
+    straggler: bool,
+    plan: Option<mpc_runtime::FaultPlan>,
+    mode: mpc_exec::ExecMode,
+) -> (
+    f64,
+    f64,
+    u64,
+    usize,
+    Vec<mpc_exec::JobRecord>,
+    Vec<JobOutcome>,
+) {
+    use mpc_runtime::CostModel;
+
     let config = ClusterConfig::new(g.n(), g.m())
         .seed(5)
-        .polylog_exponent(polylog);
+        .polylog_exponent(service_polylog());
     let mut service = mpc_exec::Service::new(config.clone()).capacity_shares(SERVICE_SHARES);
     let handles: Vec<_> = SERVICE_JOBS
         .iter()
@@ -1184,16 +1201,19 @@ fn service_drain(
         model = model.with_straggler(victim, 0.1);
     }
     cluster.set_cost_model(model);
+    cluster.set_fault_plan(plan);
     let started = std::time::Instant::now();
     let run = service.run_on(&mut cluster, mode).expect("service drain");
     let wall = started.elapsed().as_secs_f64() * 1e3;
-    let digests: Vec<u128> = handles
+    let outcomes: Vec<JobOutcome> = handles
         .iter()
         .map(|h| {
-            h.take_result()
+            let digest = h
+                .take_result()
                 .expect("job finished")
-                .expect("job succeeded")
-                .digest()
+                .ok()
+                .map(|out| out.digest());
+            (h.status(), digest)
         })
         .collect();
     (
@@ -1202,8 +1222,27 @@ fn service_drain(
         cluster.rounds(),
         cluster.machines(),
         run.records,
-        digests,
+        outcomes,
     )
+}
+
+/// Fault-free [`service_drain_with`]: every tenant must complete, so the
+/// outcomes collapse to plain digests.
+fn service_drain(
+    g: &std::sync::Arc<Graph>,
+    straggler: bool,
+    mode: mpc_exec::ExecMode,
+) -> (f64, f64, u64, usize, Vec<mpc_exec::JobRecord>, Vec<u128>) {
+    let (wall, makespan, rounds, machines, records, outcomes) =
+        service_drain_with(g, straggler, None, mode);
+    let digests = outcomes
+        .into_iter()
+        .map(|(status, digest)| {
+            assert_eq!(status, mpc_exec::JobStatus::Completed, "fault-free drain");
+            digest.expect("job succeeded")
+        })
+        .collect();
+    (wall, makespan, rounds, machines, records, digests)
 }
 
 /// One appended row of `BENCH_exec.json`'s service section.
@@ -1327,6 +1366,7 @@ pub fn service() {
     let mut rows: Vec<ServiceRow> = Vec::new();
     let mut schedule: Option<(Vec<(u64, usize, u64, u64)>, Vec<u128>)> = None;
     let mut uniform_records: Vec<mpc_exec::JobRecord> = Vec::new();
+    let mut uniform_rounds = 0u64;
     for straggler in [false, true] {
         let (serial_ms, makespan, rounds, machines, records, digests) =
             best(straggler, ExecMode::Serial);
@@ -1346,6 +1386,7 @@ pub fn service() {
         }
         if !straggler {
             uniform_records = records.clone();
+            uniform_rounds = rounds;
         }
         let profile = if straggler { "straggler" } else { "uniform" };
         let jobs = SERVICE_JOBS.len() as f64;
@@ -1366,6 +1407,95 @@ pub fn service() {
         rows.push(ServiceRow {
             workload: format!(
                 "service-{profile}(jobs={},shares={SERVICE_SHARES},n={n})",
+                SERVICE_JOBS.len()
+            ),
+            machines,
+            rounds,
+            serial_ms,
+            pool_ms,
+            jps_serial,
+            jps_pool,
+            makespan,
+        });
+    }
+
+    // Faulted leg: one seeded mid-drain crash with zero peer replicas is
+    // job-fatal, so the service quarantines exactly one tenant and replays
+    // the survivors (DESIGN.md §2.9). Throughput counts served jobs only.
+    {
+        use mpc_runtime::{Fault, FaultPlan, RecoveryPolicy};
+        let smalls = Cluster::new(
+            ClusterConfig::new(g.n(), g.m())
+                .seed(5)
+                .polylog_exponent(service_polylog()),
+        )
+        .small_ids();
+        let plan = FaultPlan::new()
+            .with_policy(RecoveryPolicy {
+                replicas: 0,
+                ..RecoveryPolicy::default()
+            })
+            .with_fault(Fault::Crash {
+                machine: smalls[0],
+                round: uniform_rounds / 2,
+            });
+        let best = |mode: ExecMode| {
+            let (mut wall, makespan, rounds, machines, records, outcomes) =
+                service_drain_with(&g, false, Some(plan.clone()), mode);
+            for _ in 1..reps {
+                let (w, _, r, _, recs, outs) =
+                    service_drain_with(&g, false, Some(plan.clone()), mode);
+                assert_eq!(
+                    (r, key(&recs), &outs),
+                    (rounds, key(&records), &outcomes),
+                    "nondeterministic faulted service drain"
+                );
+                wall = wall.min(w);
+            }
+            (wall, makespan, rounds, machines, records, outcomes)
+        };
+        let (serial_ms, makespan, rounds, machines, records, outcomes) = best(ExecMode::Serial);
+        let (pool_ms, _, pool_rounds, _, pool_records, pool_outcomes) = best(ExecMode::Parallel);
+        assert_eq!(
+            (pool_rounds, key(&pool_records), &pool_outcomes),
+            (rounds, key(&records), &outcomes),
+            "faulted service: pool drain diverged from serial"
+        );
+        let served = outcomes
+            .iter()
+            .filter(|(s, _)| *s == mpc_exec::JobStatus::Completed)
+            .count();
+        assert_eq!(served, SERVICE_JOBS.len() - 1, "exactly one tenant lost");
+        // Survivors must be bit-identical to the fault-free drain.
+        if let Some((_, clean_digests)) = &schedule {
+            for (i, (status, digest)) in outcomes.iter().enumerate() {
+                if *status == mpc_exec::JobStatus::Completed {
+                    assert_eq!(
+                        *digest,
+                        Some(clean_digests[i]),
+                        "surviving tenant {} diverged from the fault-free drain",
+                        SERVICE_JOBS[i]
+                    );
+                }
+            }
+        }
+        let (jps_serial, jps_pool) = (
+            served as f64 / (serial_ms / 1e3).max(1e-9),
+            served as f64 / (pool_ms / 1e3).max(1e-9),
+        );
+        t.row(&[
+            "faulted (1 lost)".to_string(),
+            machines.to_string(),
+            rounds.to_string(),
+            format!("{serial_ms:.2}"),
+            format!("{pool_ms:.2}"),
+            format!("{jps_serial:.1}"),
+            format!("{jps_pool:.1}"),
+            format!("{makespan:.1}s"),
+        ]);
+        rows.push(ServiceRow {
+            workload: format!(
+                "service-faulted-uniform(jobs={},shares={SERVICE_SHARES},n={n})",
                 SERVICE_JOBS.len()
             ),
             machines,
@@ -1406,4 +1536,119 @@ pub fn service() {
         rows.len(),
         path.display()
     );
+}
+
+/// E17: service chaos — the six-tenant mixed queue (E16's workload) under
+/// seeded faults, exercising both recovery tiers of DESIGN.md §2.9:
+///
+/// * **recoverable** — a seeded small-machine crash under the default
+///   replica policy replays from peer checkpoints inside the wave; every
+///   tenant completes and all six digests match the fault-free drain;
+/// * **job-fatal** — the same crash with zero peer replicas cannot be
+///   replayed, so the service quarantines exactly one tenant, fails it
+///   with a typed error, and restarts the wave for the survivors, whose
+///   digests must still match the fault-free drain bit-for-bit.
+///
+/// Both legs run under `ExecMode::Serial` and `ExecMode::Parallel` and
+/// must agree exactly (CI pins the pool leg to 2 and 16 worker threads
+/// via `MPC_POOL_THREADS`).
+pub fn chaos_service() {
+    use mpc_exec::{ExecMode, JobStatus};
+    use mpc_runtime::{Fault, FaultPlan, RecoveryPolicy};
+
+    println!("\n## E17 — service chaos (per-job quarantine, survivors must be exact)\n");
+    if let Ok(threads) = std::env::var("MPC_POOL_THREADS") {
+        println!("(pool worker threads pinned to {threads} via MPC_POOL_THREADS)\n");
+    }
+    let g = std::sync::Arc::new(generators::gnm(128, 768, 5).with_random_weights(1 << 12, 5));
+    let (_, _, clean_rounds, _, _, clean) = service_drain_with(&g, false, None, ExecMode::Serial);
+    let smalls = Cluster::new(
+        ClusterConfig::new(g.n(), g.m())
+            .seed(5)
+            .polylog_exponent(service_polylog()),
+    )
+    .small_ids();
+    let crash = Fault::Crash {
+        machine: FaultPlan::seeded_single_crash(17, &smalls, clean_rounds)
+            .faults()
+            .iter()
+            .find_map(|f| match f {
+                Fault::Crash { machine, .. } => Some(*machine),
+                _ => None,
+            })
+            .expect("seeded_single_crash schedules a crash"),
+        round: clean_rounds / 2,
+    };
+    let legs: [(&str, FaultPlan, usize); 2] = [
+        ("recoverable", FaultPlan::new().with_fault(crash.clone()), 0),
+        (
+            "job-fatal",
+            FaultPlan::new()
+                .with_policy(RecoveryPolicy {
+                    replicas: 0,
+                    ..RecoveryPolicy::default()
+                })
+                .with_fault(crash.clone()),
+            1,
+        ),
+    ];
+
+    let mut t = Table::new(&[
+        "leg",
+        "crash",
+        "clean rounds",
+        "faulted rounds",
+        "tenants lost",
+        "survivors exact",
+    ]);
+    for (leg, plan, expect_lost) in legs {
+        let mut faulted_rounds = 0;
+        let mut lost: Vec<String> = Vec::new();
+        for mode in [ExecMode::Serial, ExecMode::Parallel] {
+            let (_, _, rounds, _, _, outcomes) =
+                service_drain_with(&g, false, Some(plan.clone()), mode);
+            lost = outcomes
+                .iter()
+                .enumerate()
+                .filter(|(_, (s, _))| *s != JobStatus::Completed)
+                .map(|(i, _)| SERVICE_JOBS[i].to_string())
+                .collect();
+            assert_eq!(
+                lost.len(),
+                expect_lost,
+                "{leg} under {mode:?}: wrong number of tenants lost"
+            );
+            for (i, (status, digest)) in outcomes.iter().enumerate() {
+                if *status == JobStatus::Completed {
+                    assert_eq!(
+                        (status, *digest),
+                        (&clean[i].0, clean[i].1),
+                        "{leg} under {mode:?}: surviving tenant {} diverged \
+                         from the fault-free drain",
+                        SERVICE_JOBS[i]
+                    );
+                }
+            }
+            assert!(
+                rounds > clean_rounds,
+                "{leg} under {mode:?}: recovery must add checkpoint/replay rounds"
+            );
+            faulted_rounds = rounds;
+        }
+        t.row(&[
+            leg.to_string(),
+            crash.detail(),
+            clean_rounds.to_string(),
+            faulted_rounds.to_string(),
+            if lost.is_empty() {
+                "none".to_string()
+            } else {
+                lost.join(", ")
+            },
+            "yes".to_string(),
+        ]);
+    }
+    t.print();
+    println!("\nservice chaos: one seeded crash per leg, serial + pool; recoverable crashes");
+    println!("replay in-wave, fatal ones quarantine one tenant and replay the survivors.");
 }

@@ -46,6 +46,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "registry",
     "budgets",
     "chaos",
+    "chaos-service",
 ];
 
 /// Runs one experiment by name, printing its tables to stdout.
@@ -87,6 +88,7 @@ pub fn run_experiment_opts(name: &str, quick: bool) {
         "registry" => experiments::registry_smoke(),
         "budgets" => experiments::budgets(),
         "chaos" => experiments::chaos(),
+        "chaos-service" => experiments::chaos_service(),
         other => panic!("unknown experiment '{other}'; see --list"),
     }
 }

@@ -436,7 +436,7 @@ pub fn approximate_min_cut_opts(
     // overflow its skeleton budget retires every finer guess — their
     // staged `Ship` commands are discarded before they leave the machine,
     // so retired guesses contribute zero traffic to later combined rounds.
-    let coordinator = muxed.remove(large).with_controller(Box::new(|_ctx, slots| {
+    let coordinator = muxed.remove(large).with_controller(Arc::new(|_ctx, slots| {
         if let Some(j) = slots
             .iter()
             .position(|s| matches!(s.program.0.outcome, Some(GuessOutcome::OverBudget)))

@@ -69,9 +69,12 @@ pub enum ExecError {
         message: String,
     },
     /// A crashed machine could not be brought back: no replica peer holds
-    /// its shard (the large machine, `replicas = 0`, a program without
+    /// its shard (`replicas = 0`, a lone small machine, a program without
     /// snapshot support), or the recovery protocol itself kept getting
-    /// disrupted past the retry budget.
+    /// disrupted past the retry budget. The large machine is *not* on this
+    /// list: its shard checkpoints to the durable host on the same cadence
+    /// as small-machine replicas, so a coordinator crash replays like any
+    /// other (DESIGN.md §2.9).
     Unrecoverable {
         /// The machine that stayed down.
         machine: MachineId,
@@ -221,6 +224,26 @@ impl<P: MachineProgram> WaveRound<'_, P> {
         self.dirty.set(true);
         let mut s = self.slots[mid].lock().unwrap();
         f(&mut s.program)
+    }
+
+    /// Mutable access to one machine's program *and* its pending inbox;
+    /// marks the round dirty. This is the quarantine primitive: cancelling
+    /// a job mid-wave must purge its in-flight mail along with its lane,
+    /// or the next step would deliver messages to a lane that no longer
+    /// exists (DESIGN.md §2.9).
+    pub fn with_mail<R>(
+        &self,
+        mid: MachineId,
+        f: impl FnOnce(&mut P, &mut Vec<(MachineId, P::Message)>) -> R,
+    ) -> R {
+        self.dirty.set(true);
+        let mut s = self.slots[mid].lock().unwrap();
+        let MachineSlot {
+            ref mut program,
+            ref mut inbox,
+            ..
+        } = *s;
+        f(program, inbox)
     }
 
     /// Clears a machine's halt vote so it steps this round (admission into
@@ -800,19 +823,23 @@ fn merge_by_src<M>(main: &mut Vec<(MachineId, M)>, extra: Vec<(MachineId, M)>) {
     }
 }
 
-/// The driver-side half of fault tolerance (DESIGN.md §2.7): replicated
-/// checkpoints of every small machine's shard, an inbox log for replay,
-/// and the recovery protocol that reknits a disrupted round. Created only
-/// when a [`FaultPlan`](mpc_runtime::FaultPlan) is attached — fault-free
-/// runs never construct one.
+/// The driver-side half of fault tolerance (DESIGN.md §2.7, §2.9):
+/// replicated checkpoints of every small machine's shard, a durable-host
+/// checkpoint of the large machine (coordinator failover), an inbox log
+/// for replay, and the recovery protocol that reknits a disrupted round.
+/// Created only when a [`FaultPlan`](mpc_runtime::FaultPlan) is attached —
+/// fault-free runs never construct one.
 struct RecoveryState<P: MachineProgram> {
     policy: RecoveryPolicy,
     small_ids: Vec<MachineId>,
     caps: Vec<usize>,
     large: Option<MachineId>,
     machines: usize,
-    /// Latest checkpoint per machine (`None` for the large machine and for
-    /// programs without snapshot support).
+    /// Latest checkpoint per machine (`None` for programs without snapshot
+    /// support). Small machines additionally ship replica chunks to ring
+    /// successors; the large machine's checkpoint stays on the durable
+    /// host, with its staging copy charged to the large machine's own
+    /// resident memory.
     checkpoints: Vec<Option<Checkpoint<P>>>,
     /// `inbox_log[m][i]`: machine `m`'s committed inbox for driver round
     /// `checkpoint.round + 1 + i` — the message durability that lets replay
@@ -851,11 +878,15 @@ impl<P: MachineProgram> RecoveryState<P> {
         }
     }
 
-    /// Snapshots every small machine at the top of `round` and ships each
-    /// shard to its ring-successor replica owners through one disarmed,
+    /// Snapshots every machine at the top of `round`. Small shards ship to
+    /// their ring-successor replica owners through one disarmed,
     /// capacity-checked exchange — replication is real traffic, charged
     /// like any algorithm round, and the resident copies are charged to
-    /// their owners' memory until the run ends.
+    /// their owners' memory until the run ends. The large machine's
+    /// O(n^{1+f})-word shard fits on no small peer; it checkpoints to the
+    /// durable host instead (the same fiction §2.7 grants the network),
+    /// with the staging copy charged against the large machine's own
+    /// capacity so the redundancy is still paid for in the model.
     fn checkpoint(
         &mut self,
         cluster: &mut Cluster,
@@ -890,6 +921,26 @@ impl<P: MachineProgram> RecoveryState<P> {
                 }
             }
         }
+        if let Some(large) = self.large {
+            let (snapshot, words) = {
+                let s = slots[large].lock().unwrap_or_else(|p| p.into_inner());
+                let words = s.program.state_words();
+                let ck = s.program.snapshot().map(|program| Checkpoint {
+                    program,
+                    rng: s.rng.clone(),
+                    halted: s.halted,
+                    inbox: s.inbox.clone(),
+                    round,
+                });
+                (ck, words)
+            };
+            let have = snapshot.is_some();
+            self.checkpoints[large] = snapshot;
+            self.inbox_log[large].clear();
+            if have {
+                owned[large] += words;
+            }
+        }
         cluster
             .exchange_into(
                 RoundLabel::with_seq(&self.ckpt_prefix, self.ckpt_seq),
@@ -905,10 +956,11 @@ impl<P: MachineProgram> RecoveryState<P> {
     }
 
     /// Records the committed inboxes of round `checkpoint.round + 1 + len`
-    /// for every small machine.
+    /// for every machine, large included — coordinator replay re-feeds the
+    /// same durable mail as any small machine's.
     fn log_inboxes(&mut self, inboxes: &[Vec<(MachineId, P::Message)>]) {
-        for &m in &self.small_ids {
-            self.inbox_log[m].push(inboxes[m].clone());
+        for (log, inbox) in self.inbox_log.iter_mut().zip(inboxes) {
+            log.push(inbox.clone());
         }
     }
 
@@ -918,7 +970,10 @@ impl<P: MachineProgram> RecoveryState<P> {
     /// replay performed (charged to the recovery exchange's makespan).
     fn replay(&self, m: MachineId, upto: u64) -> Result<(Replayed<P>, u64), ExecError> {
         let n = self.small_ids.len();
-        if self.policy.replicas.min(n.saturating_sub(1)) == 0 {
+        // The peer-replica requirement applies to small machines only: the
+        // large machine replays from its durable-host checkpoint and never
+        // needed a peer in the first place.
+        if Some(m) != self.large && self.policy.replicas.min(n.saturating_sub(1)) == 0 {
             return Err(ExecError::Unrecoverable {
                 machine: m,
                 round: upto,
@@ -1035,16 +1090,10 @@ impl<P: MachineProgram> RecoveryState<P> {
             })
             .collect();
 
-        // The large machine holds the lone O(n^{1+f})-word shard; no small
-        // peer can hold its replica, so its crash is terminal by design.
+        // Every crash victim — the large machine included, since its shard
+        // checkpoints to the durable host — is quarantined and then
+        // replayed below.
         for &m in &crashes {
-            if Some(m) == self.large {
-                return Err(ExecError::Unrecoverable {
-                    machine: m,
-                    round,
-                    reason: "the large machine has no replica peer".to_string(),
-                });
-            }
             if let Some(sink) = &sink {
                 sink.record(&TraceEvent::MachineQuarantined {
                     round: cluster.rounds(),
@@ -1128,13 +1177,6 @@ impl<P: MachineProgram> RecoveryState<P> {
                 match ff.fault {
                     Fault::Crash { machine: n, .. } => {
                         disrupted = true;
-                        if Some(n) == self.large {
-                            return Err(ExecError::Unrecoverable {
-                                machine: n,
-                                round,
-                                reason: "the large machine has no replica peer".to_string(),
-                            });
-                        }
                         if let Some(sink) = &sink {
                             sink.record(&TraceEvent::MachineQuarantined {
                                 round: cluster.rounds(),

@@ -65,6 +65,6 @@ pub use programs::{
     BoruvkaProgram, ColoringProgram, ConnectivityProgram, MatchingProgram, MinCutApproxProgram,
     MinCutProgram, MisProgram, MstApproxProgram, MstProgram, SpannerProgram,
 };
-pub use registry::{AlgoInput, AlgoOutput, Algorithm, JobParams, JobSpec};
+pub use registry::{AlgoInput, AlgoOutput, Algorithm, JobParams, JobRetryPolicy, JobSpec};
 pub use report::{CriticalPath, MachineLoad, RecoveryBreakdown, RunReport};
 pub use service::{JobHandle, JobRecord, JobStatus, Service, ServiceRun};

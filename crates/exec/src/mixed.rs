@@ -266,6 +266,21 @@ impl MixedWave {
         Some(self.lanes.remove(at).program)
     }
 
+    /// Quarantines `job` on this machine: drops its lane — program, RNG
+    /// stream, and any demuxed mail — without extraction. Returns whether
+    /// a lane existed. The caller must also purge job-tagged messages
+    /// from the machine's pending inbox
+    /// ([`WaveRound::with_mail`](crate::WaveRound::with_mail)), or the
+    /// next [`step`](MachineProgram::step) would panic on mail addressed
+    /// to a lane that no longer exists.
+    pub fn quarantine(&mut self, job: u64) -> bool {
+        let at = self.lanes.iter().position(|l| l.job == job);
+        if let Some(at) = at {
+            self.lanes.remove(at);
+        }
+        at.is_some()
+    }
+
     /// Number of lanes currently installed.
     pub fn lanes(&self) -> usize {
         self.lanes.len()

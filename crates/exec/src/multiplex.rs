@@ -47,6 +47,7 @@
 use crate::machine::{MachineCtx, MachineProgram, StepOutcome};
 use mpc_runtime::telemetry::TraceEvent;
 use mpc_runtime::{Cluster, MachineId, Payload};
+use std::sync::Arc;
 
 /// An instance-tagged message: `(instance id, inner message)`.
 ///
@@ -97,7 +98,10 @@ impl<P: MachineProgram> MuxSlot<P> {
 /// Cross-instance coordination, run on a machine after all of its live
 /// instances stepped in a round — the hook that implements early exit
 /// across instances (typically installed on the large machine only).
-pub type MuxController<P> = Box<dyn FnMut(&MachineCtx<'_>, &mut [MuxSlot<P>]) + Send>;
+/// Shared and stateless (`Arc<dyn Fn>`) so a checkpoint snapshot can carry
+/// the controller along: coordinator failover (DESIGN.md §2.9) must be
+/// able to restore the large machine, controller included.
+pub type MuxController<P> = Arc<dyn Fn(&MachineCtx<'_>, &mut [MuxSlot<P>]) + Send + Sync>;
 
 /// RAII wrapper for [`Cluster::set_capacity_factor`]: scales the cluster's
 /// capacities for a combined (multiplexed) run and restores the solo
@@ -270,7 +274,7 @@ impl<P: MachineProgram> MachineProgram for Multiplexed<P> {
             }
         }
 
-        if let Some(mut controller) = self.controller.take() {
+        if let Some(controller) = self.controller.clone() {
             // Snapshot retired flags (allocating only when a sink listens)
             // so controller-driven retirements become discrete events.
             let before: Vec<bool> = if ctx.tracing() {
@@ -290,7 +294,6 @@ impl<P: MachineProgram> MachineProgram for Multiplexed<P> {
                     }
                 }
             }
-            self.controller = Some(controller);
         }
         ctx.trace(|| TraceEvent::MuxRound {
             round: ctx.round,
@@ -315,15 +318,10 @@ impl<P: MachineProgram> MachineProgram for Multiplexed<P> {
     }
 
     /// A multiplexed machine checkpoints iff every instance's sub-program
-    /// does *and* no controller is installed. Controllers are opaque
-    /// `FnMut` closures (not cloneable) and by convention live only on the
-    /// large machine — which has no replica peer and is outside the
-    /// recovery protocol anyway — so small-machine batched shards remain
-    /// recoverable.
+    /// does. Controllers are shared, stateless closures, so the snapshot
+    /// carries the same controller — a restored coordinator keeps making
+    /// the same cross-instance decisions during replay.
     fn snapshot(&self) -> Option<Self> {
-        if self.controller.is_some() {
-            return None;
-        }
         let mut slots = Vec::with_capacity(self.slots.len());
         for slot in &self.slots {
             slots.push(MuxSlot {
@@ -336,7 +334,7 @@ impl<P: MachineProgram> MachineProgram for Multiplexed<P> {
         Some(Multiplexed {
             slots,
             solo_capacity: self.solo_capacity,
-            controller: None,
+            controller: self.controller.clone(),
             inboxes: self.inboxes.clone(),
         })
     }
@@ -471,11 +469,13 @@ mod tests {
             .collect();
         let mut muxed = Multiplexed::build(&cluster, per_instance);
         let coordinator = muxed.remove(0);
-        let coordinator = coordinator.with_controller(Box::new(|ctx, slots| {
-            if ctx.round == 1 {
-                slots[1].retire();
-            }
-        }));
+        let coordinator = coordinator.with_controller(Arc::new(
+            |ctx: &MachineCtx<'_>, slots: &mut [MuxSlot<PingPong>]| {
+                if ctx.round == 1 {
+                    slots[1].retire();
+                }
+            },
+        ));
         muxed.insert(0, coordinator);
         let out = {
             let mut scaled = CapacityFactor::scale(&mut cluster, 2);

@@ -177,6 +177,34 @@ impl<'a> AlgoInput<'a> {
     }
 }
 
+/// How often the [service](crate::service) re-admits a job after an
+/// engine-level failure took its wave down (DESIGN.md §2.9).
+///
+/// A quarantined job consumes one *attempt* per admission. After failure
+/// `k` (1-based) the resubmitted job may not be re-admitted before
+/// `failure_round + k * backoff_rounds` — linear backoff in engine
+/// rounds, the service's only clock. `max_attempts: 0` is the kill
+/// switch: the job fails fast at the front of the queue without ever
+/// touching the wave (zero wire impact, so the surviving tenants' round
+/// log is bit-identical to a queue that never contained it).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JobRetryPolicy {
+    /// Total admissions the job may consume (default 1: quarantine is
+    /// terminal, no resubmission; 0: never admit, fail fast).
+    pub max_attempts: u32,
+    /// Linear backoff step in engine rounds between re-admissions.
+    pub backoff_rounds: u64,
+}
+
+impl Default for JobRetryPolicy {
+    fn default() -> Self {
+        JobRetryPolicy {
+            max_attempts: 1,
+            backoff_rounds: 1,
+        }
+    }
+}
+
 /// One job for the [service](crate::service): a registry name, the input
 /// graph, tuning [`JobParams`], a private seed, and the combined-round
 /// capacity shares the job holds while running.
@@ -200,6 +228,14 @@ pub struct JobSpec {
     /// Combined-round capacity shares (0 = derive from the program shape:
     /// 1 for single-instance jobs, the instance count for batched ones).
     pub shares: usize,
+    /// Retry budget for engine-level failures attributed to this job.
+    pub retry: JobRetryPolicy,
+    /// Round budget measured from admission: a job still running
+    /// `round_deadline` rounds after it was admitted is cancelled through
+    /// the quarantine path and completes as
+    /// [`JobStatus::DeadlineExceeded`](crate::JobStatus::DeadlineExceeded).
+    /// `None` (the default) never expires.
+    pub round_deadline: Option<u64>,
 }
 
 impl JobSpec {
@@ -212,6 +248,8 @@ impl JobSpec {
             params: JobParams::default(),
             seed: 0,
             shares: 0,
+            retry: JobRetryPolicy::default(),
+            round_deadline: None,
         }
     }
 
@@ -224,6 +262,19 @@ impl JobSpec {
     /// Overrides the capacity-share count.
     pub fn shares(mut self, shares: usize) -> Self {
         self.shares = shares;
+        self
+    }
+
+    /// Overrides the retry budget for engine-level failures.
+    pub fn retry(mut self, retry: JobRetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets the round budget measured from admission (see
+    /// [`JobSpec::round_deadline`]).
+    pub fn round_deadline(mut self, rounds: u64) -> Self {
+        self.round_deadline = Some(rounds);
         self
     }
 

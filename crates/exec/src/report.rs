@@ -75,6 +75,15 @@ pub struct RecoveryBreakdown {
     pub recovery_makespan: f64,
     /// Simulated seconds spent shipping replica checkpoints.
     pub checkpoint_makespan: f64,
+    /// `JobQuarantined` events — service jobs pulled mid-wave (engine
+    /// errors attributed to them, or missed deadlines).
+    pub jobs_quarantined: u64,
+    /// `JobRetried` events — quarantined jobs resubmitted under their
+    /// retry policy.
+    pub jobs_retried: u64,
+    /// `JobFailed` events — jobs that exhausted their policy (or were
+    /// admitted with a zero budget) and completed as failed.
+    pub jobs_failed: u64,
 }
 
 impl RecoveryBreakdown {
@@ -198,6 +207,9 @@ impl RunReport {
                 TraceEvent::Violation { .. } => violations += 1,
                 TraceEvent::FaultInjected { .. } => recovery.faults_injected += 1,
                 TraceEvent::MachineQuarantined { .. } => recovery.machines_quarantined += 1,
+                TraceEvent::JobQuarantined { .. } => recovery.jobs_quarantined += 1,
+                TraceEvent::JobRetried { .. } => recovery.jobs_retried += 1,
+                TraceEvent::JobFailed { .. } => recovery.jobs_failed += 1,
                 TraceEvent::RecoveryRound { replayed, .. } => {
                     recovery.recovery_rounds += 1;
                     recovery.replay_rounds += replayed;
@@ -328,6 +340,13 @@ impl RunReport {
                 r.overhead_ratio(self.critical_path.total_seconds) * 100.0,
                 self.critical_path.total_seconds
             );
+            if r.jobs_quarantined + r.jobs_retried + r.jobs_failed > 0 {
+                let _ = writeln!(
+                    out,
+                    "  service: {} jobs quarantined, {} retried, {} failed",
+                    r.jobs_quarantined, r.jobs_retried, r.jobs_failed
+                );
+            }
         }
         if let Some(pool) = &self.pool {
             let _ = writeln!(

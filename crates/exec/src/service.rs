@@ -47,7 +47,13 @@ use std::sync::{Arc, Mutex};
 // ---------------------------------------------------------------------------
 
 /// Where a submitted job is in its lifecycle.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// Failure is a *per-job* event (DESIGN.md §2.9): an engine-level error
+/// attributed to one tenant quarantines that job, possibly retries it
+/// under its [`JobRetryPolicy`](crate::JobRetryPolicy), and at worst
+/// completes it as [`Failed`](JobStatus::Failed) — the run itself, and
+/// every other tenant, continues.
+#[derive(Clone, Debug, PartialEq)]
 pub enum JobStatus {
     /// Waiting in the FIFO queue for capacity shares.
     Queued,
@@ -55,8 +61,16 @@ pub enum JobStatus {
     Running,
     /// Finished; the result is waiting in the handle.
     Completed,
-    /// Finished with an algorithm-level error (the run itself continued).
-    Failed,
+    /// Finished with an error — an algorithm-level failure, or an
+    /// engine-level failure attributed to this job after its retry policy
+    /// was exhausted. The run itself continued.
+    Failed {
+        /// The typed underlying error.
+        error: ExecError,
+    },
+    /// Cancelled because it ran [`round_deadline`](crate::JobSpec::round_deadline)
+    /// rounds past admission. Terminal: deadlines are not retried.
+    DeadlineExceeded,
 }
 
 /// Shared job state behind a [`JobHandle`].
@@ -87,7 +101,7 @@ impl JobHandle {
 
     /// Current lifecycle state.
     pub fn status(&self) -> JobStatus {
-        self.state.lock().unwrap().status
+        self.state.lock().unwrap().status.clone()
     }
 
     /// Takes the job's result out of the handle (`None` if the job has not
@@ -113,8 +127,12 @@ pub struct JobRecord {
     pub completed_round: u64,
     /// `completed_round - admitted_round`.
     pub rounds: u64,
-    /// Whether the job finished with an algorithm-level error.
+    /// Whether the job finished with an error (algorithm-level, retry
+    /// exhaustion, or a missed deadline).
     pub failed: bool,
+    /// Admissions the job consumed (1 for a job that never needed a
+    /// retry; 0 for a job failed fast by a zero-attempt policy).
+    pub attempts: u32,
 }
 
 /// What one [`Service::run`] drained: total engine rounds plus one record
@@ -135,6 +153,11 @@ struct QueuedJob {
     id: u64,
     spec: JobSpec,
     state: Arc<Mutex<JobState>>,
+    /// The attempt the next admission will consume (1-based).
+    attempt: u32,
+    /// Earliest service round the job may be admitted (linear backoff
+    /// after a quarantine; 0 for first-time submissions).
+    earliest: u64,
 }
 
 /// Consumes the finished per-machine lanes (index = machine id) and turns
@@ -143,11 +166,15 @@ type Extractor = Box<dyn FnOnce(Vec<Box<dyn ErasedProgram>>) -> Result<AlgoOutpu
 
 struct RunningJob {
     id: u64,
-    name: String,
     shares: usize,
     admitted_round: u64,
     state: Arc<Mutex<JobState>>,
     extract: Extractor,
+    /// The full spec, kept so a quarantined job can be resubmitted (its
+    /// lanes are rebuilt from scratch on re-admission).
+    spec: JobSpec,
+    /// The admission attempt this incarnation consumed (1-based).
+    attempt: u32,
 }
 
 /// What building a job's per-machine programs produced.
@@ -447,15 +474,15 @@ fn finish_job(
     admitted_round: u64,
     state: &Arc<Mutex<JobState>>,
     round: u64,
+    attempts: u32,
     result: Result<AlgoOutput, ExecError>,
 ) {
     let failed = result.is_err();
     {
         let mut s = state.lock().unwrap();
-        s.status = if failed {
-            JobStatus::Failed
-        } else {
-            JobStatus::Completed
+        s.status = match &result {
+            Ok(_) => JobStatus::Completed,
+            Err(e) => JobStatus::Failed { error: e.clone() },
         };
         s.result = Some(result);
     }
@@ -468,6 +495,7 @@ fn finish_job(
         completed_round: round,
         rounds,
         failed,
+        attempts,
     });
     if let Some(sink) = cluster.trace_sink() {
         sink.record(&TraceEvent::JobCompleted {
@@ -477,6 +505,48 @@ fn finish_job(
             failed,
         });
     }
+}
+
+/// Marks a job terminally failed *without* result extraction — the
+/// quarantine path's exit (retry exhaustion, a zero-attempt policy, or a
+/// missed deadline). Emits [`TraceEvent::JobFailed`] instead of
+/// `JobCompleted`: the job's lanes never retired, they were pulled.
+#[allow(clippy::too_many_arguments)]
+fn fail_job(
+    cluster: &Cluster,
+    records: &mut Vec<JobRecord>,
+    id: u64,
+    name: String,
+    shares: usize,
+    admitted_round: u64,
+    state: &Arc<Mutex<JobState>>,
+    round: u64,
+    attempts: u32,
+    status: JobStatus,
+    error: ExecError,
+) {
+    if let Some(sink) = cluster.trace_sink() {
+        sink.record(&TraceEvent::JobFailed {
+            round,
+            job: id,
+            error: error.to_string(),
+        });
+    }
+    {
+        let mut s = state.lock().unwrap();
+        s.status = status;
+        s.result = Some(Err(error));
+    }
+    records.push(JobRecord {
+        job: id,
+        name,
+        shares,
+        admitted_round,
+        completed_round: round,
+        rounds: round - admitted_round,
+        failed: true,
+        attempts,
+    });
 }
 
 // ---------------------------------------------------------------------------
@@ -575,7 +645,13 @@ impl Service {
             name: spec.name.clone(),
             state: Arc::clone(&state),
         };
-        self.queue.push_back(QueuedJob { id, spec, state });
+        self.queue.push_back(QueuedJob {
+            id,
+            spec,
+            state,
+            attempt: 1,
+            earliest: 0,
+        });
         Ok(handle)
     }
 
@@ -584,12 +660,35 @@ impl Service {
     ///
     /// # Errors
     ///
-    /// Engine-level failures (capacity violations in strict mode, the
-    /// round limit, unrecoverable crashes) abort the whole run; per-job
-    /// algorithm errors only fail that job. See [`run_on`](Service::run_on).
+    /// Engine-level failures attributable to one tenant (capacity
+    /// violations, unrecoverable crashes) quarantine that job and the run
+    /// continues; per-job algorithm errors only fail that job. Run-global
+    /// pathologies (the round limit, hook errors) abort the whole run.
+    /// See [`run_on`](Service::run_on).
     pub fn run(&mut self, mode: ExecMode) -> Result<ServiceRun, ExecError> {
         let mut cluster = Cluster::new(self.config.clone());
         self.run_on(&mut cluster, mode)
+    }
+
+    /// Whether an engine-level error is attributable to one tenant and
+    /// survivable by the rest (DESIGN.md §2.9): capacity violations and
+    /// unrecoverable crashes are; the round limit and hook-level errors
+    /// are run-global pathologies that still abort everything.
+    fn quarantinable(e: &ExecError) -> bool {
+        matches!(e, ExecError::Model(_) | ExecError::Unrecoverable { .. })
+    }
+
+    /// The driver round an engine error surfaced on, if it carries one.
+    fn error_round(e: &ExecError) -> Option<u64> {
+        match e {
+            ExecError::Unrecoverable { round, .. } => Some(*round),
+            ExecError::Model(
+                mpc_runtime::ModelViolation::SendOverflow { round, .. }
+                | mpc_runtime::ModelViolation::RecvOverflow { round, .. }
+                | mpc_runtime::ModelViolation::MemoryOverflow { round, .. },
+            ) => Some(*round),
+            _ => None,
+        }
     }
 
     /// [`run`](Service::run) against a caller-owned cluster — the entry
@@ -597,11 +696,27 @@ impl Service {
     /// round log afterwards. The cluster's capacity factor must be 1 on
     /// entry; it is 1 again on return (success or failure).
     ///
+    /// # Failure isolation (DESIGN.md §2.9)
+    ///
+    /// A [quarantinable](Self::quarantinable) engine error does not abort
+    /// the run. The service attributes it to the *marginal tenant* — the
+    /// most recently admitted running job (ties broken toward the higher
+    /// id) — quarantines that job, refunds its capacity shares, restarts
+    /// the wave, and requeues the survivors at the front of the queue in
+    /// their original order. The quarantined job is resubmitted with
+    /// linear backoff while its [`JobRetryPolicy`](crate::JobRetryPolicy)
+    /// has attempts left, and otherwise completes as
+    /// [`JobStatus::Failed`] with the typed error. Survivors' results are
+    /// bit-identical to a run that never contained the culprit: every
+    /// lane draws only from its job's private RNG streams, so a rebuilt
+    /// lane replays exactly.
+    ///
     /// # Errors
     ///
-    /// See [`run`](Service::run). On an engine-level error, jobs already
-    /// admitted are marked [`JobStatus::Failed`] (their lanes died with
-    /// the run); jobs still queued return to the service queue untouched.
+    /// Non-quarantinable engine failures (the round limit, hook errors)
+    /// abort the whole run: jobs already admitted are marked
+    /// [`JobStatus::Failed`] (their lanes died with the run); jobs still
+    /// queued return to the service queue untouched.
     pub fn run_on(
         &mut self,
         cluster: &mut Cluster,
@@ -613,7 +728,6 @@ impl Service {
             "the service manages the capacity factor; start a run at 1"
         );
         let machines = cluster.machines();
-        let waves = MixedWave::for_cluster(cluster);
         let limit = if self.capacity_shares == 0 {
             usize::MAX
         } else {
@@ -631,78 +745,131 @@ impl Service {
             exec = exec.max_rounds(self.max_rounds);
         }
 
-        let result = {
-            let running = &mut running;
-            let records = &mut records;
-            let queue = &mut queue;
-            let mut hook = |cluster: &mut Cluster,
-                            view: &WaveRound<'_, MixedWave>|
-             -> Result<bool, ExecError> {
-                let round = view.round();
+        // Service rounds stay monotone across wave restarts: `base` is
+        // added to every driver round for records, events, deadlines, and
+        // backoff gates.
+        let mut base: u64 = 0;
+        let outcome = loop {
+            let waves = MixedWave::for_cluster(cluster);
+            let last_hook = std::cell::Cell::new(0u64);
+            let result = {
+                let running = &mut running;
+                let records = &mut records;
+                let queue = &mut queue;
+                let last_hook = &last_hook;
+                let mut hook = |cluster: &mut Cluster,
+                                view: &WaveRound<'_, MixedWave>|
+                 -> Result<bool, ExecError> {
+                    // The service-round clock (monotone across restarts).
+                    let round = base + view.round();
+                    last_hook.set(view.round());
 
-                // 1. Retirement: a job is done when every one of its lanes
-                // has voted to halt and no mail tagged with it is pending.
-                // The peek-only scan leaves the round clean; removal marks
-                // it dirty, forcing a checkpoint under fault plans.
-                let mut i = 0;
-                while i < running.len() {
-                    let job = running[i].id;
-                    let done = (0..machines).all(|mid| {
-                        view.peek(mid, |wave, inbox| {
-                            wave.lane_idle(job) && !inbox.iter().any(|(_, m)| m.job == job)
-                        })
-                    });
-                    if !done {
-                        i += 1;
-                        continue;
-                    }
-                    let rj = running.remove(i);
-                    let boxes: Vec<_> = (0..machines)
-                        .map(|mid| {
-                            view.with(mid, |wave| {
-                                wave.remove(job)
-                                    .expect("a running job has a lane on every machine")
+                    // 1. Retirement: a job is done when every one of its
+                    // lanes has voted to halt and no mail tagged with it
+                    // is pending. The peek-only scan leaves the round
+                    // clean; removal marks it dirty, forcing a checkpoint
+                    // under fault plans.
+                    let mut i = 0;
+                    while i < running.len() {
+                        let job = running[i].id;
+                        let done = (0..machines).all(|mid| {
+                            view.peek(mid, |wave, inbox| {
+                                wave.lane_idle(job) && !inbox.iter().any(|(_, m)| m.job == job)
                             })
-                        })
-                        .collect();
-                    let outcome = (rj.extract)(boxes);
-                    finish_job(
-                        cluster,
-                        records,
-                        rj.id,
-                        rj.name,
-                        rj.shares,
-                        rj.admitted_round,
-                        &rj.state,
-                        round,
-                        outcome,
-                    );
-                }
-
-                // 2. Admission: strict FIFO while shares fit, with lanes
-                // built at solo (factor-1) capacity — exactly the
-                // snapshots a solo run's constructors would take.
-                if !queue.is_empty() {
-                    cluster.set_capacity_factor(1);
-                }
-                while let Some(front) = queue.front() {
-                    let shares = derived_shares(&front.spec);
-                    let held: usize = running.iter().map(|r| r.shares).sum();
-                    if held + shares > limit && !(running.is_empty() && shares > limit) {
-                        break;
-                    }
-                    let qj = queue.pop_front().expect("front was just inspected");
-                    if let Some(sink) = cluster.trace_sink() {
-                        sink.record(&TraceEvent::JobAdmitted {
-                            round,
-                            job: qj.id,
-                            name: qj.spec.name.clone(),
-                            shares,
                         });
+                        if !done {
+                            i += 1;
+                            continue;
+                        }
+                        let rj = running.remove(i);
+                        let boxes: Vec<_> = (0..machines)
+                            .map(|mid| {
+                                view.with(mid, |wave| {
+                                    wave.remove(job)
+                                        .expect("a running job has a lane on every machine")
+                                })
+                            })
+                            .collect();
+                        let outcome = (rj.extract)(boxes);
+                        finish_job(
+                            cluster,
+                            records,
+                            rj.id,
+                            rj.spec.name.clone(),
+                            rj.shares,
+                            rj.admitted_round,
+                            &rj.state,
+                            round,
+                            rj.attempt,
+                            outcome,
+                        );
                     }
-                    match build_job(&qj.spec, cluster) {
-                        Built::Immediate(outcome) => {
-                            finish_job(
+
+                    // 2. Deadlines: a job still running `round_deadline`
+                    // rounds past admission is cancelled through the
+                    // quarantine path — lanes pulled, in-flight mail
+                    // purged, shares refunded so the queue behind it can
+                    // admit this same round. Terminal: no retry.
+                    let mut i = 0;
+                    while i < running.len() {
+                        let over = running[i]
+                            .spec
+                            .round_deadline
+                            .is_some_and(|d| round - running[i].admitted_round >= d);
+                        if !over {
+                            i += 1;
+                            continue;
+                        }
+                        let rj = running.remove(i);
+                        let deadline = rj.spec.round_deadline.expect("checked above");
+                        for mid in 0..machines {
+                            view.with_mail(mid, |wave, inbox| {
+                                wave.quarantine(rj.id);
+                                inbox.retain(|(_, m)| m.job != rj.id);
+                            });
+                        }
+                        if let Some(sink) = cluster.trace_sink() {
+                            sink.record(&TraceEvent::JobQuarantined {
+                                round,
+                                job: rj.id,
+                                reason: "deadline".into(),
+                            });
+                        }
+                        fail_job(
+                            cluster,
+                            records,
+                            rj.id,
+                            rj.spec.name.clone(),
+                            rj.shares,
+                            rj.admitted_round,
+                            &rj.state,
+                            round,
+                            rj.attempt,
+                            JobStatus::DeadlineExceeded,
+                            ExecError::RoundLimit { limit: deadline },
+                        );
+                    }
+
+                    // 3. Admission: strict FIFO while shares fit, with
+                    // lanes built at solo (factor-1) capacity — exactly
+                    // the snapshots a solo run's constructors would take.
+                    // A re-queued job under backoff gates the queue (FIFO
+                    // order is part of the determinism contract).
+                    if !queue.is_empty() {
+                        cluster.set_capacity_factor(1);
+                    }
+                    while let Some(front) = queue.front() {
+                        if round < front.earliest {
+                            break;
+                        }
+                        // A zero-attempt policy fails fast without ever
+                        // touching the wave: zero wire impact, so the
+                        // surviving tenants' round log is bit-identical
+                        // to a queue that never contained this job.
+                        if front.spec.retry.max_attempts == 0 {
+                            let qj = queue.pop_front().expect("front was just inspected");
+                            let shares = derived_shares(&qj.spec);
+                            fail_job(
                                 cluster,
                                 records,
                                 qj.id,
@@ -711,54 +878,185 @@ impl Service {
                                 round,
                                 &qj.state,
                                 round,
-                                outcome,
+                                0,
+                                JobStatus::Failed {
+                                    error: ExecError::Algorithm {
+                                        message: "retry policy allows zero admission attempts"
+                                            .into(),
+                                    },
+                                },
+                                ExecError::Algorithm {
+                                    message: "retry policy allows zero admission attempts".into(),
+                                },
                             );
+                            continue;
                         }
-                        Built::Wave { programs, extract } => {
-                            qj.state.lock().unwrap().status = JobStatus::Running;
-                            for (mid, program) in programs.into_iter().enumerate() {
-                                view.with(mid, |wave| {
-                                    wave.admit(
-                                        qj.id,
-                                        program,
-                                        machine_rng(qj.spec.seed, mid),
-                                        round,
-                                    );
-                                });
-                                view.wake(mid);
-                            }
-                            running.push(RunningJob {
-                                id: qj.id,
+                        let shares = derived_shares(&front.spec);
+                        let held: usize = running.iter().map(|r| r.shares).sum();
+                        if held + shares > limit && !(running.is_empty() && shares > limit) {
+                            break;
+                        }
+                        let qj = queue.pop_front().expect("front was just inspected");
+                        if let Some(sink) = cluster.trace_sink() {
+                            sink.record(&TraceEvent::JobAdmitted {
+                                round,
+                                job: qj.id,
                                 name: qj.spec.name.clone(),
                                 shares,
-                                admitted_round: round,
-                                state: qj.state,
-                                extract,
                             });
                         }
+                        match build_job(&qj.spec, cluster) {
+                            Built::Immediate(outcome) => {
+                                finish_job(
+                                    cluster,
+                                    records,
+                                    qj.id,
+                                    qj.spec.name.clone(),
+                                    shares,
+                                    round,
+                                    &qj.state,
+                                    round,
+                                    qj.attempt,
+                                    outcome,
+                                );
+                            }
+                            Built::Wave { programs, extract } => {
+                                qj.state.lock().unwrap().status = JobStatus::Running;
+                                for (mid, program) in programs.into_iter().enumerate() {
+                                    view.with(mid, |wave| {
+                                        wave.admit(
+                                            qj.id,
+                                            program,
+                                            machine_rng(qj.spec.seed, mid),
+                                            view.round(),
+                                        );
+                                    });
+                                    view.wake(mid);
+                                }
+                                running.push(RunningJob {
+                                    id: qj.id,
+                                    shares,
+                                    admitted_round: round,
+                                    state: qj.state,
+                                    extract,
+                                    spec: qj.spec,
+                                    attempt: qj.attempt,
+                                });
+                            }
+                        }
                     }
-                }
 
-                // 3. The live capacity factor tracks the running total, so
-                // strict enforcement scales with the tenants on the wire.
-                let held: usize = running.iter().map(|r| r.shares).sum();
-                cluster.set_capacity_factor(held.max(1));
-                Ok(!queue.is_empty())
+                    // 4. The live capacity factor tracks the running
+                    // total, so strict enforcement scales with the
+                    // tenants on the wire.
+                    let held: usize = running.iter().map(|r| r.shares).sum();
+                    cluster.set_capacity_factor(held.max(1));
+                    Ok(!queue.is_empty())
+                };
+                exec.run_hooked(cluster, waves, &mut hook)
             };
-            exec.run_hooked(cluster, waves, &mut hook)
-        };
-        cluster.set_capacity_factor(1);
+            cluster.set_capacity_factor(1);
 
-        let outcome = match result {
-            Ok(outcome) => outcome,
-            Err(e) => {
-                // Admitted lanes died with the run; queued jobs survive.
+            let e = match result {
+                Ok(outcome) => break outcome,
+                Err(e) => e,
+            };
+            if !Self::quarantinable(&e) || running.is_empty() {
+                // Not attributable to one tenant: admitted lanes died
+                // with the run; queued jobs survive in the service queue.
                 for rj in running.drain(..) {
-                    rj.state.lock().unwrap().status = JobStatus::Failed;
+                    rj.state.lock().unwrap().status = JobStatus::Failed { error: e.clone() };
                 }
                 self.queue = queue;
                 return Err(e);
             }
+
+            // Blast-radius isolation: attribute the failure to the
+            // marginal tenant — the most recently admitted job (it pushed
+            // the wave over) — quarantine it, and restart the wave with
+            // the survivors requeued at the front in their original
+            // admission order.
+            let round = base + Self::error_round(&e).unwrap_or_else(|| last_hook.get());
+            let at = running
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, r)| (r.admitted_round, r.id))
+                .map(|(i, _)| i)
+                .expect("running is non-empty");
+            let culprit = running.remove(at);
+            if let Some(sink) = cluster.trace_sink() {
+                sink.record(&TraceEvent::JobQuarantined {
+                    round,
+                    job: culprit.id,
+                    reason: e.to_string(),
+                });
+            }
+
+            let mut survivors: Vec<RunningJob> = std::mem::take(&mut running);
+            survivors.sort_by_key(|r| (r.admitted_round, r.id));
+            let survivor_count = survivors.len();
+            for rj in survivors.into_iter().rev() {
+                rj.state.lock().unwrap().status = JobStatus::Queued;
+                queue.push_front(QueuedJob {
+                    id: rj.id,
+                    spec: rj.spec,
+                    state: rj.state,
+                    attempt: rj.attempt,
+                    earliest: 0,
+                });
+            }
+
+            if culprit.attempt < culprit.spec.retry.max_attempts {
+                // Linear backoff: failure k (1-based) delays re-admission
+                // by k * backoff_rounds service rounds.
+                let attempt = culprit.attempt + 1;
+                let earliest =
+                    round + u64::from(culprit.attempt) * culprit.spec.retry.backoff_rounds;
+                if let Some(sink) = cluster.trace_sink() {
+                    sink.record(&TraceEvent::JobRetried {
+                        round,
+                        job: culprit.id,
+                        attempt: u64::from(attempt),
+                    });
+                }
+                culprit.state.lock().unwrap().status = JobStatus::Queued;
+                // Directly behind the requeued survivors, ahead of
+                // never-admitted jobs: the formerly-running cohort drains
+                // before the queue's tail, in its original order.
+                queue.insert(
+                    survivor_count,
+                    QueuedJob {
+                        id: culprit.id,
+                        spec: culprit.spec,
+                        state: culprit.state,
+                        attempt,
+                        earliest,
+                    },
+                );
+            } else {
+                fail_job(
+                    cluster,
+                    &mut records,
+                    culprit.id,
+                    culprit.spec.name.clone(),
+                    culprit.shares,
+                    culprit.admitted_round,
+                    &culprit.state,
+                    round,
+                    culprit.attempt,
+                    JobStatus::Failed { error: e.clone() },
+                    e.clone(),
+                );
+            }
+
+            // The crashed wave may have left machines quarantined in the
+            // cost model with no recovery to lift it; the restarted wave
+            // starts from a full roster. (No-op for healthy machines and
+            // fault-free models.)
+            for mid in 0..machines {
+                cluster.restore_machine(mid);
+            }
+            base = round + 1;
         };
 
         // Jobs that halted in the final round never saw another hook call;
@@ -777,18 +1075,19 @@ impl Service {
                 cluster,
                 &mut records,
                 rj.id,
-                rj.name,
+                rj.spec.name.clone(),
                 rj.shares,
                 rj.admitted_round,
                 &rj.state,
-                outcome.rounds,
+                base + outcome.rounds,
+                rj.attempt,
                 job_outcome,
             );
         }
 
         records.sort_by_key(|r| r.job);
         Ok(ServiceRun {
-            rounds: outcome.rounds,
+            rounds: base + outcome.rounds,
             records,
         })
     }

@@ -6,7 +6,9 @@
 //! positions — is identical between serial and pooled execution at any
 //! thread count; and a seeded mid-wave crash recovers every tenant.
 
-use mpc_exec::{registry, ExecMode, JobRecord, JobSpec, JobStatus, Service};
+use mpc_exec::{
+    registry, ExecError, ExecMode, JobRecord, JobRetryPolicy, JobSpec, JobStatus, Service,
+};
 use mpc_graph::{generators, Graph};
 use mpc_runtime::fault::FaultPlan;
 use mpc_runtime::{Cluster, ClusterConfig};
@@ -41,7 +43,8 @@ fn rng_positions(cluster: &mut Cluster) -> Vec<u64> {
 
 /// The comparable core of a record (drops nothing — JobRecord has no
 /// non-deterministic fields, this just gives us Eq).
-fn record_key(r: &JobRecord) -> (u64, String, usize, u64, u64, u64, bool) {
+#[allow(clippy::type_complexity)]
+fn record_key(r: &JobRecord) -> (u64, String, usize, u64, u64, u64, bool, u32) {
     (
         r.job,
         r.name.clone(),
@@ -50,6 +53,7 @@ fn record_key(r: &JobRecord) -> (u64, String, usize, u64, u64, u64, bool) {
         r.completed_round,
         r.rounds,
         r.failed,
+        r.attempts,
     )
 }
 
@@ -221,12 +225,16 @@ fn oversized_job_is_admitted_alone_instead_of_deadlocking() {
 // ------------------------------------------------ mode independence --
 
 /// Submits the 6-job over-subscribed workload and runs it on `cluster`.
+#[allow(clippy::type_complexity)]
 fn contended_run(
     g: &Arc<Graph>,
     cluster: &mut Cluster,
     mode: ExecMode,
     threads: usize,
-) -> (Vec<(u64, String, usize, u64, u64, u64, bool)>, Vec<u128>) {
+) -> (
+    Vec<(u64, String, usize, u64, u64, u64, bool, u32)>,
+    Vec<u128>,
+) {
     let names = [
         "spanner",
         "mis",
@@ -331,6 +339,350 @@ fn seeded_crash_mid_wave_recovers_every_job() {
         faulted_cluster.rounds() > clean_rounds,
         "recovery must add checkpoint/replay exchanges"
     );
+}
+
+// ----------------------------------------------- fault isolation --
+
+/// The six-tenant acceptance wave: one job forced past retry exhaustion
+/// with `max_attempts: 0` must leave the other five tenants' digests,
+/// round log, and RNG stream positions bit-identical to a five-tenant
+/// wave that never contained it — fail-fast has zero wire impact.
+#[test]
+fn failed_tenant_leaves_survivors_bit_identical_to_a_wave_without_it() {
+    let g = Arc::new(weighted_graph());
+    let names = [
+        "spanner-weighted",
+        "matching",
+        "mincut",
+        "mis",
+        "coloring",
+        "connectivity",
+    ];
+    let victim = "mincut";
+
+    let run_wave = |with_victim: bool| {
+        let mut cluster = Cluster::new(config(&g, 41));
+        let mut svc = Service::new(config(&g, 41)).capacity_shares(3);
+        let mut handles = Vec::new();
+        for (i, name) in names.iter().enumerate() {
+            if !with_victim && *name == victim {
+                continue;
+            }
+            let mut spec = JobSpec::new(*name, Arc::clone(&g)).seed(500 + i as u64);
+            if *name == victim {
+                spec = spec.retry(JobRetryPolicy {
+                    max_attempts: 0,
+                    backoff_rounds: 0,
+                });
+            }
+            handles.push(svc.submit(spec).expect("known name"));
+        }
+        let run = svc.run_on(&mut cluster, ExecMode::Parallel).expect("run");
+        (run, handles, cluster)
+    };
+
+    let (six, six_handles, mut six_cluster) = run_wave(true);
+    let (five, five_handles, mut five_cluster) = run_wave(false);
+
+    // The victim failed fast with the typed error, consuming 0 attempts.
+    let vh = six_handles.iter().find(|h| h.name() == victim).unwrap();
+    assert_eq!(
+        vh.status(),
+        JobStatus::Failed {
+            error: ExecError::Algorithm {
+                message: "retry policy allows zero admission attempts".into()
+            }
+        }
+    );
+    let vrec = six.records.iter().find(|r| r.name == victim).unwrap();
+    assert!(vrec.failed);
+    assert_eq!(vrec.attempts, 0);
+    assert_eq!(vrec.rounds, 0, "a zero-budget job never holds shares");
+
+    // Survivors: identical schedules (ids shift, everything else equal)...
+    let survivors = |run: &mpc_exec::ServiceRun| {
+        run.records
+            .iter()
+            .filter(|r| r.name != victim)
+            .map(|r| {
+                (
+                    r.name.clone(),
+                    r.shares,
+                    r.admitted_round,
+                    r.completed_round,
+                    r.rounds,
+                    r.failed,
+                    r.attempts,
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(survivors(&six), survivors(&five));
+    assert_eq!(six.rounds, five.rounds);
+
+    // ...identical results...
+    let digest_of = |handles: &[mpc_exec::JobHandle], name: &str| {
+        handles
+            .iter()
+            .find(|h| h.name() == name)
+            .unwrap()
+            .take_result()
+            .expect("finished")
+            .expect("no job error")
+            .digest()
+    };
+    for name in names.iter().filter(|n| **n != victim) {
+        assert_eq!(
+            digest_of(&six_handles, name),
+            digest_of(&five_handles, name),
+            "{name} diverged from the five-tenant wave"
+        );
+    }
+
+    // ...and an identical wire history: round log and RNG positions.
+    assert_eq!(six_cluster.round_log(), five_cluster.round_log());
+    assert_eq!(
+        rng_positions(&mut six_cluster),
+        rng_positions(&mut five_cluster)
+    );
+}
+
+/// `max_attempts: 0` fails fast at the queue front without blocking the
+/// job behind it: the successor admits the same round.
+#[test]
+fn zero_attempt_policy_fails_fast_and_frees_the_queue() {
+    let g = Arc::new(generators::gnm(72, 240, 3));
+    let mut svc = Service::new(config(&g, 7)).capacity_shares(1);
+    let dead = svc
+        .submit(
+            JobSpec::new("mis", Arc::clone(&g))
+                .seed(1)
+                .retry(JobRetryPolicy {
+                    max_attempts: 0,
+                    backoff_rounds: 0,
+                }),
+        )
+        .unwrap();
+    let live = svc
+        .submit(JobSpec::new("coloring", Arc::clone(&g)).seed(2))
+        .unwrap();
+    let run = svc.run(ExecMode::Serial).expect("run");
+    assert!(matches!(dead.status(), JobStatus::Failed { .. }));
+    assert_eq!(live.status(), JobStatus::Completed);
+    let dead_rec = run.records.iter().find(|r| r.job == dead.id()).unwrap();
+    let live_rec = run.records.iter().find(|r| r.job == live.id()).unwrap();
+    assert_eq!(dead_rec.attempts, 0);
+    assert_eq!(
+        live_rec.admitted_round, dead_rec.completed_round,
+        "the successor admits in the round the zero-budget job failed"
+    );
+}
+
+/// Two deadline-bounded jobs expiring in the same round are both pulled
+/// in that round, and an innocent tenant sharing the wave still completes
+/// bit-identically to its solo run.
+#[test]
+fn two_jobs_failing_in_the_same_round_spare_the_survivor() {
+    let g = Arc::new(weighted_graph());
+    let mut svc = Service::new(config(&g, 53));
+    let doomed_a = svc
+        .submit(
+            JobSpec::new("mincut", Arc::clone(&g))
+                .seed(61)
+                .round_deadline(2),
+        )
+        .unwrap();
+    let doomed_b = svc
+        .submit(
+            JobSpec::new("matching", Arc::clone(&g))
+                .seed(62)
+                .round_deadline(2),
+        )
+        .unwrap();
+    let spec = JobSpec::new("mis", Arc::clone(&g)).seed(63);
+    let lucky = svc.submit(spec.clone()).unwrap();
+
+    let run = svc.run(ExecMode::Parallel).expect("run");
+    assert_eq!(doomed_a.status(), JobStatus::DeadlineExceeded);
+    assert_eq!(doomed_b.status(), JobStatus::DeadlineExceeded);
+    let rec_a = run.records.iter().find(|r| r.job == doomed_a.id()).unwrap();
+    let rec_b = run.records.iter().find(|r| r.job == doomed_b.id()).unwrap();
+    assert!(rec_a.failed && rec_b.failed);
+    assert_eq!(rec_a.completed_round, rec_b.completed_round);
+    assert_eq!(rec_a.rounds, 2, "pulled exactly at the deadline");
+    // The stored error is the typed per-job round limit.
+    assert_eq!(
+        doomed_a.take_result().unwrap().unwrap_err(),
+        ExecError::RoundLimit { limit: 2 }
+    );
+    assert_eq!(
+        lucky.take_result().unwrap().unwrap().digest(),
+        solo_digest(&g, &spec, ExecMode::Serial),
+        "the surviving tenant diverged from its solo run"
+    );
+}
+
+/// An oversized (runs-alone) job cancelled by its deadline refunds its
+/// shares in the cancellation round: the queued job behind it admits the
+/// same round.
+#[test]
+fn oversized_job_failure_refunds_shares_and_admits_the_next_job() {
+    let g = Arc::new(weighted_graph());
+    let classes = {
+        let c = Cluster::new(config(&g, 0));
+        let edges = mpc_core::common::distribute_edges(&c, &g);
+        mpc_core::spanner::weight_class_shards(&edges).shards.len()
+    };
+    assert!(classes > 2, "graph must span more than 2 weight classes");
+
+    let mut svc = Service::new(config(&g, 67)).capacity_shares(2);
+    let wide = svc
+        .submit(
+            JobSpec::new("spanner-weighted", Arc::clone(&g))
+                .seed(71)
+                .round_deadline(2),
+        )
+        .unwrap();
+    let next = svc
+        .submit(JobSpec::new("mis", Arc::clone(&g)).seed(72))
+        .unwrap();
+
+    let run = svc.run(ExecMode::Serial).expect("run");
+    assert_eq!(wide.status(), JobStatus::DeadlineExceeded);
+    assert_eq!(next.status(), JobStatus::Completed);
+    let wide_rec = run.records.iter().find(|r| r.job == wide.id()).unwrap();
+    let next_rec = run.records.iter().find(|r| r.job == next.id()).unwrap();
+    assert_eq!(wide_rec.shares, classes, "the wide job held every share");
+    assert_eq!(
+        next_rec.admitted_round, wide_rec.completed_round,
+        "the refunded shares admit the queued job in the cancellation round"
+    );
+}
+
+/// Retry exhaustion through the quarantine path proper: with no replica
+/// peers a small-machine crash is job-fatal (`Unrecoverable`), the
+/// marginal tenant is quarantined and resubmitted, and — the crash fault
+/// having fired — the retry completes with the clean run's digest. A
+/// *second* crash, of the large machine, lands during the retry wave and
+/// is recovered transparently from the durable-host checkpoint
+/// (DESIGN.md §2.9): it costs replay rounds, not an attempt.
+#[test]
+fn crash_during_job_retry_recovers_through_the_durable_host() {
+    use mpc_runtime::fault::{Fault, FaultPlan, RecoveryPolicy};
+
+    let g = Arc::new(weighted_graph());
+    let spec = || {
+        JobSpec::new("mincut", Arc::clone(&g))
+            .seed(81)
+            .retry(JobRetryPolicy {
+                max_attempts: 2,
+                backoff_rounds: 1,
+            })
+    };
+
+    // Clean oracle.
+    let clean_digest = {
+        let mut cluster = Cluster::new(config(&g, 83));
+        let mut svc = Service::new(config(&g, 83));
+        let h = svc.submit(spec()).unwrap();
+        svc.run_on(&mut cluster, ExecMode::Parallel).expect("run");
+        h.take_result().unwrap().unwrap().digest()
+    };
+
+    let mut cluster = Cluster::new(config(&g, 83));
+    let small = cluster.small_ids()[0];
+    let large = cluster
+        .large()
+        .expect("service cluster has a large machine");
+    let plan = FaultPlan::new()
+        .with_policy(RecoveryPolicy {
+            replicas: 0, // no peers: a small-machine crash is job-fatal
+            ..RecoveryPolicy::default()
+        })
+        .with_fault(Fault::Crash {
+            machine: small,
+            round: 2,
+        })
+        .with_fault(Fault::Crash {
+            machine: large,
+            round: 6, // mid-retry: the resubmitted job is back on the wire
+        });
+    cluster.set_fault_plan(Some(plan));
+
+    let mut svc = Service::new(config(&g, 83));
+    let h = svc.submit(spec()).unwrap();
+    let run = svc.run_on(&mut cluster, ExecMode::Parallel).expect("run");
+
+    assert_eq!(h.status(), JobStatus::Completed);
+    assert_eq!(
+        h.take_result().unwrap().unwrap().digest(),
+        clean_digest,
+        "the retried job diverged from the clean run"
+    );
+    let rec = &run.records[0];
+    assert_eq!(
+        rec.attempts, 2,
+        "the small-machine crash consumed one attempt; the large-machine \
+         crash must not have consumed another"
+    );
+}
+
+/// A seeded mid-wave crash of the **large machine** (the coordinator)
+/// recovers every tenant bit-identically, serial and pooled at thread
+/// counts {1, 3, 16} — the durable-host checkpoint works inside mixed
+/// waves too.
+#[test]
+fn large_machine_crash_mid_wave_recovers_at_any_thread_count() {
+    use mpc_runtime::fault::{Fault, FaultPlan};
+
+    let g = Arc::new(weighted_graph());
+    let run_with = |plan: Option<FaultPlan>, mode: ExecMode, threads: usize| {
+        let mut cluster = Cluster::new(config(&g, 99));
+        cluster.set_fault_plan(plan);
+        let mut svc = Service::new(config(&g, 99)).threads(threads);
+        let handles: Vec<_> = mixed_specs(&g)
+            .into_iter()
+            .map(|spec| svc.submit(spec).expect("known name"))
+            .collect();
+        svc.run_on(&mut cluster, mode).expect("run");
+        let digests: Vec<u128> = handles
+            .iter()
+            .map(|h| h.take_result().unwrap().unwrap().digest())
+            .collect();
+        (digests, cluster)
+    };
+
+    let (clean_digests, clean_cluster) = run_with(None, ExecMode::Serial, 0);
+    let large = clean_cluster.large().expect("large machine");
+    let mid = (clean_cluster.rounds() / 2).max(1);
+    let plan = || {
+        Some(FaultPlan::new().with_fault(Fault::Crash {
+            machine: large,
+            round: mid,
+        }))
+    };
+
+    let (serial_digests, serial_cluster) = run_with(plan(), ExecMode::Serial, 0);
+    assert_eq!(
+        serial_digests, clean_digests,
+        "a coordinator crash changed some tenant's result"
+    );
+    assert!(
+        serial_cluster.rounds() > clean_cluster.rounds(),
+        "recovery must add checkpoint/replay exchanges"
+    );
+    for threads in [1usize, 3, 16] {
+        let (digests, cluster) = run_with(plan(), ExecMode::Parallel, threads);
+        assert_eq!(
+            digests, clean_digests,
+            "coordinator-crash recovery diverged at {threads} threads"
+        );
+        assert_eq!(
+            cluster.round_log(),
+            serial_cluster.round_log(),
+            "faulted round log diverged at {threads} threads"
+        );
+    }
 }
 
 // ---------------------------------------------------------- edges --

@@ -13,9 +13,10 @@
 //!
 //! * [`Fault::Crash`] — the machine loses its local state, its RNG
 //!   position, and every message of the crashing exchange (outbound *and*
-//!   inbound). Recovery is the execution engine's job (DESIGN.md §2.7):
-//!   the driver restores the shard from a replica and replays the lost
-//!   rounds.
+//!   inbound). Recovery is the execution engine's job (DESIGN.md §2.7,
+//!   §2.9): the driver restores a small machine's shard from a peer
+//!   replica and the large machine's from its durable-host checkpoint,
+//!   then replays the lost rounds — any machine may be a victim.
 //! * [`Fault::DropExchange`] — transient network fault: the machine's
 //!   outbound messages for one exchange are lost, but its state survives.
 //! * [`Fault::DelayRound`] — one round's makespan is stretched by a fixed
@@ -193,17 +194,31 @@ impl FaultPlan {
     /// The canonical chaos-matrix plan: crash exactly one small machine
     /// (chosen by `seed`) halfway through a run expected to take
     /// `total_rounds` exchanges. Deterministic in `(seed, small_ids,
-    /// total_rounds)`.
+    /// total_rounds)`. The execution engine recovers the large machine too
+    /// (its checkpoint lives on the durable host, DESIGN.md §2.9) — use
+    /// [`seeded_single_crash_among`](FaultPlan::seeded_single_crash_among)
+    /// to put it in the victim pool.
     ///
     /// # Panics
     ///
     /// Panics if `small_ids` is empty.
     pub fn seeded_single_crash(seed: u64, small_ids: &[MachineId], total_rounds: u64) -> Self {
+        Self::seeded_single_crash_among(seed, small_ids, total_rounds)
+    }
+
+    /// [`seeded_single_crash`](FaultPlan::seeded_single_crash) over an
+    /// arbitrary victim pool — pass every machine id (large included) to
+    /// exercise coordinator failover in the chaos matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `victims` is empty.
+    pub fn seeded_single_crash_among(seed: u64, victims: &[MachineId], total_rounds: u64) -> Self {
         assert!(
-            !small_ids.is_empty(),
-            "seeded_single_crash needs at least one small machine"
+            !victims.is_empty(),
+            "seeded_single_crash needs at least one victim machine"
         );
-        let victim = small_ids[(seed % small_ids.len() as u64) as usize];
+        let victim = victims[(seed % victims.len() as u64) as usize];
         let round = (total_rounds / 2).max(1);
         FaultPlan::new().with_fault(Fault::Crash {
             machine: victim,

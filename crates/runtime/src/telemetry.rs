@@ -174,6 +174,39 @@ pub enum TraceEvent {
         /// Whether result extraction failed (job-level algorithm error).
         failed: bool,
     },
+    /// A running job was cancelled by the service: its lanes were force
+    /// retired, its in-flight mail purged, and its capacity shares
+    /// refunded to the admission queue (DESIGN.md §2.9).
+    JobQuarantined {
+        /// Service round index (monotone across wave restarts).
+        round: u64,
+        /// Service-assigned job id.
+        job: u64,
+        /// Why the job was pulled (`deadline`, or the engine error
+        /// attributed to it).
+        reason: String,
+    },
+    /// A quarantined job was resubmitted to the queue for another
+    /// admission attempt (after its linear backoff elapses).
+    JobRetried {
+        /// Service round index the resubmission happened on.
+        round: u64,
+        /// Service-assigned job id.
+        job: u64,
+        /// The attempt the resubmission will consume (2-based: the first
+        /// admission was attempt 1).
+        attempt: u64,
+    },
+    /// A job exhausted its retry policy (or was admitted with a zero
+    /// budget) and completed as failed; the run continued without it.
+    JobFailed {
+        /// Service round index of the terminal failure.
+        round: u64,
+        /// Service-assigned job id.
+        job: u64,
+        /// The underlying engine error, rendered.
+        error: String,
+    },
     /// A scheduled [`Fault`](crate::fault::Fault) fired during an exchange.
     FaultInjected {
         /// Cluster round index the fault fired on.
@@ -221,6 +254,9 @@ impl TraceEvent {
             TraceEvent::InstanceRetired { .. } => "instance_retired",
             TraceEvent::JobAdmitted { .. } => "job_admitted",
             TraceEvent::JobCompleted { .. } => "job_completed",
+            TraceEvent::JobQuarantined { .. } => "job_quarantined",
+            TraceEvent::JobRetried { .. } => "job_retried",
+            TraceEvent::JobFailed { .. } => "job_failed",
             TraceEvent::FaultInjected { .. } => "fault_injected",
             TraceEvent::MachineQuarantined { .. } => "machine_quarantined",
             TraceEvent::RecoveryRound { .. } => "recovery_round",
@@ -330,6 +366,24 @@ impl TraceEvent {
             } => format!(
                 "{{\"type\":\"job_completed\",\"round\":{round},\"job\":{job},\
                  \"rounds\":{rounds},\"failed\":{failed}}}"
+            ),
+            TraceEvent::JobQuarantined { round, job, reason } => format!(
+                "{{\"type\":\"job_quarantined\",\"round\":{round},\"job\":{job},\
+                 \"reason\":{}}}",
+                json_string(reason)
+            ),
+            TraceEvent::JobRetried {
+                round,
+                job,
+                attempt,
+            } => format!(
+                "{{\"type\":\"job_retried\",\"round\":{round},\"job\":{job},\
+                 \"attempt\":{attempt}}}"
+            ),
+            TraceEvent::JobFailed { round, job, error } => format!(
+                "{{\"type\":\"job_failed\",\"round\":{round},\"job\":{job},\
+                 \"error\":{}}}",
+                json_string(error)
             ),
             TraceEvent::FaultInjected {
                 round,
@@ -866,6 +920,9 @@ const SCHEMA: &[(&str, &[&str], &[&str])] = &[
     // `failed` is a JSON bool, which the validator's number/string floor
     // does not cover — it rides along as an allowed extra field.
     ("job_completed", &["round", "job", "rounds"], &[]),
+    ("job_quarantined", &["round", "job"], &["reason"]),
+    ("job_retried", &["round", "job", "attempt"], &[]),
+    ("job_failed", &["round", "job"], &["error"]),
     ("fault_injected", &["round"], &["kind", "detail"]),
     ("machine_quarantined", &["round", "machine"], &[]),
     (
@@ -1172,6 +1229,48 @@ pub fn perfetto_export(events: &[TraceEvent]) -> String {
                     &mut first,
                 );
             }
+            TraceEvent::JobQuarantined { round, job, reason } => {
+                push(
+                    format!(
+                        "{{\"name\":\"quarantine job {job}\",\"ph\":\"i\",\"s\":\"p\",\
+                         \"pid\":{PID_MACHINES},\"tid\":{TID_ROUNDS},\"ts\":{},\
+                         \"args\":{{\"round\":{round},\"reason\":{}}}}}",
+                        json_f64(sim_cursor_us),
+                        json_string(reason)
+                    ),
+                    &mut out,
+                    &mut first,
+                );
+            }
+            TraceEvent::JobRetried {
+                round,
+                job,
+                attempt,
+            } => {
+                push(
+                    format!(
+                        "{{\"name\":\"retry job {job}\",\"ph\":\"i\",\"s\":\"p\",\
+                         \"pid\":{PID_MACHINES},\"tid\":{TID_ROUNDS},\"ts\":{},\
+                         \"args\":{{\"round\":{round},\"attempt\":{attempt}}}}}",
+                        json_f64(sim_cursor_us)
+                    ),
+                    &mut out,
+                    &mut first,
+                );
+            }
+            TraceEvent::JobFailed { round, job, error } => {
+                push(
+                    format!(
+                        "{{\"name\":\"fail job {job}\",\"ph\":\"i\",\"s\":\"p\",\
+                         \"pid\":{PID_MACHINES},\"tid\":{TID_ROUNDS},\"ts\":{},\
+                         \"args\":{{\"round\":{round},\"error\":{}}}}}",
+                        json_f64(sim_cursor_us),
+                        json_string(error)
+                    ),
+                    &mut out,
+                    &mut first,
+                );
+            }
             TraceEvent::FaultInjected {
                 round,
                 kind,
@@ -1304,6 +1403,21 @@ mod tests {
                 job: 1,
                 rounds: 4,
                 failed: false,
+            },
+            TraceEvent::JobQuarantined {
+                round: 5,
+                job: 2,
+                reason: "deadline".into(),
+            },
+            TraceEvent::JobRetried {
+                round: 7,
+                job: 2,
+                attempt: 2,
+            },
+            TraceEvent::JobFailed {
+                round: 9,
+                job: 2,
+                error: "machine 1 unrecoverable at driver round 4: retries exhausted".into(),
             },
             TraceEvent::FaultInjected {
                 round: 3,
